@@ -1,0 +1,31 @@
+// Ablation A1 (paper §4.1/§4.2 remarks): MODULO's cache radius is
+// configuration-sensitive. Under the en-route topology a radius around 4
+// is best; under the hierarchical tree any radius > 1 leaves caches
+// unused and radius 1 (= LRU) wins. This bench sweeps the radius on both
+// architectures at a fixed 1% cache size.
+
+#include <cstdio>
+
+#include "common.h"
+
+int main() {
+  using namespace cascache;
+  bench::PrintTitle("Ablation A1", "MODULO cache radius sweep (1% cache)");
+
+  for (auto arch : {sim::Architecture::kEnRoute,
+                    sim::Architecture::kHierarchical}) {
+    auto config = bench::PaperConfig(arch);
+    config.cache_fractions = {0.01};
+    config.schemes.clear();
+    for (int radius : {1, 2, 3, 4, 5, 6}) {
+      config.schemes.push_back(
+          {.kind = schemes::SchemeKind::kModulo, .modulo_radius = radius});
+    }
+    std::printf("\n--- %s ---\n", sim::ArchitectureName(arch));
+    const auto results = bench::RunSweep(config);
+    bench::PrintMetricTables(
+        results, {{"avg latency, s", bench::Latency},
+                  {"byte hit ratio", bench::ByteHitRatio}});
+  }
+  return 0;
+}

@@ -1,0 +1,35 @@
+// Ablation A4 (paper §3.2 remark): the paper tested "a wide range of d
+// and g values and different tree shapes" and observed the same relative
+// trends. Sweeps tree depth/fanout and the delay growth factor at a fixed
+// 1% cache size.
+
+#include <cstdio>
+
+#include "common.h"
+
+int main() {
+  using namespace cascache;
+  bench::PrintTitle("Ablation A4",
+                    "Hierarchy shape & delay growth sweep (1% cache)");
+
+  struct Shape {
+    int depth;
+    int fanout;
+    double growth;
+  };
+  for (const Shape& shape : {Shape{3, 4, 5.0}, Shape{4, 3, 5.0},
+                             Shape{4, 3, 2.0}, Shape{5, 2, 5.0}}) {
+    auto config = bench::PaperConfig(sim::Architecture::kHierarchical);
+    config.cache_fractions = {0.01};
+    config.network.tree.depth = shape.depth;
+    config.network.tree.fanout = shape.fanout;
+    config.network.tree.growth = shape.growth;
+    std::printf("\n--- depth=%d fanout=%d g=%.0f ---\n", shape.depth,
+                shape.fanout, shape.growth);
+    const auto results = bench::RunSweep(config);
+    bench::PrintMetricTables(
+        results, {{"avg latency, s", bench::Latency},
+                  {"byte hit ratio", bench::ByteHitRatio}});
+  }
+  return 0;
+}

@@ -1,0 +1,112 @@
+#include "common.h"
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace cascache::bench {
+
+namespace {
+
+double BenchScale() {
+  const char* env = std::getenv("CASCACHE_BENCH_SCALE");
+  if (env == nullptr) return 1.0;
+  const double scale = std::atof(env);
+  return scale > 0.0 ? scale : 1.0;
+}
+
+}  // namespace
+
+sim::ExperimentConfig PaperConfig(sim::Architecture arch) {
+  const double scale = BenchScale();
+  sim::ExperimentConfig config;
+  config.network.architecture = arch;
+  // Topology defaults already match the paper (Table 1 Tiers parameters;
+  // depth-4 fanout-3 tree with d = 0.008 s, g = 5).
+  config.workload.num_objects =
+      static_cast<uint32_t>(20'000 * scale < 100 ? 100 : 20'000 * scale);
+  config.workload.num_requests = static_cast<uint64_t>(400'000 * scale);
+  config.workload.num_clients = 1'000;
+  config.workload.num_servers = 200;
+  config.workload.zipf_theta = 0.8;
+  config.workload.seed = 20030305;  // The paper's trace date, more or less.
+  // Paper sweep: 0.1% .. 10% relative cache size, log scale.
+  config.cache_fractions = {0.001, 0.003, 0.01, 0.03, 0.10};
+  config.schemes = PaperSchemes();
+  return config;
+}
+
+std::vector<schemes::SchemeSpec> PaperSchemes(int modulo_radius) {
+  return {{.kind = schemes::SchemeKind::kLru},
+          {.kind = schemes::SchemeKind::kModulo,
+           .modulo_radius = modulo_radius},
+          {.kind = schemes::SchemeKind::kLncr},
+          {.kind = schemes::SchemeKind::kCoordinated}};
+}
+
+void PrintTitle(const std::string& id, const std::string& title) {
+  std::printf("==============================================================="
+              "\n%s: %s\n"
+              "==============================================================="
+              "\n",
+              id.c_str(), title.c_str());
+}
+
+namespace {
+
+/// Appends results to the CSV named by CASCACHE_RESULTS_CSV, if set.
+void MaybeExportCsv(const std::vector<sim::RunResult>& results) {
+  const char* path = std::getenv("CASCACHE_RESULTS_CSV");
+  if (path == nullptr || path[0] == '\0') return;
+  const util::Status status = sim::WriteResultsCsv(results, path);
+  if (!status.ok()) {
+    std::fprintf(stderr, "CSV export failed: %s\n",
+                 status.ToString().c_str());
+  }
+}
+
+}  // namespace
+
+std::vector<sim::RunResult> RunSweep(const sim::ExperimentConfig& config) {
+  auto runner_or = sim::ExperimentRunner::Create(config);
+  CASCACHE_CHECK_OK(runner_or.status());
+  sim::ExperimentRunner& runner = **runner_or;
+
+  std::vector<sim::RunResult> results;
+  const size_t total =
+      config.cache_fractions.size() * config.schemes.size();
+  size_t done = 0;
+  for (double fraction : config.cache_fractions) {
+    for (const schemes::SchemeSpec& spec : config.schemes) {
+      auto result_or = runner.RunOne(spec, fraction);
+      CASCACHE_CHECK_OK(result_or.status());
+      results.push_back(std::move(result_or).value());
+      ++done;
+      std::fprintf(stderr, "  [%zu/%zu] %s @ %.2f%%\n", done, total,
+                   spec.Label().c_str(), fraction * 100);
+    }
+  }
+  MaybeExportCsv(results);
+  return results;
+}
+
+void PrintMetricTables(const std::vector<sim::RunResult>& results,
+                       const std::vector<MetricColumn>& metrics) {
+  for (const MetricColumn& metric : metrics) {
+    std::printf("\n%s\n",
+                sim::FormatSweepTable(results, metric.name, metric.selector)
+                    .c_str());
+  }
+}
+
+double Latency(const sim::MetricsSummary& m) { return m.avg_latency; }
+double ResponseRatio(const sim::MetricsSummary& m) {
+  return m.avg_response_ratio;
+}
+double ByteHitRatio(const sim::MetricsSummary& m) { return m.byte_hit_ratio; }
+double TrafficByteHops(const sim::MetricsSummary& m) {
+  return m.avg_traffic_byte_hops;
+}
+double Hops(const sim::MetricsSummary& m) { return m.avg_hops; }
+double LoadBytes(const sim::MetricsSummary& m) { return m.avg_load_bytes; }
+
+}  // namespace cascache::bench

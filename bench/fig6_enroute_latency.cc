@@ -1,0 +1,22 @@
+// Reproduces Figure 6: average access latency (a) and response ratio (b)
+// vs relative cache size under the en-route architecture, for LRU,
+// MODULO(4), LNC-R and the coordinated scheme.
+//
+// Paper shape to verify (see EXPERIMENTS.md): all schemes improve with
+// cache size; coordinated is best everywhere; LRU/LNC-R need ~3-10x the
+// cache space of coordinated for equal latency; MODULO sits between.
+
+#include "common.h"
+
+int main() {
+  using namespace cascache;
+  bench::PrintTitle(
+      "Figure 6",
+      "En-route: access latency & response ratio vs cache size");
+  auto config = bench::PaperConfig(sim::Architecture::kEnRoute);
+  const auto results = bench::RunSweep(config);
+  bench::PrintMetricTables(
+      results, {{"avg latency, s", bench::Latency},
+                {"avg response ratio, s/MB", bench::ResponseRatio}});
+  return 0;
+}

@@ -1,0 +1,20 @@
+// Reproduces Figure 7: byte hit ratio (a) and network traffic in
+// byte*hops (b) vs relative cache size under the en-route architecture.
+//
+// Paper shape: coordinated has the highest byte hit ratio, with the gap
+// largest at small cache sizes; coordinated cuts network traffic by
+// roughly 30-45% vs the baselines at 10% cache size.
+
+#include "common.h"
+
+int main() {
+  using namespace cascache;
+  bench::PrintTitle("Figure 7",
+                    "En-route: byte hit ratio & network traffic vs cache size");
+  auto config = bench::PaperConfig(sim::Architecture::kEnRoute);
+  const auto results = bench::RunSweep(config);
+  bench::PrintMetricTables(
+      results, {{"byte hit ratio", bench::ByteHitRatio},
+                {"avg traffic, byte*hops", bench::TrafficByteHops}});
+  return 0;
+}

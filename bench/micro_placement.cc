@@ -1,0 +1,55 @@
+// Micro benchmark M1 (paper §2.4): the dynamic program is O(k^2) in the
+// number of candidate caches on the path, which the paper argues is cheap
+// because k is small in practice. Measures the DP at realistic and
+// stress path lengths, against the exponential brute force at small n.
+
+#include <benchmark/benchmark.h>
+
+#include "core/placement.h"
+#include "util/random.h"
+
+namespace {
+
+cascache::core::PlacementInput MakeInput(size_t n, uint64_t seed) {
+  cascache::util::Rng rng(seed);
+  cascache::core::PlacementInput input;
+  input.f.resize(n);
+  input.m.resize(n);
+  input.l.resize(n);
+  double cum = 0.0;
+  for (size_t i = 0; i < n; ++i) {
+    input.f[i] = rng.NextDouble(0.0, 10.0);
+    cum += rng.NextDouble(0.05, 1.0);
+    input.m[i] = cum;
+    input.l[i] = rng.NextBool(0.4) ? 0.0 : rng.NextDouble(0.0, 15.0);
+  }
+  std::sort(input.f.rbegin(), input.f.rend());
+  return input;
+}
+
+void BM_PlacementDP(benchmark::State& state) {
+  const auto input = MakeInput(static_cast<size_t>(state.range(0)), 42);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(cascache::core::SolvePlacementDP(input));
+  }
+  state.SetComplexityN(state.range(0));
+}
+BENCHMARK(BM_PlacementDP)->RangeMultiplier(2)->Range(4, 512)->Complexity();
+
+void BM_PlacementBruteForce(benchmark::State& state) {
+  const auto input = MakeInput(static_cast<size_t>(state.range(0)), 42);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(cascache::core::SolvePlacementBruteForce(input));
+  }
+}
+BENCHMARK(BM_PlacementBruteForce)->DenseRange(4, 20, 4);
+
+void BM_PlacementValidation(benchmark::State& state) {
+  const auto input = MakeInput(static_cast<size_t>(state.range(0)), 42);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(cascache::core::ValidatePlacementInput(input));
+  }
+}
+BENCHMARK(BM_PlacementValidation)->Arg(16)->Arg(128);
+
+}  // namespace

@@ -1,0 +1,58 @@
+// Reproduces Table 1: system parameters of the en-route architecture's
+// Tiers-generated topology (node/link counts, mean WAN/MAN link delays),
+// plus the ~12-hop average routing path length reported in §3.2.
+
+#include <cstdio>
+
+#include "common.h"
+#include "sim/network.h"
+#include "topology/tiers.h"
+#include "trace/synthetic.h"
+#include "util/table.h"
+
+int main() {
+  using namespace cascache;
+
+  bench::PrintTitle("Table 1",
+                    "System parameters for the en-route architecture");
+
+  auto topo_or = topology::GenerateTiers(topology::TiersParams{});
+  CASCACHE_CHECK_OK(topo_or.status());
+  const topology::TiersTopology& topo = *topo_or;
+
+  // Average routing path length requires client/server placement: build
+  // the simulation network over a small catalog.
+  trace::WorkloadParams wl;
+  wl.num_objects = 1000;
+  wl.num_requests = 1;
+  wl.num_servers = 200;
+  auto workload_or = trace::GenerateWorkload(wl);
+  CASCACHE_CHECK_OK(workload_or.status());
+  sim::NetworkParams net_params;
+  net_params.architecture = sim::Architecture::kEnRoute;
+  auto net_or = sim::Network::Build(net_params, &workload_or->catalog);
+  CASCACHE_CHECK_OK(net_or.status());
+
+  util::TablePrinter table({"Parameter", "Paper", "This build"});
+  table.AddRow({"Total number of nodes", "100",
+                std::to_string(topo.graph.num_nodes())});
+  table.AddRow({"Number of WAN nodes", "50",
+                std::to_string(topo.wan_ids.size())});
+  table.AddRow({"Number of MAN nodes", "50",
+                std::to_string(topo.man_ids.size())});
+  table.AddRow({"Number of network links", "173",
+                std::to_string(topo.graph.num_edges())});
+  table.AddRow({"Average delay of WAN links (s)", "0.146",
+                util::TablePrinter::Fmt(topo.MeanWanLinkDelay(), 3)});
+  table.AddRow({"Average delay of MAN links (s)", "0.018",
+                util::TablePrinter::Fmt(topo.MeanManLinkDelay(), 3)});
+  table.AddRow({"WAN:MAN delay ratio", "~8:1",
+                util::TablePrinter::Fmt(
+                    topo.MeanWanLinkDelay() / topo.MeanManLinkDelay(), 3) +
+                    ":1"});
+  table.AddRow({"Avg client-server path (hops)", "~12",
+                util::TablePrinter::Fmt(
+                    (*net_or)->MeanClientServerHops(), 3)});
+  table.Print();
+  return 0;
+}

@@ -1,0 +1,91 @@
+// Hierarchical caching study: drives the coordinated scheme on a proxy
+// tree and inspects *where* object copies end up — demonstrating the
+// placement behavior the paper's Figure 5/Section 4.2 discuss: popular
+// objects sink toward the leaves, unpopular ones are held high up or not
+// at all.
+//
+// Usage: hierarchy_study [depth] [fanout]
+
+#include <cstdio>
+#include <cstdlib>
+#include <vector>
+
+#include "schemes/coordinated_scheme.h"
+#include "sim/simulator.h"
+#include "topology/tree.h"
+#include "trace/synthetic.h"
+
+int main(int argc, char** argv) {
+  using namespace cascache;
+
+  const int depth = argc > 1 ? std::atoi(argv[1]) : 4;
+  const int fanout = argc > 2 ? std::atoi(argv[2]) : 3;
+  if (depth < 2 || fanout < 1) {
+    std::fprintf(stderr, "usage: %s [depth >= 2] [fanout >= 1]\n", argv[0]);
+    return 1;
+  }
+
+  trace::WorkloadParams wl;
+  wl.num_objects = 5'000;
+  wl.num_requests = 300'000;
+  wl.num_clients = 500;
+  wl.num_servers = 50;
+  auto workload_or = trace::GenerateWorkload(wl);
+  CASCACHE_CHECK_OK(workload_or.status());
+
+  sim::NetworkParams net_params;
+  net_params.architecture = sim::Architecture::kHierarchical;
+  net_params.tree.depth = depth;
+  net_params.tree.fanout = fanout;
+  auto net_or = sim::Network::Build(net_params, &workload_or->catalog);
+  CASCACHE_CHECK_OK(net_or.status());
+  sim::Network& net = **net_or;
+
+  schemes::CoordinatedScheme scheme;
+  sim::Simulator simulator(&net, &scheme);
+  const uint64_t capacity = workload_or->catalog.total_bytes() / 50;  // 2%.
+  CASCACHE_CHECK_OK(simulator.Run(*workload_or, capacity));
+
+  std::printf("hierarchical coordinated caching, depth=%d fanout=%d, "
+              "2%% cache per node\n\n",
+              depth, fanout);
+  std::printf("%s\n\n", simulator.metrics().Summary().ToString().c_str());
+
+  // Where do copies live? Aggregate cache occupancy per tree level.
+  auto tree_or = topology::BuildTree(net_params.tree);
+  CASCACHE_CHECK_OK(tree_or.status());
+  std::vector<uint64_t> bytes_per_level(static_cast<size_t>(depth), 0);
+  std::vector<uint64_t> objects_per_level(static_cast<size_t>(depth), 0);
+  std::vector<int> nodes_per_level(static_cast<size_t>(depth), 0);
+  for (topology::NodeId v = 0; v < net.num_nodes(); ++v) {
+    const int level = tree_or->level[static_cast<size_t>(v)];
+    bytes_per_level[level] += net.node(v)->used_bytes();
+    objects_per_level[level] += net.node(v)->num_cached_objects();
+    ++nodes_per_level[level];
+  }
+  std::printf("copies by tree level (root = level %d):\n", depth - 1);
+  for (int level = depth - 1; level >= 0; --level) {
+    std::printf(
+        "  level %d: %3d caches, %8llu objects, mean fill %5.1f%%\n", level,
+        nodes_per_level[level],
+        static_cast<unsigned long long>(objects_per_level[level]),
+        100.0 * static_cast<double>(bytes_per_level[level]) /
+            (static_cast<double>(nodes_per_level[level]) *
+             static_cast<double>(capacity)));
+  }
+
+  std::printf("\ncoordinated-scheme decision statistics:\n");
+  const auto& stats = scheme.stats();
+  std::printf("  requests: %llu, DP runs: %llu, mean candidates/run: %.2f\n",
+              static_cast<unsigned long long>(stats.requests),
+              static_cast<unsigned long long>(stats.dp_runs),
+              stats.dp_runs ? static_cast<double>(stats.candidates) /
+                                  static_cast<double>(stats.dp_runs)
+                            : 0.0);
+  std::printf("  placements: %llu (%.3f per request), total gain: %.1f\n",
+              static_cast<unsigned long long>(stats.placements),
+              static_cast<double>(stats.placements) /
+                  static_cast<double>(stats.requests),
+              stats.total_gain);
+  return 0;
+}

@@ -1,0 +1,99 @@
+#include "analysis/che.h"
+
+#include <cmath>
+#include <limits>
+
+namespace cascache::analysis {
+
+double ExpectedBytes(const std::vector<double>& rates,
+                     const std::vector<uint64_t>& sizes, double t) {
+  double total = 0.0;
+  for (size_t i = 0; i < rates.size(); ++i) {
+    if (rates[i] <= 0.0) continue;
+    total += static_cast<double>(sizes[i]) *
+             (1.0 - std::exp(-rates[i] * t));
+  }
+  return total;
+}
+
+util::StatusOr<CheResult> SolveChe(const std::vector<double>& rates,
+                                   const std::vector<uint64_t>& sizes,
+                                   uint64_t capacity) {
+  if (rates.size() != sizes.size()) {
+    return util::Status::InvalidArgument("rates/sizes length mismatch");
+  }
+  if (capacity == 0) {
+    return util::Status::InvalidArgument("capacity must be > 0");
+  }
+  double total_rate = 0.0;
+  double total_rate_bytes = 0.0;
+  uint64_t referenced_bytes = 0;
+  for (size_t i = 0; i < rates.size(); ++i) {
+    if (rates[i] < 0.0) {
+      return util::Status::InvalidArgument("negative rate");
+    }
+    if (sizes[i] == 0) {
+      return util::Status::InvalidArgument("zero object size");
+    }
+    if (rates[i] > 0.0) {
+      total_rate += rates[i];
+      total_rate_bytes += rates[i] * static_cast<double>(sizes[i]);
+      referenced_bytes += sizes[i];
+    }
+  }
+
+  CheResult result;
+  result.hit_probability.assign(rates.size(), 0.0);
+
+  if (total_rate == 0.0) {
+    return result;  // No traffic: everything is zero.
+  }
+
+  if (referenced_bytes <= capacity) {
+    // Everything referenced fits: T -> infinity, all hits.
+    result.characteristic_time =
+        std::numeric_limits<double>::infinity();
+    for (size_t i = 0; i < rates.size(); ++i) {
+      if (rates[i] > 0.0) result.hit_probability[i] = 1.0;
+    }
+    result.hit_ratio = 1.0;
+    result.byte_hit_ratio = 1.0;
+    result.expected_bytes = static_cast<double>(referenced_bytes);
+    return result;
+  }
+
+  // ExpectedBytes(T) is strictly increasing; bisect for
+  // ExpectedBytes(T) == capacity.
+  double lo = 0.0;
+  double hi = 1.0;
+  while (ExpectedBytes(rates, sizes, hi) < static_cast<double>(capacity)) {
+    hi *= 2.0;
+    if (hi > 1e18) break;  // Numerical guard; essentially everything fits.
+  }
+  for (int iter = 0; iter < 200; ++iter) {
+    const double mid = 0.5 * (lo + hi);
+    if (ExpectedBytes(rates, sizes, mid) < static_cast<double>(capacity)) {
+      lo = mid;
+    } else {
+      hi = mid;
+    }
+  }
+  const double t = 0.5 * (lo + hi);
+  result.characteristic_time = t;
+
+  double hit_rate = 0.0;
+  double hit_rate_bytes = 0.0;
+  for (size_t i = 0; i < rates.size(); ++i) {
+    if (rates[i] <= 0.0) continue;
+    const double h = 1.0 - std::exp(-rates[i] * t);
+    result.hit_probability[i] = h;
+    hit_rate += rates[i] * h;
+    hit_rate_bytes += rates[i] * static_cast<double>(sizes[i]) * h;
+  }
+  result.hit_ratio = hit_rate / total_rate;
+  result.byte_hit_ratio = hit_rate_bytes / total_rate_bytes;
+  result.expected_bytes = ExpectedBytes(rates, sizes, t);
+  return result;
+}
+
+}  // namespace cascache::analysis

@@ -1,0 +1,52 @@
+#ifndef CASCACHE_ANALYSIS_CHE_H_
+#define CASCACHE_ANALYSIS_CHE_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "util/status.h"
+
+namespace cascache::analysis {
+
+/// Che's approximation for a single LRU cache under the independent
+/// reference model (IRM): the cache behaves as if every object stays for
+/// a fixed *characteristic time* T, so object i with request rate
+/// lambda_i hits with probability
+///
+///   h_i = 1 - exp(-lambda_i * T),
+///
+/// where T solves the capacity constraint
+///
+///   sum_i s_i * (1 - exp(-lambda_i * T)) = C.
+///
+/// This size-aware form supports heterogeneous object sizes. It is the
+/// standard closed-form sanity check for trace-driven LRU simulators:
+/// cascache's tests require the simulator and this model to agree on IRM
+/// workloads.
+struct CheResult {
+  double characteristic_time = 0.0;
+  /// Per-object hit probabilities.
+  std::vector<double> hit_probability;
+  /// Request-weighted (object) hit ratio: sum lambda_i h_i / sum lambda_i.
+  double hit_ratio = 0.0;
+  /// Byte hit ratio: sum lambda_i s_i h_i / sum lambda_i s_i.
+  double byte_hit_ratio = 0.0;
+  /// Expected resident bytes (== capacity unless everything fits).
+  double expected_bytes = 0.0;
+};
+
+/// Solves Che's approximation. `rates` are per-object request rates
+/// (any positive scale), `sizes` the object sizes in bytes, `capacity`
+/// the cache size in bytes. Objects with rate 0 never hit. If the whole
+/// population fits, T is infinite and every referenced object hits.
+util::StatusOr<CheResult> SolveChe(const std::vector<double>& rates,
+                                   const std::vector<uint64_t>& sizes,
+                                   uint64_t capacity);
+
+/// Expected bytes resident in an LRU cache with characteristic time T.
+double ExpectedBytes(const std::vector<double>& rates,
+                     const std::vector<uint64_t>& sizes, double t);
+
+}  // namespace cascache::analysis
+
+#endif  // CASCACHE_ANALYSIS_CHE_H_

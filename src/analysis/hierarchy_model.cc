@@ -1,0 +1,127 @@
+#include "analysis/hierarchy_model.h"
+
+#include <cmath>
+
+namespace cascache::analysis {
+
+util::StatusOr<HierarchyModelResult> SolveHierarchyLru(
+    const HierarchyModelParams& params) {
+  if (params.rates.size() != params.sizes.size()) {
+    return util::Status::InvalidArgument("rates/sizes length mismatch");
+  }
+  if (params.rates.empty()) {
+    return util::Status::InvalidArgument("empty object population");
+  }
+  if (params.capacity_per_node == 0) {
+    return util::Status::InvalidArgument("capacity must be > 0");
+  }
+  if (params.tree.depth < 1 || params.tree.fanout < 1) {
+    return util::Status::InvalidArgument("bad tree shape");
+  }
+
+  const size_t n = params.rates.size();
+  const int depth = params.tree.depth;
+  double num_leaves = 1.0;
+  for (int i = 1; i < depth; ++i) num_leaves *= params.tree.fanout;
+
+  double total_rate = 0.0;
+  double total_rate_bytes = 0.0;
+  double mean_size_num = 0.0;
+  uint64_t total_bytes = 0;
+  for (size_t i = 0; i < n; ++i) {
+    if (params.rates[i] < 0.0) {
+      return util::Status::InvalidArgument("negative rate");
+    }
+    if (params.sizes[i] == 0) {
+      return util::Status::InvalidArgument("zero object size");
+    }
+    total_rate += params.rates[i];
+    total_rate_bytes +=
+        params.rates[i] * static_cast<double>(params.sizes[i]);
+    total_bytes += params.sizes[i];
+  }
+  if (total_rate <= 0.0) {
+    return util::Status::InvalidArgument("no request traffic");
+  }
+  mean_size_num = static_cast<double>(total_bytes) / static_cast<double>(n);
+
+  HierarchyModelResult result;
+  result.levels.reserve(static_cast<size_t>(depth));
+
+  // Per-cache arrival rates at the current level (start: one leaf).
+  std::vector<double> arrival(n);
+  for (size_t i = 0; i < n; ++i) arrival[i] = params.rates[i] / num_leaves;
+
+  // survive[i]: probability a request for object i (entering at a leaf)
+  // has missed every level processed so far.
+  std::vector<double> survive(n, 1.0);
+
+  result.serve_probability.assign(static_cast<size_t>(depth) + 1, 0.0);
+  double hops_acc = 0.0;
+  double latency_acc = 0.0;        // sum over requests of delay * size/mean
+  double response_acc = 0.0;       // sum of delay (per-request, unscaled)
+  double hit_rate = 0.0;
+  double hit_rate_bytes = 0.0;
+
+  double cum_delay = 0.0;  // Base delay from a leaf up to this level.
+  for (int level = 0; level < depth; ++level) {
+    CASCACHE_ASSIGN_OR_RETURN(
+        CheResult che,
+        SolveChe(arrival, params.sizes, params.capacity_per_node));
+
+    for (size_t i = 0; i < n; ++i) {
+      if (params.rates[i] <= 0.0) continue;
+      const double h = che.hit_probability[i];
+      const double p_serve = survive[i] * h;  // Served at this level.
+      const double weight = params.rates[i] / total_rate;
+      result.serve_probability[static_cast<size_t>(level)] +=
+          weight * p_serve;
+      hops_acc += weight * p_serve * level;
+      latency_acc += weight * p_serve * cum_delay *
+                     (static_cast<double>(params.sizes[i]) / mean_size_num);
+      response_acc += weight * p_serve * cum_delay;
+      hit_rate += params.rates[i] * p_serve;
+      hit_rate_bytes += params.rates[i] * p_serve *
+                        static_cast<double>(params.sizes[i]);
+      survive[i] *= (1.0 - h);
+    }
+
+    result.levels.push_back(std::move(che));
+
+    // Prepare the next level: aggregate the miss streams of `fanout`
+    // children; the link climbed has delay g^level * d.
+    cum_delay += params.tree.base_delay * std::pow(params.tree.growth, level);
+    if (level + 1 < depth) {
+      for (size_t i = 0; i < n; ++i) {
+        arrival[i] *= (1.0 - result.levels.back().hit_probability[i]) *
+                      params.tree.fanout;
+      }
+    }
+  }
+
+  // Origin service: after the final loop iteration cum_delay already
+  // includes g^(depth-1)*d, which is exactly the virtual server link
+  // (there is no tree link above the root).
+  const double origin_delay = cum_delay;
+  for (size_t i = 0; i < n; ++i) {
+    if (params.rates[i] <= 0.0) continue;
+    const double weight = params.rates[i] / total_rate;
+    result.serve_probability.back() += weight * survive[i];
+    hops_acc += weight * survive[i] * (depth - 1 + 1);
+    latency_acc += weight * survive[i] * origin_delay *
+                   (static_cast<double>(params.sizes[i]) / mean_size_num);
+    response_acc += weight * survive[i] * origin_delay;
+  }
+
+  result.hit_ratio = hit_rate / total_rate;
+  result.byte_hit_ratio = hit_rate_bytes / total_rate_bytes;
+  result.avg_hops = hops_acc;
+  result.avg_latency = latency_acc;
+  // Response ratio in the simulator: latency / (size in MB); under the
+  // size-proportional cost the size cancels, leaving delay * MB / mean.
+  result.avg_response_ratio = response_acc * (1024.0 * 1024.0) /
+                              mean_size_num;
+  return result;
+}
+
+}  // namespace cascache::analysis

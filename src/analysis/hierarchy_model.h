@@ -1,0 +1,52 @@
+#ifndef CASCACHE_ANALYSIS_HIERARCHY_MODEL_H_
+#define CASCACHE_ANALYSIS_HIERARCHY_MODEL_H_
+
+#include <vector>
+
+#include "analysis/che.h"
+#include "topology/tree.h"
+
+namespace cascache::analysis {
+
+/// Fixed-point analytical model of hierarchical LRU caching with
+/// cache-everywhere placement (the paper's LRU baseline on the Figure-5
+/// tree), built by stacking Che approximations level by level:
+///
+///   * every leaf sees an IRM stream with per-object rate lambda_i / L
+///     (L leaves, uniform client assignment);
+///   * a level's miss stream, thinned per object by (1 - h_i), aggregates
+///     over the fanout into its parent's arrival stream, treated again
+///     as IRM (the standard independence approximation).
+///
+/// The model predicts per-level hit probabilities, the system byte hit
+/// ratio, expected hops and the size-scaled access latency — directly
+/// comparable to the simulator's MetricsSummary, which the validation
+/// tests and bench exploit.
+struct HierarchyModelParams {
+  topology::TreeParams tree;
+  uint64_t capacity_per_node = 0;
+  /// Aggregate per-object request rates over all clients (any scale).
+  std::vector<double> rates;
+  std::vector<uint64_t> sizes;
+};
+
+struct HierarchyModelResult {
+  /// Che solution per level, index 0 = leaves.
+  std::vector<CheResult> levels;
+  /// Probability a (random) request is served at level l; the final entry
+  /// is the origin-server probability. Sums to 1.
+  std::vector<double> serve_probability;
+  /// System-wide metrics in the simulator's units.
+  double hit_ratio = 0.0;
+  double byte_hit_ratio = 0.0;
+  double avg_hops = 0.0;
+  double avg_latency = 0.0;         ///< Seconds, size-scaled delays.
+  double avg_response_ratio = 0.0;  ///< Seconds per MB.
+};
+
+util::StatusOr<HierarchyModelResult> SolveHierarchyLru(
+    const HierarchyModelParams& params);
+
+}  // namespace cascache::analysis
+
+#endif  // CASCACHE_ANALYSIS_HIERARCHY_MODEL_H_

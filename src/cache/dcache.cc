@@ -1,0 +1,61 @@
+#include "cache/dcache.h"
+
+namespace cascache::cache {
+
+DCache::DCache(size_t max_descriptors, DCachePolicy policy)
+    : capacity_(max_descriptors), policy_(policy) {}
+
+double DCache::PriorityOf(const ObjectDescriptor& desc) const {
+  if (policy_ == DCachePolicy::kLfu) return desc.frequency;
+  // LRU: most recent access time (0 if never accessed); the heap evicts
+  // the minimum, i.e. the least recently accessed descriptor.
+  return desc.num_accesses == 0 ? 0.0 : desc.KthMostRecentAccess(1);
+}
+
+ObjectDescriptor* DCache::Find(ObjectId id) {
+  auto it = descriptors_.find(id);
+  return it == descriptors_.end() ? nullptr : &it->second;
+}
+
+const ObjectDescriptor* DCache::Find(ObjectId id) const {
+  auto it = descriptors_.find(id);
+  return it == descriptors_.end() ? nullptr : &it->second;
+}
+
+ObjectDescriptor* DCache::Insert(ObjectId id, const ObjectDescriptor& desc) {
+  if (capacity_ == 0) return nullptr;
+  auto it = descriptors_.find(id);
+  if (it != descriptors_.end()) {
+    it->second = desc;
+    heap_.Update(id, PriorityOf(desc));
+    return &it->second;
+  }
+  if (descriptors_.size() >= capacity_) {
+    // Admission: do not displace a higher-priority descriptor.
+    if (PriorityOf(desc) < heap_.Top().second) return nullptr;
+    const ObjectId victim = heap_.Pop().first;
+    descriptors_.erase(victim);
+  }
+  auto [new_it, ok] = descriptors_.emplace(id, desc);
+  CASCACHE_CHECK(ok);
+  heap_.Push(id, PriorityOf(desc));
+  return &new_it->second;
+}
+
+void DCache::Refresh(ObjectId id, const ObjectDescriptor& desc) {
+  if (!heap_.Contains(id)) return;
+  heap_.Update(id, PriorityOf(desc));
+}
+
+bool DCache::Erase(ObjectId id) {
+  if (descriptors_.erase(id) == 0) return false;
+  CASCACHE_CHECK(heap_.Erase(id));
+  return true;
+}
+
+void DCache::Clear() {
+  descriptors_.clear();
+  heap_.Clear();
+}
+
+}  // namespace cascache::cache

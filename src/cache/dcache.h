@@ -1,0 +1,70 @@
+#ifndef CASCACHE_CACHE_DCACHE_H_
+#define CASCACHE_CACHE_DCACHE_H_
+
+#include <cstddef>
+#include <unordered_map>
+
+#include "cache/descriptor.h"
+#include "util/indexed_heap.h"
+
+namespace cascache::cache {
+
+using trace::ObjectId;
+
+/// Replacement policy for descriptors in the d-cache. The paper proposes
+/// "simple LFU replacement" (§2.4) but also notes the descriptors "can be
+/// organized into one or more LRU stacks" when frequencies come from a
+/// sliding window; both are supported.
+enum class DCachePolicy {
+  kLfu,  ///< Evict the lowest-frequency descriptor (paper default).
+  kLru,  ///< Evict the least-recently-accessed descriptor.
+};
+
+/// Auxiliary descriptor cache (paper §2.4): holds descriptors of the most
+/// frequently accessed objects *not* stored in the main cache, so the
+/// coordinated scheme (and LNC-R) can evaluate cost savings for objects it
+/// does not hold. Capacity is measured in descriptor count.
+class DCache {
+ public:
+  explicit DCache(size_t max_descriptors,
+                  DCachePolicy policy = DCachePolicy::kLfu);
+
+  DCachePolicy policy() const { return policy_; }
+
+  bool Contains(ObjectId id) const { return descriptors_.count(id) > 0; }
+
+  /// Mutable descriptor lookup; nullptr if absent.
+  ObjectDescriptor* Find(ObjectId id);
+  const ObjectDescriptor* Find(ObjectId id) const;
+
+  /// Inserts (or overwrites) a descriptor, evicting the lowest-priority
+  /// descriptor if full. Returns the stored descriptor, or nullptr when
+  /// capacity is zero. When full, the insert is admission-checked: a new
+  /// descriptor ranking below the current minimum is rejected rather than
+  /// thrashing the coldest slot (under LRU the newcomer's recency always
+  /// admits it).
+  ObjectDescriptor* Insert(ObjectId id, const ObjectDescriptor& desc);
+
+  /// Refreshes the eviction priority of a present descriptor from its
+  /// current state (call after recording an access). No-op if absent.
+  void Refresh(ObjectId id, const ObjectDescriptor& desc);
+
+  bool Erase(ObjectId id);
+  void Clear();
+
+  size_t size() const { return descriptors_.size(); }
+  size_t capacity() const { return capacity_; }
+
+ private:
+  double PriorityOf(const ObjectDescriptor& desc) const;
+
+  size_t capacity_;
+  DCachePolicy policy_;
+  std::unordered_map<ObjectId, ObjectDescriptor> descriptors_;
+  /// Min-heap on priority: the top is the eviction victim.
+  util::IndexedMinHeap<ObjectId> heap_;
+};
+
+}  // namespace cascache::cache
+
+#endif  // CASCACHE_CACHE_DCACHE_H_

@@ -1,0 +1,20 @@
+#include "cache/descriptor.h"
+
+#include "util/check.h"
+
+namespace cascache::cache {
+
+void ObjectDescriptor::RecordAccess(double t) {
+  access_times[head] = t;
+  head = static_cast<uint8_t>((head + 1) % kMaxAccessWindow);
+  if (num_accesses < kMaxAccessWindow) ++num_accesses;
+}
+
+double ObjectDescriptor::KthMostRecentAccess(int k) const {
+  CASCACHE_CHECK(k >= 1 && k <= num_accesses);
+  // head points at the slot after the most recent entry.
+  const int idx = (head - k + 2 * kMaxAccessWindow) % kMaxAccessWindow;
+  return access_times[static_cast<size_t>(idx)];
+}
+
+}  // namespace cascache::cache

@@ -1,0 +1,54 @@
+#ifndef CASCACHE_CACHE_DESCRIPTOR_H_
+#define CASCACHE_CACHE_DESCRIPTOR_H_
+
+#include <array>
+#include <cstdint>
+
+#include "trace/object_catalog.h"
+
+namespace cascache::cache {
+
+/// Maximum supported sliding-window depth (paper uses K=3).
+inline constexpr int kMaxAccessWindow = 8;
+
+/// Per-node metadata about an object (paper §2.3): "An object descriptor
+/// contains the object size, the access frequency (and/or the timestamps
+/// of recent accesses) and the miss penalty of the object with respect to
+/// the associated node." Descriptors live either alongside the cached
+/// object (main cache) or in the d-cache for hot non-cached objects.
+///
+/// The access-time ring buffer records up to kMaxAccessWindow recent
+/// reference times; FrequencyEstimator turns them into a rate.
+struct ObjectDescriptor {
+  uint64_t size = 0;
+
+  /// Miss penalty m(O): additional access cost if the object is not cached
+  /// at this node, i.e. the summed link costs to the nearest higher-level
+  /// copy. Updated by the piggyback counter in response messages.
+  double miss_penalty = 0.0;
+
+  /// Cached frequency estimate and the time it was computed (the estimate
+  /// is refreshed lazily, see FrequencyEstimator).
+  double frequency = 0.0;
+  double frequency_time = -1.0;
+
+  /// Ring buffer of most recent access times (most recent first logically;
+  /// physically a circular buffer with head_ as next write slot).
+  std::array<double, kMaxAccessWindow> access_times{};
+  uint8_t num_accesses = 0;  ///< Valid entries, <= kMaxAccessWindow.
+  uint8_t head = 0;          ///< Next write position.
+
+  /// Records an access at time `t` (t must be >= previous accesses).
+  void RecordAccess(double t);
+
+  /// The k-th most recent access time (k=1 is the latest). k must be in
+  /// [1, num_accesses].
+  double KthMostRecentAccess(int k) const;
+
+  /// Oldest recorded access time; num_accesses must be > 0.
+  double OldestAccess() const { return KthMostRecentAccess(num_accesses); }
+};
+
+}  // namespace cascache::cache
+
+#endif  // CASCACHE_CACHE_DESCRIPTOR_H_

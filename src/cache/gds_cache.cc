@@ -1,0 +1,77 @@
+#include "cache/gds_cache.h"
+
+#include "util/check.h"
+
+namespace cascache::cache {
+
+GdsCache::GdsCache(uint64_t capacity_bytes) : capacity_(capacity_bytes) {}
+
+double GdsCache::CreditOf(ObjectId id) const {
+  auto it = entries_.find(id);
+  CASCACHE_CHECK_MSG(it != entries_.end(), "object not cached");
+  return it->second.credit;
+}
+
+void GdsCache::SetCredit(ObjectId id, Entry& entry, double credit) {
+  order_.erase({entry.credit, id});
+  entry.credit = credit;
+  order_.emplace(credit, id);
+}
+
+std::vector<ObjectId> GdsCache::Insert(ObjectId id, uint64_t size,
+                                       double cost, bool* inserted) {
+  if (inserted != nullptr) *inserted = false;
+  std::vector<ObjectId> evicted;
+  CASCACHE_CHECK(size > 0);
+  CASCACHE_CHECK(cost >= 0.0);
+  if (auto it = entries_.find(id); it != entries_.end()) {
+    SetCredit(id, it->second,
+              inflation_ + cost / static_cast<double>(it->second.size));
+    return evicted;
+  }
+  if (size > capacity_) return evicted;
+
+  while (used_ + size > capacity_) {
+    CASCACHE_CHECK(!order_.empty());
+    const auto [credit, victim] = *order_.begin();
+    // Advance the inflation value to the evicted credit (the GDS rule).
+    inflation_ = credit;
+    order_.erase(order_.begin());
+    used_ -= entries_.at(victim).size;
+    entries_.erase(victim);
+    evicted.push_back(victim);
+  }
+
+  Entry entry{size, inflation_ + cost / static_cast<double>(size)};
+  entries_.emplace(id, entry);
+  order_.emplace(entry.credit, id);
+  used_ += size;
+  if (inserted != nullptr) *inserted = true;
+  return evicted;
+}
+
+bool GdsCache::OnHit(ObjectId id, double cost) {
+  auto it = entries_.find(id);
+  if (it == entries_.end()) return false;
+  SetCredit(id, it->second,
+            inflation_ + cost / static_cast<double>(it->second.size));
+  return true;
+}
+
+bool GdsCache::Erase(ObjectId id) {
+  auto it = entries_.find(id);
+  if (it == entries_.end()) return false;
+  order_.erase({it->second.credit, id});
+  used_ -= it->second.size;
+  entries_.erase(it);
+  return true;
+}
+
+void GdsCache::Clear() {
+  entries_.clear();
+  order_.clear();
+  used_ = 0;
+  inflation_ = 0.0;
+}
+
+}  // namespace cascache::cache

@@ -1,0 +1,70 @@
+#ifndef CASCACHE_CACHE_GDS_CACHE_H_
+#define CASCACHE_CACHE_GDS_CACHE_H_
+
+#include <cstdint>
+#include <set>
+#include <unordered_map>
+#include <vector>
+
+#include "trace/object_catalog.h"
+
+namespace cascache::cache {
+
+using trace::ObjectId;
+
+/// GreedyDual-Size store (Cao & Irani; popularity-aware variants by Jin &
+/// Bestavros, cited by the paper as [8]). Each cached object carries a
+/// credit H = L + cost/size, where L is the cache's inflation value; the
+/// eviction victim is the minimum-H object and L is advanced to its H.
+/// On a hit the object's H is refreshed with the current L. GDS is a
+/// classic single-cache cost-aware replacement baseline: like LNC-R it
+/// optimizes replacement only, so it serves as an extra comparator for
+/// the coordinated scheme.
+class GdsCache {
+ public:
+  explicit GdsCache(uint64_t capacity_bytes);
+
+  bool Contains(ObjectId id) const { return entries_.count(id) > 0; }
+
+  /// Inserts with the given retrieval cost, evicting minimum-H objects as
+  /// needed (advancing the inflation value L). `inserted` reports whether
+  /// a write happened; objects above total capacity are rejected. If the
+  /// object is present this refreshes H like a hit.
+  std::vector<ObjectId> Insert(ObjectId id, uint64_t size, double cost,
+                               bool* inserted = nullptr);
+
+  /// Refreshes an object's credit on a hit: H = L + cost/size. No-op if
+  /// absent; returns presence.
+  bool OnHit(ObjectId id, double cost);
+
+  bool Erase(ObjectId id);
+  void Clear();
+
+  uint64_t capacity_bytes() const { return capacity_; }
+  uint64_t used_bytes() const { return used_; }
+  size_t num_objects() const { return entries_.size(); }
+
+  /// Current inflation value L (monotonically non-decreasing).
+  double inflation() const { return inflation_; }
+
+  /// Credit H of a cached object; the object must be present.
+  double CreditOf(ObjectId id) const;
+
+ private:
+  struct Entry {
+    uint64_t size;
+    double credit;  ///< H value.
+  };
+
+  void SetCredit(ObjectId id, Entry& entry, double credit);
+
+  uint64_t capacity_;
+  uint64_t used_ = 0;
+  double inflation_ = 0.0;  ///< L.
+  std::unordered_map<ObjectId, Entry> entries_;
+  std::set<std::pair<double, ObjectId>> order_;  ///< Ascending (H, id).
+};
+
+}  // namespace cascache::cache
+
+#endif  // CASCACHE_CACHE_GDS_CACHE_H_

@@ -1,0 +1,64 @@
+#include "cache/lfu_cache.h"
+
+#include "util/check.h"
+
+namespace cascache::cache {
+
+LfuCache::LfuCache(uint64_t capacity_bytes) : capacity_(capacity_bytes) {}
+
+uint64_t LfuCache::CountOf(ObjectId id) const {
+  auto it = counts_.find(id);
+  CASCACHE_CHECK_MSG(it != counts_.end(), "object not cached");
+  return it->second;
+}
+
+bool LfuCache::Touch(ObjectId id) {
+  auto it = counts_.find(id);
+  if (it == counts_.end()) return false;
+  ++it->second;
+  heap_.Update(id, static_cast<double>(it->second));
+  return true;
+}
+
+std::vector<ObjectId> LfuCache::Insert(ObjectId id, uint64_t size,
+                                       bool* inserted) {
+  if (inserted != nullptr) *inserted = false;
+  std::vector<ObjectId> evicted;
+  if (Touch(id)) return evicted;
+  CASCACHE_CHECK(size > 0);
+  if (size > capacity_) return evicted;
+
+  while (used_ + size > capacity_) {
+    CASCACHE_CHECK(!heap_.empty());
+    const ObjectId victim = heap_.Pop().first;
+    used_ -= sizes_.at(victim);
+    sizes_.erase(victim);
+    counts_.erase(victim);
+    evicted.push_back(victim);
+  }
+  sizes_[id] = size;
+  counts_[id] = 1;
+  heap_.Push(id, 1.0);
+  used_ += size;
+  if (inserted != nullptr) *inserted = true;
+  return evicted;
+}
+
+bool LfuCache::Erase(ObjectId id) {
+  auto it = sizes_.find(id);
+  if (it == sizes_.end()) return false;
+  used_ -= it->second;
+  sizes_.erase(it);
+  counts_.erase(id);
+  CASCACHE_CHECK(heap_.Erase(id));
+  return true;
+}
+
+void LfuCache::Clear() {
+  sizes_.clear();
+  counts_.clear();
+  heap_.Clear();
+  used_ = 0;
+}
+
+}  // namespace cascache::cache

@@ -1,0 +1,55 @@
+#ifndef CASCACHE_CACHE_LFU_CACHE_H_
+#define CASCACHE_CACHE_LFU_CACHE_H_
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "trace/object_catalog.h"
+#include "util/indexed_heap.h"
+
+namespace cascache::cache {
+
+using trace::ObjectId;
+
+/// In-cache perfect-LFU object store: each resident object carries a hit
+/// counter; eviction removes the least-frequently-used object (ties
+/// broken arbitrarily). Counts reset when an object re-enters after
+/// eviction — the classic in-cache LFU the early web-caching studies
+/// (Williams et al., cited as [19]) evaluated against LRU.
+class LfuCache {
+ public:
+  explicit LfuCache(uint64_t capacity_bytes);
+
+  bool Contains(ObjectId id) const { return sizes_.count(id) > 0; }
+
+  /// Increments the hit counter; returns presence.
+  bool Touch(ObjectId id);
+
+  /// Inserts with an initial count of 1, evicting LFU objects as needed.
+  /// A present object is only touched. Oversized objects are rejected.
+  std::vector<ObjectId> Insert(ObjectId id, uint64_t size,
+                               bool* inserted = nullptr);
+
+  bool Erase(ObjectId id);
+  void Clear();
+
+  uint64_t capacity_bytes() const { return capacity_; }
+  uint64_t used_bytes() const { return used_; }
+  size_t num_objects() const { return sizes_.size(); }
+
+  /// Current hit count of a resident object; must be present.
+  uint64_t CountOf(ObjectId id) const;
+
+ private:
+  uint64_t capacity_;
+  uint64_t used_ = 0;
+  std::unordered_map<ObjectId, uint64_t> sizes_;
+  std::unordered_map<ObjectId, uint64_t> counts_;
+  /// Min-heap on count: top is the LFU victim.
+  util::IndexedMinHeap<ObjectId> heap_;
+};
+
+}  // namespace cascache::cache
+
+#endif  // CASCACHE_CACHE_LFU_CACHE_H_

@@ -1,0 +1,59 @@
+#include "cache/lru_cache.h"
+
+#include "util/check.h"
+
+namespace cascache::cache {
+
+LruCache::LruCache(uint64_t capacity_bytes) : capacity_(capacity_bytes) {}
+
+bool LruCache::Touch(ObjectId id) {
+  auto it = index_.find(id);
+  if (it == index_.end()) return false;
+  order_.splice(order_.begin(), order_, it->second);
+  return true;
+}
+
+std::vector<ObjectId> LruCache::Insert(ObjectId id, uint64_t size,
+                                       bool* inserted) {
+  if (inserted != nullptr) *inserted = false;
+  std::vector<ObjectId> evicted;
+  if (Touch(id)) return evicted;  // Already present.
+  CASCACHE_CHECK(size > 0);
+  if (size > capacity_) return evicted;  // Cannot ever fit.
+
+  while (used_ + size > capacity_) {
+    CASCACHE_CHECK(!order_.empty());
+    const Entry victim = order_.back();
+    order_.pop_back();
+    index_.erase(victim.id);
+    used_ -= victim.size;
+    evicted.push_back(victim.id);
+  }
+  order_.push_front({id, size});
+  index_[id] = order_.begin();
+  used_ += size;
+  if (inserted != nullptr) *inserted = true;
+  return evicted;
+}
+
+bool LruCache::Erase(ObjectId id) {
+  auto it = index_.find(id);
+  if (it == index_.end()) return false;
+  used_ -= it->second->size;
+  order_.erase(it->second);
+  index_.erase(it);
+  return true;
+}
+
+void LruCache::Clear() {
+  order_.clear();
+  index_.clear();
+  used_ = 0;
+}
+
+ObjectId LruCache::LruVictim() const {
+  CASCACHE_CHECK(!order_.empty());
+  return order_.back().id;
+}
+
+}  // namespace cascache::cache

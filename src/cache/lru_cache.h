@@ -1,0 +1,63 @@
+#ifndef CASCACHE_CACHE_LRU_CACHE_H_
+#define CASCACHE_CACHE_LRU_CACHE_H_
+
+#include <cstdint>
+#include <list>
+#include <unordered_map>
+#include <vector>
+
+#include "trace/object_catalog.h"
+
+namespace cascache::cache {
+
+using trace::ObjectId;
+
+/// Byte-capacity LRU object store used by the LRU and MODULO baselines
+/// (paper §3.3). Insertion evicts least-recently-used objects until the
+/// new object fits; objects larger than the total capacity are rejected.
+class LruCache {
+ public:
+  explicit LruCache(uint64_t capacity_bytes);
+
+  bool Contains(ObjectId id) const { return index_.count(id) > 0; }
+
+  /// Marks `id` as most recently used; no-op if absent. Returns whether
+  /// the object was present.
+  bool Touch(ObjectId id);
+
+  /// Inserts an object of `size` bytes, evicting LRU objects as needed.
+  /// If the object is already present it is only touched. Returns the ids
+  /// evicted; `inserted` (optional) reports whether a write happened.
+  /// Objects larger than the capacity are not inserted (and nothing is
+  /// evicted for them).
+  std::vector<ObjectId> Insert(ObjectId id, uint64_t size,
+                               bool* inserted = nullptr);
+
+  /// Removes an object; returns false if absent.
+  bool Erase(ObjectId id);
+
+  void Clear();
+
+  uint64_t capacity_bytes() const { return capacity_; }
+  uint64_t used_bytes() const { return used_; }
+  size_t num_objects() const { return index_.size(); }
+
+  /// Least recently used object id; cache must be non-empty.
+  ObjectId LruVictim() const;
+
+ private:
+  struct Entry {
+    ObjectId id;
+    uint64_t size;
+  };
+
+  uint64_t capacity_;
+  uint64_t used_ = 0;
+  /// Front = most recently used, back = least recently used.
+  std::list<Entry> order_;
+  std::unordered_map<ObjectId, std::list<Entry>::iterator> index_;
+};
+
+}  // namespace cascache::cache
+
+#endif  // CASCACHE_CACHE_LRU_CACHE_H_

@@ -1,0 +1,96 @@
+#include "cache/ncl_cache.h"
+
+#include "util/check.h"
+
+namespace cascache::cache {
+
+NclCache::NclCache(uint64_t capacity_bytes) : capacity_(capacity_bytes) {}
+
+double NclCache::LossOf(ObjectId id) const {
+  auto it = entries_.find(id);
+  CASCACHE_CHECK_MSG(it != entries_.end(), "object not cached");
+  return it->second.loss;
+}
+
+NclCache::EvictionPlan NclCache::PlanEviction(uint64_t need_bytes) const {
+  EvictionPlan plan;
+  const uint64_t free = capacity_ - used_;
+  if (free >= need_bytes) {
+    plan.feasible = true;
+    return plan;
+  }
+  uint64_t to_free = need_bytes - free;
+  for (const auto& [ncl, id] : order_) {
+    const Entry& e = entries_.at(id);
+    plan.victims.push_back(id);
+    plan.cost_loss += e.loss;
+    plan.freed_bytes += e.size;
+    if (plan.freed_bytes >= to_free) {
+      plan.feasible = true;
+      return plan;
+    }
+  }
+  // Even evicting everything is not enough.
+  plan.feasible = false;
+  return plan;
+}
+
+std::vector<ObjectId> NclCache::Insert(ObjectId id, uint64_t size,
+                                       double loss, bool* inserted) {
+  if (inserted != nullptr) *inserted = false;
+  std::vector<ObjectId> evicted;
+  CASCACHE_CHECK(size > 0);
+  if (Contains(id)) {
+    UpdateLoss(id, loss);
+    return evicted;
+  }
+  if (size > capacity_) return evicted;
+
+  EvictionPlan plan = PlanEviction(size);
+  CASCACHE_CHECK(plan.feasible);
+  for (ObjectId victim : plan.victims) {
+    CASCACHE_CHECK(Erase(victim));
+    evicted.push_back(victim);
+  }
+  Entry entry{size, loss, loss / static_cast<double>(size)};
+  order_.emplace(entry.ncl, id);
+  entries_.emplace(id, entry);
+  used_ += size;
+  if (inserted != nullptr) *inserted = true;
+  return evicted;
+}
+
+bool NclCache::UpdateLoss(ObjectId id, double loss) {
+  auto it = entries_.find(id);
+  if (it == entries_.end()) return false;
+  Entry& e = it->second;
+  order_.erase({e.ncl, id});
+  e.loss = loss;
+  e.ncl = loss / static_cast<double>(e.size);
+  order_.emplace(e.ncl, id);
+  return true;
+}
+
+bool NclCache::Erase(ObjectId id) {
+  auto it = entries_.find(id);
+  if (it == entries_.end()) return false;
+  order_.erase({it->second.ncl, id});
+  used_ -= it->second.size;
+  entries_.erase(it);
+  return true;
+}
+
+void NclCache::Clear() {
+  entries_.clear();
+  order_.clear();
+  used_ = 0;
+}
+
+std::vector<ObjectId> NclCache::IdsByNcl() const {
+  std::vector<ObjectId> ids;
+  ids.reserve(order_.size());
+  for (const auto& [ncl, id] : order_) ids.push_back(id);
+  return ids;
+}
+
+}  // namespace cascache::cache

@@ -1,0 +1,83 @@
+#ifndef CASCACHE_CACHE_NCL_CACHE_H_
+#define CASCACHE_CACHE_NCL_CACHE_H_
+
+#include <cstdint>
+#include <set>
+#include <unordered_map>
+#include <vector>
+
+#include "trace/object_catalog.h"
+
+namespace cascache::cache {
+
+using trace::ObjectId;
+
+/// Cost-aware object store ordered by normalized cost loss, used by the
+/// LNC-R baseline and the coordinated scheme. Each cached object carries a
+/// cost loss f(O)·m(O) (the penalty of losing it); its *normalized* cost
+/// loss (NCL) is f(O)·m(O)/s(O) (paper §2.1). Victims are selected
+/// greedily in ascending NCL order until enough space is freed — the
+/// paper's knapsack heuristic.
+class NclCache {
+ public:
+  /// Greedy eviction preview: which objects would be purged to free
+  /// `need` bytes, and the total cost loss l = sum of their f·m values.
+  struct EvictionPlan {
+    std::vector<ObjectId> victims;
+    double cost_loss = 0.0;
+    uint64_t freed_bytes = 0;
+    bool feasible = false;  ///< True if enough bytes can be freed.
+  };
+
+  explicit NclCache(uint64_t capacity_bytes);
+
+  bool Contains(ObjectId id) const { return entries_.count(id) > 0; }
+
+  /// Cost loss (f·m) currently recorded for a cached object.
+  double LossOf(ObjectId id) const;
+
+  /// Plans the greedy smallest-NCL-first eviction that frees at least
+  /// `need_bytes` beyond current free space; does not modify the cache.
+  /// If the cache already has `need_bytes` free, the plan is empty and
+  /// feasible.
+  EvictionPlan PlanEviction(uint64_t need_bytes) const;
+
+  /// Inserts an object, applying the greedy eviction as needed. Returns
+  /// the evicted ids; `inserted` reports whether the object was stored
+  /// (false if it exceeds total capacity or is already present).
+  std::vector<ObjectId> Insert(ObjectId id, uint64_t size, double loss,
+                               bool* inserted = nullptr);
+
+  /// Updates the cost loss (and hence NCL priority) of a cached object.
+  /// No-op if absent; returns presence.
+  bool UpdateLoss(ObjectId id, double loss);
+
+  bool Erase(ObjectId id);
+  void Clear();
+
+  uint64_t capacity_bytes() const { return capacity_; }
+  uint64_t used_bytes() const { return used_; }
+  uint64_t free_bytes() const { return capacity_ - used_; }
+  size_t num_objects() const { return entries_.size(); }
+
+  /// Ids of all cached objects in ascending NCL order (test/debug helper).
+  std::vector<ObjectId> IdsByNcl() const;
+
+ private:
+  struct Entry {
+    uint64_t size;
+    double loss;  ///< f·m
+    double ncl;   ///< loss / size
+  };
+
+  uint64_t capacity_;
+  uint64_t used_ = 0;
+  std::unordered_map<ObjectId, Entry> entries_;
+  /// Ascending (NCL, id) order; supports the greedy in-order scan that the
+  /// heap alternative cannot provide without destructive pops.
+  std::set<std::pair<double, ObjectId>> order_;
+};
+
+}  // namespace cascache::cache
+
+#endif  // CASCACHE_CACHE_NCL_CACHE_H_

@@ -1,0 +1,110 @@
+#include "core/placement.h"
+
+#include <algorithm>
+
+#include "util/check.h"
+
+namespace cascache::core {
+
+util::Status ValidatePlacementInput(const PlacementInput& input) {
+  const size_t n = input.f.size();
+  if (input.m.size() != n || input.l.size() != n) {
+    return util::Status::InvalidArgument("f, m, l must have equal length");
+  }
+  for (size_t i = 0; i < n; ++i) {
+    if (input.f[i] < 0.0 || input.m[i] < 0.0 || input.l[i] < 0.0) {
+      return util::Status::InvalidArgument("negative f/m/l value");
+    }
+    if (i > 0 && input.f[i] > input.f[i - 1]) {
+      return util::Status::InvalidArgument(
+          "access frequencies must be non-increasing along the path");
+    }
+  }
+  return util::Status::Ok();
+}
+
+PlacementResult SolvePlacementDP(const PlacementInput& input) {
+  const int n = static_cast<int>(input.n());
+  PlacementResult result;
+  if (n == 0) return result;
+
+  // opt[k] = OPT_k, the best Δcost restricted to indices {1..k} with the
+  // boundary frequency f_{k+1}; last[k] = L_k, the largest index in that
+  // optimum (-1 if empty). Indices here are 1-based as in the paper;
+  // array slot i-1 holds the parameters of A_i.
+  std::vector<double> opt(static_cast<size_t>(n) + 1, 0.0);
+  std::vector<int> last(static_cast<size_t>(n) + 1, -1);
+
+  for (int k = 1; k <= n; ++k) {
+    const double f_k1 = (k < n) ? input.f[static_cast<size_t>(k)] : 0.0;
+    double best = 0.0;
+    int best_i = -1;
+    for (int i = 1; i <= k; ++i) {
+      const double candidate =
+          opt[static_cast<size_t>(i - 1)] +
+          (input.f[static_cast<size_t>(i - 1)] - f_k1) *
+              input.m[static_cast<size_t>(i - 1)] -
+          input.l[static_cast<size_t>(i - 1)];
+      if (candidate > best) {
+        best = candidate;
+        best_i = i;
+      }
+    }
+    opt[static_cast<size_t>(k)] = best;
+    last[static_cast<size_t>(k)] = best_i;
+  }
+
+  result.gain = opt[static_cast<size_t>(n)];
+  // Backtrack: v_r = L_n, then v_{j-1} = L_{v_j - 1}.
+  int v = last[static_cast<size_t>(n)];
+  while (v > 0) {
+    result.selected.push_back(v - 1);  // Store 0-based.
+    v = last[static_cast<size_t>(v - 1)];
+  }
+  std::reverse(result.selected.begin(), result.selected.end());
+  return result;
+}
+
+double EvaluatePlacement(const PlacementInput& input,
+                         const std::vector<int>& selection) {
+  const size_t n = input.n();
+  double total = 0.0;
+  for (size_t j = 0; j < selection.size(); ++j) {
+    const int v = selection[j];
+    CASCACHE_CHECK(v >= 0 && static_cast<size_t>(v) < n);
+    if (j + 1 < selection.size()) {
+      CASCACHE_CHECK_MSG(selection[j + 1] > v, "selection must be ascending");
+    }
+    // f of the next selected index downstream, or f_{n+1} = 0.
+    const double f_next = (j + 1 < selection.size())
+                              ? input.f[static_cast<size_t>(selection[j + 1])]
+                              : 0.0;
+    total += (input.f[static_cast<size_t>(v)] - f_next) *
+                 input.m[static_cast<size_t>(v)] -
+             input.l[static_cast<size_t>(v)];
+  }
+  return total;
+}
+
+PlacementResult SolvePlacementBruteForce(const PlacementInput& input) {
+  const size_t n = input.n();
+  CASCACHE_CHECK_MSG(n <= 24, "brute force limited to n <= 24");
+  PlacementResult best;  // Empty selection scores 0.
+  std::vector<int> selection;
+  for (uint32_t mask = 1; mask < (1u << n); ++mask) {
+    selection.clear();
+    for (size_t i = 0; i < n; ++i) {
+      if (mask & (1u << i)) selection.push_back(static_cast<int>(i));
+    }
+    const double gain = EvaluatePlacement(input, selection);
+    if (gain > best.gain ||
+        (gain == best.gain && !best.selected.empty() &&
+         selection < best.selected)) {
+      best.gain = gain;
+      best.selected = selection;
+    }
+  }
+  return best;
+}
+
+}  // namespace cascache::core

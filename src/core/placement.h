@@ -1,0 +1,69 @@
+#ifndef CASCACHE_CORE_PLACEMENT_H_
+#define CASCACHE_CORE_PLACEMENT_H_
+
+#include <vector>
+
+#include "util/status.h"
+
+namespace cascache::core {
+
+/// Input to the object-placement optimization (paper §2.1/§2.2, Definition
+/// 1). Index i (0-based) corresponds to cache A_{i+1} on the delivery path
+/// A_0 (serving node) -> A_1 -> ... -> A_n (requesting cache):
+///
+///   f[i] : access frequency of the object observed at A_{i+1}
+///   m[i] : miss penalty, the summed link costs from A_0 to A_{i+1}
+///   l[i] : cost loss of evicting enough objects at A_{i+1} to fit it
+///
+/// All vectors must have equal length n >= 0; f must be non-increasing
+/// (requests seen downstream are a subset of those seen upstream),
+/// m[i] >= 0 and l[i] >= 0. f_{n+1} is implicitly 0.
+struct PlacementInput {
+  std::vector<double> f;
+  std::vector<double> m;
+  std::vector<double> l;
+
+  size_t n() const { return f.size(); }
+};
+
+/// Solution of the n-optimization problem: the caches to store the object
+/// in and the resulting reduction in total access cost.
+struct PlacementResult {
+  /// Optimal Δcost value; always >= 0 (the empty placement scores 0).
+  double gain = 0.0;
+  /// Selected indices into the input arrays, strictly ascending. Empty
+  /// means "cache nowhere".
+  std::vector<int> selected;
+};
+
+/// Validates a PlacementInput: equal lengths, non-negative m/l, and
+/// non-increasing non-negative f.
+util::Status ValidatePlacementInput(const PlacementInput& input);
+
+/// Solves the n-optimization problem exactly with the paper's dynamic
+/// program (Theorem 1 recurrences) in O(n^2) time and O(n) space. The
+/// input is not validated (hot path); call ValidatePlacementInput at API
+/// boundaries. Correct for arbitrary (not necessarily monotone) f, since
+/// Theorem 1's cut-and-paste argument does not use monotonicity.
+PlacementResult SolvePlacementDP(const PlacementInput& input);
+
+/// Exhaustive O(2^n) reference solver for testing; requires n <= 24.
+/// Ties are broken toward the lexicographically smallest selection so
+/// results are deterministic.
+PlacementResult SolvePlacementBruteForce(const PlacementInput& input);
+
+/// Evaluates Δcost(n : selection) for an arbitrary selection (ascending
+/// indices); the objective function of Definition 1 with k = n.
+double EvaluatePlacement(const PlacementInput& input,
+                         const std::vector<int>& selection);
+
+/// Theorem 2 predicate: an index can appear in an optimal solution only if
+/// caching is locally beneficial, i.e. f·m >= l. Used to prune candidates
+/// before running the DP.
+inline bool LocallyBeneficial(double f, double m, double l) {
+  return f * m >= l;
+}
+
+}  // namespace cascache::core
+
+#endif  // CASCACHE_CORE_PLACEMENT_H_

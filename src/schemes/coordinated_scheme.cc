@@ -1,0 +1,132 @@
+#include "schemes/coordinated_scheme.h"
+
+#include <algorithm>
+
+#include <unordered_set>
+
+#include "core/placement.h"
+
+namespace cascache::schemes {
+
+void CoordinatedScheme::OnRequestServed(const ServedRequest& request,
+                                        Network* network,
+                                        sim::RequestMetrics* metrics) {
+  const std::vector<topology::NodeId>& path = *request.path;
+  const std::vector<double>& costs = *request.link_costs;
+  const int top = request.top_index();
+  ++stats_.requests;
+
+  // --- Request ascent: assemble the piggybacked path information. -------
+  //
+  // PathInfo is ordered A_1 (adjacent to the serving node) .. A_n (the
+  // requesting cache); path index i runs the other way, so A_j sits at
+  // path index (top_candidate - j + 1)... we simply walk i downward.
+  //
+  // The highest candidate: with a cache hit at path[hit], candidates are
+  // path[hit-1] .. path[0]. With an origin-served request, every cache on
+  // the path including the attach node is a candidate.
+  const int highest_candidate = request.origin_served() ? top : top - 1;
+
+  // Record the access at the serving cache (refreshes its NCL priority).
+  if (!request.origin_served()) {
+    network->node(path[static_cast<size_t>(request.hit_index)])
+        ->RecordAccess(request.object, request.now);
+  }
+
+  core::PathInfo info;
+  std::vector<int> path_index_of;  // Parallel to info.nodes.
+  // Cumulative cost from the serving node down to the current node: the
+  // miss penalty m_i. Starts with the virtual server link when the origin
+  // serves the request.
+  double cum_cost = request.origin_served() ? request.server_link_cost : 0.0;
+  for (int i = highest_candidate; i >= 0; --i) {
+    if (i != highest_candidate || !request.origin_served()) {
+      // Descending one link from the previous node on the path.
+      cum_cost += costs[static_cast<size_t>(i)];
+    }
+    sim::CacheNode* node = network->node(path[static_cast<size_t>(i)]);
+
+    core::PathNodeInfo node_info;
+    node_info.node = path[static_cast<size_t>(i)];
+    node_info.miss_penalty = cum_cost;
+
+    cache::ObjectDescriptor* desc =
+        node->RecordAccess(request.object, request.now);
+    if (desc == nullptr) {
+      // No descriptor: tagged out of the candidate set (paper §2.4).
+      node_info.has_descriptor = false;
+      ++stats_.excluded_no_descriptor;
+    } else {
+      node_info.has_descriptor = true;
+      node_info.frequency = desc->frequency;
+    }
+
+    if (request.size <= node->capacity_bytes()) {
+      const auto plan = node->PlanEvictionFor(request.size);
+      node_info.feasible = plan.feasible;
+      node_info.cost_loss = plan.cost_loss;
+    } else {
+      node_info.feasible = false;
+    }
+
+    info.nodes.push_back(node_info);
+    path_index_of.push_back(i);
+  }
+
+  // --- Decision at the serving node: the dynamic program. ---------------
+  std::vector<int> origin;
+  const core::PlacementInput input = info.ToPlacementInput(&origin);
+  std::unordered_set<int> selected_path_indices;
+  // Protocol overhead: one (f, m, l) triple per candidate on the request
+  // ascent (3 x 8 bytes), a "no descriptor" tag bit per excluded node
+  // (counted as 1 byte), and on the descent an 8-byte penalty counter
+  // plus a decision bitmap (1 byte per traversed node).
+  stats_.piggyback_bytes +=
+      24 * input.f.size() + (info.nodes.size() - input.f.size()) + 8 +
+      info.nodes.size() / 8 + 1;
+  {
+    const size_t k =
+        std::min<size_t>(input.f.size(), Stats::kMaxTrackedCandidates - 1);
+    ++stats_.k_histogram[k];
+  }
+  if (!input.f.empty()) {
+    ++stats_.dp_runs;
+    stats_.candidates += input.f.size();
+    const core::PlacementResult result = core::SolvePlacementDP(input);
+    stats_.total_gain += result.gain;
+    stats_.placements += result.selected.size();
+    for (int sel : result.selected) {
+      selected_path_indices.insert(
+          path_index_of[static_cast<size_t>(origin[static_cast<size_t>(sel)])]);
+    }
+  }
+
+  // --- Response descent: miss-penalty refresh + placements. -------------
+  double penalty = request.origin_served() ? request.server_link_cost : 0.0;
+  for (int i = highest_candidate; i >= 0; --i) {
+    if (i != highest_candidate || !request.origin_served()) {
+      penalty += costs[static_cast<size_t>(i)];
+    }
+    sim::CacheNode* node = network->node(path[static_cast<size_t>(i)]);
+    if (selected_path_indices.count(i) > 0) {
+      if (node->InsertCost(request.object, request.size, penalty,
+                           request.now)) {
+        metrics->write_bytes += request.size;
+        ++metrics->insertions;
+        penalty = 0.0;  // Downstream nodes now have a nearer copy.
+      }
+    } else {
+      // Refresh the miss penalty of a known descriptor, or admit one into
+      // the d-cache as the object passes through (paper §2.3-2.4).
+      if (node->FindDescriptor(request.object) != nullptr) {
+        node->UpdateMissPenalty(request.object, penalty, request.now);
+      } else {
+        cache::ObjectDescriptor* desc =
+            node->AdmitDescriptor(request.object, request.size, request.now);
+        if (desc != nullptr) desc->miss_penalty = penalty;
+      }
+    }
+  }
+}
+
+}  // namespace cascache::schemes

@@ -1,0 +1,80 @@
+#ifndef CASCACHE_SCHEMES_COORDINATED_SCHEME_H_
+#define CASCACHE_SCHEMES_COORDINATED_SCHEME_H_
+
+#include "core/path_info.h"
+#include "schemes/scheme.h"
+
+namespace cascache::schemes {
+
+/// The paper's contribution (§2.3): coordinated placement + replacement.
+///
+/// Request ascent (piggybacking): every intermediate cache A_i appends its
+/// (f_i, m_i, l_i) for the requested object to the request message — f_i
+/// from its sliding-window estimator, m_i the accumulated link cost from
+/// the serving node, l_i the cost loss of the greedy NCL eviction that
+/// would make room. Nodes without a descriptor for the object tag
+/// themselves out of the candidate set (§2.4).
+///
+/// Decision: the serving node solves the n-optimization problem with the
+/// O(n²) dynamic program and sends the selected cache set downstream with
+/// the object.
+///
+/// Response descent: a penalty counter starts at 0 at the serving node and
+/// accumulates link costs; each node refreshes the object's miss penalty
+/// from it. Nodes selected by the DP insert the object (greedy NCL
+/// eviction; evicted descriptors demoted to the d-cache) and reset the
+/// counter; unselected nodes admit the object's descriptor into their
+/// d-cache.
+///
+/// Statistics counters expose how often the DP ran, how many candidates
+/// it saw and what it selected — used by the ablation benches.
+class CoordinatedScheme : public CachingScheme {
+ public:
+  struct Stats {
+    /// Upper bound on candidate-count buckets in `k_histogram`.
+    static constexpr int kMaxTrackedCandidates = 32;
+
+    uint64_t requests = 0;
+    uint64_t dp_runs = 0;         ///< Requests with >= 1 candidate.
+    uint64_t candidates = 0;      ///< Total DP candidates across requests.
+    uint64_t placements = 0;      ///< Total nodes selected.
+    uint64_t excluded_no_descriptor = 0;
+    double total_gain = 0.0;      ///< Sum of optimal Δcost values.
+    /// k_histogram[k]: requests whose DP saw exactly k candidates
+    /// (clamped at kMaxTrackedCandidates-1). The paper's O(k^2) cost
+    /// argument (§2.4) rests on k staying small.
+    uint64_t k_histogram[kMaxTrackedCandidates] = {};
+    /// Communication overhead of the protocol (paper §2.3-2.4): bytes of
+    /// (f_i, m_i, l_i) triples piggybacked on request messages plus the
+    /// penalty counter + decision bitmap on responses, assuming 8-byte
+    /// fields.
+    uint64_t piggyback_bytes = 0;
+
+    double MeanCandidates() const {
+      return dp_runs == 0 ? 0.0
+                          : static_cast<double>(candidates) /
+                                static_cast<double>(dp_runs);
+    }
+    double MeanPiggybackBytesPerRequest() const {
+      return requests == 0 ? 0.0
+                           : static_cast<double>(piggyback_bytes) /
+                                 static_cast<double>(requests);
+    }
+  };
+
+  std::string name() const override { return "Coordinated"; }
+  CacheMode cache_mode() const override { return CacheMode::kCost; }
+
+  void OnRequestServed(const ServedRequest& request, Network* network,
+                       sim::RequestMetrics* metrics) override;
+
+  const Stats& stats() const { return stats_; }
+  void ResetStats() { stats_ = Stats(); }
+
+ private:
+  Stats stats_;
+};
+
+}  // namespace cascache::schemes
+
+#endif  // CASCACHE_SCHEMES_COORDINATED_SCHEME_H_

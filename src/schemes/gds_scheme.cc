@@ -1,0 +1,69 @@
+#include "schemes/gds_scheme.h"
+
+namespace cascache::schemes {
+
+namespace {
+
+/// Cost of a node's immediate upstream link in the request's cost units
+/// (the local miss-penalty view used by the single-cache policies).
+double UpstreamLinkCost(const ServedRequest& request, int i) {
+  return (i == static_cast<int>(request.path->size()) - 1)
+             ? request.server_link_cost
+             : (*request.link_costs)[static_cast<size_t>(i)];
+}
+
+}  // namespace
+
+void GdsScheme::OnRequestServed(const ServedRequest& request,
+                                Network* network,
+                                sim::RequestMetrics* metrics) {
+  const std::vector<topology::NodeId>& path = *request.path;
+  const int top = request.top_index();
+
+  if (!request.origin_served()) {
+    network->node(path[static_cast<size_t>(request.hit_index)])
+        ->gds()
+        ->OnHit(request.object,
+                UpstreamLinkCost(request, request.hit_index));
+  }
+
+  const int first_missing = request.origin_served() ? top : top - 1;
+  for (int i = first_missing; i >= 0; --i) {
+    bool inserted = false;
+    network->node(path[static_cast<size_t>(i)])
+        ->gds()
+        ->Insert(request.object, request.size, UpstreamLinkCost(request, i),
+                 &inserted);
+    if (inserted) {
+      metrics->write_bytes += request.size;
+      ++metrics->insertions;
+    }
+  }
+}
+
+void LfuScheme::OnRequestServed(const ServedRequest& request,
+                                Network* network,
+                                sim::RequestMetrics* metrics) {
+  const std::vector<topology::NodeId>& path = *request.path;
+  const int top = request.top_index();
+
+  if (!request.origin_served()) {
+    network->node(path[static_cast<size_t>(request.hit_index)])
+        ->lfu()
+        ->Touch(request.object);
+  }
+
+  const int first_missing = request.origin_served() ? top : top - 1;
+  for (int i = first_missing; i >= 0; --i) {
+    bool inserted = false;
+    network->node(path[static_cast<size_t>(i)])
+        ->lfu()
+        ->Insert(request.object, request.size, &inserted);
+    if (inserted) {
+      metrics->write_bytes += request.size;
+      ++metrics->insertions;
+    }
+  }
+}
+
+}  // namespace cascache::schemes

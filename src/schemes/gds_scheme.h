@@ -1,0 +1,41 @@
+#ifndef CASCACHE_SCHEMES_GDS_SCHEME_H_
+#define CASCACHE_SCHEMES_GDS_SCHEME_H_
+
+#include "schemes/scheme.h"
+
+namespace cascache::schemes {
+
+/// GreedyDual-Size baseline (extension beyond the paper's three
+/// comparators; the GDS family is cited as [8]): like LRU/LNC-R the
+/// object is cached at every node on the delivery path, but each cache
+/// evicts by the GDS credit H = L + cost/size, with the retrieval cost
+/// taken as the node's immediate upstream link cost (the same local view
+/// LNC-R uses). Placement is again unoptimized, so GDS probes whether a
+/// stronger single-cache replacement policy can close the gap to
+/// coordinated placement. No d-cache.
+class GdsScheme : public CachingScheme {
+ public:
+  std::string name() const override { return "GDS"; }
+  CacheMode cache_mode() const override { return CacheMode::kGds; }
+  bool uses_dcache() const override { return false; }
+
+  void OnRequestServed(const ServedRequest& request, Network* network,
+                       sim::RequestMetrics* metrics) override;
+};
+
+/// Perfect in-cache LFU baseline (the classic frequency-based policy the
+/// early web-caching studies compared, cited as [19]). Cache-everywhere
+/// placement; eviction removes the least-frequently-hit resident object.
+class LfuScheme : public CachingScheme {
+ public:
+  std::string name() const override { return "LFU"; }
+  CacheMode cache_mode() const override { return CacheMode::kLfu; }
+  bool uses_dcache() const override { return false; }
+
+  void OnRequestServed(const ServedRequest& request, Network* network,
+                       sim::RequestMetrics* metrics) override;
+};
+
+}  // namespace cascache::schemes
+
+#endif  // CASCACHE_SCHEMES_GDS_SCHEME_H_

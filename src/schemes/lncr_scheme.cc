@@ -1,0 +1,41 @@
+#include "schemes/lncr_scheme.h"
+
+namespace cascache::schemes {
+
+void LncrScheme::OnRequestServed(const ServedRequest& request,
+                                 Network* network,
+                                 sim::RequestMetrics* metrics) {
+  const std::vector<topology::NodeId>& path = *request.path;
+  const std::vector<double>& costs = *request.link_costs;
+  const int top = request.top_index();
+
+  // Record the access at every node the request traversed; at the serving
+  // cache this also refreshes the object's NCL priority.
+  for (int i = 0; i <= top; ++i) {
+    sim::CacheNode* node = network->node(path[static_cast<size_t>(i)]);
+    if (node->RecordAccess(request.object, request.now) == nullptr &&
+        !node->Contains(request.object)) {
+      // Unknown object: track it in the d-cache (frequency estimation).
+      node->AdmitDescriptor(request.object, request.size, request.now);
+    }
+  }
+
+  // Cache everywhere below the serving point. The per-node miss penalty
+  // is the cost of the immediate upstream link.
+  const int first_missing = request.origin_served() ? top : top - 1;
+  for (int i = first_missing; i >= 0; --i) {
+    sim::CacheNode* node = network->node(path[static_cast<size_t>(i)]);
+    // Attach node: upstream link is the virtual server link.
+    const double miss_penalty =
+        (i == static_cast<int>(path.size()) - 1)
+            ? request.server_link_cost
+            : costs[static_cast<size_t>(i)];
+    if (node->InsertCost(request.object, request.size, miss_penalty,
+                         request.now)) {
+      metrics->write_bytes += request.size;
+      ++metrics->insertions;
+    }
+  }
+}
+
+}  // namespace cascache::schemes

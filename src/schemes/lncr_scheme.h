@@ -1,0 +1,27 @@
+#ifndef CASCACHE_SCHEMES_LNCR_SCHEME_H_
+#define CASCACHE_SCHEMES_LNCR_SCHEME_H_
+
+#include "schemes/scheme.h"
+
+namespace cascache::schemes {
+
+/// The LNC-R cost-based replacement baseline (Scheuermann et al., paper
+/// §3.3): like LRU it caches the requested object at every node on the
+/// delivery path, but replacement removes the objects with the least
+/// normalized cost loss f(O)·m(O)/s(O). Each node treats the miss penalty
+/// of an object as the delay of its immediate upstream link (placement is
+/// not optimized, so a node cannot know the distance to the nearest real
+/// copy). Descriptors of non-cached objects are kept in the d-cache for
+/// better frequency estimation.
+class LncrScheme : public CachingScheme {
+ public:
+  std::string name() const override { return "LNC-R"; }
+  CacheMode cache_mode() const override { return CacheMode::kCost; }
+
+  void OnRequestServed(const ServedRequest& request, Network* network,
+                       sim::RequestMetrics* metrics) override;
+};
+
+}  // namespace cascache::schemes
+
+#endif  // CASCACHE_SCHEMES_LNCR_SCHEME_H_

@@ -1,0 +1,33 @@
+#include "schemes/lru_scheme.h"
+
+namespace cascache::schemes {
+
+void LruScheme::OnRequestServed(const ServedRequest& request,
+                                Network* network,
+                                sim::RequestMetrics* metrics) {
+  const std::vector<topology::NodeId>& path = *request.path;
+  const int top = request.top_index();
+
+  // Refresh recency at the serving cache.
+  if (!request.origin_served()) {
+    network->node(path[static_cast<size_t>(request.hit_index)])
+        ->lru()
+        ->Touch(request.object);
+  }
+
+  // Cache everywhere below the serving point (and at the attach node too
+  // when the origin served the request).
+  const int first_missing = request.origin_served() ? top : top - 1;
+  for (int i = first_missing; i >= 0; --i) {
+    bool inserted = false;
+    network->node(path[static_cast<size_t>(i)])
+        ->lru()
+        ->Insert(request.object, request.size, &inserted);
+    if (inserted) {
+      metrics->write_bytes += request.size;
+      ++metrics->insertions;
+    }
+  }
+}
+
+}  // namespace cascache::schemes

@@ -1,0 +1,23 @@
+#ifndef CASCACHE_SCHEMES_LRU_SCHEME_H_
+#define CASCACHE_SCHEMES_LRU_SCHEME_H_
+
+#include "schemes/scheme.h"
+
+namespace cascache::schemes {
+
+/// The standard baseline (paper §3.3): the requested object is cached at
+/// every node it passes through; each cache independently evicts its
+/// least-recently-used objects to make room. No descriptors, no d-cache.
+class LruScheme : public CachingScheme {
+ public:
+  std::string name() const override { return "LRU"; }
+  CacheMode cache_mode() const override { return CacheMode::kLru; }
+  bool uses_dcache() const override { return false; }
+
+  void OnRequestServed(const ServedRequest& request, Network* network,
+                       sim::RequestMetrics* metrics) override;
+};
+
+}  // namespace cascache::schemes
+
+#endif  // CASCACHE_SCHEMES_LRU_SCHEME_H_

@@ -1,0 +1,53 @@
+#include "schemes/modulo_scheme.h"
+
+#include "util/check.h"
+
+namespace cascache::schemes {
+
+ModuloScheme::ModuloScheme(int radius) : radius_(radius) {
+  CASCACHE_CHECK_MSG(radius >= 1, "MODULO radius must be >= 1");
+}
+
+std::string ModuloScheme::name() const {
+  return "MODULO(" + std::to_string(radius_) + ")";
+}
+
+void ModuloScheme::OnRequestServed(const ServedRequest& request,
+                                   Network* network,
+                                   sim::RequestMetrics* metrics) {
+  const std::vector<topology::NodeId>& path = *request.path;
+
+  if (!request.origin_served()) {
+    network->node(path[static_cast<size_t>(request.hit_index)])
+        ->lru()
+        ->Touch(request.object);
+  }
+
+  // Hop distance of node path[i] from the serving point. When the origin
+  // serves the request, the serving point sits one virtual hop above the
+  // attach node under the hierarchical architecture (and at the attach
+  // node itself under en-route, where servers are co-located).
+  const int serving_distance_base =
+      request.origin_served()
+          ? static_cast<int>(path.size()) - 1 +
+                (request.server_link_delay > 0.0 ? 1 : 0)
+          : request.hit_index;
+
+  const int first_missing =
+      request.origin_served() ? static_cast<int>(path.size()) - 1
+                              : request.hit_index - 1;
+  for (int i = first_missing; i >= 0; --i) {
+    const int distance = serving_distance_base - i;
+    if (distance <= 0 || distance % radius_ != 0) continue;
+    bool inserted = false;
+    network->node(path[static_cast<size_t>(i)])
+        ->lru()
+        ->Insert(request.object, request.size, &inserted);
+    if (inserted) {
+      metrics->write_bytes += request.size;
+      ++metrics->insertions;
+    }
+  }
+}
+
+}  // namespace cascache::schemes

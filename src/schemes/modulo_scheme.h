@@ -1,0 +1,33 @@
+#ifndef CASCACHE_SCHEMES_MODULO_SCHEME_H_
+#define CASCACHE_SCHEMES_MODULO_SCHEME_H_
+
+#include "schemes/scheme.h"
+
+namespace cascache::schemes {
+
+/// The MODULO placement baseline (Bhattacharjee et al., paper §3.3): on
+/// the delivery path from the serving point toward the client, the object
+/// is cached only at nodes a fixed number of hops (the cache radius)
+/// apart; replacement is LRU. A radius of 1 degenerates to LRU. Placement
+/// ignores access frequency and link costs, which is exactly the weakness
+/// the coordinated scheme addresses.
+class ModuloScheme : public CachingScheme {
+ public:
+  /// `radius` must be >= 1.
+  explicit ModuloScheme(int radius);
+
+  std::string name() const override;
+  CacheMode cache_mode() const override { return CacheMode::kLru; }
+  bool uses_dcache() const override { return false; }
+  int radius() const { return radius_; }
+
+  void OnRequestServed(const ServedRequest& request, Network* network,
+                       sim::RequestMetrics* metrics) override;
+
+ private:
+  int radius_;
+};
+
+}  // namespace cascache::schemes
+
+#endif  // CASCACHE_SCHEMES_MODULO_SCHEME_H_

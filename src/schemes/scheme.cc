@@ -1,0 +1,63 @@
+#include "schemes/scheme.h"
+
+#include "schemes/coordinated_scheme.h"
+#include "schemes/gds_scheme.h"
+#include "schemes/lncr_scheme.h"
+#include "schemes/lru_scheme.h"
+#include "schemes/modulo_scheme.h"
+#include "schemes/static_scheme.h"
+
+namespace cascache::schemes {
+
+std::string SchemeSpec::Label() const {
+  switch (kind) {
+    case SchemeKind::kLru:
+      return "LRU";
+    case SchemeKind::kModulo:
+      return "MODULO(" + std::to_string(modulo_radius) + ")";
+    case SchemeKind::kLncr:
+      return "LNC-R";
+    case SchemeKind::kCoordinated:
+      return "Coordinated";
+    case SchemeKind::kGds:
+      return "GDS";
+    case SchemeKind::kLfu:
+      return "LFU";
+    case SchemeKind::kStatic:
+      return "STATIC";
+  }
+  return "unknown";
+}
+
+util::StatusOr<std::unique_ptr<CachingScheme>> MakeScheme(
+    const SchemeSpec& spec) {
+  switch (spec.kind) {
+    case SchemeKind::kLru:
+      return std::unique_ptr<CachingScheme>(new LruScheme());
+    case SchemeKind::kModulo:
+      if (spec.modulo_radius < 1) {
+        return util::Status::InvalidArgument("MODULO radius must be >= 1");
+      }
+      return std::unique_ptr<CachingScheme>(
+          new ModuloScheme(spec.modulo_radius));
+    case SchemeKind::kLncr:
+      return std::unique_ptr<CachingScheme>(new LncrScheme());
+    case SchemeKind::kCoordinated:
+      return std::unique_ptr<CachingScheme>(new CoordinatedScheme());
+    case SchemeKind::kGds:
+      return std::unique_ptr<CachingScheme>(new GdsScheme());
+    case SchemeKind::kLfu:
+      return std::unique_ptr<CachingScheme>(new LfuScheme());
+    case SchemeKind::kStatic:
+      if (spec.static_freeze_requests == 0) {
+        return util::Status::InvalidArgument(
+            "STATIC needs static_freeze_requests > 0 (the experiment "
+            "runner defaults it to the warm-up length)");
+      }
+      return std::unique_ptr<CachingScheme>(
+          new StaticScheme(spec.static_freeze_requests));
+  }
+  return util::Status::InvalidArgument("unknown scheme kind");
+}
+
+}  // namespace cascache::schemes

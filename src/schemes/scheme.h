@@ -1,0 +1,110 @@
+#ifndef CASCACHE_SCHEMES_SCHEME_H_
+#define CASCACHE_SCHEMES_SCHEME_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "sim/metrics.h"
+#include "sim/network.h"
+#include "trace/object_catalog.h"
+#include "util/status.h"
+
+namespace cascache::schemes {
+
+using sim::CacheMode;
+using sim::Network;
+using trace::ObjectId;
+
+/// Everything a scheme needs to know about a request once the simulator
+/// has located the serving node. `path[0]` is the requesting cache and
+/// `path.back()` the server's attach node; `link_delays[i]` is the base
+/// (average-object) delay of the link between path[i] and path[i+1].
+/// `hit_index` is the path index of the serving cache, or -1 when the
+/// origin server satisfied the request.
+struct ServedRequest {
+  ObjectId object = 0;
+  uint64_t size = 0;
+  /// size / mean object size; multiplies base delays into costs, per the
+  /// paper's "delay proportional to object size" cost function.
+  double size_scale = 1.0;
+  double now = 0.0;
+  const std::vector<topology::NodeId>* path = nullptr;
+  const std::vector<double>* link_delays = nullptr;
+  /// Per-link generic costs under the configured CostModel; parallel to
+  /// link_delays. Cost-aware schemes (LNC-R, GDS, Coordinated) optimize
+  /// these; the physical metrics always use the delays.
+  const std::vector<double>* link_costs = nullptr;
+  int hit_index = -1;
+  /// Delay/hop of the virtual attach-node-to-origin link (only nonzero
+  /// under the hierarchical architecture, and only relevant when
+  /// hit_index == -1).
+  double server_link_delay = 0.0;
+  /// Cost-model value of the virtual server link.
+  double server_link_cost = 0.0;
+
+  bool origin_served() const { return hit_index < 0; }
+  /// Path index of the highest node the request visited (serving cache,
+  /// or the attach node when the origin served it).
+  int top_index() const {
+    return origin_served() ? static_cast<int>(path->size()) - 1 : hit_index;
+  }
+};
+
+/// A cache-content management policy: given a served request, update
+/// descriptors and decide placements/replacements on the delivery path.
+/// The simulator accounts reads and latency itself; schemes report the
+/// writes they perform through `metrics`.
+class CachingScheme {
+ public:
+  virtual ~CachingScheme() = default;
+
+  virtual std::string name() const = 0;
+
+  /// Which replacement machinery the nodes must run for this scheme.
+  virtual CacheMode cache_mode() const = 0;
+
+  /// Whether nodes should be given a d-cache (LRU and MODULO run without
+  /// one, paper §3.3).
+  virtual bool uses_dcache() const { return cache_mode() == CacheMode::kCost; }
+
+  /// Applies the scheme's caching decisions for one request. Called for
+  /// every request, warm-up included.
+  virtual void OnRequestServed(const ServedRequest& request, Network* network,
+                               sim::RequestMetrics* metrics) = 0;
+};
+
+/// Identifiers for the built-in schemes: the paper's four (§3.3) plus the
+/// GDS / LFU replacement baselines and the clairvoyant STATIC placement
+/// baseline added by this reproduction.
+enum class SchemeKind {
+  kLru,
+  kModulo,
+  kLncr,
+  kCoordinated,
+  kGds,
+  kLfu,
+  kStatic,
+};
+
+/// A scheme selection plus its parameters; used by the experiment runner
+/// and benches.
+struct SchemeSpec {
+  SchemeKind kind = SchemeKind::kLru;
+  /// MODULO cache radius (paper: 4 is best under en-route; 1 degenerates
+  /// to LRU).
+  int modulo_radius = 4;
+  /// STATIC: requests observed before placement freezes. 0 lets the
+  /// experiment runner default it to the warm-up length.
+  uint64_t static_freeze_requests = 0;
+
+  std::string Label() const;
+};
+
+/// Instantiates a scheme from its spec.
+util::StatusOr<std::unique_ptr<CachingScheme>> MakeScheme(
+    const SchemeSpec& spec);
+
+}  // namespace cascache::schemes
+
+#endif  // CASCACHE_SCHEMES_SCHEME_H_

@@ -1,0 +1,67 @@
+#include "schemes/static_scheme.h"
+
+#include <algorithm>
+
+namespace cascache::schemes {
+
+StaticScheme::StaticScheme(uint64_t freeze_after_requests)
+    : freeze_after_(freeze_after_requests) {
+  CASCACHE_CHECK_MSG(freeze_after_requests > 0,
+                     "STATIC needs a learning phase");
+}
+
+void StaticScheme::OnRequestServed(const ServedRequest& request,
+                                   Network* network,
+                                   sim::RequestMetrics* metrics) {
+  if (frozen_) return;  // Contents are fixed; nothing ever changes.
+
+  if (demand_.empty()) {
+    demand_.resize(static_cast<size_t>(network->num_nodes()));
+  }
+
+  // Learning phase: count the request at every node it traversed (the
+  // same visibility the dynamic schemes have).
+  const std::vector<topology::NodeId>& path = *request.path;
+  const int top = request.top_index();
+  for (int i = 0; i <= top; ++i) {
+    Demand& d = demand_[static_cast<size_t>(path[static_cast<size_t>(i)])]
+                        [request.object];
+    ++d.count;
+    d.size = request.size;
+  }
+
+  ++requests_seen_;
+  if (requests_seen_ >= freeze_after_) Freeze(network, metrics);
+}
+
+void StaticScheme::Freeze(Network* network, sim::RequestMetrics* metrics) {
+  frozen_ = true;
+  for (topology::NodeId v = 0; v < network->num_nodes(); ++v) {
+    auto& seen = demand_[static_cast<size_t>(v)];
+    std::vector<std::pair<ObjectId, Demand>> ranked(seen.begin(), seen.end());
+    // Density rule: requests served per byte of capacity.
+    std::sort(ranked.begin(), ranked.end(),
+              [](const auto& a, const auto& b) {
+                const double da = static_cast<double>(a.second.count) /
+                                  static_cast<double>(a.second.size);
+                const double db = static_cast<double>(b.second.count) /
+                                  static_cast<double>(b.second.size);
+                if (da != db) return da > db;
+                return a.first < b.first;  // Deterministic tie-break.
+              });
+    cache::LruCache* cache = network->node(v)->lru();
+    for (const auto& [object, d] : ranked) {
+      if (d.size > cache->capacity_bytes() - cache->used_bytes()) continue;
+      bool inserted = false;
+      cache->Insert(object, d.size, &inserted);
+      CASCACHE_CHECK(inserted);
+      metrics->write_bytes += d.size;
+      ++metrics->insertions;
+    }
+    seen.clear();
+  }
+  demand_.clear();
+  demand_.shrink_to_fit();
+}
+
+}  // namespace cascache::schemes

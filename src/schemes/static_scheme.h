@@ -1,0 +1,60 @@
+#ifndef CASCACHE_SCHEMES_STATIC_SCHEME_H_
+#define CASCACHE_SCHEMES_STATIC_SCHEME_H_
+
+#include <unordered_map>
+#include <vector>
+
+#include "schemes/scheme.h"
+
+namespace cascache::schemes {
+
+/// Clairvoyant static-placement baseline (extension beyond the paper):
+/// during a learning phase every cache counts the requests passing
+/// through it; at the freeze point each cache independently fills itself
+/// with the objects of highest observed demand density (count/size — the
+/// fractional-knapsack rule that maximizes byte hit ratio for a single
+/// cache), and contents never change again.
+///
+/// This bounds what *uncoordinated but fully informed* static placement
+/// achieves: each cache optimizes locally with perfect popularity
+/// knowledge, but nothing prevents the same hot objects from being
+/// replicated at every level — exactly the redundancy coordinated
+/// placement eliminates. Comparing STATIC against Coordinated isolates
+/// the value of coordination from the value of popularity knowledge.
+class StaticScheme : public CachingScheme {
+ public:
+  /// Caches fill after observing `freeze_after_requests` requests (set it
+  /// to at most the simulator's warm-up length so the frozen contents are
+  /// in place when measurement starts). The scheme is stateful across a
+  /// run: construct a fresh instance per Simulator::Run (the experiment
+  /// runner does this automatically).
+  explicit StaticScheme(uint64_t freeze_after_requests);
+
+  std::string name() const override { return "STATIC"; }
+  CacheMode cache_mode() const override { return CacheMode::kLru; }
+  bool uses_dcache() const override { return false; }
+
+  void OnRequestServed(const ServedRequest& request, Network* network,
+                       sim::RequestMetrics* metrics) override;
+
+  bool frozen() const { return frozen_; }
+  uint64_t requests_seen() const { return requests_seen_; }
+
+ private:
+  struct Demand {
+    uint64_t count = 0;
+    uint64_t size = 0;
+  };
+
+  void Freeze(Network* network, sim::RequestMetrics* metrics);
+
+  uint64_t freeze_after_;
+  uint64_t requests_seen_ = 0;
+  bool frozen_ = false;
+  /// Per node (by graph id): observed demand per object.
+  std::vector<std::unordered_map<ObjectId, Demand>> demand_;
+};
+
+}  // namespace cascache::schemes
+
+#endif  // CASCACHE_SCHEMES_STATIC_SCHEME_H_

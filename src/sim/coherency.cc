@@ -1,0 +1,62 @@
+#include "sim/coherency.h"
+
+#include <cmath>
+
+#include "util/random.h"
+
+namespace cascache::sim {
+
+const char* CoherencyProtocolName(CoherencyProtocol protocol) {
+  switch (protocol) {
+    case CoherencyProtocol::kNone:
+      return "none";
+    case CoherencyProtocol::kTtl:
+      return "ttl";
+    case CoherencyProtocol::kInvalidation:
+      return "invalidation";
+  }
+  return "unknown";
+}
+
+util::StatusOr<UpdateSchedule> UpdateSchedule::Create(
+    uint32_t num_objects, const CoherencyParams& params) {
+  if (params.mutable_fraction < 0.0 || params.mutable_fraction > 1.0) {
+    return util::Status::InvalidArgument(
+        "mutable_fraction must be in [0, 1]");
+  }
+  if (params.mean_update_period <= 0.0) {
+    return util::Status::InvalidArgument("mean_update_period must be > 0");
+  }
+  if (params.protocol == CoherencyProtocol::kTtl && params.ttl <= 0.0) {
+    return util::Status::InvalidArgument("ttl must be > 0");
+  }
+
+  util::Rng rng(params.seed);
+  std::vector<double> periods(num_objects, 0.0);
+  std::vector<double> phases(num_objects, 0.0);
+  for (uint32_t i = 0; i < num_objects; ++i) {
+    if (!rng.NextBool(params.mutable_fraction)) continue;
+    periods[i] =
+        params.mean_update_period * rng.NextDouble(0.5, 1.5);
+    phases[i] = rng.NextDouble(0.0, periods[i]);
+  }
+  return UpdateSchedule(std::move(periods), std::move(phases));
+}
+
+UpdateSchedule::UpdateSchedule(std::vector<double> periods,
+                               std::vector<double> phases)
+    : periods_(std::move(periods)), phases_(std::move(phases)) {
+  CASCACHE_CHECK(periods_.size() == phases_.size());
+}
+
+uint32_t UpdateSchedule::VersionAt(trace::ObjectId id, double t) const {
+  CASCACHE_CHECK(id < periods_.size());
+  const double period = periods_[id];
+  if (period <= 0.0 || t <= 0.0) return 0;
+  // Updates at times (k * period - phase) for k = 1, 2, ... that fall in
+  // (0, t].
+  const double count = std::floor((t + phases_[id]) / period);
+  return count < 0.0 ? 0 : static_cast<uint32_t>(count);
+}
+
+}  // namespace cascache::sim

@@ -1,0 +1,49 @@
+#include "sim/cost_model.h"
+
+namespace cascache::sim {
+
+const char* CostModelKindName(CostModelKind kind) {
+  switch (kind) {
+    case CostModelKind::kLatency:
+      return "latency";
+    case CostModelKind::kBandwidth:
+      return "bandwidth";
+    case CostModelKind::kHops:
+      return "hops";
+    case CostModelKind::kWeighted:
+      return "weighted";
+  }
+  return "unknown";
+}
+
+util::StatusOr<CostModel> CostModel::Create(const CostModelParams& params) {
+  if (params.kind == CostModelKind::kWeighted) {
+    if (params.alpha < 0.0 || params.beta < 0.0 ||
+        params.alpha + params.beta <= 0.0) {
+      return util::Status::InvalidArgument(
+          "weighted cost model needs non-negative weights with a positive "
+          "sum");
+    }
+  }
+  return CostModel(params);
+}
+
+double CostModel::LinkCost(double link_delay, uint64_t size_bytes,
+                           double mean_object_size) const {
+  const double size_scale =
+      static_cast<double>(size_bytes) / mean_object_size;
+  switch (params_.kind) {
+    case CostModelKind::kLatency:
+      return link_delay * size_scale;
+    case CostModelKind::kBandwidth:
+      return size_scale;
+    case CostModelKind::kHops:
+      return 1.0;
+    case CostModelKind::kWeighted:
+      return params_.alpha * link_delay * size_scale +
+             params_.beta * size_scale;
+  }
+  return 0.0;
+}
+
+}  // namespace cascache::sim

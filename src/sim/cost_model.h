@@ -1,0 +1,67 @@
+#ifndef CASCACHE_SIM_COST_MODEL_H_
+#define CASCACHE_SIM_COST_MODEL_H_
+
+#include <cstdint>
+
+#include "util/status.h"
+
+namespace cascache::sim {
+
+/// The paper's analytical model is deliberately cost-agnostic (§2): the
+/// per-link cost c(u,v,O) "can be interpreted as different performance
+/// measures such as network latency, bandwidth consumption and processing
+/// cost at the cache, or a combination of these measures". This enum makes
+/// that pluggable. The *metrics* the simulator reports are always the
+/// physical ones (latency in seconds, traffic in byte-hops, ...); the cost
+/// model only changes what the cost-aware schemes optimize.
+enum class CostModelKind {
+  /// c = delay * size/mean_size — the paper's evaluation setting (§3.3):
+  /// generic cost interpreted as access latency, delays proportional to
+  /// object size.
+  kLatency,
+  /// c = size/mean_size per link — bandwidth consumption: every link
+  /// crossing costs the bytes moved, independent of link speed.
+  /// Optimizing it minimizes byte-hop traffic.
+  kBandwidth,
+  /// c = 1 per link — pure hop count (lookup/forwarding load).
+  kHops,
+  /// c = alpha * latency + beta * bandwidth, both as defined above.
+  kWeighted,
+};
+
+const char* CostModelKindName(CostModelKind kind);
+
+struct CostModelParams {
+  CostModelKind kind = CostModelKind::kLatency;
+  /// Weights for kWeighted (ignored otherwise).
+  double alpha = 1.0;
+  double beta = 1.0;
+};
+
+/// Maps a link traversal to the generic cost the schemes optimize.
+class CostModel {
+ public:
+  CostModel() = default;
+
+  /// Validates parameters (kWeighted needs non-negative weights with a
+  /// positive sum).
+  static util::StatusOr<CostModel> Create(const CostModelParams& params);
+
+  /// Cost of sending the request for an object of `size_bytes` and its
+  /// response over one link with the given base delay (the delay of an
+  /// average-size object).
+  double LinkCost(double link_delay, uint64_t size_bytes,
+                  double mean_object_size) const;
+
+  CostModelKind kind() const { return params_.kind; }
+  const char* name() const { return CostModelKindName(params_.kind); }
+
+ private:
+  explicit CostModel(const CostModelParams& params) : params_(params) {}
+
+  CostModelParams params_;
+};
+
+}  // namespace cascache::sim
+
+#endif  // CASCACHE_SIM_COST_MODEL_H_

@@ -1,0 +1,148 @@
+#include "sim/experiment.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <map>
+
+#include "util/table.h"
+
+namespace cascache::sim {
+
+ExperimentRunner::ExperimentRunner(ExperimentConfig config)
+    : config_(std::move(config)) {}
+
+util::StatusOr<std::unique_ptr<ExperimentRunner>> ExperimentRunner::Create(
+    const ExperimentConfig& config) {
+  if (config.schemes.empty()) {
+    return util::Status::InvalidArgument("no schemes configured");
+  }
+  if (config.cache_fractions.empty()) {
+    return util::Status::InvalidArgument("no cache sizes configured");
+  }
+  for (double f : config.cache_fractions) {
+    if (f <= 0.0 || f > 1.0) {
+      return util::Status::InvalidArgument("cache fraction out of (0, 1]");
+    }
+  }
+  std::unique_ptr<ExperimentRunner> runner(new ExperimentRunner(config));
+  CASCACHE_ASSIGN_OR_RETURN(runner->workload_,
+                            trace::GenerateWorkload(config.workload));
+  CASCACHE_ASSIGN_OR_RETURN(
+      runner->network_,
+      Network::Build(config.network, &runner->workload_.catalog));
+  return runner;
+}
+
+util::StatusOr<RunResult> ExperimentRunner::RunOne(
+    const schemes::SchemeSpec& spec, double cache_fraction) {
+  schemes::SchemeSpec effective = spec;
+  if (effective.kind == schemes::SchemeKind::kStatic &&
+      effective.static_freeze_requests == 0) {
+    // Default STATIC's learning phase to the warm-up period so frozen
+    // contents are in place exactly when measurement starts.
+    effective.static_freeze_requests = std::max<uint64_t>(
+        1, static_cast<uint64_t>(config_.sim.warmup_fraction *
+                                 static_cast<double>(
+                                     workload_.requests.size())));
+  }
+  CASCACHE_ASSIGN_OR_RETURN(std::unique_ptr<schemes::CachingScheme> scheme,
+                            schemes::MakeScheme(effective));
+  const uint64_t capacity = std::max<uint64_t>(
+      1, static_cast<uint64_t>(cache_fraction *
+                               static_cast<double>(
+                                   workload_.catalog.total_bytes())));
+  Simulator simulator(network_.get(), scheme.get(), config_.sim);
+  CASCACHE_RETURN_IF_ERROR(simulator.Run(workload_, capacity));
+
+  RunResult result;
+  result.scheme = spec.Label();
+  result.cache_fraction = cache_fraction;
+  result.capacity_bytes = capacity;
+  result.metrics = simulator.metrics().Summary();
+  return result;
+}
+
+util::StatusOr<std::vector<RunResult>> ExperimentRunner::RunAll() {
+  std::vector<RunResult> results;
+  results.reserve(config_.cache_fractions.size() * config_.schemes.size());
+  for (double fraction : config_.cache_fractions) {
+    for (const schemes::SchemeSpec& spec : config_.schemes) {
+      CASCACHE_ASSIGN_OR_RETURN(RunResult result, RunOne(spec, fraction));
+      results.push_back(std::move(result));
+    }
+  }
+  return results;
+}
+
+util::Status WriteResultsCsv(const std::vector<RunResult>& results,
+                             const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    return util::Status::IoError("cannot open for write: " + path);
+  }
+  std::fputs(
+      "scheme,cache_fraction,capacity_bytes,requests,avg_latency,"
+      "avg_response_ratio,byte_hit_ratio,hit_ratio,avg_traffic_byte_hops,"
+      "avg_hops,avg_load_bytes,read_load_share,stale_hit_ratio\n",
+      f);
+  bool ok = true;
+  for (const RunResult& r : results) {
+    const MetricsSummary& m = r.metrics;
+    ok = ok &&
+         std::fprintf(
+             f, "%s,%.6g,%llu,%llu,%.8g,%.8g,%.8g,%.8g,%.8g,%.8g,%.8g,%.8g,"
+                "%.8g\n",
+             r.scheme.c_str(), r.cache_fraction,
+             static_cast<unsigned long long>(r.capacity_bytes),
+             static_cast<unsigned long long>(m.requests), m.avg_latency,
+             m.avg_response_ratio, m.byte_hit_ratio, m.hit_ratio,
+             m.avg_traffic_byte_hops, m.avg_hops, m.avg_load_bytes,
+             m.read_load_share, m.stale_hit_ratio) > 0;
+  }
+  std::fclose(f);
+  if (!ok) return util::Status::IoError("short write: " + path);
+  return util::Status::Ok();
+}
+
+std::string FormatSweepTable(const std::vector<RunResult>& results,
+                             const std::string& metric_name,
+                             double (*selector)(const MetricsSummary&)) {
+  // Collect scheme order (first appearance) and cache sizes (ascending).
+  std::vector<std::string> scheme_order;
+  std::vector<double> fractions;
+  for (const RunResult& r : results) {
+    if (std::find(scheme_order.begin(), scheme_order.end(), r.scheme) ==
+        scheme_order.end()) {
+      scheme_order.push_back(r.scheme);
+    }
+    if (std::find(fractions.begin(), fractions.end(), r.cache_fraction) ==
+        fractions.end()) {
+      fractions.push_back(r.cache_fraction);
+    }
+  }
+  std::sort(fractions.begin(), fractions.end());
+
+  std::map<std::pair<double, std::string>, double> cells;
+  for (const RunResult& r : results) {
+    cells[{r.cache_fraction, r.scheme}] = selector(r.metrics);
+  }
+
+  std::vector<std::string> header = {"cache size (" + metric_name + ")"};
+  for (const std::string& s : scheme_order) header.push_back(s);
+  util::TablePrinter table(std::move(header));
+  for (double f : fractions) {
+    std::vector<std::string> row;
+    char label[32];
+    std::snprintf(label, sizeof(label), "%.2f%%", f * 100.0);
+    row.push_back(label);
+    for (const std::string& s : scheme_order) {
+      auto it = cells.find({f, s});
+      row.push_back(it == cells.end() ? "-" : util::TablePrinter::Fmt(
+                                                  it->second, 5));
+    }
+    table.AddRow(std::move(row));
+  }
+  return table.ToString();
+}
+
+}  // namespace cascache::sim

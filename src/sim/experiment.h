@@ -1,0 +1,82 @@
+#ifndef CASCACHE_SIM_EXPERIMENT_H_
+#define CASCACHE_SIM_EXPERIMENT_H_
+
+#include <string>
+#include <vector>
+
+#include "schemes/scheme.h"
+#include "sim/simulator.h"
+#include "trace/synthetic.h"
+#include "util/status.h"
+
+namespace cascache::sim {
+
+/// One full parameter sweep: an architecture, a workload, a set of
+/// relative cache sizes, and a set of schemes. This is the engine behind
+/// every figure bench: it builds the topology and workload once and runs
+/// each (cache size, scheme) cell on freshly reset caches, as the paper's
+/// experiments do.
+struct ExperimentConfig {
+  NetworkParams network;
+  trace::WorkloadParams workload;
+  SimOptions sim;
+  /// Relative cache sizes: per-node capacity / total bytes of all objects
+  /// (the paper sweeps 0.1% .. 10%, log scale).
+  std::vector<double> cache_fractions = {0.001, 0.003, 0.01, 0.03, 0.10};
+  std::vector<schemes::SchemeSpec> schemes;
+};
+
+/// One (scheme, cache size) cell of a sweep.
+struct RunResult {
+  std::string scheme;
+  double cache_fraction = 0.0;
+  uint64_t capacity_bytes = 0;
+  MetricsSummary metrics;
+};
+
+/// Runs a configured sweep. Expensive state (topology, routing, workload)
+/// is shared across cells.
+class ExperimentRunner {
+ public:
+  /// Generates the workload and builds the network; fails on bad config.
+  static util::StatusOr<std::unique_ptr<ExperimentRunner>> Create(
+      const ExperimentConfig& config);
+
+  ExperimentRunner(const ExperimentRunner&) = delete;
+  ExperimentRunner& operator=(const ExperimentRunner&) = delete;
+
+  /// Runs every (cache size, scheme) cell; results are ordered by cache
+  /// size then scheme (the order given in the config).
+  util::StatusOr<std::vector<RunResult>> RunAll();
+
+  /// Runs a single cell against the shared workload/network.
+  util::StatusOr<RunResult> RunOne(const schemes::SchemeSpec& spec,
+                                   double cache_fraction);
+
+  const trace::Workload& workload() const { return workload_; }
+  Network* network() { return network_.get(); }
+  const ExperimentConfig& config() const { return config_; }
+
+ private:
+  explicit ExperimentRunner(ExperimentConfig config);
+
+  ExperimentConfig config_;
+  trace::Workload workload_;
+  std::unique_ptr<Network> network_;
+};
+
+/// Formats sweep results as a table: one row per cache size, one column
+/// per scheme, cells showing `metric` extracted by the selector.
+std::string FormatSweepTable(
+    const std::vector<RunResult>& results, const std::string& metric_name,
+    double (*selector)(const MetricsSummary&));
+
+/// Writes sweep results as CSV (one row per cell, all metrics as
+/// columns) for external plotting; the benches accept an output path via
+/// CASCACHE_RESULTS_CSV.
+util::Status WriteResultsCsv(const std::vector<RunResult>& results,
+                             const std::string& path);
+
+}  // namespace cascache::sim
+
+#endif  // CASCACHE_SIM_EXPERIMENT_H_

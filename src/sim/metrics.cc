@@ -1,0 +1,76 @@
+#include "sim/metrics.h"
+
+#include <cstdio>
+
+namespace cascache::sim {
+
+namespace {
+constexpr double kBytesPerMb = 1024.0 * 1024.0;
+}  // namespace
+
+void MetricsCollector::Record(const RequestMetrics& metrics) {
+  ++requests_;
+  latency_.Add(metrics.latency);
+  response_ratio_.Add(metrics.latency /
+                      (static_cast<double>(metrics.size_bytes) / kBytesPerMb));
+  hops_.Add(static_cast<double>(metrics.hops));
+  traffic_.Add(static_cast<double>(metrics.size_bytes) *
+               static_cast<double>(metrics.hops));
+  total_bytes_ += metrics.size_bytes;
+  if (metrics.cache_hit) {
+    ++hits_;
+    hit_bytes_ += metrics.size_bytes;
+  }
+  read_bytes_ += metrics.read_bytes;
+  write_bytes_ += metrics.write_bytes;
+  if (metrics.stale_hit) ++stale_hits_;
+  copies_expired_ += static_cast<uint64_t>(metrics.copies_expired);
+  copies_invalidated_ += static_cast<uint64_t>(metrics.copies_invalidated);
+}
+
+void MetricsCollector::Reset() { *this = MetricsCollector(); }
+
+MetricsSummary MetricsCollector::Summary() const {
+  MetricsSummary s;
+  s.requests = requests_;
+  if (requests_ == 0) return s;
+  s.avg_latency = latency_.mean();
+  s.avg_response_ratio = response_ratio_.mean();
+  s.byte_hit_ratio =
+      total_bytes_ == 0
+          ? 0.0
+          : static_cast<double>(hit_bytes_) / static_cast<double>(total_bytes_);
+  s.hit_ratio = static_cast<double>(hits_) / static_cast<double>(requests_);
+  s.avg_traffic_byte_hops = traffic_.mean();
+  s.avg_hops = hops_.mean();
+  const double total_load =
+      static_cast<double>(read_bytes_) + static_cast<double>(write_bytes_);
+  s.avg_load_bytes = total_load / static_cast<double>(requests_);
+  s.read_load_share =
+      total_load == 0.0 ? 0.0 : static_cast<double>(read_bytes_) / total_load;
+  s.avg_write_bytes =
+      static_cast<double>(write_bytes_) / static_cast<double>(requests_);
+  s.total_bytes_requested = total_bytes_;
+  s.bytes_from_caches = hit_bytes_;
+  s.stale_hit_ratio =
+      hits_ == 0 ? 0.0
+                 : static_cast<double>(stale_hits_) / static_cast<double>(hits_);
+  s.copies_expired = copies_expired_;
+  s.copies_invalidated = copies_invalidated_;
+  return s;
+}
+
+std::string MetricsSummary::ToString() const {
+  char buf[512];
+  std::snprintf(
+      buf, sizeof(buf),
+      "requests=%llu latency=%.4fs response_ratio=%.3fs/MB "
+      "byte_hit=%.4f hit=%.4f traffic=%.4gB*hops hops=%.3f "
+      "load=%.4gB/req (read share %.2f)",
+      static_cast<unsigned long long>(requests), avg_latency,
+      avg_response_ratio, byte_hit_ratio, hit_ratio, avg_traffic_byte_hops,
+      avg_hops, avg_load_bytes, read_load_share);
+  return buf;
+}
+
+}  // namespace cascache::sim

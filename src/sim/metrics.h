@@ -1,0 +1,89 @@
+#ifndef CASCACHE_SIM_METRICS_H_
+#define CASCACHE_SIM_METRICS_H_
+
+#include <cstdint>
+#include <string>
+
+#include "util/stats.h"
+
+namespace cascache::sim {
+
+/// Outcome of one simulated request, in the units the paper reports.
+struct RequestMetrics {
+  uint64_t size_bytes = 0;
+  /// Access latency: summed size-scaled link delays from the requesting
+  /// cache to the serving node (seconds).
+  double latency = 0.0;
+  /// Hops traveled before hitting the target (Figure 8a).
+  int hops = 0;
+  /// Served by a cache (true) or the origin server (false).
+  bool cache_hit = false;
+  /// Bytes read from caches serving this request (== size on cache hit).
+  uint64_t read_bytes = 0;
+  /// Bytes written into caches by placement decisions for this request.
+  uint64_t write_bytes = 0;
+  /// Number of cache insertions performed.
+  int insertions = 0;
+  /// Coherency: the serving copy was behind the origin version (only
+  /// possible under CoherencyProtocol::kNone).
+  bool stale_hit = false;
+  /// Copies discarded on the request path because their TTL expired.
+  int copies_expired = 0;
+  /// Copies discarded because they were behind the origin version
+  /// (CoherencyProtocol::kInvalidation).
+  int copies_invalidated = 0;
+};
+
+/// Aggregated results of a run, matching the paper's evaluation metrics.
+struct MetricsSummary {
+  uint64_t requests = 0;
+  double avg_latency = 0.0;          ///< Figure 6a/9a (seconds).
+  double avg_response_ratio = 0.0;   ///< Figure 6b/9b (seconds per MB).
+  double byte_hit_ratio = 0.0;       ///< Figure 7a/10a.
+  double hit_ratio = 0.0;            ///< Request (count) hit ratio.
+  double avg_traffic_byte_hops = 0.0;  ///< Figure 7b (byte*hops).
+  double avg_hops = 0.0;             ///< Figure 8a.
+  double avg_load_bytes = 0.0;       ///< Figure 8b/10b: (read+write)/req.
+  double read_load_share = 0.0;      ///< Read fraction of total load.
+  double avg_write_bytes = 0.0;
+  uint64_t total_bytes_requested = 0;
+  uint64_t bytes_from_caches = 0;
+  /// Coherency: fraction of cache hits that served a stale version.
+  double stale_hit_ratio = 0.0;
+  uint64_t copies_expired = 0;
+  uint64_t copies_invalidated = 0;
+
+  std::string ToString() const;
+};
+
+/// Accumulates per-request metrics into the paper's aggregate measures.
+/// The simulator skips recording during the warm-up half of the trace.
+class MetricsCollector {
+ public:
+  void Record(const RequestMetrics& metrics);
+  void Reset();
+
+  MetricsSummary Summary() const;
+
+  const util::RunningStat& latency_stat() const { return latency_; }
+  const util::RunningStat& hops_stat() const { return hops_; }
+
+ private:
+  util::RunningStat latency_;
+  util::RunningStat response_ratio_;
+  util::RunningStat hops_;
+  util::RunningStat traffic_;
+  uint64_t requests_ = 0;
+  uint64_t hits_ = 0;
+  uint64_t total_bytes_ = 0;
+  uint64_t hit_bytes_ = 0;
+  uint64_t read_bytes_ = 0;
+  uint64_t write_bytes_ = 0;
+  uint64_t stale_hits_ = 0;
+  uint64_t copies_expired_ = 0;
+  uint64_t copies_invalidated_ = 0;
+};
+
+}  // namespace cascache::sim
+
+#endif  // CASCACHE_SIM_METRICS_H_

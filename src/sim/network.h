@@ -1,0 +1,135 @@
+#ifndef CASCACHE_SIM_NETWORK_H_
+#define CASCACHE_SIM_NETWORK_H_
+
+#include <memory>
+#include <vector>
+
+#include "sim/node.h"
+#include "topology/routing.h"
+#include "topology/tiers.h"
+#include "topology/tree.h"
+#include "trace/object_catalog.h"
+#include "util/status.h"
+
+namespace cascache::sim {
+
+using trace::ClientId;
+using trace::ServerId;
+
+enum class Architecture {
+  kEnRoute,       ///< Tiers WAN/MAN topology, caches at every router.
+  kHierarchical,  ///< Full O-ary proxy tree, servers behind the root.
+};
+
+const char* ArchitectureName(Architecture arch);
+
+struct NetworkParams {
+  Architecture architecture = Architecture::kEnRoute;
+  topology::TiersParams tiers;
+  topology::TreeParams tree;
+  /// Seed for client/server-to-node assignment (independent of topology
+  /// and workload seeds, as in the paper's random allocations).
+  uint64_t placement_seed = 7;
+};
+
+/// The simulated content-distribution network: the graph, the distribution
+/// trees (shortest-path routing), the client/server attach points and one
+/// CacheNode per graph node. Built once per topology; caches are
+/// re-configured per simulation run via ConfigureCaches().
+class Network {
+ public:
+  /// Builds the network for a catalog's servers. The catalog outlives the
+  /// network.
+  static util::StatusOr<std::unique_ptr<Network>> Build(
+      const NetworkParams& params, const trace::ObjectCatalog* catalog);
+
+  Network(const Network&) = delete;
+  Network& operator=(const Network&) = delete;
+
+  const topology::Graph& graph() const { return graph_; }
+  Architecture architecture() const { return params_.architecture; }
+  const trace::ObjectCatalog& catalog() const { return *catalog_; }
+  double mean_object_size() const { return mean_object_size_; }
+
+  /// Node where a client's requests enter the cache network (its MAN node
+  /// under en-route, its leaf cache under hierarchical). The client-to-
+  /// first-cache cost is excluded from the model per paper §2.
+  topology::NodeId RequesterNode(ClientId client) const;
+
+  /// Node a server attaches to (a MAN node under en-route; the root under
+  /// hierarchical).
+  topology::NodeId ServerAttach(ServerId server) const;
+
+  /// Delay of the virtual link between a server's attach node and the
+  /// server itself: 0 under en-route (co-located), g^(depth-1)*d under
+  /// hierarchical.
+  double server_link_delay() const { return server_link_delay_; }
+  int server_link_hops() const { return server_link_delay_ > 0.0 ? 1 : 0; }
+
+  /// Nodes from `from` to the server's attach node along the distribution
+  /// tree, inclusive.
+  std::vector<topology::NodeId> PathToServer(topology::NodeId from,
+                                             ServerId server);
+
+  double LinkDelay(topology::NodeId u, topology::NodeId v) const {
+    return graph_.EdgeDelay(u, v);
+  }
+
+  CacheNode* node(topology::NodeId id) {
+    CASCACHE_CHECK(graph_.IsValidNode(id));
+    return &nodes_[static_cast<size_t>(id)];
+  }
+
+  /// Re-initializes every cache with the given configuration (start of a
+  /// simulation run).
+  void ConfigureCaches(const CacheNodeConfig& config);
+
+  /// Re-initializes caches with per-node capacities (heterogeneous
+  /// provisioning studies). `capacities` must have one entry per node;
+  /// the rest of `config` applies to every node.
+  void ConfigureCachesWithCapacities(
+      const CacheNodeConfig& config, const std::vector<uint64_t>& capacities);
+
+  /// Cache level of a node: tree level under the hierarchical
+  /// architecture (0 = leaf, depth-1 = root); 0 for every node under
+  /// en-route.
+  int NodeLevel(topology::NodeId v) const {
+    CASCACHE_CHECK(graph_.IsValidNode(v));
+    return node_levels_.empty() ? 0 : node_levels_[static_cast<size_t>(v)];
+  }
+
+  /// Highest node level (0 under en-route).
+  int MaxNodeLevel() const { return max_node_level_; }
+
+  /// Total number of cache nodes.
+  int num_nodes() const { return graph_.num_nodes(); }
+
+  /// Mean hop count of client-to-server routing paths, averaged over all
+  /// (client-attach, server-attach) pairs in use (Table 1's "average
+  /// length of the routing path").
+  double MeanClientServerHops();
+
+ private:
+  Network(NetworkParams params, const trace::ObjectCatalog* catalog);
+
+  NetworkParams params_;
+  const trace::ObjectCatalog* catalog_;
+  topology::Graph graph_{0};
+  std::unique_ptr<topology::RoutingTable> routing_;
+  std::vector<CacheNode> nodes_;
+  /// Candidate attach nodes for clients and servers.
+  std::vector<topology::NodeId> client_sites_;
+  std::vector<topology::NodeId> server_sites_;
+  /// client -> attach node, server -> attach node (assigned randomly).
+  std::vector<topology::NodeId> client_attach_;
+  std::vector<topology::NodeId> server_attach_;
+  double server_link_delay_ = 0.0;
+  double mean_object_size_ = 0.0;
+  /// Per-node tree level (hierarchical only; empty for en-route).
+  std::vector<int> node_levels_;
+  int max_node_level_ = 0;
+};
+
+}  // namespace cascache::sim
+
+#endif  // CASCACHE_SIM_NETWORK_H_

@@ -1,0 +1,221 @@
+#include "sim/node.h"
+
+#include "util/check.h"
+
+namespace cascache::sim {
+
+CacheNode::CacheNode(topology::NodeId id, const CacheNodeConfig& config)
+    : id_(id), estimator_(config.frequency) {
+  Reset(config);
+}
+
+void CacheNode::Reset(const CacheNodeConfig& config) {
+  config_ = config;
+  estimator_ = cache::FrequencyEstimator(config.frequency);
+  lru_.reset();
+  ncl_.reset();
+  gds_.reset();
+  lfu_.reset();
+  dcache_.reset();
+  main_descriptors_.clear();
+  copy_stamps_.clear();
+  switch (config_.mode) {
+    case CacheMode::kLru:
+      lru_ = std::make_unique<cache::LruCache>(config_.capacity_bytes);
+      break;
+    case CacheMode::kGds:
+      gds_ = std::make_unique<cache::GdsCache>(config_.capacity_bytes);
+      break;
+    case CacheMode::kLfu:
+      lfu_ = std::make_unique<cache::LfuCache>(config_.capacity_bytes);
+      break;
+    case CacheMode::kCost:
+      ncl_ = std::make_unique<cache::NclCache>(config_.capacity_bytes);
+      if (config_.dcache_entries > 0) {
+        dcache_ = std::make_unique<cache::DCache>(config_.dcache_entries,
+                                                  config_.dcache_policy);
+      }
+      break;
+  }
+}
+
+bool CacheNode::Contains(ObjectId id) const {
+  if (lru_ != nullptr) return lru_->Contains(id);
+  if (gds_ != nullptr) return gds_->Contains(id);
+  if (lfu_ != nullptr) return lfu_->Contains(id);
+  return ncl_->Contains(id);
+}
+
+uint64_t CacheNode::used_bytes() const {
+  if (lru_ != nullptr) return lru_->used_bytes();
+  if (gds_ != nullptr) return gds_->used_bytes();
+  if (lfu_ != nullptr) return lfu_->used_bytes();
+  return ncl_->used_bytes();
+}
+
+size_t CacheNode::num_cached_objects() const {
+  if (lru_ != nullptr) return lru_->num_objects();
+  if (gds_ != nullptr) return gds_->num_objects();
+  if (lfu_ != nullptr) return lfu_->num_objects();
+  return ncl_->num_objects();
+}
+
+bool CacheNode::EraseObject(ObjectId id) {
+  copy_stamps_.erase(id);
+  if (lru_ != nullptr) return lru_->Erase(id);
+  if (gds_ != nullptr) return gds_->Erase(id);
+  if (lfu_ != nullptr) return lfu_->Erase(id);
+  if (!ncl_->Erase(id)) return false;
+  // Demote the descriptor so the access history survives the drop.
+  auto it = main_descriptors_.find(id);
+  if (it != main_descriptors_.end()) {
+    if (dcache_ != nullptr) dcache_->Insert(id, it->second);
+    main_descriptors_.erase(it);
+  }
+  return true;
+}
+
+void CacheNode::StampCopy(ObjectId id, double fetch_time, uint32_t version) {
+  copy_stamps_[id] = CopyStamp{fetch_time, version};
+}
+
+const CacheNode::CopyStamp* CacheNode::FindCopy(ObjectId id) const {
+  auto it = copy_stamps_.find(id);
+  return it == copy_stamps_.end() ? nullptr : &it->second;
+}
+
+bool CacheNode::CheckInvariants() const {
+  if (used_bytes() > config_.capacity_bytes) return false;
+  if (ncl_ == nullptr) {
+    return main_descriptors_.empty();
+  }
+  if (ncl_->num_objects() != main_descriptors_.size()) return false;
+  for (const auto& [id, desc] : main_descriptors_) {
+    if (!ncl_->Contains(id)) return false;
+    if (dcache_ != nullptr && dcache_->Contains(id)) return false;
+    if (desc.size == 0) return false;
+  }
+  return true;
+}
+
+cache::LruCache* CacheNode::lru() {
+  CASCACHE_CHECK_MSG(lru_ != nullptr, "node is not in LRU mode");
+  return lru_.get();
+}
+
+cache::GdsCache* CacheNode::gds() {
+  CASCACHE_CHECK_MSG(gds_ != nullptr, "node is not in GDS mode");
+  return gds_.get();
+}
+
+cache::LfuCache* CacheNode::lfu() {
+  CASCACHE_CHECK_MSG(lfu_ != nullptr, "node is not in LFU mode");
+  return lfu_.get();
+}
+
+cache::NclCache* CacheNode::ncl() {
+  CASCACHE_CHECK_MSG(ncl_ != nullptr, "node is not in cost mode");
+  return ncl_.get();
+}
+
+cache::DCache* CacheNode::dcache() { return dcache_.get(); }
+
+ObjectDescriptor* CacheNode::FindDescriptor(ObjectId id) {
+  auto it = main_descriptors_.find(id);
+  if (it != main_descriptors_.end()) return &it->second;
+  if (dcache_ != nullptr) return dcache_->Find(id);
+  return nullptr;
+}
+
+ObjectDescriptor* CacheNode::RecordAccess(ObjectId id, double now) {
+  ObjectDescriptor* desc = FindDescriptor(id);
+  if (desc == nullptr) return nullptr;
+  estimator_.OnAccess(desc, now);
+  if (DescriptorInMain(id)) {
+    RefreshLoss(id, now);
+  } else if (dcache_ != nullptr) {
+    dcache_->Refresh(id, *desc);
+  }
+  return desc;
+}
+
+ObjectDescriptor* CacheNode::AdmitDescriptor(ObjectId id, uint64_t size,
+                                             double now) {
+  CASCACHE_CHECK(!DescriptorInMain(id));
+  if (dcache_ == nullptr) return nullptr;
+  if (ObjectDescriptor* existing = dcache_->Find(id); existing != nullptr) {
+    return existing;
+  }
+  ObjectDescriptor desc;
+  desc.size = size;
+  estimator_.OnAccess(&desc, now);  // Record the access that brought it in.
+  return dcache_->Insert(id, desc);
+}
+
+void CacheNode::UpdateMissPenalty(ObjectId id, double miss_penalty,
+                                  double now) {
+  ObjectDescriptor* desc = FindDescriptor(id);
+  if (desc == nullptr) return;
+  desc->miss_penalty = miss_penalty;
+  if (DescriptorInMain(id)) RefreshLoss(id, now);
+}
+
+cache::NclCache::EvictionPlan CacheNode::PlanEvictionFor(
+    uint64_t size) const {
+  CASCACHE_CHECK(ncl_ != nullptr);
+  return ncl_->PlanEviction(size);
+}
+
+bool CacheNode::InsertCost(ObjectId id, uint64_t size, double miss_penalty,
+                           double now) {
+  CASCACHE_CHECK(ncl_ != nullptr);
+  if (ncl_->Contains(id)) {
+    UpdateMissPenalty(id, miss_penalty, now);
+    return false;
+  }
+  if (size > config_.capacity_bytes) return false;
+
+  // Promote (or create) the descriptor, preserving access history.
+  ObjectDescriptor desc;
+  if (dcache_ != nullptr) {
+    if (ObjectDescriptor* existing = dcache_->Find(id); existing != nullptr) {
+      desc = *existing;
+      dcache_->Erase(id);
+    }
+  }
+  if (desc.num_accesses == 0) {
+    estimator_.OnAccess(&desc, now);
+  }
+  desc.size = size;
+  desc.miss_penalty = miss_penalty;
+  const double frequency = estimator_.Estimate(&desc, now);
+  const double loss = frequency * miss_penalty;
+
+  bool inserted = false;
+  std::vector<ObjectId> evicted = ncl_->Insert(id, size, loss, &inserted);
+  CASCACHE_CHECK(inserted);
+
+  // Demote evicted objects' descriptors to the d-cache (their history is
+  // worth keeping; LFU admission may still reject cold ones).
+  for (ObjectId victim : evicted) {
+    auto it = main_descriptors_.find(victim);
+    CASCACHE_CHECK(it != main_descriptors_.end());
+    if (dcache_ != nullptr) {
+      dcache_->Insert(victim, it->second);
+    }
+    main_descriptors_.erase(it);
+  }
+  main_descriptors_[id] = desc;
+  return true;
+}
+
+void CacheNode::RefreshLoss(ObjectId id, double now) {
+  CASCACHE_CHECK(ncl_ != nullptr);
+  auto it = main_descriptors_.find(id);
+  CASCACHE_CHECK_MSG(it != main_descriptors_.end(),
+                     "RefreshLoss on object without main descriptor");
+  const double frequency = estimator_.Estimate(&it->second, now);
+  ncl_->UpdateLoss(id, frequency * it->second.miss_penalty);
+}
+
+}  // namespace cascache::sim

@@ -1,0 +1,163 @@
+#ifndef CASCACHE_SIM_NODE_H_
+#define CASCACHE_SIM_NODE_H_
+
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "cache/dcache.h"
+#include "cache/descriptor.h"
+#include "cache/frequency.h"
+#include "cache/gds_cache.h"
+#include "cache/lfu_cache.h"
+#include "cache/lru_cache.h"
+#include "cache/ncl_cache.h"
+#include "topology/graph.h"
+
+namespace cascache::sim {
+
+using cache::ObjectDescriptor;
+using trace::ObjectId;
+
+/// Replacement machinery a node runs. kLru backs the LRU and MODULO
+/// baselines (no descriptors); kCost backs LNC-R and the coordinated
+/// scheme (NCL-ordered store + descriptor bookkeeping + optional d-cache);
+/// kGds and kLfu back the extra single-cache replacement baselines
+/// (GreedyDual-Size and perfect in-cache LFU).
+enum class CacheMode { kLru, kCost, kGds, kLfu };
+
+struct CacheNodeConfig {
+  CacheMode mode = CacheMode::kLru;
+  uint64_t capacity_bytes = 0;
+  /// d-cache capacity in descriptors; 0 disables the d-cache.
+  size_t dcache_entries = 0;
+  /// d-cache replacement (paper §2.4 default: LFU).
+  cache::DCachePolicy dcache_policy = cache::DCachePolicy::kLfu;
+  cache::FrequencyEstimatorParams frequency;
+};
+
+/// A cache attached to one network node. Owns the object store, the
+/// descriptors of cached objects, and the d-cache holding descriptors of
+/// hot non-cached objects (paper §2.3-2.4). Schemes drive it through the
+/// mode-specific methods below; the simulator only queries Contains().
+class CacheNode {
+ public:
+  CacheNode(topology::NodeId id, const CacheNodeConfig& config);
+
+  topology::NodeId id() const { return id_; }
+  CacheMode mode() const { return config_.mode; }
+  uint64_t capacity_bytes() const { return config_.capacity_bytes; }
+  const cache::FrequencyEstimator& estimator() const { return estimator_; }
+
+  /// Whether the object is stored in the main cache (any mode).
+  bool Contains(ObjectId id) const;
+
+  /// Removes an object from the main cache regardless of mode (coherency
+  /// drops, test manipulation). In cost mode the descriptor is demoted to
+  /// the d-cache. Also forgets the copy's freshness stamp. Returns false
+  /// if the object was not cached.
+  bool EraseObject(ObjectId id);
+
+  // --- Copy freshness tracking (coherency substrate) ------------------------
+
+  /// Fetch time and origin version of the locally cached copy, recorded
+  /// by the simulator when coherency tracking is active.
+  struct CopyStamp {
+    double fetch_time = 0.0;
+    uint32_t version = 0;
+  };
+
+  void StampCopy(ObjectId id, double fetch_time, uint32_t version);
+  /// nullptr if no stamp is recorded.
+  const CopyStamp* FindCopy(ObjectId id) const;
+
+  /// Structural invariants, used by tests and debug sweeps: byte usage
+  /// within capacity; in cost mode, the cached-object set and the main
+  /// descriptor table coincide and are disjoint from the d-cache.
+  bool CheckInvariants() const;
+
+  uint64_t used_bytes() const;
+  size_t num_cached_objects() const;
+
+  /// Drops all cached objects and descriptors, applying a new config.
+  void Reset(const CacheNodeConfig& config);
+
+  // --- LRU mode -----------------------------------------------------------
+
+  cache::LruCache* lru();
+
+  // --- GDS / LFU modes ------------------------------------------------------
+
+  cache::GdsCache* gds();
+  cache::LfuCache* lfu();
+
+  // --- Cost mode ----------------------------------------------------------
+
+  cache::NclCache* ncl();
+  cache::DCache* dcache();
+
+  /// Descriptor of an object, whether cached (main table) or tracked in
+  /// the d-cache; nullptr if unknown at this node.
+  ObjectDescriptor* FindDescriptor(ObjectId id);
+
+  /// True if the object's descriptor lives in the main table (object is
+  /// cached here).
+  bool DescriptorInMain(ObjectId id) const {
+    return main_descriptors_.count(id) > 0;
+  }
+
+  /// Records an access on the object's descriptor if the node knows the
+  /// object; refreshes its frequency estimate and, for cached objects,
+  /// its NCL eviction priority; for d-cached descriptors, its LFU
+  /// priority. Returns the descriptor, or nullptr if unknown.
+  ObjectDescriptor* RecordAccess(ObjectId id, double now);
+
+  /// Ensures the d-cache has a descriptor for a non-cached object,
+  /// creating one (with a single access at `now`) if absent. Subject to
+  /// LFU admission; may return nullptr if the d-cache rejects it or is
+  /// disabled. Must not be called for objects cached here.
+  ObjectDescriptor* AdmitDescriptor(ObjectId id, uint64_t size, double now);
+
+  /// Sets the miss penalty on the object's descriptor (main or d-cache),
+  /// refreshing the dependent priorities. No-op if the node has no
+  /// descriptor for it.
+  void UpdateMissPenalty(ObjectId id, double miss_penalty, double now);
+
+  /// Greedy NCL eviction preview for inserting `size` bytes (paper §2.1's
+  /// l computation). Cost mode only.
+  cache::NclCache::EvictionPlan PlanEvictionFor(uint64_t size) const;
+
+  /// Inserts an object into the cost-mode store with the given miss
+  /// penalty. The object's descriptor is promoted from the d-cache (or
+  /// created), the access history is preserved, evicted objects'
+  /// descriptors are demoted to the d-cache. Returns whether the object
+  /// was stored.
+  bool InsertCost(ObjectId id, uint64_t size, double miss_penalty,
+                  double now);
+
+  /// Recomputes the NCL priority of a cached object from its descriptor
+  /// (f(now) * miss_penalty). Cost mode; object must be cached.
+  void RefreshLoss(ObjectId id, double now);
+
+ private:
+  topology::NodeId id_;
+  CacheNodeConfig config_;
+  cache::FrequencyEstimator estimator_;
+
+  std::unique_ptr<cache::LruCache> lru_;
+  std::unique_ptr<cache::NclCache> ncl_;
+  std::unique_ptr<cache::GdsCache> gds_;
+  std::unique_ptr<cache::LfuCache> lfu_;
+  std::unique_ptr<cache::DCache> dcache_;
+  /// Descriptors of objects currently in the cost-mode main cache.
+  std::unordered_map<ObjectId, ObjectDescriptor> main_descriptors_;
+  /// Freshness stamps of cached copies (populated only when the simulator
+  /// runs with coherency tracking). May contain leftover stamps for
+  /// objects the store evicted internally; consumers must check
+  /// Contains() first.
+  std::unordered_map<ObjectId, CopyStamp> copy_stamps_;
+};
+
+}  // namespace cascache::sim
+
+#endif  // CASCACHE_SIM_NODE_H_

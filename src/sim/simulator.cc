@@ -1,0 +1,215 @@
+#include "sim/simulator.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace cascache::sim {
+
+Simulator::Simulator(Network* network, schemes::CachingScheme* scheme,
+                     const SimOptions& options)
+    : network_(network), scheme_(scheme), options_(options) {
+  CASCACHE_CHECK(network != nullptr);
+  CASCACHE_CHECK(scheme != nullptr);
+  CASCACHE_CHECK(options.warmup_fraction >= 0.0 &&
+                 options.warmup_fraction < 1.0);
+  auto model_or = CostModel::Create(options.cost_model);
+  CASCACHE_CHECK_OK(model_or.status());
+  cost_model_ = *model_or;
+}
+
+util::Status Simulator::EnableCoherency(uint32_t num_objects) {
+  const CoherencyParams& params = options_.coherency;
+  if (params.protocol == CoherencyProtocol::kNone &&
+      params.mutable_fraction == 0.0) {
+    updates_.reset();  // Paper setting: nothing to track.
+    return util::Status::Ok();
+  }
+  CASCACHE_ASSIGN_OR_RETURN(UpdateSchedule schedule,
+                            UpdateSchedule::Create(num_objects, params));
+  updates_ = std::make_unique<UpdateSchedule>(std::move(schedule));
+  return util::Status::Ok();
+}
+
+util::Status Simulator::Run(const trace::Workload& workload,
+                            uint64_t capacity_bytes_per_node) {
+  if (capacity_bytes_per_node == 0) {
+    return util::Status::InvalidArgument("cache capacity must be > 0");
+  }
+  if (workload.requests.empty()) {
+    return util::Status::InvalidArgument("empty workload");
+  }
+  CASCACHE_RETURN_IF_ERROR(
+      EnableCoherency(workload.catalog.num_objects()));
+
+  CacheNodeConfig config;
+  config.mode = scheme_->cache_mode();
+  config.capacity_bytes = capacity_bytes_per_node;
+  config.frequency = options_.frequency;
+  if (scheme_->uses_dcache()) {
+    const double mean_size = network_->mean_object_size();
+    const double avg_objects =
+        static_cast<double>(capacity_bytes_per_node) / mean_size;
+    config.dcache_entries = static_cast<size_t>(
+        std::max(1.0, options_.dcache_ratio * avg_objects));
+    config.dcache_policy = options_.dcache_policy;
+  }
+  if (options_.level_capacity_growth == 1.0 ||
+      network_->MaxNodeLevel() == 0) {
+    network_->ConfigureCaches(config);
+  } else {
+    // Distribute the same total budget across levels with capacity
+    // proportional to growth^level.
+    const int n = network_->num_nodes();
+    const double growth = options_.level_capacity_growth;
+    if (growth <= 0.0) {
+      return util::Status::InvalidArgument(
+          "level_capacity_growth must be > 0");
+    }
+    double weight_sum = 0.0;
+    std::vector<double> weights(static_cast<size_t>(n));
+    for (topology::NodeId v = 0; v < n; ++v) {
+      weights[static_cast<size_t>(v)] =
+          std::pow(growth, network_->NodeLevel(v));
+      weight_sum += weights[static_cast<size_t>(v)];
+    }
+    const double budget =
+        static_cast<double>(capacity_bytes_per_node) * static_cast<double>(n);
+    std::vector<uint64_t> capacities(static_cast<size_t>(n));
+    for (topology::NodeId v = 0; v < n; ++v) {
+      capacities[static_cast<size_t>(v)] = std::max<uint64_t>(
+          1, static_cast<uint64_t>(budget * weights[static_cast<size_t>(v)] /
+                                   weight_sum));
+    }
+    network_->ConfigureCachesWithCapacities(config, capacities);
+  }
+  metrics_.Reset();
+
+  const size_t warmup_count = static_cast<size_t>(
+      options_.warmup_fraction * static_cast<double>(workload.requests.size()));
+  for (size_t i = 0; i < workload.requests.size(); ++i) {
+    Step(workload.requests[i], /*collect=*/i >= warmup_count);
+  }
+  return util::Status::Ok();
+}
+
+void Simulator::Step(const trace::Request& request, bool collect) {
+  const trace::ObjectCatalog& catalog = network_->catalog();
+  const trace::ObjectId object = request.object;
+  const uint64_t size = catalog.size(object);
+  const trace::ServerId server = catalog.server(object);
+  const double size_scale =
+      static_cast<double>(size) / network_->mean_object_size();
+
+  const topology::NodeId requester = network_->RequesterNode(request.client);
+  path_ = network_->PathToServer(requester, server);
+
+  const double mean_size = network_->mean_object_size();
+  link_delays_.clear();
+  link_delays_.reserve(path_.size());
+  link_costs_.clear();
+  link_costs_.reserve(path_.size());
+  for (size_t i = 0; i + 1 < path_.size(); ++i) {
+    const double delay = network_->LinkDelay(path_[i], path_[i + 1]);
+    link_delays_.push_back(delay);
+    link_costs_.push_back(cost_model_.LinkCost(delay, size, mean_size));
+  }
+
+  // Walk up the distribution tree to the lowest cache holding a servable
+  // copy of the object. Under a coherency protocol, expired or
+  // invalidated copies are discarded on the way and the request continues
+  // upstream; under kNone a stale copy is served (and counted).
+  RequestMetrics request_metrics;
+  request_metrics.size_bytes = size;
+  int hit_index = -1;
+  // Version the client receives; downstream copies inherit it (a stale
+  // serving copy propagates its stale version).
+  uint32_t served_version =
+      updates_ == nullptr ? 0 : updates_->VersionAt(object, request.time);
+  for (size_t i = 0; i < path_.size(); ++i) {
+    CacheNode* node = network_->node(path_[i]);
+    if (!node->Contains(object)) continue;
+    if (updates_ != nullptr) {
+      const CacheNode::CopyStamp* stamp = node->FindCopy(object);
+      // Copies can only enter a cache through StampCopy'd insertions
+      // within this run; treat a missing stamp (e.g. test-injected copy)
+      // as fresh-at-time-0.
+      const double fetch_time = stamp != nullptr ? stamp->fetch_time : 0.0;
+      const uint32_t version = stamp != nullptr ? stamp->version : 0;
+      const CoherencyProtocol protocol = options_.coherency.protocol;
+      if (protocol == CoherencyProtocol::kTtl &&
+          request.time - fetch_time > options_.coherency.ttl) {
+        node->EraseObject(object);
+        ++request_metrics.copies_expired;
+        continue;
+      }
+      const uint32_t current = updates_->VersionAt(object, request.time);
+      if (protocol == CoherencyProtocol::kInvalidation &&
+          version < current) {
+        node->EraseObject(object);
+        ++request_metrics.copies_invalidated;
+        continue;
+      }
+      if (version < current) request_metrics.stale_hit = true;
+      served_version = version;
+    }
+    hit_index = static_cast<int>(i);
+    break;
+  }
+
+  // Access latency and hops (paper cost model: link delay scaled by object
+  // size; the client-to-first-cache cost is excluded).
+  double base_delay = 0.0;
+  int hops = 0;
+  if (hit_index >= 0) {
+    for (int i = 0; i < hit_index; ++i) {
+      base_delay += link_delays_[static_cast<size_t>(i)];
+    }
+    hops = hit_index;
+    request_metrics.cache_hit = true;
+    request_metrics.read_bytes = size;
+  } else {
+    for (double d : link_delays_) base_delay += d;
+    base_delay += network_->server_link_delay();
+    hops = static_cast<int>(link_delays_.size()) + network_->server_link_hops();
+  }
+  request_metrics.latency = base_delay * size_scale;
+  request_metrics.hops = hops;
+
+  // Let the scheme update cache contents (placement + replacement).
+  schemes::ServedRequest served;
+  served.object = object;
+  served.size = size;
+  served.size_scale = size_scale;
+  served.now = request.time;
+  served.path = &path_;
+  served.link_delays = &link_delays_;
+  served.link_costs = &link_costs_;
+  served.hit_index = hit_index;
+  served.server_link_delay = network_->server_link_delay();
+  // No virtual server link under en-route (servers are co-located with
+  // their attach node), so its cost is 0 under every cost model.
+  served.server_link_cost =
+      network_->server_link_hops() == 0
+          ? 0.0
+          : cost_model_.LinkCost(network_->server_link_delay(), size,
+                                 mean_size);
+  scheme_->OnRequestServed(served, network_, &request_metrics);
+
+  // Stamp freshness metadata on the copies this request created. Copies
+  // below the serving point inherit the served version; the serving copy
+  // keeps its original stamp (hits do not revalidate).
+  if (updates_ != nullptr) {
+    const int top = served.top_index();
+    for (int i = 0; i <= top; ++i) {
+      if (i == hit_index) continue;
+      CacheNode* node = network_->node(path_[static_cast<size_t>(i)]);
+      if (node->Contains(object)) {
+        node->StampCopy(object, request.time, served_version);
+      }
+    }
+  }
+
+  if (collect) metrics_.Record(request_metrics);
+}
+
+}  // namespace cascache::sim

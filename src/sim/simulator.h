@@ -1,0 +1,86 @@
+#ifndef CASCACHE_SIM_SIMULATOR_H_
+#define CASCACHE_SIM_SIMULATOR_H_
+
+#include "schemes/scheme.h"
+#include "sim/coherency.h"
+#include "sim/cost_model.h"
+#include "sim/metrics.h"
+#include "sim/network.h"
+#include "trace/synthetic.h"
+
+namespace cascache::sim {
+
+struct SimOptions {
+  /// Leading fraction of the trace used to warm the caches; statistics are
+  /// collected for the remainder only (the paper uses the first half).
+  double warmup_fraction = 0.5;
+  /// d-cache size as a multiple of the average number of objects the main
+  /// cache can hold (paper default: 3x). Ignored for schemes without a
+  /// d-cache.
+  double dcache_ratio = 3.0;
+  /// d-cache replacement policy (paper default: LFU; §2.4 also suggests
+  /// LRU stacks).
+  cache::DCachePolicy dcache_policy = cache::DCachePolicy::kLfu;
+  cache::FrequencyEstimatorParams frequency;
+  /// The generic cost the cost-aware schemes optimize (paper default:
+  /// latency, i.e. delay proportional to object size).
+  CostModelParams cost_model;
+  /// Object update process + coherency protocol. Defaults to the paper's
+  /// setting (static objects, no protocol, zero overhead).
+  CoherencyParams coherency;
+  /// Heterogeneous provisioning (hierarchical architecture): the capacity
+  /// of a level-i cache is proportional to level_capacity_growth^i,
+  /// normalized so the *total* cache budget equals
+  /// num_nodes * capacity_bytes_per_node. 1.0 (default) = uniform, the
+  /// paper's setting; > 1 concentrates capacity near the root, < 1 near
+  /// the leaves. Ignored under en-route (all nodes are level 0).
+  double level_capacity_growth = 1.0;
+};
+
+/// Trace-driven simulator: replays a request stream through the network
+/// under one caching scheme, computing the paper's metrics. The paper's
+/// simulation is sequential and analytic (latency is derived from link
+/// delays, not queueing), so no event queue is needed.
+class Simulator {
+ public:
+  /// `network` and `scheme` must outlive the simulator. Caches are (re)
+  /// configured by Run().
+  Simulator(Network* network, schemes::CachingScheme* scheme,
+            const SimOptions& options = SimOptions());
+
+  /// Replays the full workload: resets caches, configures them for the
+  /// given per-node capacity, runs the warm-up, then collects statistics.
+  util::Status Run(const trace::Workload& workload,
+                   uint64_t capacity_bytes_per_node);
+
+  /// Processes a single request against the current cache state;
+  /// `collect` controls whether metrics are recorded. Exposed for tests
+  /// and custom drivers; Run() is the normal entry point. NOTE: coherency
+  /// tracking requires the update schedule, which Run() builds; direct
+  /// Step() drivers that want coherency must call EnableCoherency first.
+  void Step(const trace::Request& request, bool collect);
+
+  /// Installs the update schedule for direct Step() drivers (Run() does
+  /// this automatically from the workload catalog).
+  util::Status EnableCoherency(uint32_t num_objects);
+
+  const MetricsCollector& metrics() const { return metrics_; }
+  Network* network() { return network_; }
+
+ private:
+  Network* network_;
+  schemes::CachingScheme* scheme_;
+  SimOptions options_;
+  CostModel cost_model_;
+  /// Present iff coherency tracking is active for this run.
+  std::unique_ptr<UpdateSchedule> updates_;
+  MetricsCollector metrics_;
+  /// Reused across Step calls to avoid per-request allocation.
+  std::vector<topology::NodeId> path_;
+  std::vector<double> link_delays_;
+  std::vector<double> link_costs_;
+};
+
+}  // namespace cascache::sim
+
+#endif  // CASCACHE_SIM_SIMULATOR_H_

@@ -1,0 +1,78 @@
+#include "topology/graph.h"
+
+#include <queue>
+#include <string>
+
+namespace cascache::topology {
+
+Graph::Graph(int num_nodes) {
+  CASCACHE_CHECK(num_nodes >= 0);
+  adjacency_.resize(static_cast<size_t>(num_nodes));
+}
+
+uint64_t Graph::EdgeKey(NodeId u, NodeId v) {
+  if (u > v) std::swap(u, v);
+  return (static_cast<uint64_t>(static_cast<uint32_t>(u)) << 32) |
+         static_cast<uint32_t>(v);
+}
+
+util::Status Graph::AddEdge(NodeId u, NodeId v, double delay) {
+  if (!IsValidNode(u) || !IsValidNode(v)) {
+    return util::Status::InvalidArgument("edge endpoint out of range");
+  }
+  if (u == v) {
+    return util::Status::InvalidArgument("self-loop not allowed");
+  }
+  if (delay < 0.0) {
+    return util::Status::InvalidArgument("negative link delay");
+  }
+  if (HasEdge(u, v)) {
+    return util::Status::AlreadyExists("duplicate link " + std::to_string(u) +
+                                       "-" + std::to_string(v));
+  }
+  adjacency_[static_cast<size_t>(u)].push_back({v, delay});
+  adjacency_[static_cast<size_t>(v)].push_back({u, delay});
+  edge_delay_[EdgeKey(u, v)] = delay;
+  ++num_edges_;
+  total_delay_ += delay;
+  return util::Status::Ok();
+}
+
+const std::vector<Edge>& Graph::Neighbors(NodeId u) const {
+  CASCACHE_CHECK(IsValidNode(u));
+  return adjacency_[static_cast<size_t>(u)];
+}
+
+bool Graph::HasEdge(NodeId u, NodeId v) const {
+  if (!IsValidNode(u) || !IsValidNode(v)) return false;
+  return edge_delay_.count(EdgeKey(u, v)) > 0;
+}
+
+double Graph::EdgeDelay(NodeId u, NodeId v) const {
+  auto it = edge_delay_.find(EdgeKey(u, v));
+  CASCACHE_CHECK_MSG(it != edge_delay_.end(), "link does not exist");
+  return it->second;
+}
+
+bool Graph::IsConnected() const {
+  if (num_nodes() <= 1) return true;
+  std::vector<bool> seen(static_cast<size_t>(num_nodes()), false);
+  std::queue<NodeId> frontier;
+  frontier.push(0);
+  seen[0] = true;
+  int visited = 1;
+  while (!frontier.empty()) {
+    const NodeId u = frontier.front();
+    frontier.pop();
+    for (const Edge& e : adjacency_[static_cast<size_t>(u)]) {
+      if (!seen[static_cast<size_t>(e.to)]) {
+        seen[static_cast<size_t>(e.to)] = true;
+        ++visited;
+        frontier.push(e.to);
+      }
+    }
+  }
+  return visited == num_nodes();
+}
+
+}  // namespace cascache::topology

@@ -1,0 +1,33 @@
+#include "topology/routing.h"
+
+namespace cascache::topology {
+
+RoutingTable::RoutingTable(const Graph* graph) : graph_(graph) {
+  CASCACHE_CHECK(graph != nullptr);
+}
+
+const ShortestPathTree& RoutingTable::TreeFor(NodeId dest) {
+  auto it = trees_.find(dest);
+  if (it == trees_.end()) {
+    it = trees_.emplace(dest, BuildShortestPathTree(*graph_, dest)).first;
+  }
+  return it->second;
+}
+
+std::vector<NodeId> RoutingTable::Path(NodeId from, NodeId dest) {
+  return TreeFor(dest).PathToRoot(from);
+}
+
+double RoutingTable::Delay(NodeId from, NodeId dest) {
+  const ShortestPathTree& tree = TreeFor(dest);
+  CASCACHE_CHECK(tree.Reachable(from));
+  return tree.dist[static_cast<size_t>(from)];
+}
+
+int RoutingTable::Hops(NodeId from, NodeId dest) {
+  const ShortestPathTree& tree = TreeFor(dest);
+  CASCACHE_CHECK(tree.Reachable(from));
+  return tree.hops[static_cast<size_t>(from)];
+}
+
+}  // namespace cascache::topology

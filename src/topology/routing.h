@@ -1,0 +1,42 @@
+#ifndef CASCACHE_TOPOLOGY_ROUTING_H_
+#define CASCACHE_TOPOLOGY_ROUTING_H_
+
+#include <unordered_map>
+#include <vector>
+
+#include "topology/graph.h"
+#include "topology/shortest_path.h"
+
+namespace cascache::topology {
+
+/// Per-destination routing built from shortest-path trees (the paper's
+/// distribution trees, §2 and §3.2). Trees are computed lazily and cached,
+/// one per distinct destination (server attach node), since the number of
+/// distinct server locations is small compared to request volume.
+class RoutingTable {
+ public:
+  explicit RoutingTable(const Graph* graph);
+
+  /// The shortest-path tree rooted at `dest` (computed on first use).
+  const ShortestPathTree& TreeFor(NodeId dest);
+
+  /// Node sequence from `from` to `dest` along the distribution tree,
+  /// inclusive of both endpoints. `from` must be able to reach `dest`.
+  std::vector<NodeId> Path(NodeId from, NodeId dest);
+
+  /// Total delay from `from` to `dest` along the tree.
+  double Delay(NodeId from, NodeId dest);
+
+  /// Hop count from `from` to `dest` along the tree.
+  int Hops(NodeId from, NodeId dest);
+
+  size_t num_cached_trees() const { return trees_.size(); }
+
+ private:
+  const Graph* graph_;
+  std::unordered_map<NodeId, ShortestPathTree> trees_;
+};
+
+}  // namespace cascache::topology
+
+#endif  // CASCACHE_TOPOLOGY_ROUTING_H_

@@ -1,0 +1,42 @@
+#ifndef CASCACHE_TOPOLOGY_SHORTEST_PATH_H_
+#define CASCACHE_TOPOLOGY_SHORTEST_PATH_H_
+
+#include <vector>
+
+#include "topology/graph.h"
+
+namespace cascache::topology {
+
+/// Shortest-path tree rooted at a node, produced by Dijkstra's algorithm.
+/// The paper routes every request along the shortest-path tree rooted at
+/// the origin server's attach node (§3.2), so this structure *is* the
+/// distribution tree of §2.
+struct ShortestPathTree {
+  NodeId root = kInvalidNode;
+  /// dist[v]: total delay from v to the root; +inf if unreachable.
+  std::vector<double> dist;
+  /// parent[v]: next hop from v toward the root; kInvalidNode for the root
+  /// itself and for unreachable nodes.
+  std::vector<NodeId> parent;
+  /// hops[v]: link count from v to the root; -1 if unreachable.
+  std::vector<int> hops;
+
+  bool Reachable(NodeId v) const;
+
+  /// Node sequence from `from` to the root, inclusive of both endpoints.
+  /// `from` must be reachable.
+  std::vector<NodeId> PathToRoot(NodeId from) const;
+};
+
+/// Runs Dijkstra from `root`. Ties are broken deterministically by node id
+/// (smaller parent id preferred) so generated topologies route identically
+/// across runs.
+ShortestPathTree BuildShortestPathTree(const Graph& graph, NodeId root);
+
+/// All-pairs shortest-path delays via repeated Dijkstra; O(V·E log V).
+/// Intended for topology statistics and small-graph test oracles.
+std::vector<std::vector<double>> AllPairsShortestDelays(const Graph& graph);
+
+}  // namespace cascache::topology
+
+#endif  // CASCACHE_TOPOLOGY_SHORTEST_PATH_H_

@@ -1,0 +1,155 @@
+#include "topology/tiers.h"
+
+#include <algorithm>
+
+#include "util/random.h"
+
+namespace cascache::topology {
+
+namespace {
+
+/// Uniform delay around `mean` with relative jitter.
+double JitteredDelay(util::Rng* rng, double mean, double jitter) {
+  const double lo = mean * (1.0 - jitter);
+  const double hi = mean * (1.0 + jitter);
+  return rng->NextDouble(lo, hi);
+}
+
+}  // namespace
+
+double TiersTopology::MeanWanLinkDelay() const {
+  double sum = 0.0;
+  int count = 0;
+  for (NodeId u : wan_ids) {
+    for (const Edge& e : graph.Neighbors(u)) {
+      if (IsWan(e.to) && e.to > u) {  // Count each undirected link once.
+        sum += e.delay;
+        ++count;
+      }
+    }
+  }
+  return count == 0 ? 0.0 : sum / count;
+}
+
+double TiersTopology::MeanManLinkDelay() const {
+  double sum = 0.0;
+  int count = 0;
+  for (NodeId u = 0; u < graph.num_nodes(); ++u) {
+    for (const Edge& e : graph.Neighbors(u)) {
+      if (e.to > u && (!IsWan(u) || !IsWan(e.to))) {
+        sum += e.delay;
+        ++count;
+      }
+    }
+  }
+  return count == 0 ? 0.0 : sum / count;
+}
+
+util::StatusOr<TiersTopology> GenerateTiers(const TiersParams& params) {
+  if (params.wan_nodes < 2) {
+    return util::Status::InvalidArgument("need at least 2 WAN nodes");
+  }
+  if (params.man_nodes < 1) {
+    return util::Status::InvalidArgument("need at least 1 MAN node");
+  }
+  if (params.wan_mean_delay <= 0.0 || params.man_mean_delay <= 0.0) {
+    return util::Status::InvalidArgument("link delays must be positive");
+  }
+  if (params.delay_jitter < 0.0 || params.delay_jitter >= 1.0) {
+    return util::Status::InvalidArgument("jitter must be in [0, 1)");
+  }
+  if (params.wan_locality_window < 1 || params.wan_redundancy_span < 1) {
+    return util::Status::InvalidArgument("locality parameters must be >= 1");
+  }
+  if (params.wan_redundancy_edges < 0 || params.man_redundancy_edges < 0) {
+    return util::Status::InvalidArgument("redundancy edges must be >= 0");
+  }
+
+  util::Rng rng(params.seed);
+  TiersTopology topo;
+  const int total = params.wan_nodes + params.man_nodes;
+  topo.graph = Graph(total);
+  for (NodeId v = 0; v < params.wan_nodes; ++v) topo.wan_ids.push_back(v);
+  for (NodeId v = params.wan_nodes; v < total; ++v) topo.man_ids.push_back(v);
+
+  // 1. WAN spanning tree with a locality bias: node i attaches to a parent
+  // within the preceding `wan_locality_window` nodes. This yields a
+  // chain-with-branches backbone whose routing paths are long, matching
+  // the ~12-hop average client-server paths the paper reports.
+  for (NodeId i = 1; i < params.wan_nodes; ++i) {
+    const NodeId lo = std::max<NodeId>(0, i - params.wan_locality_window);
+    const NodeId parent = static_cast<NodeId>(rng.NextInt(lo, i - 1));
+    CASCACHE_CHECK_OK(topo.graph.AddEdge(
+        i, parent,
+        JitteredDelay(&rng, params.wan_mean_delay, params.delay_jitter)));
+  }
+
+  // 2. WAN redundancy links between nearby (in index) WAN node pairs.
+  int added = 0;
+  int attempts = 0;
+  const int max_attempts = 200 * std::max(1, params.wan_redundancy_edges);
+  while (added < params.wan_redundancy_edges && attempts < max_attempts) {
+    ++attempts;
+    const NodeId u =
+        static_cast<NodeId>(rng.NextInt(0, params.wan_nodes - 1));
+    const NodeId lo = std::max<NodeId>(0, u - params.wan_redundancy_span);
+    const NodeId hi = std::min<NodeId>(params.wan_nodes - 1,
+                                       u + params.wan_redundancy_span);
+    const NodeId v = static_cast<NodeId>(rng.NextInt(lo, hi));
+    if (u == v || topo.graph.HasEdge(u, v)) continue;
+    CASCACHE_CHECK_OK(topo.graph.AddEdge(
+        u, v,
+        JitteredDelay(&rng, params.wan_mean_delay, params.delay_jitter)));
+    ++added;
+  }
+  if (added < params.wan_redundancy_edges) {
+    return util::Status::InvalidArgument(
+        "could not place requested WAN redundancy edges; "
+        "reduce wan_redundancy_edges or raise wan_redundancy_span");
+  }
+
+  // 3. MAN uplinks: each MAN node attaches to a random WAN node.
+  topo.man_attach.reserve(topo.man_ids.size());
+  for (NodeId m : topo.man_ids) {
+    const NodeId attach =
+        static_cast<NodeId>(rng.NextInt(0, params.wan_nodes - 1));
+    topo.man_attach.push_back(attach);
+    CASCACHE_CHECK_OK(topo.graph.AddEdge(
+        m, attach,
+        JitteredDelay(&rng, params.man_mean_delay, params.delay_jitter)));
+  }
+
+  // 4. MAN redundancy links between MAN nodes whose attach points are
+  // close (same metropolitan region).
+  added = 0;
+  attempts = 0;
+  const int man_attempts = 400 * std::max(1, params.man_redundancy_edges);
+  while (added < params.man_redundancy_edges && attempts < man_attempts) {
+    ++attempts;
+    const size_t a = static_cast<size_t>(rng.NextInt(
+        0, static_cast<int64_t>(topo.man_ids.size()) - 1));
+    const size_t b = static_cast<size_t>(rng.NextInt(
+        0, static_cast<int64_t>(topo.man_ids.size()) - 1));
+    if (a == b) continue;
+    if (std::abs(topo.man_attach[a] - topo.man_attach[b]) >
+        params.wan_redundancy_span) {
+      continue;
+    }
+    const NodeId u = topo.man_ids[a];
+    const NodeId v = topo.man_ids[b];
+    if (topo.graph.HasEdge(u, v)) continue;
+    CASCACHE_CHECK_OK(topo.graph.AddEdge(
+        u, v,
+        JitteredDelay(&rng, params.man_mean_delay, params.delay_jitter)));
+    ++added;
+  }
+  if (added < params.man_redundancy_edges) {
+    return util::Status::InvalidArgument(
+        "could not place requested MAN redundancy edges");
+  }
+
+  CASCACHE_CHECK(topo.graph.IsConnected());
+  return topo;
+}
+
+}  // namespace cascache::topology

@@ -1,0 +1,70 @@
+#ifndef CASCACHE_TOPOLOGY_TIERS_H_
+#define CASCACHE_TOPOLOGY_TIERS_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "topology/graph.h"
+#include "util/status.h"
+
+namespace cascache::topology {
+
+/// Parameters of the Tiers-style random two-level topology used for the
+/// en-route architecture (paper §3.2, Table 1). The generator reproduces
+/// the structural statistics the paper relies on: a connected WAN backbone,
+/// MAN nodes hanging off WAN attach points, a WAN:MAN mean-delay ratio of
+/// roughly 8:1, and (with the defaults) 100 nodes and 173 links.
+struct TiersParams {
+  int wan_nodes = 50;
+  int man_nodes = 50;
+  /// Extra WAN-WAN links beyond the spanning tree (redundancy).
+  int wan_redundancy_edges = 40;
+  /// Extra MAN-MAN links between MANs sharing a WAN attach point region.
+  int man_redundancy_edges = 34;
+  /// Target mean one-way delay of WAN links, seconds (Table 1: 0.146 s).
+  double wan_mean_delay = 0.146;
+  /// Target mean one-way delay of MAN links, seconds (Table 1: 0.018 s).
+  double man_mean_delay = 0.018;
+  /// Per-link delays are uniform in mean*(1 +/- jitter).
+  double delay_jitter = 0.5;
+  /// Spanning-tree locality window: WAN node i attaches to a parent in
+  /// [i-window, i-1]. Small windows yield chain-like backbones with long
+  /// routing paths (the paper reports ~12-hop client-server paths).
+  int wan_locality_window = 2;
+  /// Redundancy links connect WAN nodes at most this far apart in index,
+  /// preserving the long-path structure while adding alternatives.
+  /// The (2, 3) defaults land the mean client-server path at ~12 hops,
+  /// matching the paper's sample topology.
+  int wan_redundancy_span = 3;
+  uint64_t seed = 1;
+};
+
+/// Generated en-route topology. Node ids [0, wan_nodes) are WAN routers;
+/// [wan_nodes, wan_nodes + man_nodes) are MAN nodes. An en-route cache sits
+/// at every node; origin servers and clients are co-located with MAN nodes
+/// only (assignment happens in sim::Network).
+struct TiersTopology {
+  Graph graph{0};
+  std::vector<NodeId> wan_ids;
+  std::vector<NodeId> man_ids;
+  /// Attach point (WAN node) of each MAN node, parallel to man_ids.
+  std::vector<NodeId> man_attach;
+
+  bool IsWan(NodeId v) const {
+    return v >= 0 && static_cast<size_t>(v) < wan_ids.size();
+  }
+
+  /// Mean delay over links whose both endpoints are WAN nodes.
+  double MeanWanLinkDelay() const;
+  /// Mean delay over links with at least one MAN endpoint.
+  double MeanManLinkDelay() const;
+};
+
+/// Generates a Tiers-style topology; deterministic in `params.seed`.
+/// Fails if the parameters are inconsistent (e.g. more redundancy edges
+/// than node pairs can host).
+util::StatusOr<TiersTopology> GenerateTiers(const TiersParams& params);
+
+}  // namespace cascache::topology
+
+#endif  // CASCACHE_TOPOLOGY_TIERS_H_

@@ -1,0 +1,80 @@
+#include "topology/tree.h"
+
+#include <cmath>
+
+namespace cascache::topology {
+
+int TreeTopology::depth() const {
+  int max_level = 0;
+  for (int l : level) max_level = std::max(max_level, l);
+  return max_level + 1;
+}
+
+util::StatusOr<TreeTopology> BuildTree(const TreeParams& params) {
+  if (params.depth < 1) {
+    return util::Status::InvalidArgument("tree depth must be >= 1");
+  }
+  if (params.fanout < 1) {
+    return util::Status::InvalidArgument("fanout must be >= 1");
+  }
+  if (params.base_delay <= 0.0 || params.growth <= 0.0) {
+    return util::Status::InvalidArgument("delays must be positive");
+  }
+
+  // Count nodes: sum of fanout^i for i in [0, depth).
+  int64_t total = 0;
+  int64_t level_count = 1;
+  for (int i = 0; i < params.depth; ++i) {
+    total += level_count;
+    level_count *= params.fanout;
+    if (total > 5'000'000) {
+      return util::Status::InvalidArgument("tree too large");
+    }
+  }
+
+  TreeTopology topo;
+  topo.graph = Graph(static_cast<int>(total));
+  topo.root = 0;
+  topo.level.assign(static_cast<size_t>(total), 0);
+  topo.parent.assign(static_cast<size_t>(total), kInvalidNode);
+
+  // Breadth-first construction: node ids are assigned level by level from
+  // the root. first[i] = id of the first node at tree-depth i (root = 0).
+  std::vector<int64_t> first(static_cast<size_t>(params.depth) + 1, 0);
+  int64_t width = 1;
+  for (int i = 0; i < params.depth; ++i) {
+    first[static_cast<size_t>(i) + 1] = first[static_cast<size_t>(i)] + width;
+    width *= params.fanout;
+  }
+
+  for (int d = 0; d < params.depth; ++d) {
+    const int level = params.depth - 1 - d;  // Root has the highest level.
+    const int64_t begin = first[static_cast<size_t>(d)];
+    const int64_t end = first[static_cast<size_t>(d) + 1];
+    for (int64_t v = begin; v < end; ++v) {
+      topo.level[static_cast<size_t>(v)] = level;
+      if (level == 0) topo.leaves.push_back(static_cast<NodeId>(v));
+      if (d + 1 < params.depth) {
+        // Link to children. A level-(level-1) child connects to this node
+        // with delay g^(level-1) * d (delay indexed by the *lower* end).
+        const double delay =
+            params.base_delay * std::pow(params.growth, level - 1);
+        const int64_t child_begin =
+            first[static_cast<size_t>(d) + 1] +
+            (v - begin) * params.fanout;
+        for (int c = 0; c < params.fanout; ++c) {
+          const NodeId child = static_cast<NodeId>(child_begin + c);
+          topo.parent[static_cast<size_t>(child)] = static_cast<NodeId>(v);
+          CASCACHE_CHECK_OK(
+              topo.graph.AddEdge(static_cast<NodeId>(v), child, delay));
+        }
+      }
+    }
+  }
+
+  topo.server_link_delay =
+      params.base_delay * std::pow(params.growth, params.depth - 1);
+  return topo;
+}
+
+}  // namespace cascache::topology

@@ -1,0 +1,45 @@
+#ifndef CASCACHE_TOPOLOGY_TREE_H_
+#define CASCACHE_TOPOLOGY_TREE_H_
+
+#include <vector>
+
+#include "topology/graph.h"
+#include "util/status.h"
+
+namespace cascache::topology {
+
+/// Parameters of the hierarchical caching topology (paper §3.2, Figure 5):
+/// a full O-ary tree of caches. Leaves are level 0, the root is level
+/// depth-1. The link between a level-i node and its parent has delay
+/// g^i * d; the (virtual) link between the root and an origin server has
+/// delay g^(depth-1) * d.
+struct TreeParams {
+  int depth = 4;           ///< Number of cache levels (root at depth-1).
+  int fanout = 3;          ///< Children per internal node (paper's O).
+  double base_delay = 0.008;  ///< d, seconds.
+  double growth = 5.0;        ///< g, delay growth factor per level.
+};
+
+/// A full O-ary cache hierarchy. Node 0 is the root; children of node v
+/// occupy consecutive ids, breadth-first.
+struct TreeTopology {
+  Graph graph{0};
+  NodeId root = 0;
+  std::vector<NodeId> leaves;
+  /// level[v]: 0 for leaves, depth-1 for the root.
+  std::vector<int> level;
+  /// parent[v]: kInvalidNode for the root.
+  std::vector<NodeId> parent;
+  /// Delay of the root <-> origin-server virtual link: g^(depth-1) * d.
+  double server_link_delay = 0.0;
+
+  int depth() const;
+};
+
+/// Builds a full O-ary tree; fails if depth < 1 or fanout < 1 or the
+/// delays are non-positive.
+util::StatusOr<TreeTopology> BuildTree(const TreeParams& params);
+
+}  // namespace cascache::topology
+
+#endif  // CASCACHE_TOPOLOGY_TREE_H_

@@ -1,0 +1,14 @@
+#include "trace/object_catalog.h"
+
+namespace cascache::trace {
+
+ObjectId ObjectCatalog::Add(uint64_t size_bytes, ServerId server) {
+  CASCACHE_CHECK(size_bytes > 0);
+  sizes_.push_back(size_bytes);
+  servers_.push_back(server);
+  total_bytes_ += size_bytes;
+  if (server >= num_servers_) num_servers_ = server + 1;
+  return static_cast<ObjectId>(sizes_.size() - 1);
+}
+
+}  // namespace cascache::trace

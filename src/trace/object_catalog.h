@@ -1,0 +1,72 @@
+#ifndef CASCACHE_TRACE_OBJECT_CATALOG_H_
+#define CASCACHE_TRACE_OBJECT_CATALOG_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "util/check.h"
+
+namespace cascache::trace {
+
+/// Identifier of a web object. Objects are numbered densely from 0 in
+/// popularity-rank order when generated synthetically.
+using ObjectId = uint32_t;
+
+/// Identifier of an origin server (logical; mapped to a network node by
+/// sim::Network). Each object belongs to exactly one server and server
+/// object sets are disjoint (paper §2).
+using ServerId = uint32_t;
+
+/// Identifier of a client (logical; mapped to a network node by
+/// sim::Network).
+using ClientId = uint32_t;
+
+/// Immutable table of object metadata: size in bytes and owning origin
+/// server. Shared by the workload generator, trace IO and the simulator.
+class ObjectCatalog {
+ public:
+  ObjectCatalog() = default;
+
+  /// Appends an object; its id is the insertion index.
+  ObjectId Add(uint64_t size_bytes, ServerId server);
+
+  uint32_t num_objects() const { return static_cast<uint32_t>(sizes_.size()); }
+  uint32_t num_servers() const { return num_servers_; }
+
+  uint64_t size(ObjectId id) const {
+    CASCACHE_DCHECK(id < sizes_.size());
+    return sizes_[id];
+  }
+  ServerId server(ObjectId id) const {
+    CASCACHE_DCHECK(id < servers_.size());
+    return servers_[id];
+  }
+
+  /// Total bytes across all objects; the paper's "relative cache size" is
+  /// per-node capacity divided by this value.
+  uint64_t total_bytes() const { return total_bytes_; }
+
+  double mean_size() const {
+    return sizes_.empty()
+               ? 0.0
+               : static_cast<double>(total_bytes_) / sizes_.size();
+  }
+
+ private:
+  std::vector<uint64_t> sizes_;
+  std::vector<ServerId> servers_;
+  uint64_t total_bytes_ = 0;
+  uint32_t num_servers_ = 0;
+};
+
+/// A single client request. Requests are totally ordered by time in a
+/// trace; the simulator replays them sequentially (trace-driven).
+struct Request {
+  double time = 0.0;  ///< Seconds since trace start.
+  ClientId client = 0;
+  ObjectId object = 0;
+};
+
+}  // namespace cascache::trace
+
+#endif  // CASCACHE_TRACE_OBJECT_CATALOG_H_

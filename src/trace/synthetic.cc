@@ -1,0 +1,156 @@
+#include "trace/synthetic.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "util/random.h"
+#include "util/zipf.h"
+
+namespace cascache::trace {
+
+namespace {
+
+uint64_t SampleObjectSize(const WorkloadParams& p, util::Rng* rng) {
+  double size;
+  if (rng->NextBool(p.size_pareto_tail_prob)) {
+    size = rng->NextPareto(p.size_pareto_scale, p.size_pareto_alpha);
+  } else {
+    size = rng->NextLogNormal(p.size_lognormal_mu, p.size_lognormal_sigma);
+  }
+  size = std::clamp(size, static_cast<double>(p.min_object_size),
+                    static_cast<double>(p.max_object_size));
+  return static_cast<uint64_t>(size);
+}
+
+}  // namespace
+
+util::StatusOr<Workload> GenerateWorkload(const WorkloadParams& params) {
+  if (params.num_objects == 0) {
+    return util::Status::InvalidArgument("num_objects must be > 0");
+  }
+  if (params.num_clients == 0 || params.num_servers == 0) {
+    return util::Status::InvalidArgument("need clients and servers");
+  }
+  if (params.zipf_theta <= 0.0 || params.client_zipf_theta <= 0.0) {
+    return util::Status::InvalidArgument("Zipf exponents must be > 0");
+  }
+  if (params.request_rate <= 0.0) {
+    return util::Status::InvalidArgument("request_rate must be > 0");
+  }
+  if (params.min_object_size == 0 ||
+      params.min_object_size > params.max_object_size) {
+    return util::Status::InvalidArgument("bad object size bounds");
+  }
+  if (params.temporal_locality < 0.0 || params.temporal_locality > 1.0) {
+    return util::Status::InvalidArgument("temporal_locality must be in [0,1]");
+  }
+  if (params.temporal_locality > 0.0 &&
+      (params.temporal_window == 0 || params.temporal_mean_depth < 1.0)) {
+    return util::Status::InvalidArgument("bad temporal locality parameters");
+  }
+  if (params.churn_swaps_per_hour < 0.0) {
+    return util::Status::InvalidArgument("churn_swaps_per_hour must be >= 0");
+  }
+
+  util::Rng rng(params.seed);
+  Workload workload;
+
+  // Objects: id == popularity rank; size and origin server independent of
+  // rank (no popularity-size correlation, consistent with measurement
+  // studies).
+  for (uint32_t i = 0; i < params.num_objects; ++i) {
+    const uint64_t size = SampleObjectSize(params, &rng);
+    const ServerId server =
+        static_cast<ServerId>(rng.NextUint64(params.num_servers));
+    workload.catalog.Add(size, server);
+  }
+
+  const util::ZipfDistribution object_pop(params.num_objects,
+                                          params.zipf_theta);
+  const util::ZipfDistribution client_pop(params.num_clients,
+                                          params.client_zipf_theta);
+
+  // Client ranks are shuffled into ids so that "hot" clients are spread
+  // over the id space (and hence over network attach points).
+  std::vector<ClientId> client_of_rank(params.num_clients);
+  for (uint32_t i = 0; i < params.num_clients; ++i) client_of_rank[i] = i;
+  rng.Shuffle(&client_of_rank);
+
+  // Popularity churn: rank r maps to object rank_to_object[r]; swap
+  // events exchange two entries at Poisson times.
+  const bool churning = params.churn_swaps_per_hour > 0.0;
+  std::vector<ObjectId> rank_to_object;
+  double next_churn = std::numeric_limits<double>::infinity();
+  const double churn_rate = params.churn_swaps_per_hour / 3600.0;
+  if (churning) {
+    rank_to_object.resize(params.num_objects);
+    for (uint32_t i = 0; i < params.num_objects; ++i) rank_to_object[i] = i;
+    next_churn = rng.NextExponential(churn_rate);
+  }
+
+  // Temporal locality: ring buffer of the most recent object ids.
+  const bool temporal = params.temporal_locality > 0.0;
+  std::vector<ObjectId> recent;
+  size_t recent_head = 0;
+  const double recency_p =
+      temporal ? 1.0 / params.temporal_mean_depth : 0.0;
+
+  workload.requests.reserve(params.num_requests);
+  double now = 0.0;
+  for (uint64_t r = 0; r < params.num_requests; ++r) {
+    now += rng.NextExponential(params.request_rate);
+    while (churning && next_churn <= now) {
+      const uint32_t a =
+          static_cast<uint32_t>(rng.NextUint64(params.num_objects));
+      const uint32_t b =
+          static_cast<uint32_t>(rng.NextUint64(params.num_objects));
+      std::swap(rank_to_object[a], rank_to_object[b]);
+      next_churn += rng.NextExponential(churn_rate);
+    }
+
+    Request req;
+    req.time = now;
+    req.client = client_of_rank[client_pop.Sample(&rng)];
+
+    bool picked = false;
+    if (temporal && !recent.empty() && rng.NextBool(params.temporal_locality)) {
+      // Geometric stack depth, clamped to the filled window.
+      uint64_t depth = 0;
+      while (depth + 1 < recent.size() && !rng.NextBool(recency_p)) ++depth;
+      const size_t idx =
+          (recent_head + recent.size() - 1 - static_cast<size_t>(depth)) %
+          recent.size();
+      req.object = recent[idx];
+      picked = true;
+    }
+    if (!picked) {
+      const size_t rank = object_pop.Sample(&rng);
+      req.object = churning ? rank_to_object[rank]
+                            : static_cast<ObjectId>(rank);
+    }
+
+    if (temporal) {
+      if (recent.size() < params.temporal_window) {
+        recent.push_back(req.object);
+        recent_head = 0;  // Head only matters once the ring is full.
+      } else {
+        recent[recent_head] = req.object;
+        recent_head = (recent_head + 1) % recent.size();
+      }
+    }
+    workload.requests.push_back(req);
+  }
+  return workload;
+}
+
+std::vector<uint64_t> CountAccesses(const Workload& workload) {
+  std::vector<uint64_t> counts(workload.catalog.num_objects(), 0);
+  for (const Request& req : workload.requests) {
+    CASCACHE_CHECK(req.object < counts.size());
+    ++counts[req.object];
+  }
+  return counts;
+}
+
+}  // namespace cascache::trace

@@ -1,0 +1,244 @@
+#include "trace/trace_io.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <cstring>
+#include <memory>
+
+#include "util/zipf.h"
+
+namespace cascache::trace {
+
+namespace {
+
+constexpr char kMagic[4] = {'C', 'C', 'T', 'R'};
+constexpr uint32_t kVersion = 1;
+
+struct FileCloser {
+  void operator()(std::FILE* f) const {
+    if (f != nullptr) std::fclose(f);
+  }
+};
+using FilePtr = std::unique_ptr<std::FILE, FileCloser>;
+
+template <typename T>
+bool WriteOne(std::FILE* f, const T& v) {
+  return std::fwrite(&v, sizeof(T), 1, f) == 1;
+}
+
+template <typename T>
+bool ReadOne(std::FILE* f, T* v) {
+  return std::fread(v, sizeof(T), 1, f) == 1;
+}
+
+}  // namespace
+
+util::Status WriteTrace(const Workload& workload, const std::string& path) {
+  FilePtr f(std::fopen(path.c_str(), "wb"));
+  if (f == nullptr) {
+    return util::Status::IoError("cannot open for write: " + path);
+  }
+  if (std::fwrite(kMagic, 1, 4, f.get()) != 4) {
+    return util::Status::IoError("short write: " + path);
+  }
+  const uint32_t num_objects = workload.catalog.num_objects();
+  const uint32_t num_servers = workload.catalog.num_servers();
+  const uint64_t num_requests = workload.requests.size();
+  if (!WriteOne(f.get(), kVersion) || !WriteOne(f.get(), num_objects) ||
+      !WriteOne(f.get(), num_servers) || !WriteOne(f.get(), num_requests)) {
+    return util::Status::IoError("short write: " + path);
+  }
+  for (ObjectId id = 0; id < num_objects; ++id) {
+    const uint64_t size = workload.catalog.size(id);
+    const uint32_t server = workload.catalog.server(id);
+    if (!WriteOne(f.get(), size) || !WriteOne(f.get(), server)) {
+      return util::Status::IoError("short write: " + path);
+    }
+  }
+  for (const Request& req : workload.requests) {
+    if (!WriteOne(f.get(), req.time) || !WriteOne(f.get(), req.client) ||
+        !WriteOne(f.get(), req.object)) {
+      return util::Status::IoError("short write: " + path);
+    }
+  }
+  return util::Status::Ok();
+}
+
+util::StatusOr<Workload> ReadTrace(const std::string& path) {
+  FilePtr f(std::fopen(path.c_str(), "rb"));
+  if (f == nullptr) {
+    return util::Status::IoError("cannot open for read: " + path);
+  }
+  char magic[4];
+  if (std::fread(magic, 1, 4, f.get()) != 4 ||
+      std::memcmp(magic, kMagic, 4) != 0) {
+    return util::Status::IoError("bad magic in trace file: " + path);
+  }
+  uint32_t version = 0, num_objects = 0, num_servers = 0;
+  uint64_t num_requests = 0;
+  if (!ReadOne(f.get(), &version) || !ReadOne(f.get(), &num_objects) ||
+      !ReadOne(f.get(), &num_servers) || !ReadOne(f.get(), &num_requests)) {
+    return util::Status::IoError("truncated header: " + path);
+  }
+  if (version != kVersion) {
+    return util::Status::InvalidArgument("unsupported trace version");
+  }
+
+  Workload workload;
+  for (uint32_t i = 0; i < num_objects; ++i) {
+    uint64_t size = 0;
+    uint32_t server = 0;
+    if (!ReadOne(f.get(), &size) || !ReadOne(f.get(), &server)) {
+      return util::Status::IoError("truncated catalog: " + path);
+    }
+    if (size == 0) {
+      return util::Status::InvalidArgument("zero-size object in trace");
+    }
+    if (server >= num_servers) {
+      return util::Status::InvalidArgument("server id out of range");
+    }
+    workload.catalog.Add(size, server);
+  }
+
+  workload.requests.reserve(num_requests);
+  double prev_time = -1.0;
+  for (uint64_t r = 0; r < num_requests; ++r) {
+    Request req;
+    if (!ReadOne(f.get(), &req.time) || !ReadOne(f.get(), &req.client) ||
+        !ReadOne(f.get(), &req.object)) {
+      return util::Status::IoError("truncated request stream: " + path);
+    }
+    if (req.object >= num_objects) {
+      return util::Status::InvalidArgument("object id out of range");
+    }
+    if (req.time < prev_time) {
+      return util::Status::InvalidArgument(
+          "request timestamps not sorted in trace");
+    }
+    prev_time = req.time;
+    workload.requests.push_back(req);
+  }
+  return workload;
+}
+
+util::Status WriteTraceCsv(const Workload& workload,
+                           const std::string& path) {
+  FilePtr f(std::fopen(path.c_str(), "w"));
+  if (f == nullptr) {
+    return util::Status::IoError("cannot open for write: " + path);
+  }
+  std::fputs("time,client,object,size,server\n", f.get());
+  for (const Request& req : workload.requests) {
+    if (std::fprintf(f.get(), "%.6f,%u,%u,%llu,%u\n", req.time, req.client,
+                     req.object,
+                     static_cast<unsigned long long>(
+                         workload.catalog.size(req.object)),
+                     workload.catalog.server(req.object)) < 0) {
+      return util::Status::IoError("short write: " + path);
+    }
+  }
+  return util::Status::Ok();
+}
+
+TraceReader::~TraceReader() {
+  if (file_ != nullptr) std::fclose(file_);
+}
+
+util::StatusOr<std::unique_ptr<TraceReader>> TraceReader::Open(
+    const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (f == nullptr) {
+    return util::Status::IoError("cannot open for read: " + path);
+  }
+  std::unique_ptr<TraceReader> reader(new TraceReader());
+  reader->file_ = f;
+
+  char magic[4];
+  if (std::fread(magic, 1, 4, f) != 4 || std::memcmp(magic, kMagic, 4) != 0) {
+    return util::Status::IoError("bad magic in trace file: " + path);
+  }
+  uint32_t version = 0, num_objects = 0, num_servers = 0;
+  if (!ReadOne(f, &version) || !ReadOne(f, &num_objects) ||
+      !ReadOne(f, &num_servers) || !ReadOne(f, &reader->num_requests_)) {
+    return util::Status::IoError("truncated header: " + path);
+  }
+  if (version != kVersion) {
+    return util::Status::InvalidArgument("unsupported trace version");
+  }
+  for (uint32_t i = 0; i < num_objects; ++i) {
+    uint64_t size = 0;
+    uint32_t server = 0;
+    if (!ReadOne(f, &size) || !ReadOne(f, &server)) {
+      return util::Status::IoError("truncated catalog: " + path);
+    }
+    if (size == 0) {
+      return util::Status::InvalidArgument("zero-size object in trace");
+    }
+    if (server >= num_servers) {
+      return util::Status::InvalidArgument("server id out of range");
+    }
+    reader->catalog_.Add(size, server);
+  }
+  return reader;
+}
+
+util::StatusOr<bool> TraceReader::Next(Request* request) {
+  CASCACHE_CHECK(request != nullptr);
+  if (requests_read_ >= num_requests_) return false;
+  if (!ReadOne(file_, &request->time) || !ReadOne(file_, &request->client) ||
+      !ReadOne(file_, &request->object)) {
+    return util::Status::IoError("truncated request stream");
+  }
+  if (request->object >= catalog_.num_objects()) {
+    return util::Status::InvalidArgument("object id out of range");
+  }
+  if (request->time < prev_time_) {
+    return util::Status::InvalidArgument(
+        "request timestamps not sorted in trace");
+  }
+  prev_time_ = request->time;
+  ++requests_read_;
+  return true;
+}
+
+TraceStats ComputeTraceStats(const Workload& workload) {
+  TraceStats stats;
+  stats.num_requests = workload.requests.size();
+  stats.num_objects = workload.catalog.num_objects();
+  stats.duration_seconds = workload.Duration();
+  stats.mean_object_size = workload.catalog.mean_size();
+
+  std::vector<uint64_t> counts = CountAccesses(workload);
+  std::vector<bool> client_seen;
+  for (const Request& req : workload.requests) {
+    stats.total_bytes_requested += workload.catalog.size(req.object);
+    if (req.client >= client_seen.size()) {
+      client_seen.resize(req.client + 1, false);
+    }
+    client_seen[req.client] = true;
+  }
+  stats.num_clients_active = static_cast<uint32_t>(
+      std::count(client_seen.begin(), client_seen.end(), true));
+
+  std::vector<double> sorted_counts;
+  sorted_counts.reserve(counts.size());
+  for (uint64_t c : counts) {
+    if (c > 0) {
+      ++stats.num_objects_referenced;
+      sorted_counts.push_back(static_cast<double>(c));
+    }
+  }
+  std::sort(sorted_counts.rbegin(), sorted_counts.rend());
+  stats.estimated_zipf_theta = util::EstimateZipfTheta(sorted_counts);
+
+  if (!sorted_counts.empty() && stats.num_requests > 0) {
+    const size_t top = std::max<size_t>(1, sorted_counts.size() / 10);
+    double top_sum = 0.0;
+    for (size_t i = 0; i < top; ++i) top_sum += sorted_counts[i];
+    stats.top10pct_request_share =
+        top_sum / static_cast<double>(stats.num_requests);
+  }
+  return stats;
+}
+
+}  // namespace cascache::trace

@@ -1,0 +1,80 @@
+#ifndef CASCACHE_TRACE_TRACE_IO_H_
+#define CASCACHE_TRACE_TRACE_IO_H_
+
+#include <cstdio>
+#include <memory>
+#include <string>
+
+#include "trace/synthetic.h"
+#include "util/status.h"
+
+namespace cascache::trace {
+
+/// Binary trace file IO. Layout (little-endian):
+///   magic "CCTR" | uint32 version | uint32 num_objects |
+///   uint32 num_servers | uint64 num_requests |
+///   per object: uint64 size, uint32 server |
+///   per request: double time, uint32 client, uint32 object
+/// The format exists so users can substitute a real proxy trace (e.g. a
+/// Boeing-style log converted offline) for the synthetic workload.
+util::Status WriteTrace(const Workload& workload, const std::string& path);
+
+/// Reads a trace written by WriteTrace. Validates magic, version, bounds
+/// of every record (object/client ids, monotonically non-decreasing
+/// timestamps) and truncation.
+util::StatusOr<Workload> ReadTrace(const std::string& path);
+
+/// Writes the request stream as CSV ("time,client,object,size,server")
+/// for external analysis; the catalog is embedded per-row.
+util::Status WriteTraceCsv(const Workload& workload, const std::string& path);
+
+/// Streaming reader for WriteTrace files: loads the catalog eagerly (it
+/// is small) and yields requests one at a time, so multi-gigabyte traces
+/// replay in constant memory. Performs the same validation as ReadTrace.
+class TraceReader {
+ public:
+  static util::StatusOr<std::unique_ptr<TraceReader>> Open(
+      const std::string& path);
+
+  TraceReader(const TraceReader&) = delete;
+  TraceReader& operator=(const TraceReader&) = delete;
+  ~TraceReader();
+
+  const ObjectCatalog& catalog() const { return catalog_; }
+  uint64_t num_requests() const { return num_requests_; }
+  uint64_t requests_read() const { return requests_read_; }
+
+  /// Reads the next request into `request`. Returns true on success,
+  /// false at end of stream, or an error Status on corruption.
+  util::StatusOr<bool> Next(Request* request);
+
+ private:
+  TraceReader() = default;
+
+  std::FILE* file_ = nullptr;
+  ObjectCatalog catalog_;
+  uint64_t num_requests_ = 0;
+  uint64_t requests_read_ = 0;
+  double prev_time_ = -1.0;
+};
+
+/// Summary statistics of a workload, for trace inspection tools.
+struct TraceStats {
+  uint64_t num_requests = 0;
+  uint32_t num_objects = 0;
+  uint32_t num_objects_referenced = 0;
+  uint32_t num_clients_active = 0;
+  double duration_seconds = 0.0;
+  uint64_t total_bytes_requested = 0;
+  double mean_object_size = 0.0;
+  /// Least-squares Zipf exponent of the observed access counts.
+  double estimated_zipf_theta = 0.0;
+  /// Fraction of requests going to the top 10% most-referenced objects.
+  double top10pct_request_share = 0.0;
+};
+
+TraceStats ComputeTraceStats(const Workload& workload);
+
+}  // namespace cascache::trace
+
+#endif  // CASCACHE_TRACE_TRACE_IO_H_

@@ -1,0 +1,48 @@
+#ifndef CASCACHE_UTIL_CHECK_H_
+#define CASCACHE_UTIL_CHECK_H_
+
+#include <cstdio>
+#include <cstdlib>
+
+/// Invariant-checking macros. The library does not use exceptions; violated
+/// invariants are programming errors and abort the process with a message
+/// identifying the failing expression and location.
+
+#define CASCACHE_CHECK(cond)                                              \
+  do {                                                                    \
+    if (!(cond)) {                                                        \
+      std::fprintf(stderr, "CHECK failed: %s at %s:%d\n", #cond,          \
+                   __FILE__, __LINE__);                                   \
+      std::abort();                                                       \
+    }                                                                     \
+  } while (0)
+
+#define CASCACHE_CHECK_MSG(cond, msg)                                     \
+  do {                                                                    \
+    if (!(cond)) {                                                        \
+      std::fprintf(stderr, "CHECK failed: %s (%s) at %s:%d\n", #cond,     \
+                   msg, __FILE__, __LINE__);                              \
+      std::abort();                                                       \
+    }                                                                     \
+  } while (0)
+
+/// Aborts if `status_expr` is not OK. Usable on Status values.
+#define CASCACHE_CHECK_OK(status_expr)                                    \
+  do {                                                                    \
+    const auto& _st = (status_expr);                                      \
+    if (!_st.ok()) {                                                      \
+      std::fprintf(stderr, "CHECK_OK failed: %s at %s:%d\n",              \
+                   _st.ToString().c_str(), __FILE__, __LINE__);           \
+      std::abort();                                                       \
+    }                                                                     \
+  } while (0)
+
+#ifndef NDEBUG
+#define CASCACHE_DCHECK(cond) CASCACHE_CHECK(cond)
+#else
+#define CASCACHE_DCHECK(cond) \
+  do {                        \
+  } while (0)
+#endif
+
+#endif  // CASCACHE_UTIL_CHECK_H_

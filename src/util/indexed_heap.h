@@ -1,0 +1,166 @@
+#ifndef CASCACHE_UTIL_INDEXED_HEAP_H_
+#define CASCACHE_UTIL_INDEXED_HEAP_H_
+
+#include <cstddef>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "util/check.h"
+
+namespace cascache::util {
+
+/// Binary min-heap over (key, priority) pairs with O(log n) priority update
+/// and erase by key. This backs the NCL-ordered cache store (descriptors
+/// keyed by normalized cost loss, §2.4 of the paper: "descriptors of cached
+/// objects can be organized as a heap based on their normalized cost
+/// losses") and the LFU d-cache.
+///
+/// Keys must be unique and hashable. Priorities are doubles; ties are
+/// broken arbitrarily.
+template <typename Key, typename Hash = std::hash<Key>>
+class IndexedMinHeap {
+ public:
+  bool empty() const { return entries_.empty(); }
+  size_t size() const { return entries_.size(); }
+
+  bool Contains(const Key& key) const { return pos_.count(key) > 0; }
+
+  /// Priority of an existing key. The key must be present.
+  double PriorityOf(const Key& key) const {
+    auto it = pos_.find(key);
+    CASCACHE_CHECK(it != pos_.end());
+    return entries_[it->second].second;
+  }
+
+  /// Inserts a new key. The key must not already be present.
+  void Push(const Key& key, double priority) {
+    CASCACHE_CHECK_MSG(!Contains(key), "duplicate key in IndexedMinHeap");
+    entries_.emplace_back(key, priority);
+    pos_[key] = entries_.size() - 1;
+    SiftUp(entries_.size() - 1);
+  }
+
+  /// The minimum-priority entry. Heap must be non-empty.
+  const std::pair<Key, double>& Top() const {
+    CASCACHE_CHECK(!entries_.empty());
+    return entries_[0];
+  }
+
+  /// Removes and returns the minimum-priority entry.
+  std::pair<Key, double> Pop() {
+    CASCACHE_CHECK(!entries_.empty());
+    std::pair<Key, double> top = entries_[0];
+    RemoveAt(0);
+    return top;
+  }
+
+  /// Changes the priority of an existing key.
+  void Update(const Key& key, double priority) {
+    auto it = pos_.find(key);
+    CASCACHE_CHECK(it != pos_.end());
+    const size_t i = it->second;
+    const double old = entries_[i].second;
+    entries_[i].second = priority;
+    if (priority < old) {
+      SiftUp(i);
+    } else if (priority > old) {
+      SiftDown(i);
+    }
+  }
+
+  /// Inserts the key or updates its priority if already present.
+  void Upsert(const Key& key, double priority) {
+    if (Contains(key)) {
+      Update(key, priority);
+    } else {
+      Push(key, priority);
+    }
+  }
+
+  /// Removes a key; returns false if it was not present.
+  bool Erase(const Key& key) {
+    auto it = pos_.find(key);
+    if (it == pos_.end()) return false;
+    RemoveAt(it->second);
+    return true;
+  }
+
+  void Clear() {
+    entries_.clear();
+    pos_.clear();
+  }
+
+  /// Unordered view of all entries (heap order, not priority order).
+  const std::vector<std::pair<Key, double>>& entries() const {
+    return entries_;
+  }
+
+  /// Verifies the heap property and index map; used by tests.
+  bool CheckInvariants() const {
+    if (pos_.size() != entries_.size()) return false;
+    for (size_t i = 0; i < entries_.size(); ++i) {
+      auto it = pos_.find(entries_[i].first);
+      if (it == pos_.end() || it->second != i) return false;
+      const size_t l = 2 * i + 1, r = 2 * i + 2;
+      if (l < entries_.size() && entries_[l].second < entries_[i].second)
+        return false;
+      if (r < entries_.size() && entries_[r].second < entries_[i].second)
+        return false;
+    }
+    return true;
+  }
+
+ private:
+  void SiftUp(size_t i) {
+    while (i > 0) {
+      const size_t parent = (i - 1) / 2;
+      if (entries_[parent].second <= entries_[i].second) break;
+      SwapEntries(i, parent);
+      i = parent;
+    }
+  }
+
+  void SiftDown(size_t i) {
+    const size_t n = entries_.size();
+    for (;;) {
+      const size_t l = 2 * i + 1, r = 2 * i + 2;
+      size_t smallest = i;
+      if (l < n && entries_[l].second < entries_[smallest].second)
+        smallest = l;
+      if (r < n && entries_[r].second < entries_[smallest].second)
+        smallest = r;
+      if (smallest == i) break;
+      SwapEntries(i, smallest);
+      i = smallest;
+    }
+  }
+
+  void SwapEntries(size_t a, size_t b) {
+    std::swap(entries_[a], entries_[b]);
+    pos_[entries_[a].first] = a;
+    pos_[entries_[b].first] = b;
+  }
+
+  void RemoveAt(size_t i) {
+    const size_t last = entries_.size() - 1;
+    pos_.erase(entries_[i].first);
+    if (i != last) {
+      entries_[i] = entries_[last];
+      pos_[entries_[i].first] = i;
+      entries_.pop_back();
+      // The moved element may need to go either direction.
+      SiftDown(i);
+      SiftUp(i);
+    } else {
+      entries_.pop_back();
+    }
+  }
+
+  std::vector<std::pair<Key, double>> entries_;
+  std::unordered_map<Key, size_t, Hash> pos_;
+};
+
+}  // namespace cascache::util
+
+#endif  // CASCACHE_UTIL_INDEXED_HEAP_H_

@@ -1,0 +1,106 @@
+#include "util/stats.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+
+#include "util/check.h"
+
+namespace cascache::util {
+
+void RunningStat::Add(double x) {
+  ++count_;
+  sum_ += x;
+  const double delta = x - mean_;
+  mean_ += delta / static_cast<double>(count_);
+  m2_ += delta * (x - mean_);
+  min_ = std::min(min_, x);
+  max_ = std::max(max_, x);
+}
+
+void RunningStat::Merge(const RunningStat& other) {
+  if (other.count_ == 0) return;
+  if (count_ == 0) {
+    *this = other;
+    return;
+  }
+  const double delta = other.mean_ - mean_;
+  const uint64_t n = count_ + other.count_;
+  m2_ += other.m2_ + delta * delta * static_cast<double>(count_) *
+                         static_cast<double>(other.count_) /
+                         static_cast<double>(n);
+  mean_ += delta * static_cast<double>(other.count_) / static_cast<double>(n);
+  sum_ += other.sum_;
+  count_ = n;
+  min_ = std::min(min_, other.min_);
+  max_ = std::max(max_, other.max_);
+}
+
+double RunningStat::variance() const {
+  if (count_ < 2) return 0.0;
+  return m2_ / static_cast<double>(count_ - 1);
+}
+
+double RunningStat::stddev() const { return std::sqrt(variance()); }
+
+Histogram::Histogram(double min_value, double growth, size_t num_buckets)
+    : min_value_(min_value),
+      log_growth_(std::log(growth)),
+      buckets_(num_buckets, 0) {
+  CASCACHE_CHECK(min_value > 0.0);
+  CASCACHE_CHECK(growth > 1.0);
+  CASCACHE_CHECK(num_buckets >= 2);
+}
+
+size_t Histogram::BucketFor(double x) const {
+  if (x <= min_value_) return 0;
+  const double b = std::log(x / min_value_) / log_growth_;
+  const size_t idx = static_cast<size_t>(b) + 1;
+  return std::min(idx, buckets_.size() - 1);
+}
+
+double Histogram::BucketValue(size_t b) const {
+  if (b == 0) return min_value_;
+  // Geometric midpoint of the bucket's range.
+  return min_value_ * std::exp((static_cast<double>(b) - 0.5) * log_growth_);
+}
+
+void Histogram::Add(double x) {
+  CASCACHE_DCHECK(x >= 0.0);
+  ++buckets_[BucketFor(x)];
+  ++count_;
+  sum_ += x;
+}
+
+void Histogram::Merge(const Histogram& other) {
+  CASCACHE_CHECK(buckets_.size() == other.buckets_.size());
+  CASCACHE_CHECK(min_value_ == other.min_value_);
+  CASCACHE_CHECK(log_growth_ == other.log_growth_);
+  for (size_t i = 0; i < buckets_.size(); ++i) buckets_[i] += other.buckets_[i];
+  count_ += other.count_;
+  sum_ += other.sum_;
+}
+
+double Histogram::Quantile(double q) const {
+  if (count_ == 0) return 0.0;
+  q = std::clamp(q, 0.0, 1.0);
+  const uint64_t target =
+      static_cast<uint64_t>(q * static_cast<double>(count_ - 1));
+  uint64_t seen = 0;
+  for (size_t b = 0; b < buckets_.size(); ++b) {
+    seen += buckets_[b];
+    if (seen > target) return BucketValue(b);
+  }
+  return BucketValue(buckets_.size() - 1);
+}
+
+std::string Histogram::Summary() const {
+  char buf[160];
+  std::snprintf(buf, sizeof(buf),
+                "count=%llu mean=%.6g p50=%.6g p95=%.6g p99=%.6g",
+                static_cast<unsigned long long>(count_), mean(),
+                Quantile(0.50), Quantile(0.95), Quantile(0.99));
+  return buf;
+}
+
+}  // namespace cascache::util

@@ -1,0 +1,78 @@
+#ifndef CASCACHE_UTIL_STATS_H_
+#define CASCACHE_UTIL_STATS_H_
+
+#include <cstdint>
+#include <limits>
+#include <string>
+#include <vector>
+
+namespace cascache::util {
+
+/// Streaming univariate statistics (Welford's algorithm): mean, variance,
+/// min, max, count and sum in O(1) memory.
+class RunningStat {
+ public:
+  void Add(double x);
+
+  /// Merges another accumulator into this one (parallel-combine form of
+  /// Welford's update).
+  void Merge(const RunningStat& other);
+
+  void Reset() { *this = RunningStat(); }
+
+  uint64_t count() const { return count_; }
+  double sum() const { return sum_; }
+  double mean() const { return count_ == 0 ? 0.0 : mean_; }
+  /// Sample variance (n-1 denominator); 0 for fewer than two samples.
+  double variance() const;
+  double stddev() const;
+  double min() const { return count_ == 0 ? 0.0 : min_; }
+  double max() const { return count_ == 0 ? 0.0 : max_; }
+
+ private:
+  uint64_t count_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double sum_ = 0.0;
+  double min_ = std::numeric_limits<double>::infinity();
+  double max_ = -std::numeric_limits<double>::infinity();
+};
+
+/// Fixed-resolution log-bucketed histogram for non-negative values,
+/// supporting approximate quantiles. Buckets grow geometrically so relative
+/// error is bounded by the growth factor; suitable for latency-like
+/// metrics spanning several orders of magnitude.
+class Histogram {
+ public:
+  /// `min_value` is the upper bound of the first bucket; values below it
+  /// land in bucket 0. `growth` must be > 1.
+  explicit Histogram(double min_value = 1e-6, double growth = 1.05,
+                     size_t num_buckets = 512);
+
+  void Add(double x);
+  void Merge(const Histogram& other);
+
+  uint64_t count() const { return count_; }
+  double mean() const { return count_ == 0 ? 0.0 : sum_ / count_; }
+
+  /// Approximate quantile (q in [0,1]); returns a bucket-representative
+  /// value. Returns 0 for an empty histogram.
+  double Quantile(double q) const;
+
+  /// One-line summary: count / mean / p50 / p95 / p99 / max-bucket.
+  std::string Summary() const;
+
+ private:
+  size_t BucketFor(double x) const;
+  double BucketValue(size_t b) const;
+
+  double min_value_;
+  double log_growth_;
+  std::vector<uint64_t> buckets_;
+  uint64_t count_ = 0;
+  double sum_ = 0.0;
+};
+
+}  // namespace cascache::util
+
+#endif  // CASCACHE_UTIL_STATS_H_

@@ -1,0 +1,140 @@
+#ifndef CASCACHE_UTIL_STATUS_H_
+#define CASCACHE_UTIL_STATUS_H_
+
+#include <optional>
+#include <ostream>
+#include <string>
+#include <utility>
+
+#include "util/check.h"
+
+namespace cascache::util {
+
+/// Coarse error categories, modeled after the common database-library
+/// convention (RocksDB/Arrow style): a small closed enum plus a free-form
+/// message.
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument,
+  kNotFound,
+  kAlreadyExists,
+  kOutOfRange,
+  kFailedPrecondition,
+  kIoError,
+  kInternal,
+};
+
+/// Returns a stable human-readable name for `code` (e.g. "InvalidArgument").
+const char* StatusCodeToString(StatusCode code);
+
+/// Value-semantic error indicator used throughout the library instead of
+/// exceptions. A default-constructed Status is OK. Statuses are cheap to
+/// copy in the OK case (empty message string).
+class Status {
+ public:
+  Status() : code_(StatusCode::kOk) {}
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  static Status Ok() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status AlreadyExists(std::string msg) {
+    return Status(StatusCode::kAlreadyExists, std::move(msg));
+  }
+  static Status OutOfRange(std::string msg) {
+    return Status(StatusCode::kOutOfRange, std::move(msg));
+  }
+  static Status FailedPrecondition(std::string msg) {
+    return Status(StatusCode::kFailedPrecondition, std::move(msg));
+  }
+  static Status IoError(std::string msg) {
+    return Status(StatusCode::kIoError, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  /// Renders "OK" or "<Code>: <message>".
+  std::string ToString() const;
+
+  friend bool operator==(const Status& a, const Status& b) {
+    return a.code_ == b.code_ && a.message_ == b.message_;
+  }
+
+ private:
+  StatusCode code_;
+  std::string message_;
+};
+
+inline std::ostream& operator<<(std::ostream& os, const Status& s) {
+  return os << s.ToString();
+}
+
+/// Either a value of type T or an error Status. Dereferencing a non-OK
+/// StatusOr aborts the process (CHECK failure), matching the no-exceptions
+/// policy of this codebase.
+template <typename T>
+class StatusOr {
+ public:
+  /// Intentionally implicit so functions can `return value;` or
+  /// `return Status(...);` directly (matches absl::StatusOr usage).
+  StatusOr(T value) : status_(Status::Ok()), value_(std::move(value)) {}
+  StatusOr(Status status) : status_(std::move(status)) {
+    CASCACHE_CHECK(!status_.ok());  // OK without a value is meaningless.
+  }
+
+  bool ok() const { return status_.ok(); }
+  const Status& status() const { return status_; }
+
+  const T& value() const& {
+    CASCACHE_CHECK(ok());
+    return *value_;
+  }
+  T& value() & {
+    CASCACHE_CHECK(ok());
+    return *value_;
+  }
+  T&& value() && {
+    CASCACHE_CHECK(ok());
+    return *std::move(value_);
+  }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+ private:
+  Status status_;
+  std::optional<T> value_;
+};
+
+}  // namespace cascache::util
+
+/// Propagates a non-OK Status to the caller.
+#define CASCACHE_RETURN_IF_ERROR(expr)                  \
+  do {                                                  \
+    ::cascache::util::Status _st = (expr);              \
+    if (!_st.ok()) return _st;                          \
+  } while (0)
+
+/// Evaluates `rexpr` (a StatusOr), propagating errors, else binds the value.
+#define CASCACHE_ASSIGN_OR_RETURN(lhs, rexpr)           \
+  auto CASCACHE_CONCAT_(_sor_, __LINE__) = (rexpr);     \
+  if (!CASCACHE_CONCAT_(_sor_, __LINE__).ok())          \
+    return CASCACHE_CONCAT_(_sor_, __LINE__).status();  \
+  lhs = std::move(CASCACHE_CONCAT_(_sor_, __LINE__)).value()
+
+#define CASCACHE_CONCAT_INNER_(a, b) a##b
+#define CASCACHE_CONCAT_(a, b) CASCACHE_CONCAT_INNER_(a, b)
+
+#endif  // CASCACHE_UTIL_STATUS_H_

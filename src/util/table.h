@@ -1,0 +1,34 @@
+#ifndef CASCACHE_UTIL_TABLE_H_
+#define CASCACHE_UTIL_TABLE_H_
+
+#include <string>
+#include <vector>
+
+namespace cascache::util {
+
+/// Plain-text table formatter used by the benchmark harnesses to print
+/// paper-style result tables (one column per scheme / metric, one row per
+/// cache size). Cells are right-aligned; the first column is left-aligned.
+class TablePrinter {
+ public:
+  explicit TablePrinter(std::vector<std::string> header);
+
+  void AddRow(std::vector<std::string> row);
+
+  /// Convenience: formats doubles with the given precision.
+  static std::string Fmt(double v, int precision = 4);
+
+  /// Renders the full table with a separator under the header.
+  std::string ToString() const;
+
+  /// Prints to stdout.
+  void Print() const;
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace cascache::util
+
+#endif  // CASCACHE_UTIL_TABLE_H_

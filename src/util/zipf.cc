@@ -1,0 +1,47 @@
+#include "util/zipf.h"
+
+#include <cmath>
+
+#include "util/check.h"
+
+namespace cascache::util {
+
+std::vector<double> ZipfDistribution::Weights(size_t n, double theta) {
+  CASCACHE_CHECK(n >= 1);
+  CASCACHE_CHECK(theta > 0.0);
+  std::vector<double> w(n);
+  for (size_t i = 0; i < n; ++i) {
+    w[i] = 1.0 / std::pow(static_cast<double>(i + 1), theta);
+  }
+  return w;
+}
+
+ZipfDistribution::ZipfDistribution(size_t n, double theta)
+    : theta_(theta), pmf_(Weights(n, theta)), sampler_(pmf_) {
+  double total = 0.0;
+  for (double w : pmf_) total += w;
+  for (double& w : pmf_) w /= total;
+}
+
+double EstimateZipfTheta(const std::vector<double>& counts) {
+  // Simple linear regression of log(count_i) on log(i+1).
+  double sx = 0.0, sy = 0.0, sxx = 0.0, sxy = 0.0;
+  size_t m = 0;
+  for (size_t i = 0; i < counts.size(); ++i) {
+    if (counts[i] <= 0.0) continue;
+    const double x = std::log(static_cast<double>(i + 1));
+    const double y = std::log(counts[i]);
+    sx += x;
+    sy += y;
+    sxx += x * x;
+    sxy += x * y;
+    ++m;
+  }
+  if (m < 2) return 0.0;
+  const double denom = m * sxx - sx * sx;
+  if (denom == 0.0) return 0.0;
+  const double slope = (m * sxy - sx * sy) / denom;
+  return -slope;
+}
+
+}  // namespace cascache::util

@@ -1,0 +1,49 @@
+#ifndef CASCACHE_UTIL_ZIPF_H_
+#define CASCACHE_UTIL_ZIPF_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "util/random.h"
+
+namespace cascache::util {
+
+/// Zipf-like popularity distribution over ranks 1..n: the probability of
+/// rank i is proportional to 1/i^theta. Web object popularity follows this
+/// law (Breslau et al., INFOCOM'99), which the reproduced paper relies on
+/// when arguing its subtrace extraction is unbiased.
+///
+/// Sampling uses the alias method: O(n) setup, O(1) per draw.
+class ZipfDistribution {
+ public:
+  /// `n` must be >= 1, `theta` > 0.
+  ZipfDistribution(size_t n, double theta);
+
+  /// Draws a rank in [0, n) (0 = most popular).
+  size_t Sample(Rng* rng) const { return sampler_.Sample(rng); }
+
+  /// Probability mass of rank i (0-based).
+  double pmf(size_t i) const { return pmf_[i]; }
+
+  size_t n() const { return pmf_.size(); }
+  double theta() const { return theta_; }
+
+  /// Raw (unnormalized) weight vector 1/i^theta for ranks 1..n.
+  static std::vector<double> Weights(size_t n, double theta);
+
+ private:
+  double theta_;
+  std::vector<double> pmf_;
+  DiscreteSampler sampler_;
+};
+
+/// Least-squares estimate of the Zipf exponent from observed access counts:
+/// fits log(count) ~ -theta * log(rank) + c over ranks with nonzero counts.
+/// Used by tests to verify generated workloads have the configured skew.
+/// `counts` must be sorted descending (rank order). Returns 0 if fewer than
+/// two nonzero ranks.
+double EstimateZipfTheta(const std::vector<double>& counts);
+
+}  // namespace cascache::util
+
+#endif  // CASCACHE_UTIL_ZIPF_H_

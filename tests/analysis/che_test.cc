@@ -1,0 +1,97 @@
+#include "analysis/che.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "util/zipf.h"
+
+namespace cascache::analysis {
+namespace {
+
+TEST(CheTest, EverythingFitsMeansAllHits) {
+  auto result = SolveChe({1.0, 2.0, 0.0}, {100, 100, 100}, 1000);
+  ASSERT_TRUE(result.ok());
+  EXPECT_TRUE(std::isinf(result->characteristic_time));
+  EXPECT_DOUBLE_EQ(result->hit_probability[0], 1.0);
+  EXPECT_DOUBLE_EQ(result->hit_probability[1], 1.0);
+  EXPECT_DOUBLE_EQ(result->hit_probability[2], 0.0);  // Never requested.
+  EXPECT_DOUBLE_EQ(result->hit_ratio, 1.0);
+  EXPECT_DOUBLE_EQ(result->byte_hit_ratio, 1.0);
+}
+
+TEST(CheTest, CapacityConstraintHolds) {
+  std::vector<double> rates;
+  std::vector<uint64_t> sizes;
+  for (int i = 0; i < 500; ++i) {
+    rates.push_back(1.0 / (1 + i));
+    sizes.push_back(1000);
+  }
+  auto result = SolveChe(rates, sizes, 100'000);  // 100 of 500 fit.
+  ASSERT_TRUE(result.ok());
+  EXPECT_NEAR(result->expected_bytes, 100'000.0, 1.0);
+  EXPECT_GT(result->characteristic_time, 0.0);
+}
+
+TEST(CheTest, HotterObjectsHitMore) {
+  auto result = SolveChe({10.0, 1.0, 0.1}, {100, 100, 100}, 150);
+  ASSERT_TRUE(result.ok());
+  EXPECT_GT(result->hit_probability[0], result->hit_probability[1]);
+  EXPECT_GT(result->hit_probability[1], result->hit_probability[2]);
+  EXPECT_GT(result->hit_ratio, result->hit_probability[2]);
+}
+
+TEST(CheTest, HitRatioMonotoneInCapacity) {
+  std::vector<double> rates = util::ZipfDistribution::Weights(200, 0.8);
+  std::vector<uint64_t> sizes(200, 1000);
+  double prev = 0.0;
+  for (uint64_t capacity : {5'000, 20'000, 80'000, 160'000}) {
+    auto result = SolveChe(rates, sizes, capacity);
+    ASSERT_TRUE(result.ok());
+    EXPECT_GT(result->hit_ratio, prev);
+    prev = result->hit_ratio;
+  }
+}
+
+TEST(CheTest, RateScaleInvariance) {
+  // Multiplying all rates by a constant rescales T but not hit ratios.
+  std::vector<double> rates = {5.0, 3.0, 1.0, 0.5};
+  std::vector<uint64_t> sizes = {100, 200, 300, 400};
+  auto a = SolveChe(rates, sizes, 450);
+  for (double& r : rates) r *= 37.0;
+  auto b = SolveChe(rates, sizes, 450);
+  ASSERT_TRUE(a.ok() && b.ok());
+  for (size_t i = 0; i < rates.size(); ++i) {
+    EXPECT_NEAR(a->hit_probability[i], b->hit_probability[i], 1e-6);
+  }
+  EXPECT_NEAR(a->byte_hit_ratio, b->byte_hit_ratio, 1e-6);
+}
+
+TEST(CheTest, NoTrafficGivesZeros) {
+  auto result = SolveChe({0.0, 0.0}, {10, 10}, 5);
+  ASSERT_TRUE(result.ok());
+  EXPECT_DOUBLE_EQ(result->hit_ratio, 0.0);
+  EXPECT_DOUBLE_EQ(result->byte_hit_ratio, 0.0);
+}
+
+TEST(CheTest, RejectsBadInput) {
+  EXPECT_FALSE(SolveChe({1.0}, {10, 20}, 5).ok());
+  EXPECT_FALSE(SolveChe({1.0}, {10}, 0).ok());
+  EXPECT_FALSE(SolveChe({-1.0}, {10}, 5).ok());
+  EXPECT_FALSE(SolveChe({1.0}, {0}, 5).ok());
+}
+
+TEST(CheTest, ExpectedBytesMonotoneInT) {
+  std::vector<double> rates = {2.0, 1.0};
+  std::vector<uint64_t> sizes = {10, 20};
+  double prev = -1.0;
+  for (double t : {0.0, 0.1, 1.0, 10.0, 100.0}) {
+    const double bytes = ExpectedBytes(rates, sizes, t);
+    EXPECT_GT(bytes + 1e-12, prev);
+    prev = bytes;
+  }
+  EXPECT_NEAR(ExpectedBytes(rates, sizes, 1e9), 30.0, 1e-6);
+}
+
+}  // namespace
+}  // namespace cascache::analysis

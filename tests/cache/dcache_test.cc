@@ -1,0 +1,139 @@
+#include "cache/dcache.h"
+
+#include <gtest/gtest.h>
+
+namespace cascache::cache {
+namespace {
+
+ObjectDescriptor Desc(uint64_t size, double frequency) {
+  ObjectDescriptor desc;
+  desc.size = size;
+  desc.frequency = frequency;
+  desc.frequency_time = 0.0;
+  return desc;
+}
+
+TEST(DCacheTest, InsertAndFind) {
+  DCache dcache(4);
+  EXPECT_NE(dcache.Insert(1, Desc(100, 2.0)), nullptr);
+  ASSERT_TRUE(dcache.Contains(1));
+  const ObjectDescriptor* found = dcache.Find(1);
+  ASSERT_NE(found, nullptr);
+  EXPECT_EQ(found->size, 100u);
+  EXPECT_EQ(dcache.size(), 1u);
+  EXPECT_EQ(dcache.Find(2), nullptr);
+}
+
+TEST(DCacheTest, OverwriteKeepsSingleEntry) {
+  DCache dcache(4);
+  dcache.Insert(1, Desc(100, 2.0));
+  dcache.Insert(1, Desc(200, 3.0));
+  EXPECT_EQ(dcache.size(), 1u);
+  EXPECT_EQ(dcache.Find(1)->size, 200u);
+}
+
+TEST(DCacheTest, EvictsLowestFrequencyWhenFull) {
+  DCache dcache(3);
+  dcache.Insert(1, Desc(10, 5.0));
+  dcache.Insert(2, Desc(10, 1.0));  // Coldest.
+  dcache.Insert(3, Desc(10, 3.0));
+  EXPECT_NE(dcache.Insert(4, Desc(10, 4.0)), nullptr);
+  EXPECT_FALSE(dcache.Contains(2));
+  EXPECT_TRUE(dcache.Contains(1));
+  EXPECT_TRUE(dcache.Contains(3));
+  EXPECT_TRUE(dcache.Contains(4));
+}
+
+TEST(DCacheTest, AdmissionRejectsColderThanMinimum) {
+  DCache dcache(2);
+  dcache.Insert(1, Desc(10, 5.0));
+  dcache.Insert(2, Desc(10, 3.0));
+  // Frequency 1.0 < min(3.0): rejected, nothing evicted.
+  EXPECT_EQ(dcache.Insert(3, Desc(10, 1.0)), nullptr);
+  EXPECT_TRUE(dcache.Contains(1));
+  EXPECT_TRUE(dcache.Contains(2));
+  EXPECT_FALSE(dcache.Contains(3));
+}
+
+TEST(DCacheTest, RefreshChangesVictim) {
+  DCache dcache(2);
+  dcache.Insert(1, Desc(10, 5.0));
+  dcache.Insert(2, Desc(10, 3.0));
+  dcache.Refresh(1, Desc(10, 0.5));  // Object 1 becomes the coldest.
+  dcache.Insert(3, Desc(10, 4.0));
+  EXPECT_FALSE(dcache.Contains(1));
+  EXPECT_TRUE(dcache.Contains(2));
+  EXPECT_TRUE(dcache.Contains(3));
+  dcache.Refresh(99, Desc(10, 1.0));  // Unknown id: no-op.
+}
+
+ObjectDescriptor DescWithAccess(double time) {
+  ObjectDescriptor desc;
+  desc.size = 10;
+  desc.frequency = 1.0;
+  desc.RecordAccess(time);
+  return desc;
+}
+
+TEST(DCacheLruTest, EvictsLeastRecentlyAccessed) {
+  DCache dcache(2, DCachePolicy::kLru);
+  EXPECT_EQ(dcache.policy(), DCachePolicy::kLru);
+  dcache.Insert(1, DescWithAccess(5.0));
+  dcache.Insert(2, DescWithAccess(9.0));
+  // Newcomer accessed at t=12: always admitted under LRU, evicting the
+  // stalest descriptor (object 1) even though frequencies are equal.
+  EXPECT_NE(dcache.Insert(3, DescWithAccess(12.0)), nullptr);
+  EXPECT_FALSE(dcache.Contains(1));
+  EXPECT_TRUE(dcache.Contains(2));
+  EXPECT_TRUE(dcache.Contains(3));
+}
+
+TEST(DCacheLruTest, RefreshProtectsRecentlyUsed) {
+  DCache dcache(2, DCachePolicy::kLru);
+  dcache.Insert(1, DescWithAccess(5.0));
+  dcache.Insert(2, DescWithAccess(9.0));
+  ObjectDescriptor* first = dcache.Find(1);
+  first->RecordAccess(11.0);
+  dcache.Refresh(1, *first);  // Object 2 is now the stalest.
+  dcache.Insert(3, DescWithAccess(12.0));
+  EXPECT_TRUE(dcache.Contains(1));
+  EXPECT_FALSE(dcache.Contains(2));
+}
+
+TEST(DCacheTest, ZeroCapacityRejectsEverything) {
+  DCache dcache(0);
+  EXPECT_EQ(dcache.Insert(1, Desc(10, 5.0)), nullptr);
+  EXPECT_EQ(dcache.size(), 0u);
+}
+
+TEST(DCacheTest, EraseAndClear) {
+  DCache dcache(4);
+  dcache.Insert(1, Desc(10, 1.0));
+  dcache.Insert(2, Desc(10, 2.0));
+  EXPECT_TRUE(dcache.Erase(1));
+  EXPECT_FALSE(dcache.Erase(1));
+  EXPECT_EQ(dcache.size(), 1u);
+  dcache.Clear();
+  EXPECT_EQ(dcache.size(), 0u);
+  EXPECT_FALSE(dcache.Contains(2));
+}
+
+TEST(DCacheTest, FindReturnsMutableDescriptor) {
+  DCache dcache(4);
+  dcache.Insert(1, Desc(10, 1.0));
+  dcache.Find(1)->miss_penalty = 9.0;
+  EXPECT_DOUBLE_EQ(dcache.Find(1)->miss_penalty, 9.0);
+}
+
+TEST(DCacheTest, CapacityNeverExceeded) {
+  DCache dcache(5);
+  for (ObjectId id = 0; id < 50; ++id) {
+    dcache.Insert(id, Desc(10, static_cast<double>(id)));
+    EXPECT_LE(dcache.size(), 5u);
+  }
+  // The five hottest descriptors survive.
+  for (ObjectId id = 45; id < 50; ++id) EXPECT_TRUE(dcache.Contains(id));
+}
+
+}  // namespace
+}  // namespace cascache::cache

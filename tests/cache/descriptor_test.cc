@@ -1,0 +1,50 @@
+#include "cache/descriptor.h"
+
+#include <gtest/gtest.h>
+
+namespace cascache::cache {
+namespace {
+
+TEST(DescriptorTest, FreshDescriptorHasNoHistory) {
+  ObjectDescriptor desc;
+  EXPECT_EQ(desc.num_accesses, 0);
+  EXPECT_EQ(desc.miss_penalty, 0.0);
+  EXPECT_EQ(desc.frequency, 0.0);
+}
+
+TEST(DescriptorTest, RecordAccessGrowsWindow) {
+  ObjectDescriptor desc;
+  desc.RecordAccess(1.0);
+  EXPECT_EQ(desc.num_accesses, 1);
+  EXPECT_DOUBLE_EQ(desc.KthMostRecentAccess(1), 1.0);
+  desc.RecordAccess(2.0);
+  desc.RecordAccess(3.0);
+  EXPECT_EQ(desc.num_accesses, 3);
+  EXPECT_DOUBLE_EQ(desc.KthMostRecentAccess(1), 3.0);
+  EXPECT_DOUBLE_EQ(desc.KthMostRecentAccess(2), 2.0);
+  EXPECT_DOUBLE_EQ(desc.KthMostRecentAccess(3), 1.0);
+  EXPECT_DOUBLE_EQ(desc.OldestAccess(), 1.0);
+}
+
+TEST(DescriptorTest, RingBufferWrapsAtCapacity) {
+  ObjectDescriptor desc;
+  for (int i = 1; i <= kMaxAccessWindow + 3; ++i) {
+    desc.RecordAccess(static_cast<double>(i));
+  }
+  EXPECT_EQ(desc.num_accesses, kMaxAccessWindow);
+  // Most recent is the last write; the oldest retained is (3+1).
+  EXPECT_DOUBLE_EQ(desc.KthMostRecentAccess(1),
+                   static_cast<double>(kMaxAccessWindow + 3));
+  EXPECT_DOUBLE_EQ(desc.OldestAccess(), 4.0);
+}
+
+TEST(DescriptorTest, KthAccessInReverseChronologicalOrder) {
+  ObjectDescriptor desc;
+  for (int i = 1; i <= 5; ++i) desc.RecordAccess(i * 10.0);
+  for (int k = 2; k <= 5; ++k) {
+    EXPECT_LT(desc.KthMostRecentAccess(k), desc.KthMostRecentAccess(k - 1));
+  }
+}
+
+}  // namespace
+}  // namespace cascache::cache

@@ -1,0 +1,116 @@
+#include "cache/frequency.h"
+
+#include <gtest/gtest.h>
+
+namespace cascache::cache {
+namespace {
+
+FrequencyEstimatorParams Params(int window = 3, double aging = 600.0,
+                                double min_span = 1.0) {
+  FrequencyEstimatorParams params;
+  params.window = window;
+  params.aging_interval = aging;
+  params.min_span = min_span;
+  return params;
+}
+
+TEST(FrequencyTest, NoAccessesMeansZero) {
+  FrequencyEstimator est(Params());
+  ObjectDescriptor desc;
+  EXPECT_EQ(est.Estimate(&desc, 100.0), 0.0);
+  EXPECT_EQ(est.Peek(desc, 100.0), 0.0);
+}
+
+TEST(FrequencyTest, SlidingWindowFormula) {
+  // f = K / (t - t_K) with K = 3 (paper §3.2). Short aging interval so
+  // Peek recomputes rather than returning the estimate cached at the last
+  // access.
+  FrequencyEstimator est(Params(3, /*aging=*/5.0));
+  ObjectDescriptor desc;
+  est.OnAccess(&desc, 10.0);
+  est.OnAccess(&desc, 20.0);
+  est.OnAccess(&desc, 30.0);
+  // At t=40: 3 accesses, t_3 = 10 -> f = 3/30.
+  EXPECT_DOUBLE_EQ(est.Peek(desc, 40.0), 3.0 / 30.0);
+}
+
+TEST(FrequencyTest, UsesAvailableAccessesWhenFewerThanK) {
+  FrequencyEstimator est(Params(3, /*aging=*/5.0));
+  ObjectDescriptor desc;
+  est.OnAccess(&desc, 10.0);
+  // 1 access, span = 40 - 10.
+  EXPECT_DOUBLE_EQ(est.Peek(desc, 40.0), 1.0 / 30.0);
+  est.OnAccess(&desc, 20.0);
+  EXPECT_DOUBLE_EQ(est.Peek(desc, 40.0), 2.0 / 30.0);
+}
+
+TEST(FrequencyTest, WindowDropsOldAccesses) {
+  FrequencyEstimator est(Params(/*window=*/2, /*aging=*/5.0));
+  ObjectDescriptor desc;
+  est.OnAccess(&desc, 0.0);
+  est.OnAccess(&desc, 90.0);
+  est.OnAccess(&desc, 100.0);
+  // Window 2: t_2 = 90 -> f = 2/(110-90).
+  EXPECT_DOUBLE_EQ(est.Peek(desc, 110.0), 2.0 / 20.0);
+}
+
+TEST(FrequencyTest, MinSpanFloorsDenominator) {
+  FrequencyEstimator est(Params(3, 600.0, /*min_span=*/1.0));
+  ObjectDescriptor desc;
+  est.OnAccess(&desc, 50.0);
+  // Evaluated exactly at the access time: span 0 -> floored to 1.
+  EXPECT_DOUBLE_EQ(est.Peek(desc, 50.0), 1.0);
+}
+
+TEST(FrequencyTest, OnAccessRefreshesCachedEstimate) {
+  FrequencyEstimator est(Params());
+  ObjectDescriptor desc;
+  est.OnAccess(&desc, 10.0);
+  EXPECT_DOUBLE_EQ(desc.frequency, 1.0);  // Span floored at the instant.
+  EXPECT_DOUBLE_EQ(desc.frequency_time, 10.0);
+}
+
+TEST(FrequencyTest, EstimateCachedUntilAgingInterval) {
+  FrequencyEstimator est(Params(3, /*aging=*/100.0));
+  ObjectDescriptor desc;
+  est.OnAccess(&desc, 0.0);
+  const double cached = est.Estimate(&desc, 50.0);  // Within interval.
+  EXPECT_DOUBLE_EQ(cached, desc.frequency);
+  EXPECT_DOUBLE_EQ(desc.frequency_time, 0.0);  // Not refreshed yet.
+  // Past the aging interval the estimate is recomputed (and decays).
+  const double aged = est.Estimate(&desc, 200.0);
+  EXPECT_DOUBLE_EQ(desc.frequency_time, 200.0);
+  EXPECT_LT(aged, cached);
+  EXPECT_DOUBLE_EQ(aged, 1.0 / 200.0);
+}
+
+TEST(FrequencyTest, AgingDecaysIdleObjects) {
+  FrequencyEstimator est(Params(3, 10.0));
+  ObjectDescriptor desc;
+  est.OnAccess(&desc, 0.0);
+  est.OnAccess(&desc, 1.0);
+  est.OnAccess(&desc, 2.0);
+  const double hot = est.Estimate(&desc, 3.0);
+  const double cold = est.Estimate(&desc, 1000.0);
+  EXPECT_GT(hot, 10.0 * cold);
+}
+
+TEST(FrequencyTest, PeekDoesNotMutate) {
+  FrequencyEstimator est(Params(3, 10.0));
+  ObjectDescriptor desc;
+  est.OnAccess(&desc, 0.0);
+  const double before_time = desc.frequency_time;
+  (void)est.Peek(desc, 5000.0);
+  EXPECT_DOUBLE_EQ(desc.frequency_time, before_time);
+}
+
+TEST(FrequencyTest, HigherRateGivesHigherEstimate) {
+  FrequencyEstimator est(Params());
+  ObjectDescriptor fast, slow;
+  for (double t : {1.0, 2.0, 3.0}) est.OnAccess(&fast, t);
+  for (double t : {1.0, 50.0, 100.0}) est.OnAccess(&slow, t);
+  EXPECT_GT(est.Peek(fast, 101.0), est.Peek(slow, 101.0));
+}
+
+}  // namespace
+}  // namespace cascache::cache

@@ -1,0 +1,103 @@
+#include "cache/gds_cache.h"
+
+#include <gtest/gtest.h>
+
+#include "util/random.h"
+
+namespace cascache::cache {
+namespace {
+
+TEST(GdsCacheTest, InsertAndCredit) {
+  GdsCache cache(100);
+  bool inserted = false;
+  cache.Insert(1, 50, 10.0, &inserted);
+  EXPECT_TRUE(inserted);
+  EXPECT_TRUE(cache.Contains(1));
+  // Initial inflation L = 0: H = 0 + 10/50.
+  EXPECT_DOUBLE_EQ(cache.CreditOf(1), 0.2);
+  EXPECT_DOUBLE_EQ(cache.inflation(), 0.0);
+}
+
+TEST(GdsCacheTest, EvictsSmallestCreditAndInflates) {
+  GdsCache cache(100);
+  cache.Insert(1, 50, 5.0);    // H = 0.1.
+  cache.Insert(2, 50, 20.0);   // H = 0.4.
+  const auto evicted = cache.Insert(3, 50, 10.0);
+  ASSERT_EQ(evicted.size(), 1u);
+  EXPECT_EQ(evicted[0], 1u);          // Smallest H evicted.
+  EXPECT_DOUBLE_EQ(cache.inflation(), 0.1);  // L advanced to victim's H.
+  EXPECT_DOUBLE_EQ(cache.CreditOf(3), 0.1 + 10.0 / 50.0);
+}
+
+TEST(GdsCacheTest, HitRefreshesCreditWithCurrentInflation) {
+  GdsCache cache(100);
+  cache.Insert(1, 50, 5.0);   // H = 0.1.
+  cache.Insert(2, 50, 20.0);  // H = 0.4.
+  cache.Insert(3, 50, 10.0);  // Evicts 1, L = 0.1.
+  // Refresh object 2: H = L + 20/50 = 0.5.
+  EXPECT_TRUE(cache.OnHit(2, 20.0));
+  EXPECT_DOUBLE_EQ(cache.CreditOf(2), 0.5);
+  EXPECT_FALSE(cache.OnHit(99, 1.0));
+}
+
+TEST(GdsCacheTest, InflationNeverDecreases) {
+  util::Rng rng(3);
+  GdsCache cache(500);
+  double last = 0.0;
+  for (int i = 0; i < 5000; ++i) {
+    cache.Insert(static_cast<ObjectId>(rng.NextUint64(100)),
+                 1 + rng.NextUint64(120), rng.NextDouble(0.0, 10.0));
+    ASSERT_GE(cache.inflation(), last);
+    last = cache.inflation();
+    ASSERT_LE(cache.used_bytes(), cache.capacity_bytes());
+  }
+}
+
+TEST(GdsCacheTest, AgingViaInflationOrdersEvictions) {
+  // Credits are absolute (L at refresh time + cost/size), so a refreshed
+  // cheap object can still rank below an object admitted at the same
+  // inflation with a higher cost/size — GDS's aging behavior.
+  GdsCache cache(100);
+  cache.Insert(1, 50, 6.0);   // H = 0.12.
+  cache.Insert(2, 50, 5.0);   // H = 0.10.
+  cache.Insert(3, 50, 5.0);   // Evicts 2 (H 0.10), L = 0.10. H3 = 0.2.
+  EXPECT_FALSE(cache.Contains(2));
+  cache.OnHit(1, 1.0);        // H1 = 0.10 + 0.02 = 0.12 < H3 = 0.2.
+  const auto evicted = cache.Insert(4, 50, 5.0);
+  ASSERT_EQ(evicted.size(), 1u);
+  EXPECT_EQ(evicted[0], 1u);
+}
+
+TEST(GdsCacheTest, OversizedRejected) {
+  GdsCache cache(100);
+  cache.Insert(1, 50, 1.0);
+  bool inserted = true;
+  cache.Insert(2, 200, 1.0, &inserted);
+  EXPECT_FALSE(inserted);
+  EXPECT_TRUE(cache.Contains(1));
+}
+
+TEST(GdsCacheTest, ReinsertActsAsHit) {
+  GdsCache cache(100);
+  cache.Insert(1, 50, 5.0);
+  bool inserted = true;
+  cache.Insert(1, 50, 50.0, &inserted);
+  EXPECT_FALSE(inserted);
+  EXPECT_DOUBLE_EQ(cache.CreditOf(1), 1.0);  // 0 + 50/50.
+  EXPECT_EQ(cache.used_bytes(), 50u);
+}
+
+TEST(GdsCacheTest, EraseAndClear) {
+  GdsCache cache(100);
+  cache.Insert(1, 50, 5.0);
+  EXPECT_TRUE(cache.Erase(1));
+  EXPECT_FALSE(cache.Erase(1));
+  EXPECT_EQ(cache.used_bytes(), 0u);
+  cache.Insert(2, 50, 5.0);
+  cache.Clear();
+  EXPECT_EQ(cache.num_objects(), 0u);
+  EXPECT_DOUBLE_EQ(cache.inflation(), 0.0);
+}
+
+}  // namespace
+}  // namespace cascache::cache

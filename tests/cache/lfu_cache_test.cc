@@ -1,0 +1,103 @@
+#include "cache/lfu_cache.h"
+
+#include <gtest/gtest.h>
+
+#include "util/random.h"
+
+namespace cascache::cache {
+namespace {
+
+TEST(LfuCacheTest, InsertStartsAtCountOne) {
+  LfuCache cache(100);
+  bool inserted = false;
+  cache.Insert(1, 40, &inserted);
+  EXPECT_TRUE(inserted);
+  EXPECT_EQ(cache.CountOf(1), 1u);
+  EXPECT_EQ(cache.used_bytes(), 40u);
+}
+
+TEST(LfuCacheTest, TouchIncrementsCount) {
+  LfuCache cache(100);
+  cache.Insert(1, 40);
+  EXPECT_TRUE(cache.Touch(1));
+  EXPECT_TRUE(cache.Touch(1));
+  EXPECT_EQ(cache.CountOf(1), 3u);
+  EXPECT_FALSE(cache.Touch(2));
+}
+
+TEST(LfuCacheTest, EvictsLeastFrequentlyUsed) {
+  LfuCache cache(100);
+  cache.Insert(1, 40);
+  cache.Insert(2, 40);
+  cache.Touch(1);  // Object 1 hotter.
+  const auto evicted = cache.Insert(3, 40);
+  ASSERT_EQ(evicted.size(), 1u);
+  EXPECT_EQ(evicted[0], 2u);
+  EXPECT_TRUE(cache.Contains(1));
+}
+
+TEST(LfuCacheTest, CountResetsAfterEviction) {
+  LfuCache cache(80);
+  cache.Insert(1, 40);
+  for (int i = 0; i < 10; ++i) cache.Touch(1);
+  cache.Insert(2, 80);  // Evicts everything including hot object 1.
+  EXPECT_FALSE(cache.Contains(1));
+  cache.Insert(1, 40);  // Re-enter: count starts over.
+  EXPECT_EQ(cache.CountOf(1), 1u);
+}
+
+TEST(LfuCacheTest, ReinsertOnlyTouches) {
+  LfuCache cache(100);
+  cache.Insert(1, 40);
+  bool inserted = true;
+  cache.Insert(1, 40, &inserted);
+  EXPECT_FALSE(inserted);
+  EXPECT_EQ(cache.CountOf(1), 2u);
+  EXPECT_EQ(cache.used_bytes(), 40u);
+}
+
+TEST(LfuCacheTest, OversizedRejected) {
+  LfuCache cache(100);
+  bool inserted = true;
+  cache.Insert(1, 101, &inserted);
+  EXPECT_FALSE(inserted);
+  EXPECT_EQ(cache.num_objects(), 0u);
+}
+
+TEST(LfuCacheTest, EraseAndClear) {
+  LfuCache cache(100);
+  cache.Insert(1, 40);
+  EXPECT_TRUE(cache.Erase(1));
+  EXPECT_FALSE(cache.Erase(1));
+  cache.Insert(2, 40);
+  cache.Clear();
+  EXPECT_EQ(cache.num_objects(), 0u);
+  EXPECT_EQ(cache.used_bytes(), 0u);
+}
+
+TEST(LfuCacheTest, RandomOpsPreserveAccounting) {
+  util::Rng rng(11);
+  LfuCache cache(600);
+  std::unordered_map<ObjectId, uint64_t> resident;
+  for (int step = 0; step < 10000; ++step) {
+    const ObjectId id = static_cast<ObjectId>(rng.NextUint64(40));
+    if (rng.NextBool(0.7)) {
+      const uint64_t size =
+          resident.count(id) ? resident[id] : 1 + rng.NextUint64(150);
+      bool inserted = false;
+      const auto evicted = cache.Insert(id, size, &inserted);
+      for (ObjectId v : evicted) resident.erase(v);
+      if (inserted) resident[id] = size;
+    } else {
+      cache.Erase(id);
+      resident.erase(id);
+    }
+    uint64_t sum = 0;
+    for (const auto& [oid, sz] : resident) sum += sz;
+    ASSERT_EQ(cache.used_bytes(), sum);
+    ASSERT_EQ(cache.num_objects(), resident.size());
+  }
+}
+
+}  // namespace
+}  // namespace cascache::cache

@@ -1,0 +1,144 @@
+#include "cache/lru_cache.h"
+
+#include <gtest/gtest.h>
+
+#include "util/random.h"
+
+namespace cascache::cache {
+namespace {
+
+TEST(LruCacheTest, InsertAndContains) {
+  LruCache cache(100);
+  bool inserted = false;
+  EXPECT_TRUE(cache.Insert(1, 40, &inserted).empty());
+  EXPECT_TRUE(inserted);
+  EXPECT_TRUE(cache.Contains(1));
+  EXPECT_EQ(cache.used_bytes(), 40u);
+  EXPECT_EQ(cache.num_objects(), 1u);
+}
+
+TEST(LruCacheTest, EvictsLeastRecentlyUsed) {
+  LruCache cache(100);
+  cache.Insert(1, 40);
+  cache.Insert(2, 40);
+  const auto evicted = cache.Insert(3, 40);  // Must evict object 1.
+  ASSERT_EQ(evicted.size(), 1u);
+  EXPECT_EQ(evicted[0], 1u);
+  EXPECT_FALSE(cache.Contains(1));
+  EXPECT_TRUE(cache.Contains(2));
+  EXPECT_TRUE(cache.Contains(3));
+}
+
+TEST(LruCacheTest, TouchPreventsEviction) {
+  LruCache cache(100);
+  cache.Insert(1, 40);
+  cache.Insert(2, 40);
+  EXPECT_TRUE(cache.Touch(1));  // 2 becomes LRU.
+  const auto evicted = cache.Insert(3, 40);
+  ASSERT_EQ(evicted.size(), 1u);
+  EXPECT_EQ(evicted[0], 2u);
+  EXPECT_TRUE(cache.Contains(1));
+}
+
+TEST(LruCacheTest, TouchMissingReturnsFalse) {
+  LruCache cache(100);
+  EXPECT_FALSE(cache.Touch(42));
+}
+
+TEST(LruCacheTest, ReinsertOnlyTouches) {
+  LruCache cache(100);
+  cache.Insert(1, 40);
+  cache.Insert(2, 40);
+  bool inserted = true;
+  EXPECT_TRUE(cache.Insert(1, 40, &inserted).empty());
+  EXPECT_FALSE(inserted);  // Already present: no write.
+  EXPECT_EQ(cache.used_bytes(), 80u);
+  // Object 1 is now MRU; inserting evicts 2.
+  const auto evicted = cache.Insert(3, 40);
+  ASSERT_EQ(evicted.size(), 1u);
+  EXPECT_EQ(evicted[0], 2u);
+}
+
+TEST(LruCacheTest, ObjectLargerThanCapacityRejected) {
+  LruCache cache(100);
+  cache.Insert(1, 50);
+  bool inserted = true;
+  EXPECT_TRUE(cache.Insert(2, 101, &inserted).empty());
+  EXPECT_FALSE(inserted);
+  EXPECT_FALSE(cache.Contains(2));
+  EXPECT_TRUE(cache.Contains(1));  // Nothing evicted for it.
+}
+
+TEST(LruCacheTest, MultiEviction) {
+  LruCache cache(100);
+  cache.Insert(1, 30);
+  cache.Insert(2, 30);
+  cache.Insert(3, 30);
+  // 80 more bytes cannot coexist with any 30-byte object (capacity 100),
+  // so all three residents are evicted in LRU order.
+  const auto evicted = cache.Insert(4, 80);
+  EXPECT_EQ(evicted, (std::vector<ObjectId>{1, 2, 3}));
+  EXPECT_EQ(cache.used_bytes(), 80u);
+  EXPECT_TRUE(cache.Contains(4));
+}
+
+TEST(LruCacheTest, EraseFreesSpace) {
+  LruCache cache(100);
+  cache.Insert(1, 60);
+  EXPECT_TRUE(cache.Erase(1));
+  EXPECT_FALSE(cache.Erase(1));
+  EXPECT_EQ(cache.used_bytes(), 0u);
+  bool inserted = false;
+  cache.Insert(2, 100, &inserted);
+  EXPECT_TRUE(inserted);
+}
+
+TEST(LruCacheTest, ClearResets) {
+  LruCache cache(100);
+  cache.Insert(1, 60);
+  cache.Clear();
+  EXPECT_EQ(cache.used_bytes(), 0u);
+  EXPECT_EQ(cache.num_objects(), 0u);
+  EXPECT_FALSE(cache.Contains(1));
+}
+
+TEST(LruCacheTest, LruVictimIsOldestUntouched) {
+  LruCache cache(1000);
+  cache.Insert(1, 10);
+  cache.Insert(2, 10);
+  cache.Insert(3, 10);
+  EXPECT_EQ(cache.LruVictim(), 1u);
+  cache.Touch(1);
+  EXPECT_EQ(cache.LruVictim(), 2u);
+}
+
+// Property test: used_bytes always equals the sum of resident object
+// sizes, and never exceeds capacity.
+TEST(LruCacheTest, RandomOpsPreserveByteAccounting) {
+  util::Rng rng(77);
+  LruCache cache(500);
+  std::unordered_map<ObjectId, uint64_t> resident;
+  for (int step = 0; step < 20000; ++step) {
+    const ObjectId id = static_cast<ObjectId>(rng.NextUint64(60));
+    if (rng.NextBool(0.8)) {
+      const uint64_t size = 1 + rng.NextUint64(120);
+      bool inserted = false;
+      const auto evicted = cache.Insert(id, resident.count(id)
+                                                ? resident[id]
+                                                : size, &inserted);
+      for (ObjectId v : evicted) resident.erase(v);
+      if (inserted) resident[id] = size;
+    } else {
+      cache.Erase(id);
+      resident.erase(id);
+    }
+    uint64_t sum = 0;
+    for (const auto& [oid, sz] : resident) sum += sz;
+    ASSERT_EQ(cache.used_bytes(), sum);
+    ASSERT_LE(cache.used_bytes(), cache.capacity_bytes());
+    ASSERT_EQ(cache.num_objects(), resident.size());
+  }
+}
+
+}  // namespace
+}  // namespace cascache::cache

@@ -1,0 +1,149 @@
+#include "sim/experiment.h"
+
+#include <cstdio>
+#include <fstream>
+
+#include <gtest/gtest.h>
+
+namespace cascache::sim {
+namespace {
+
+ExperimentConfig SmallConfig() {
+  ExperimentConfig config;
+  config.network.architecture = Architecture::kHierarchical;
+  config.network.tree.depth = 3;
+  config.workload.num_objects = 300;
+  config.workload.num_requests = 20000;
+  config.workload.num_clients = 50;
+  config.workload.num_servers = 10;
+  config.workload.seed = 5;
+  config.cache_fractions = {0.01, 0.05};
+  config.schemes = {{.kind = schemes::SchemeKind::kLru},
+                    {.kind = schemes::SchemeKind::kCoordinated}};
+  return config;
+}
+
+TEST(ExperimentTest, RunAllProducesOneRowPerCell) {
+  auto runner_or = ExperimentRunner::Create(SmallConfig());
+  ASSERT_TRUE(runner_or.ok()) << runner_or.status();
+  auto results_or = (*runner_or)->RunAll();
+  ASSERT_TRUE(results_or.ok());
+  ASSERT_EQ(results_or->size(), 4u);  // 2 sizes x 2 schemes.
+  for (const RunResult& r : *results_or) {
+    EXPECT_GT(r.metrics.requests, 0u);
+    EXPECT_GT(r.capacity_bytes, 0u);
+    EXPECT_GE(r.metrics.byte_hit_ratio, 0.0);
+    EXPECT_LE(r.metrics.byte_hit_ratio, 1.0);
+    EXPECT_GE(r.metrics.avg_latency, 0.0);
+  }
+}
+
+TEST(ExperimentTest, LargerCachesNeverHurtHitRatio) {
+  auto runner_or = ExperimentRunner::Create(SmallConfig());
+  ASSERT_TRUE(runner_or.ok());
+  auto results_or = (*runner_or)->RunAll();
+  ASSERT_TRUE(results_or.ok());
+  // Results ordered: (0.01, LRU), (0.01, Coord), (0.05, LRU), (0.05, Coord).
+  const auto& r = *results_or;
+  EXPECT_GT(r[2].metrics.byte_hit_ratio, r[0].metrics.byte_hit_ratio);
+  EXPECT_LE(r[2].metrics.avg_latency, r[0].metrics.avg_latency);
+}
+
+TEST(ExperimentTest, RunOneMatchesLabel) {
+  auto runner_or = ExperimentRunner::Create(SmallConfig());
+  ASSERT_TRUE(runner_or.ok());
+  auto result_or =
+      (*runner_or)->RunOne({.kind = schemes::SchemeKind::kModulo,
+                            .modulo_radius = 2},
+                           0.02);
+  ASSERT_TRUE(result_or.ok());
+  EXPECT_EQ(result_or->scheme, "MODULO(2)");
+  EXPECT_DOUBLE_EQ(result_or->cache_fraction, 0.02);
+}
+
+TEST(ExperimentTest, RejectsBadConfigs) {
+  ExperimentConfig config = SmallConfig();
+  config.schemes.clear();
+  EXPECT_FALSE(ExperimentRunner::Create(config).ok());
+
+  config = SmallConfig();
+  config.cache_fractions = {0.0};
+  EXPECT_FALSE(ExperimentRunner::Create(config).ok());
+
+  config = SmallConfig();
+  config.cache_fractions = {1.5};
+  EXPECT_FALSE(ExperimentRunner::Create(config).ok());
+
+  config = SmallConfig();
+  config.workload.num_objects = 0;
+  EXPECT_FALSE(ExperimentRunner::Create(config).ok());
+}
+
+TEST(ExperimentTest, FormatSweepTableLaysOutSchemesAndSizes) {
+  std::vector<RunResult> results;
+  for (double f : {0.01, 0.10}) {
+    for (const char* s : {"LRU", "Coordinated"}) {
+      RunResult r;
+      r.scheme = s;
+      r.cache_fraction = f;
+      r.metrics.avg_latency = f * 10;
+      results.push_back(r);
+    }
+  }
+  const std::string table = FormatSweepTable(
+      results, "latency",
+      [](const MetricsSummary& m) { return m.avg_latency; });
+  EXPECT_NE(table.find("LRU"), std::string::npos);
+  EXPECT_NE(table.find("Coordinated"), std::string::npos);
+  EXPECT_NE(table.find("1.00%"), std::string::npos);
+  EXPECT_NE(table.find("10.00%"), std::string::npos);
+  // Row order: ascending cache size.
+  EXPECT_LT(table.find("1.00%"), table.find("10.00%"));
+}
+
+TEST(ExperimentTest, WriteResultsCsvRoundTrip) {
+  std::vector<RunResult> results;
+  RunResult r;
+  r.scheme = "LRU";
+  r.cache_fraction = 0.01;
+  r.capacity_bytes = 12345;
+  r.metrics.requests = 100;
+  r.metrics.avg_latency = 0.5;
+  r.metrics.byte_hit_ratio = 0.25;
+  results.push_back(r);
+  r.scheme = "Coordinated";
+  results.push_back(r);
+
+  const std::string path = ::testing::TempDir() + "/results.csv";
+  ASSERT_TRUE(WriteResultsCsv(results, path).ok());
+  std::ifstream in(path);
+  std::string header, line1, line2, extra;
+  ASSERT_TRUE(static_cast<bool>(std::getline(in, header)));
+  EXPECT_NE(header.find("scheme,cache_fraction"), std::string::npos);
+  EXPECT_NE(header.find("byte_hit_ratio"), std::string::npos);
+  ASSERT_TRUE(static_cast<bool>(std::getline(in, line1)));
+  EXPECT_NE(line1.find("LRU,0.01,12345,100,0.5"), std::string::npos);
+  ASSERT_TRUE(static_cast<bool>(std::getline(in, line2)));
+  EXPECT_NE(line2.find("Coordinated"), std::string::npos);
+  EXPECT_FALSE(static_cast<bool>(std::getline(in, extra)));
+  std::remove(path.c_str());
+}
+
+TEST(ExperimentTest, WriteResultsCsvBadPathFails) {
+  EXPECT_FALSE(
+      WriteResultsCsv({}, "/nonexistent_dir_xyz/results.csv").ok());
+}
+
+TEST(ExperimentTest, DeterministicAcrossRunners) {
+  auto a = ExperimentRunner::Create(SmallConfig());
+  auto b = ExperimentRunner::Create(SmallConfig());
+  ASSERT_TRUE(a.ok() && b.ok());
+  auto ra = (*a)->RunOne({.kind = schemes::SchemeKind::kLru}, 0.02);
+  auto rb = (*b)->RunOne({.kind = schemes::SchemeKind::kLru}, 0.02);
+  ASSERT_TRUE(ra.ok() && rb.ok());
+  EXPECT_DOUBLE_EQ(ra->metrics.avg_latency, rb->metrics.avg_latency);
+  EXPECT_DOUBLE_EQ(ra->metrics.byte_hit_ratio, rb->metrics.byte_hit_ratio);
+}
+
+}  // namespace
+}  // namespace cascache::sim

@@ -1,0 +1,105 @@
+#include "sim/metrics.h"
+
+#include <gtest/gtest.h>
+
+namespace cascache::sim {
+namespace {
+
+RequestMetrics Hit(uint64_t size, double latency, int hops) {
+  RequestMetrics m;
+  m.size_bytes = size;
+  m.latency = latency;
+  m.hops = hops;
+  m.cache_hit = true;
+  m.read_bytes = size;
+  return m;
+}
+
+RequestMetrics Miss(uint64_t size, double latency, int hops,
+                    uint64_t writes) {
+  RequestMetrics m;
+  m.size_bytes = size;
+  m.latency = latency;
+  m.hops = hops;
+  m.cache_hit = false;
+  m.write_bytes = writes;
+  return m;
+}
+
+TEST(MetricsTest, EmptySummaryIsZero) {
+  MetricsCollector collector;
+  const MetricsSummary s = collector.Summary();
+  EXPECT_EQ(s.requests, 0u);
+  EXPECT_EQ(s.avg_latency, 0.0);
+  EXPECT_EQ(s.byte_hit_ratio, 0.0);
+}
+
+TEST(MetricsTest, AveragesOverRequests) {
+  MetricsCollector collector;
+  collector.Record(Hit(1 << 20, 0.2, 2));
+  collector.Record(Miss(1 << 20, 0.6, 6, 1 << 20));
+  const MetricsSummary s = collector.Summary();
+  EXPECT_EQ(s.requests, 2u);
+  EXPECT_NEAR(s.avg_latency, 0.4, 1e-12);
+  EXPECT_NEAR(s.avg_hops, 4.0, 1e-12);
+  // Response ratio: latency per MB; both objects are exactly 1 MB.
+  EXPECT_NEAR(s.avg_response_ratio, 0.4, 1e-12);
+  EXPECT_DOUBLE_EQ(s.byte_hit_ratio, 0.5);
+  EXPECT_DOUBLE_EQ(s.hit_ratio, 0.5);
+}
+
+TEST(MetricsTest, ResponseRatioNormalizesBySize) {
+  MetricsCollector collector;
+  // Same latency for a small and a large object: the small object has a
+  // much worse (higher) response ratio.
+  collector.Record(Hit(1 << 18, 0.4, 2));  // 0.25 MB -> 1.6 s/MB.
+  const MetricsSummary s = collector.Summary();
+  EXPECT_NEAR(s.avg_response_ratio, 1.6, 1e-12);
+}
+
+TEST(MetricsTest, TrafficIsByteHops) {
+  MetricsCollector collector;
+  collector.Record(Hit(1000, 0.1, 3));
+  collector.Record(Hit(500, 0.1, 4));
+  const MetricsSummary s = collector.Summary();
+  EXPECT_NEAR(s.avg_traffic_byte_hops, (3000.0 + 2000.0) / 2.0, 1e-9);
+}
+
+TEST(MetricsTest, LoadCombinesReadsAndWrites) {
+  MetricsCollector collector;
+  collector.Record(Hit(1000, 0.1, 1));            // Read 1000.
+  collector.Record(Miss(2000, 0.1, 5, 6000));     // Write 6000.
+  const MetricsSummary s = collector.Summary();
+  EXPECT_NEAR(s.avg_load_bytes, (1000.0 + 6000.0) / 2.0, 1e-9);
+  EXPECT_NEAR(s.read_load_share, 1000.0 / 7000.0, 1e-9);
+  EXPECT_NEAR(s.avg_write_bytes, 3000.0, 1e-9);
+}
+
+TEST(MetricsTest, ByteHitRatioWeighsBySize) {
+  MetricsCollector collector;
+  collector.Record(Hit(9000, 0.1, 1));
+  collector.Record(Miss(1000, 0.1, 5, 0));
+  const MetricsSummary s = collector.Summary();
+  EXPECT_DOUBLE_EQ(s.byte_hit_ratio, 0.9);
+  EXPECT_DOUBLE_EQ(s.hit_ratio, 0.5);
+  EXPECT_EQ(s.total_bytes_requested, 10000u);
+  EXPECT_EQ(s.bytes_from_caches, 9000u);
+}
+
+TEST(MetricsTest, ResetClears) {
+  MetricsCollector collector;
+  collector.Record(Hit(1000, 0.1, 1));
+  collector.Reset();
+  EXPECT_EQ(collector.Summary().requests, 0u);
+}
+
+TEST(MetricsTest, ToStringMentionsKeyFields) {
+  MetricsCollector collector;
+  collector.Record(Hit(1000, 0.1, 1));
+  const std::string s = collector.Summary().ToString();
+  EXPECT_NE(s.find("requests=1"), std::string::npos);
+  EXPECT_NE(s.find("byte_hit"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace cascache::sim

@@ -1,0 +1,78 @@
+#include "topology/routing.h"
+
+#include <gtest/gtest.h>
+
+#include "topology/tiers.h"
+#include "topology/tree.h"
+
+namespace cascache::topology {
+namespace {
+
+TEST(RoutingTest, CachesTreesPerDestination) {
+  auto topo_or = GenerateTiers(TiersParams{});
+  ASSERT_TRUE(topo_or.ok());
+  RoutingTable routing(&topo_or->graph);
+  EXPECT_EQ(routing.num_cached_trees(), 0u);
+  routing.TreeFor(0);
+  routing.TreeFor(0);
+  routing.TreeFor(5);
+  EXPECT_EQ(routing.num_cached_trees(), 2u);
+}
+
+TEST(RoutingTest, PathEndsAtDestination) {
+  auto topo_or = GenerateTiers(TiersParams{});
+  ASSERT_TRUE(topo_or.ok());
+  RoutingTable routing(&topo_or->graph);
+  const NodeId src = topo_or->man_ids[3];
+  const NodeId dst = topo_or->man_ids[40];
+  const std::vector<NodeId> path = routing.Path(src, dst);
+  ASSERT_GE(path.size(), 2u);
+  EXPECT_EQ(path.front(), src);
+  EXPECT_EQ(path.back(), dst);
+  // Consecutive nodes are linked.
+  for (size_t i = 0; i + 1 < path.size(); ++i) {
+    EXPECT_TRUE(topo_or->graph.HasEdge(path[i], path[i + 1]));
+  }
+  EXPECT_EQ(static_cast<int>(path.size()) - 1, routing.Hops(src, dst));
+}
+
+TEST(RoutingTest, DelayMatchesPathSum) {
+  auto topo_or = GenerateTiers(TiersParams{});
+  ASSERT_TRUE(topo_or.ok());
+  RoutingTable routing(&topo_or->graph);
+  const NodeId src = topo_or->man_ids[0];
+  const NodeId dst = topo_or->man_ids[49];
+  const std::vector<NodeId> path = routing.Path(src, dst);
+  double sum = 0.0;
+  for (size_t i = 0; i + 1 < path.size(); ++i) {
+    sum += topo_or->graph.EdgeDelay(path[i], path[i + 1]);
+  }
+  EXPECT_NEAR(sum, routing.Delay(src, dst), 1e-9);
+}
+
+TEST(RoutingTest, SelfPathIsSingleton) {
+  auto topo_or = BuildTree(TreeParams{});
+  ASSERT_TRUE(topo_or.ok());
+  RoutingTable routing(&topo_or->graph);
+  EXPECT_EQ(routing.Path(0, 0), std::vector<NodeId>{0});
+  EXPECT_EQ(routing.Hops(0, 0), 0);
+  EXPECT_DOUBLE_EQ(routing.Delay(0, 0), 0.0);
+}
+
+TEST(RoutingTest, TreeRoutesFollowTreeEdges) {
+  auto topo_or = BuildTree(TreeParams{});
+  ASSERT_TRUE(topo_or.ok());
+  RoutingTable routing(&topo_or->graph);
+  // Path from any leaf to the root has exactly depth-1 hops and climbs
+  // through parents.
+  for (NodeId leaf : topo_or->leaves) {
+    const std::vector<NodeId> path = routing.Path(leaf, topo_or->root);
+    EXPECT_EQ(path.size(), 4u);
+    for (size_t i = 0; i + 1 < path.size(); ++i) {
+      EXPECT_EQ(topo_or->parent[path[i]], path[i + 1]);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace cascache::topology

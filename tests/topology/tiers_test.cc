@@ -1,0 +1,159 @@
+#include "topology/tiers.h"
+
+#include <gtest/gtest.h>
+
+#include "topology/shortest_path.h"
+
+namespace cascache::topology {
+namespace {
+
+TEST(TiersTest, DefaultsMatchTableOne) {
+  // Paper Table 1: 100 nodes (50 WAN + 50 MAN), 173 links, WAN:MAN delay
+  // ratio ~8:1.
+  auto topo_or = GenerateTiers(TiersParams{});
+  ASSERT_TRUE(topo_or.ok()) << topo_or.status();
+  const TiersTopology& topo = *topo_or;
+  EXPECT_EQ(topo.graph.num_nodes(), 100);
+  EXPECT_EQ(topo.wan_ids.size(), 50u);
+  EXPECT_EQ(topo.man_ids.size(), 50u);
+  EXPECT_EQ(topo.graph.num_edges(), 173u);  // 49 + 40 + 50 + 34.
+  EXPECT_TRUE(topo.graph.IsConnected());
+
+  const double ratio = topo.MeanWanLinkDelay() / topo.MeanManLinkDelay();
+  EXPECT_GT(ratio, 6.0);
+  EXPECT_LT(ratio, 10.0);
+  EXPECT_NEAR(topo.MeanWanLinkDelay(), 0.146, 0.03);
+  EXPECT_NEAR(topo.MeanManLinkDelay(), 0.018, 0.005);
+}
+
+TEST(TiersTest, DeterministicInSeed) {
+  TiersParams params;
+  params.seed = 99;
+  auto a = GenerateTiers(params);
+  auto b = GenerateTiers(params);
+  ASSERT_TRUE(a.ok() && b.ok());
+  ASSERT_EQ(a->graph.num_edges(), b->graph.num_edges());
+  for (NodeId v = 0; v < a->graph.num_nodes(); ++v) {
+    const auto& na = a->graph.Neighbors(v);
+    const auto& nb = b->graph.Neighbors(v);
+    ASSERT_EQ(na.size(), nb.size());
+    for (size_t i = 0; i < na.size(); ++i) {
+      EXPECT_EQ(na[i].to, nb[i].to);
+      EXPECT_DOUBLE_EQ(na[i].delay, nb[i].delay);
+    }
+  }
+}
+
+TEST(TiersTest, DifferentSeedsDiffer) {
+  TiersParams pa, pb;
+  pa.seed = 1;
+  pb.seed = 2;
+  auto a = GenerateTiers(pa);
+  auto b = GenerateTiers(pb);
+  ASSERT_TRUE(a.ok() && b.ok());
+  bool differs = false;
+  for (NodeId v = 0; v < a->graph.num_nodes() && !differs; ++v) {
+    const auto& na = a->graph.Neighbors(v);
+    const auto& nb = b->graph.Neighbors(v);
+    if (na.size() != nb.size()) {
+      differs = true;
+      break;
+    }
+    for (size_t i = 0; i < na.size(); ++i) {
+      if (na[i].to != nb[i].to || na[i].delay != nb[i].delay) {
+        differs = true;
+        break;
+      }
+    }
+  }
+  EXPECT_TRUE(differs);
+}
+
+TEST(TiersTest, ManNodesAttachToWan) {
+  auto topo_or = GenerateTiers(TiersParams{});
+  ASSERT_TRUE(topo_or.ok());
+  const TiersTopology& topo = *topo_or;
+  ASSERT_EQ(topo.man_attach.size(), topo.man_ids.size());
+  for (size_t i = 0; i < topo.man_ids.size(); ++i) {
+    EXPECT_TRUE(topo.IsWan(topo.man_attach[i]));
+    EXPECT_TRUE(topo.graph.HasEdge(topo.man_ids[i], topo.man_attach[i]));
+  }
+}
+
+TEST(TiersTest, LongRoutingPaths) {
+  // The paper reports ~12-hop average client-server paths; the generator's
+  // chain-biased backbone should land in a similar ballpark.
+  auto topo_or = GenerateTiers(TiersParams{});
+  ASSERT_TRUE(topo_or.ok());
+  const TiersTopology& topo = *topo_or;
+  double total_hops = 0.0;
+  int pairs = 0;
+  for (size_t a = 0; a < topo.man_ids.size(); a += 5) {
+    const ShortestPathTree tree =
+        BuildShortestPathTree(topo.graph, topo.man_ids[a]);
+    for (size_t b = 0; b < topo.man_ids.size(); ++b) {
+      if (a == b) continue;
+      total_hops += tree.hops[static_cast<size_t>(topo.man_ids[b])];
+      ++pairs;
+    }
+  }
+  const double mean_hops = total_hops / pairs;
+  EXPECT_GT(mean_hops, 6.0);
+  EXPECT_LT(mean_hops, 20.0);
+}
+
+TEST(TiersTest, LinkDelaysRespectJitterBounds) {
+  TiersParams params;
+  params.delay_jitter = 0.25;
+  auto topo_or = GenerateTiers(params);
+  ASSERT_TRUE(topo_or.ok());
+  const TiersTopology& topo = *topo_or;
+  for (NodeId u = 0; u < topo.graph.num_nodes(); ++u) {
+    for (const Edge& e : topo.graph.Neighbors(u)) {
+      if (e.to < u) continue;
+      const bool wan_link = topo.IsWan(u) && topo.IsWan(e.to);
+      const double mean =
+          wan_link ? params.wan_mean_delay : params.man_mean_delay;
+      EXPECT_GE(e.delay, mean * 0.75 - 1e-12);
+      EXPECT_LE(e.delay, mean * 1.25 + 1e-12);
+    }
+  }
+}
+
+TEST(TiersTest, RejectsBadParameters) {
+  TiersParams params;
+  params.wan_nodes = 1;
+  EXPECT_FALSE(GenerateTiers(params).ok());
+
+  params = TiersParams{};
+  params.man_nodes = 0;
+  EXPECT_FALSE(GenerateTiers(params).ok());
+
+  params = TiersParams{};
+  params.delay_jitter = 1.5;
+  EXPECT_FALSE(GenerateTiers(params).ok());
+
+  params = TiersParams{};
+  params.wan_mean_delay = 0.0;
+  EXPECT_FALSE(GenerateTiers(params).ok());
+
+  params = TiersParams{};
+  params.wan_redundancy_edges = 100000;  // Cannot be placed.
+  EXPECT_FALSE(GenerateTiers(params).ok());
+}
+
+TEST(TiersTest, ScalesToOtherSizes) {
+  TiersParams params;
+  params.wan_nodes = 20;
+  params.man_nodes = 30;
+  params.wan_redundancy_edges = 8;
+  params.man_redundancy_edges = 5;
+  auto topo_or = GenerateTiers(params);
+  ASSERT_TRUE(topo_or.ok()) << topo_or.status();
+  EXPECT_EQ(topo_or->graph.num_nodes(), 50);
+  EXPECT_EQ(topo_or->graph.num_edges(), 19u + 8u + 30u + 5u);
+  EXPECT_TRUE(topo_or->graph.IsConnected());
+}
+
+}  // namespace
+}  // namespace cascache::topology

@@ -1,0 +1,107 @@
+#include "topology/tree.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+namespace cascache::topology {
+namespace {
+
+TEST(TreeTest, PaperDefaultShape) {
+  // Depth 4, fanout 3: 1 + 3 + 9 + 27 = 40 nodes, 39 links, 27 leaves.
+  auto topo_or = BuildTree(TreeParams{});
+  ASSERT_TRUE(topo_or.ok());
+  const TreeTopology& topo = *topo_or;
+  EXPECT_EQ(topo.graph.num_nodes(), 40);
+  EXPECT_EQ(topo.graph.num_edges(), 39u);
+  EXPECT_EQ(topo.leaves.size(), 27u);
+  EXPECT_EQ(topo.depth(), 4);
+  EXPECT_TRUE(topo.graph.IsConnected());
+}
+
+TEST(TreeTest, LevelsAndParents) {
+  auto topo_or = BuildTree(TreeParams{});
+  ASSERT_TRUE(topo_or.ok());
+  const TreeTopology& topo = *topo_or;
+  EXPECT_EQ(topo.level[0], 3);  // Root at the highest level.
+  EXPECT_EQ(topo.parent[0], kInvalidNode);
+  for (NodeId leaf : topo.leaves) EXPECT_EQ(topo.level[leaf], 0);
+  for (NodeId v = 1; v < topo.graph.num_nodes(); ++v) {
+    const NodeId p = topo.parent[v];
+    ASSERT_NE(p, kInvalidNode);
+    EXPECT_EQ(topo.level[p], topo.level[v] + 1);
+    EXPECT_TRUE(topo.graph.HasEdge(v, p));
+  }
+}
+
+TEST(TreeTest, LinkDelaysGrowExponentially) {
+  // Delay of the link between a level-i node and its parent: g^i * d.
+  TreeParams params;
+  params.base_delay = 0.008;
+  params.growth = 5.0;
+  auto topo_or = BuildTree(params);
+  ASSERT_TRUE(topo_or.ok());
+  const TreeTopology& topo = *topo_or;
+  for (NodeId v = 1; v < topo.graph.num_nodes(); ++v) {
+    const int level = topo.level[v];
+    const double expected = 0.008 * std::pow(5.0, level);
+    EXPECT_NEAR(topo.graph.EdgeDelay(v, topo.parent[v]), expected, 1e-12);
+  }
+  // Root-to-server virtual link: g^(depth-1) * d.
+  EXPECT_NEAR(topo.server_link_delay, 0.008 * std::pow(5.0, 3), 1e-12);
+}
+
+TEST(TreeTest, FanoutOneIsChain) {
+  TreeParams params;
+  params.depth = 5;
+  params.fanout = 1;
+  auto topo_or = BuildTree(params);
+  ASSERT_TRUE(topo_or.ok());
+  EXPECT_EQ(topo_or->graph.num_nodes(), 5);
+  EXPECT_EQ(topo_or->leaves.size(), 1u);
+  // Each node has at most 2 neighbors (a chain).
+  for (NodeId v = 0; v < 5; ++v) {
+    EXPECT_LE(topo_or->graph.Neighbors(v).size(), 2u);
+  }
+}
+
+TEST(TreeTest, DepthOneIsSingleNode) {
+  TreeParams params;
+  params.depth = 1;
+  auto topo_or = BuildTree(params);
+  ASSERT_TRUE(topo_or.ok());
+  EXPECT_EQ(topo_or->graph.num_nodes(), 1);
+  EXPECT_EQ(topo_or->leaves.size(), 1u);
+  EXPECT_EQ(topo_or->leaves[0], 0);  // The root is also the only leaf.
+  EXPECT_NEAR(topo_or->server_link_delay, 0.008, 1e-12);
+}
+
+TEST(TreeTest, RejectsBadParameters) {
+  TreeParams params;
+  params.depth = 0;
+  EXPECT_FALSE(BuildTree(params).ok());
+  params = TreeParams{};
+  params.fanout = 0;
+  EXPECT_FALSE(BuildTree(params).ok());
+  params = TreeParams{};
+  params.base_delay = -1.0;
+  EXPECT_FALSE(BuildTree(params).ok());
+  params = TreeParams{};
+  params.depth = 20;
+  params.fanout = 10;  // 10^19 nodes: too large.
+  EXPECT_FALSE(BuildTree(params).ok());
+}
+
+TEST(TreeTest, WideTree) {
+  TreeParams params;
+  params.depth = 2;
+  params.fanout = 100;
+  auto topo_or = BuildTree(params);
+  ASSERT_TRUE(topo_or.ok());
+  EXPECT_EQ(topo_or->graph.num_nodes(), 101);
+  EXPECT_EQ(topo_or->leaves.size(), 100u);
+  EXPECT_EQ(topo_or->graph.Neighbors(0).size(), 100u);
+}
+
+}  // namespace
+}  // namespace cascache::topology

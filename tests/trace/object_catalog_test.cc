@@ -1,0 +1,38 @@
+#include "trace/object_catalog.h"
+
+#include <gtest/gtest.h>
+
+namespace cascache::trace {
+namespace {
+
+TEST(ObjectCatalogTest, EmptyCatalog) {
+  ObjectCatalog catalog;
+  EXPECT_EQ(catalog.num_objects(), 0u);
+  EXPECT_EQ(catalog.total_bytes(), 0u);
+  EXPECT_EQ(catalog.mean_size(), 0.0);
+  EXPECT_EQ(catalog.num_servers(), 0u);
+}
+
+TEST(ObjectCatalogTest, AddAssignsSequentialIds) {
+  ObjectCatalog catalog;
+  EXPECT_EQ(catalog.Add(100, 0), 0u);
+  EXPECT_EQ(catalog.Add(200, 1), 1u);
+  EXPECT_EQ(catalog.Add(300, 0), 2u);
+  EXPECT_EQ(catalog.num_objects(), 3u);
+}
+
+TEST(ObjectCatalogTest, LookupsAndTotals) {
+  ObjectCatalog catalog;
+  catalog.Add(100, 2);
+  catalog.Add(300, 5);
+  EXPECT_EQ(catalog.size(0), 100u);
+  EXPECT_EQ(catalog.size(1), 300u);
+  EXPECT_EQ(catalog.server(0), 2u);
+  EXPECT_EQ(catalog.server(1), 5u);
+  EXPECT_EQ(catalog.total_bytes(), 400u);
+  EXPECT_DOUBLE_EQ(catalog.mean_size(), 200.0);
+  EXPECT_EQ(catalog.num_servers(), 6u);  // Max server id + 1.
+}
+
+}  // namespace
+}  // namespace cascache::trace

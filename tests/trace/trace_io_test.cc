@@ -1,0 +1,196 @@
+#include "trace/trace_io.h"
+
+#include <cstdio>
+#include <fstream>
+
+#include <gtest/gtest.h>
+
+namespace cascache::trace {
+namespace {
+
+class TraceIoTest : public ::testing::Test {
+ protected:
+  std::string TempPath(const std::string& name) {
+    return ::testing::TempDir() + "/" + name;
+  }
+
+  Workload SmallWorkload() {
+    WorkloadParams params;
+    params.num_objects = 100;
+    params.num_requests = 5000;
+    params.num_clients = 20;
+    params.num_servers = 5;
+    params.seed = 3;
+    auto workload_or = GenerateWorkload(params);
+    CASCACHE_CHECK_OK(workload_or.status());
+    return std::move(workload_or).value();
+  }
+};
+
+TEST_F(TraceIoTest, RoundTripPreservesEverything) {
+  const Workload original = SmallWorkload();
+  const std::string path = TempPath("roundtrip.cctr");
+  ASSERT_TRUE(WriteTrace(original, path).ok());
+
+  auto read_or = ReadTrace(path);
+  ASSERT_TRUE(read_or.ok()) << read_or.status();
+  const Workload& read = *read_or;
+
+  ASSERT_EQ(read.catalog.num_objects(), original.catalog.num_objects());
+  for (ObjectId id = 0; id < original.catalog.num_objects(); ++id) {
+    EXPECT_EQ(read.catalog.size(id), original.catalog.size(id));
+    EXPECT_EQ(read.catalog.server(id), original.catalog.server(id));
+  }
+  ASSERT_EQ(read.requests.size(), original.requests.size());
+  for (size_t i = 0; i < original.requests.size(); ++i) {
+    EXPECT_DOUBLE_EQ(read.requests[i].time, original.requests[i].time);
+    EXPECT_EQ(read.requests[i].client, original.requests[i].client);
+    EXPECT_EQ(read.requests[i].object, original.requests[i].object);
+  }
+  std::remove(path.c_str());
+}
+
+TEST_F(TraceIoTest, ReadMissingFileFails) {
+  auto read_or = ReadTrace(TempPath("does_not_exist.cctr"));
+  EXPECT_FALSE(read_or.ok());
+  EXPECT_EQ(read_or.status().code(), util::StatusCode::kIoError);
+}
+
+TEST_F(TraceIoTest, ReadRejectsBadMagic) {
+  const std::string path = TempPath("badmagic.cctr");
+  {
+    std::ofstream out(path, std::ios::binary);
+    out << "NOPE and some garbage";
+  }
+  auto read_or = ReadTrace(path);
+  EXPECT_FALSE(read_or.ok());
+  std::remove(path.c_str());
+}
+
+TEST_F(TraceIoTest, ReadRejectsTruncatedFile) {
+  const Workload original = SmallWorkload();
+  const std::string path = TempPath("truncated.cctr");
+  ASSERT_TRUE(WriteTrace(original, path).ok());
+  // Truncate to half.
+  {
+    std::ifstream in(path, std::ios::binary);
+    std::string bytes((std::istreambuf_iterator<char>(in)),
+                      std::istreambuf_iterator<char>());
+    std::ofstream out(path, std::ios::binary | std::ios::trunc);
+    out.write(bytes.data(), static_cast<std::streamsize>(bytes.size() / 2));
+  }
+  auto read_or = ReadTrace(path);
+  EXPECT_FALSE(read_or.ok());
+  std::remove(path.c_str());
+}
+
+TEST_F(TraceIoTest, CsvExportHasHeaderAndRows) {
+  const Workload original = SmallWorkload();
+  const std::string path = TempPath("trace.csv");
+  ASSERT_TRUE(WriteTraceCsv(original, path).ok());
+  std::ifstream in(path);
+  std::string header;
+  ASSERT_TRUE(static_cast<bool>(std::getline(in, header)));
+  EXPECT_EQ(header, "time,client,object,size,server");
+  size_t rows = 0;
+  std::string line;
+  while (std::getline(in, line)) ++rows;
+  EXPECT_EQ(rows, original.requests.size());
+  std::remove(path.c_str());
+}
+
+TEST_F(TraceIoTest, StatsAreConsistent) {
+  const Workload workload = SmallWorkload();
+  const TraceStats stats = ComputeTraceStats(workload);
+  EXPECT_EQ(stats.num_requests, workload.requests.size());
+  EXPECT_EQ(stats.num_objects, workload.catalog.num_objects());
+  EXPECT_LE(stats.num_objects_referenced, stats.num_objects);
+  EXPECT_GT(stats.num_objects_referenced, 0u);
+  EXPECT_LE(stats.num_clients_active, 20u);
+  EXPECT_GT(stats.total_bytes_requested, 0u);
+  EXPECT_GT(stats.estimated_zipf_theta, 0.3);
+  EXPECT_GT(stats.top10pct_request_share, 0.2);
+  EXPECT_LE(stats.top10pct_request_share, 1.0);
+  EXPECT_DOUBLE_EQ(stats.duration_seconds, workload.Duration());
+}
+
+TEST_F(TraceIoTest, StreamingReaderMatchesBulkRead) {
+  const Workload original = SmallWorkload();
+  const std::string path = TempPath("stream.cctr");
+  ASSERT_TRUE(WriteTrace(original, path).ok());
+
+  auto reader_or = TraceReader::Open(path);
+  ASSERT_TRUE(reader_or.ok()) << reader_or.status();
+  TraceReader& reader = **reader_or;
+  EXPECT_EQ(reader.num_requests(), original.requests.size());
+  EXPECT_EQ(reader.catalog().num_objects(), original.catalog.num_objects());
+  EXPECT_EQ(reader.catalog().total_bytes(), original.catalog.total_bytes());
+
+  Request req;
+  size_t i = 0;
+  for (;;) {
+    auto more_or = reader.Next(&req);
+    ASSERT_TRUE(more_or.ok());
+    if (!*more_or) break;
+    ASSERT_LT(i, original.requests.size());
+    EXPECT_DOUBLE_EQ(req.time, original.requests[i].time);
+    EXPECT_EQ(req.client, original.requests[i].client);
+    EXPECT_EQ(req.object, original.requests[i].object);
+    ++i;
+  }
+  EXPECT_EQ(i, original.requests.size());
+  EXPECT_EQ(reader.requests_read(), original.requests.size());
+  // Subsequent reads keep reporting end-of-stream.
+  auto again = reader.Next(&req);
+  ASSERT_TRUE(again.ok());
+  EXPECT_FALSE(*again);
+  std::remove(path.c_str());
+}
+
+TEST_F(TraceIoTest, StreamingReaderDetectsTruncation) {
+  const Workload original = SmallWorkload();
+  const std::string path = TempPath("stream_trunc.cctr");
+  ASSERT_TRUE(WriteTrace(original, path).ok());
+  {
+    std::ifstream in(path, std::ios::binary);
+    std::string bytes((std::istreambuf_iterator<char>(in)),
+                      std::istreambuf_iterator<char>());
+    std::ofstream out(path, std::ios::binary | std::ios::trunc);
+    // Keep the header+catalog plus a few requests, then cut mid-record.
+    out.write(bytes.data(),
+              static_cast<std::streamsize>(bytes.size() - 7));
+  }
+  auto reader_or = TraceReader::Open(path);
+  ASSERT_TRUE(reader_or.ok());
+  Request req;
+  util::Status error;
+  for (;;) {
+    auto more_or = (*reader_or)->Next(&req);
+    if (!more_or.ok()) {
+      error = more_or.status();
+      break;
+    }
+    ASSERT_TRUE(*more_or) << "should hit the truncation error before EOF";
+  }
+  EXPECT_EQ(error.code(), util::StatusCode::kIoError);
+  std::remove(path.c_str());
+}
+
+TEST_F(TraceIoTest, StreamingReaderRejectsMissingFile) {
+  EXPECT_FALSE(TraceReader::Open(TempPath("nope.cctr")).ok());
+}
+
+TEST_F(TraceIoTest, EmptyWorkloadRoundTrip) {
+  Workload workload;
+  workload.catalog.Add(10, 0);
+  const std::string path = TempPath("empty.cctr");
+  ASSERT_TRUE(WriteTrace(workload, path).ok());
+  auto read_or = ReadTrace(path);
+  ASSERT_TRUE(read_or.ok());
+  EXPECT_EQ(read_or->requests.size(), 0u);
+  EXPECT_EQ(read_or->catalog.num_objects(), 1u);
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace cascache::trace

@@ -1,0 +1,187 @@
+// Tests for the workload-realism extensions: temporal locality (LRU-stack
+// re-references) and popularity churn (rank drift over time).
+
+#include <gtest/gtest.h>
+
+#include "trace/synthetic.h"
+
+namespace cascache::trace {
+namespace {
+
+WorkloadParams BaseParams() {
+  WorkloadParams params;
+  params.num_objects = 1000;
+  params.num_requests = 120'000;
+  params.num_clients = 50;
+  params.num_servers = 10;
+  params.seed = 21;
+  return params;
+}
+
+/// Fraction of requests that repeat an object seen within the last
+/// `window` requests.
+double ReuseWithin(const Workload& workload, size_t window) {
+  std::vector<ObjectId> ring;
+  size_t head = 0;
+  uint64_t reuses = 0;
+  for (const Request& req : workload.requests) {
+    for (ObjectId recent : ring) {
+      if (recent == req.object) {
+        ++reuses;
+        break;
+      }
+    }
+    if (ring.size() < window) {
+      ring.push_back(req.object);
+    } else {
+      ring[head] = req.object;
+      head = (head + 1) % window;
+    }
+  }
+  return static_cast<double>(reuses) /
+         static_cast<double>(workload.requests.size());
+}
+
+TEST(TemporalLocalityTest, ZeroKeepsIndependentReferenceModel) {
+  WorkloadParams params = BaseParams();
+  params.temporal_locality = 0.0;
+  auto a = GenerateWorkload(params);
+  ASSERT_TRUE(a.ok());
+  // Identical to a second generation (pure function of the seed).
+  auto b = GenerateWorkload(params);
+  ASSERT_TRUE(b.ok());
+  for (size_t i = 0; i < a->requests.size(); i += 1111) {
+    EXPECT_EQ(a->requests[i].object, b->requests[i].object);
+  }
+}
+
+TEST(TemporalLocalityTest, RaisesShortTermReuse) {
+  WorkloadParams params = BaseParams();
+  params.num_requests = 60'000;
+  auto base = GenerateWorkload(params);
+  ASSERT_TRUE(base.ok());
+
+  params.temporal_locality = 0.5;
+  params.temporal_window = 2'000;
+  params.temporal_mean_depth = 50.0;
+  auto temporal = GenerateWorkload(params);
+  ASSERT_TRUE(temporal.ok());
+
+  const double base_reuse = ReuseWithin(*base, 100);
+  const double temporal_reuse = ReuseWithin(*temporal, 100);
+  EXPECT_GT(temporal_reuse, base_reuse + 0.1);
+}
+
+TEST(TemporalLocalityTest, ObjectsStayInBounds) {
+  WorkloadParams params = BaseParams();
+  params.temporal_locality = 0.9;
+  params.temporal_window = 64;
+  params.temporal_mean_depth = 4.0;
+  auto workload = GenerateWorkload(params);
+  ASSERT_TRUE(workload.ok());
+  for (const Request& req : workload->requests) {
+    ASSERT_LT(req.object, params.num_objects);
+  }
+}
+
+TEST(TemporalLocalityTest, RejectsBadParameters) {
+  WorkloadParams params = BaseParams();
+  params.temporal_locality = 1.5;
+  EXPECT_FALSE(GenerateWorkload(params).ok());
+  params = BaseParams();
+  params.temporal_locality = 0.5;
+  params.temporal_window = 0;
+  EXPECT_FALSE(GenerateWorkload(params).ok());
+  params = BaseParams();
+  params.temporal_locality = 0.5;
+  params.temporal_mean_depth = 0.5;
+  EXPECT_FALSE(GenerateWorkload(params).ok());
+}
+
+/// Per-object counts over a half of the request stream.
+std::vector<uint64_t> HalfCounts(const Workload& workload, bool second) {
+  std::vector<uint64_t> counts(workload.catalog.num_objects(), 0);
+  const size_t half = workload.requests.size() / 2;
+  const size_t begin = second ? half : 0;
+  const size_t end = second ? workload.requests.size() : half;
+  for (size_t i = begin; i < end; ++i) {
+    ++counts[workload.requests[i].object];
+  }
+  return counts;
+}
+
+/// L1 distance between normalized popularity histograms of the two trace
+/// halves — higher means the hot set drifted.
+double HalfDrift(const Workload& workload) {
+  const auto first = HalfCounts(workload, false);
+  const auto second = HalfCounts(workload, true);
+  uint64_t n1 = 0, n2 = 0;
+  for (uint64_t c : first) n1 += c;
+  for (uint64_t c : second) n2 += c;
+  double drift = 0.0;
+  for (size_t i = 0; i < first.size(); ++i) {
+    drift += std::abs(static_cast<double>(first[i]) / n1 -
+                      static_cast<double>(second[i]) / n2);
+  }
+  return drift;
+}
+
+TEST(ChurnTest, RankSwapsDriftThePopularitySet) {
+  WorkloadParams params = BaseParams();
+  auto stationary = GenerateWorkload(params);
+  ASSERT_TRUE(stationary.ok());
+
+  // The trace spans ~1200 s; a high churn rate makes drift visible.
+  params.churn_swaps_per_hour = 3'000.0;
+  auto churned = GenerateWorkload(params);
+  ASSERT_TRUE(churned.ok());
+
+  EXPECT_GT(HalfDrift(*churned), HalfDrift(*stationary) * 1.5);
+}
+
+TEST(ChurnTest, OverallSkewIsPreserved) {
+  // Swapping ranks changes *which* objects are hot, not the rank-frequency
+  // law itself.
+  WorkloadParams params = BaseParams();
+  params.churn_swaps_per_hour = 1'000.0;
+  auto workload = GenerateWorkload(params);
+  ASSERT_TRUE(workload.ok());
+  std::vector<double> counts;
+  for (uint64_t c : CountAccesses(*workload)) {
+    counts.push_back(static_cast<double>(c));
+  }
+  std::sort(counts.rbegin(), counts.rend());
+  // Head still dominates (theta ~ 0.8 gives the top 10% > 40% of mass).
+  double head = 0.0, total = 0.0;
+  for (size_t i = 0; i < counts.size(); ++i) {
+    total += counts[i];
+    if (i < counts.size() / 10) head += counts[i];
+  }
+  EXPECT_GT(head / total, 0.4);
+}
+
+TEST(ExtensionsDeterminismTest, ReproducibleWithExtensionsEnabled) {
+  WorkloadParams params = BaseParams();
+  params.temporal_locality = 0.4;
+  params.temporal_window = 512;
+  params.temporal_mean_depth = 20.0;
+  params.churn_swaps_per_hour = 500.0;
+  auto a = GenerateWorkload(params);
+  auto b = GenerateWorkload(params);
+  ASSERT_TRUE(a.ok() && b.ok());
+  ASSERT_EQ(a->requests.size(), b->requests.size());
+  for (size_t i = 0; i < a->requests.size(); i += 777) {
+    EXPECT_EQ(a->requests[i].object, b->requests[i].object);
+    EXPECT_EQ(a->requests[i].client, b->requests[i].client);
+    EXPECT_DOUBLE_EQ(a->requests[i].time, b->requests[i].time);
+  }
+}
+
+TEST(ChurnTest, RejectsNegativeRate) {
+  WorkloadParams params = BaseParams();
+  params.churn_swaps_per_hour = -1.0;
+  EXPECT_FALSE(GenerateWorkload(params).ok());
+}
+
+}  // namespace
+}  // namespace cascache::trace

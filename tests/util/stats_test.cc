@@ -1,0 +1,142 @@
+#include "util/stats.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "util/random.h"
+
+namespace cascache::util {
+namespace {
+
+TEST(RunningStatTest, EmptyIsZero) {
+  RunningStat s;
+  EXPECT_EQ(s.count(), 0u);
+  EXPECT_EQ(s.mean(), 0.0);
+  EXPECT_EQ(s.variance(), 0.0);
+  EXPECT_EQ(s.min(), 0.0);
+  EXPECT_EQ(s.max(), 0.0);
+}
+
+TEST(RunningStatTest, BasicMoments) {
+  RunningStat s;
+  for (double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) s.Add(x);
+  EXPECT_EQ(s.count(), 8u);
+  EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+  EXPECT_DOUBLE_EQ(s.sum(), 40.0);
+  EXPECT_NEAR(s.variance(), 32.0 / 7.0, 1e-12);  // Sample variance.
+  EXPECT_DOUBLE_EQ(s.min(), 2.0);
+  EXPECT_DOUBLE_EQ(s.max(), 9.0);
+}
+
+TEST(RunningStatTest, SingleValueHasZeroVariance) {
+  RunningStat s;
+  s.Add(3.5);
+  EXPECT_EQ(s.variance(), 0.0);
+  EXPECT_EQ(s.mean(), 3.5);
+}
+
+TEST(RunningStatTest, MergeEqualsSequential) {
+  Rng rng(3);
+  RunningStat whole, a, b;
+  for (int i = 0; i < 1000; ++i) {
+    const double x = rng.NextGaussian(1.0, 2.0);
+    whole.Add(x);
+    (i % 2 == 0 ? a : b).Add(x);
+  }
+  a.Merge(b);
+  EXPECT_EQ(a.count(), whole.count());
+  EXPECT_NEAR(a.mean(), whole.mean(), 1e-9);
+  EXPECT_NEAR(a.variance(), whole.variance(), 1e-9);
+  EXPECT_EQ(a.min(), whole.min());
+  EXPECT_EQ(a.max(), whole.max());
+}
+
+TEST(RunningStatTest, MergeWithEmpty) {
+  RunningStat a, b;
+  a.Add(1.0);
+  a.Add(2.0);
+  a.Merge(b);  // no-op
+  EXPECT_EQ(a.count(), 2u);
+  b.Merge(a);  // copy
+  EXPECT_EQ(b.count(), 2u);
+  EXPECT_DOUBLE_EQ(b.mean(), 1.5);
+}
+
+TEST(RunningStatTest, ResetClears) {
+  RunningStat s;
+  s.Add(5.0);
+  s.Reset();
+  EXPECT_EQ(s.count(), 0u);
+  EXPECT_EQ(s.mean(), 0.0);
+}
+
+TEST(HistogramTest, EmptyQuantileIsZero) {
+  Histogram h;
+  EXPECT_EQ(h.Quantile(0.5), 0.0);
+  EXPECT_EQ(h.count(), 0u);
+}
+
+TEST(HistogramTest, MeanIsExact) {
+  Histogram h;
+  h.Add(1.0);
+  h.Add(2.0);
+  h.Add(3.0);
+  EXPECT_DOUBLE_EQ(h.mean(), 2.0);
+}
+
+TEST(HistogramTest, QuantilesApproximateUniform) {
+  Histogram h(1e-3, 1.02, 2048);
+  Rng rng(5);
+  for (int i = 0; i < 100000; ++i) h.Add(rng.NextDouble(1.0, 101.0));
+  // Relative error is bounded by the bucket growth factor.
+  EXPECT_NEAR(h.Quantile(0.5), 51.0, 3.0);
+  EXPECT_NEAR(h.Quantile(0.95), 96.0, 4.0);
+  EXPECT_NEAR(h.Quantile(0.05), 6.0, 1.0);
+}
+
+TEST(HistogramTest, QuantileMonotoneInQ) {
+  Histogram h;
+  Rng rng(6);
+  for (int i = 0; i < 10000; ++i) h.Add(rng.NextExponential(1.0));
+  double prev = 0.0;
+  for (double q : {0.1, 0.25, 0.5, 0.75, 0.9, 0.99}) {
+    const double v = h.Quantile(q);
+    EXPECT_GE(v, prev);
+    prev = v;
+  }
+}
+
+TEST(HistogramTest, MergeAddsCounts) {
+  Histogram a, b;
+  a.Add(1.0);
+  b.Add(2.0);
+  b.Add(3.0);
+  a.Merge(b);
+  EXPECT_EQ(a.count(), 3u);
+  EXPECT_DOUBLE_EQ(a.mean(), 2.0);
+}
+
+TEST(HistogramTest, SummaryMentionsCount) {
+  Histogram h;
+  h.Add(1.0);
+  EXPECT_NE(h.Summary().find("count=1"), std::string::npos);
+}
+
+TEST(HistogramTest, ValuesBelowMinLandInFirstBucket) {
+  Histogram h(1.0, 1.5, 16);
+  h.Add(0.0);
+  h.Add(1e-9);
+  EXPECT_EQ(h.count(), 2u);
+  EXPECT_DOUBLE_EQ(h.Quantile(0.5), 1.0);
+}
+
+TEST(HistogramTest, HugeValuesClampToLastBucket) {
+  Histogram h(1.0, 1.5, 8);
+  h.Add(1e30);
+  EXPECT_EQ(h.count(), 1u);
+  EXPECT_GT(h.Quantile(0.5), 1.0);
+}
+
+}  // namespace
+}  // namespace cascache::util

@@ -1,0 +1,41 @@
+#include "util/table.h"
+
+#include <gtest/gtest.h>
+
+namespace cascache::util {
+namespace {
+
+TEST(TablePrinterTest, HeaderOnly) {
+  TablePrinter table({"a", "bb"});
+  const std::string out = table.ToString();
+  EXPECT_NE(out.find("a  bb"), std::string::npos);
+  EXPECT_NE(out.find("-----"), std::string::npos);
+}
+
+TEST(TablePrinterTest, CellsRightAlignedFirstColumnLeft) {
+  TablePrinter table({"name", "value"});
+  table.AddRow({"x", "1"});
+  table.AddRow({"longer", "22"});
+  const std::string out = table.ToString();
+  // First column left-aligned: "x" padded on the right.
+  EXPECT_NE(out.find("x       "), std::string::npos);
+  // Second column right-aligned under "value".
+  EXPECT_NE(out.find("    1"), std::string::npos);
+}
+
+TEST(TablePrinterTest, FmtUsesPrecision) {
+  EXPECT_EQ(TablePrinter::Fmt(3.14159, 3), "3.14");
+  EXPECT_EQ(TablePrinter::Fmt(1000000.0, 4), "1e+06");
+  EXPECT_EQ(TablePrinter::Fmt(0.5), "0.5");
+}
+
+TEST(TablePrinterTest, RowsAppearInOrder) {
+  TablePrinter table({"k", "v"});
+  table.AddRow({"first", "1"});
+  table.AddRow({"second", "2"});
+  const std::string out = table.ToString();
+  EXPECT_LT(out.find("first"), out.find("second"));
+}
+
+}  // namespace
+}  // namespace cascache::util

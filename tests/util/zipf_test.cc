@@ -1,0 +1,83 @@
+#include "util/zipf.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "util/random.h"
+
+namespace cascache::util {
+namespace {
+
+TEST(ZipfTest, WeightsFollowPowerLaw) {
+  const auto w = ZipfDistribution::Weights(4, 1.0);
+  ASSERT_EQ(w.size(), 4u);
+  EXPECT_DOUBLE_EQ(w[0], 1.0);
+  EXPECT_DOUBLE_EQ(w[1], 0.5);
+  EXPECT_DOUBLE_EQ(w[3], 0.25);
+}
+
+TEST(ZipfTest, PmfSumsToOne) {
+  ZipfDistribution zipf(1000, 0.8);
+  double total = 0.0;
+  for (size_t i = 0; i < zipf.n(); ++i) total += zipf.pmf(i);
+  EXPECT_NEAR(total, 1.0, 1e-9);
+}
+
+TEST(ZipfTest, PmfIsDecreasing) {
+  ZipfDistribution zipf(100, 0.7);
+  for (size_t i = 1; i < zipf.n(); ++i) {
+    EXPECT_LT(zipf.pmf(i), zipf.pmf(i - 1));
+  }
+}
+
+TEST(ZipfTest, SamplingMatchesPmf) {
+  ZipfDistribution zipf(50, 0.9);
+  Rng rng(101);
+  std::vector<double> counts(50, 0.0);
+  const int n = 200000;
+  for (int i = 0; i < n; ++i) ++counts[zipf.Sample(&rng)];
+  // Check head ranks against expected mass.
+  for (size_t i = 0; i < 5; ++i) {
+    EXPECT_NEAR(counts[i] / n, zipf.pmf(i), 0.01) << "rank " << i;
+  }
+}
+
+TEST(ZipfTest, SingleElement) {
+  ZipfDistribution zipf(1, 0.8);
+  Rng rng(1);
+  EXPECT_EQ(zipf.Sample(&rng), 0u);
+  EXPECT_DOUBLE_EQ(zipf.pmf(0), 1.0);
+}
+
+class ZipfThetaRecovery : public ::testing::TestWithParam<double> {};
+
+TEST_P(ZipfThetaRecovery, EstimatorRecoversExponent) {
+  const double theta = GetParam();
+  // Exact counts (no sampling noise): counts proportional to 1/i^theta.
+  std::vector<double> counts = ZipfDistribution::Weights(2000, theta);
+  for (double& c : counts) c *= 1e6;
+  EXPECT_NEAR(EstimateZipfTheta(counts), theta, 1e-6);
+}
+
+INSTANTIATE_TEST_SUITE_P(Exponents, ZipfThetaRecovery,
+                         ::testing::Values(0.5, 0.64, 0.8, 1.0, 1.2));
+
+TEST(ZipfThetaTest, SampledCountsRecoverExponentApproximately) {
+  const double theta = 0.8;
+  ZipfDistribution zipf(500, theta);
+  Rng rng(55);
+  std::vector<double> counts(500, 0.0);
+  for (int i = 0; i < 500000; ++i) ++counts[zipf.Sample(&rng)];
+  // Tail ranks get few samples; the fit still lands near theta.
+  EXPECT_NEAR(EstimateZipfTheta(counts), theta, 0.08);
+}
+
+TEST(ZipfThetaTest, DegenerateInputs) {
+  EXPECT_EQ(EstimateZipfTheta({}), 0.0);
+  EXPECT_EQ(EstimateZipfTheta({5.0}), 0.0);
+  EXPECT_EQ(EstimateZipfTheta({0.0, 0.0}), 0.0);
+}
+
+}  // namespace
+}  // namespace cascache::util

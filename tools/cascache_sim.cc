@@ -1,0 +1,251 @@
+// cascache_sim: the command-line driver for the cascaded-caching
+// simulator. Runs any combination of architecture, caching schemes,
+// cache sizes, workload parameters, cost model and coherency protocol,
+// and prints a table of all paper metrics per (scheme, cache size) cell.
+//
+// Examples:
+//   cascache_sim                                   # paper defaults, small
+//   cascache_sim --arch=hier --schemes=lru,coordinated --cache=0.01,0.1
+//   cascache_sim --trace=boeing.cctr --schemes=coordinated --cache=0.03
+//   cascache_sim --coherency=ttl --ttl=600 --mutable=0.2
+//   cascache_sim --cost=bandwidth --schemes=coordinated,lncr
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "sim/experiment.h"
+#include "trace/trace_io.h"
+#include "util/flags.h"
+#include "util/table.h"
+
+namespace {
+
+using namespace cascache;
+
+util::StatusOr<schemes::SchemeSpec> ParseScheme(const std::string& name,
+                                                int radius) {
+  schemes::SchemeSpec spec;
+  spec.modulo_radius = radius;
+  if (name == "lru") {
+    spec.kind = schemes::SchemeKind::kLru;
+  } else if (name == "modulo") {
+    spec.kind = schemes::SchemeKind::kModulo;
+  } else if (name == "lncr") {
+    spec.kind = schemes::SchemeKind::kLncr;
+  } else if (name == "coordinated") {
+    spec.kind = schemes::SchemeKind::kCoordinated;
+  } else if (name == "gds") {
+    spec.kind = schemes::SchemeKind::kGds;
+  } else if (name == "lfu") {
+    spec.kind = schemes::SchemeKind::kLfu;
+  } else if (name == "static") {
+    spec.kind = schemes::SchemeKind::kStatic;
+  } else {
+    return util::Status::InvalidArgument(
+        "unknown scheme '" + name +
+        "' (expected lru|modulo|lncr|coordinated|gds|lfu|static)");
+  }
+  return spec;
+}
+
+util::Status RunMain(int argc, char** argv) {
+  util::FlagParser flags;
+  std::string arch, schemes_text, cache_text, cost, coherency, trace_path,
+      save_trace;
+  uint64_t requests, objects, clients, servers, seed;
+  int64_t radius;
+  double theta, dcache_ratio, warmup, ttl, mutable_fraction, update_period,
+      temporal, churn, level_growth;
+  bool help;
+
+  flags.AddBool("help", false, "print this help", &help);
+  flags.AddString("arch", "enroute",
+                  "architecture: enroute | hier", &arch);
+  flags.AddString("schemes", "lru,modulo,lncr,coordinated",
+                  "comma list of lru|modulo|lncr|coordinated|gds|lfu",
+                  &schemes_text);
+  flags.AddInt64("radius", 4, "MODULO cache radius", &radius);
+  flags.AddString("cache", "0.01",
+                  "comma list of relative cache sizes in (0,1]", &cache_text);
+  flags.AddUint64("requests", 200'000, "synthetic trace length", &requests);
+  flags.AddUint64("objects", 20'000, "synthetic object population", &objects);
+  flags.AddUint64("clients", 1'000, "synthetic client population", &clients);
+  flags.AddUint64("servers", 200, "origin server count", &servers);
+  flags.AddDouble("theta", 0.8, "Zipf exponent of object popularity", &theta);
+  flags.AddUint64("seed", 42, "workload seed", &seed);
+  flags.AddString("trace", "",
+                  "load a .cctr trace instead of generating one",
+                  &trace_path);
+  flags.AddString("save-trace", "",
+                  "write the (possibly generated) trace to this path",
+                  &save_trace);
+  flags.AddDouble("dcache-ratio", 3.0,
+                  "d-cache descriptors per avg cached object", &dcache_ratio);
+  flags.AddDouble("warmup", 0.5, "warm-up fraction of the trace", &warmup);
+  flags.AddString("cost", "latency",
+                  "optimized cost: latency | bandwidth | hops | weighted",
+                  &cost);
+  flags.AddString("coherency", "none",
+                  "coherency protocol: none | ttl | invalidation",
+                  &coherency);
+  flags.AddDouble("ttl", 3600.0, "copy TTL in seconds", &ttl);
+  flags.AddDouble("mutable", 0.0, "fraction of mutable objects",
+                  &mutable_fraction);
+  flags.AddDouble("update-period", 14400.0,
+                  "mean seconds between updates of a mutable object",
+                  &update_period);
+  flags.AddDouble("temporal", 0.0,
+                  "temporal-locality re-reference probability",
+                  &temporal);
+  flags.AddDouble("churn", 0.0, "popularity rank swaps per hour", &churn);
+  flags.AddDouble("level-growth", 1.0,
+                  "hierarchical per-level capacity growth (1 = uniform)",
+                  &level_growth);
+
+  CASCACHE_RETURN_IF_ERROR(flags.Parse(argc - 1, argv + 1));
+  if (help) {
+    std::fputs(flags.Usage(argv[0]).c_str(), stdout);
+    std::exit(0);
+  }
+
+  sim::ExperimentConfig config;
+  if (arch == "enroute") {
+    config.network.architecture = sim::Architecture::kEnRoute;
+  } else if (arch == "hier") {
+    config.network.architecture = sim::Architecture::kHierarchical;
+  } else {
+    return util::Status::InvalidArgument("unknown --arch: " + arch);
+  }
+
+  config.schemes.clear();
+  for (const std::string& name : util::SplitCommaList(schemes_text)) {
+    CASCACHE_ASSIGN_OR_RETURN(schemes::SchemeSpec spec,
+                              ParseScheme(name, static_cast<int>(radius)));
+    config.schemes.push_back(spec);
+  }
+  if (config.schemes.empty()) {
+    return util::Status::InvalidArgument("no schemes given");
+  }
+
+  config.cache_fractions.clear();
+  for (const std::string& part : util::SplitCommaList(cache_text)) {
+    config.cache_fractions.push_back(std::atof(part.c_str()));
+  }
+
+  config.workload.num_requests = requests;
+  config.workload.num_objects = static_cast<uint32_t>(objects);
+  config.workload.num_clients = static_cast<uint32_t>(clients);
+  config.workload.num_servers = static_cast<uint32_t>(servers);
+  config.workload.zipf_theta = theta;
+  config.workload.seed = seed;
+  config.workload.temporal_locality = temporal;
+  config.workload.churn_swaps_per_hour = churn;
+  config.sim.dcache_ratio = dcache_ratio;
+  config.sim.warmup_fraction = warmup;
+  config.sim.level_capacity_growth = level_growth;
+
+  if (cost == "latency") {
+    config.sim.cost_model.kind = sim::CostModelKind::kLatency;
+  } else if (cost == "bandwidth") {
+    config.sim.cost_model.kind = sim::CostModelKind::kBandwidth;
+  } else if (cost == "hops") {
+    config.sim.cost_model.kind = sim::CostModelKind::kHops;
+  } else if (cost == "weighted") {
+    config.sim.cost_model.kind = sim::CostModelKind::kWeighted;
+  } else {
+    return util::Status::InvalidArgument("unknown --cost: " + cost);
+  }
+
+  if (coherency == "none") {
+    config.sim.coherency.protocol = sim::CoherencyProtocol::kNone;
+  } else if (coherency == "ttl") {
+    config.sim.coherency.protocol = sim::CoherencyProtocol::kTtl;
+  } else if (coherency == "invalidation") {
+    config.sim.coherency.protocol = sim::CoherencyProtocol::kInvalidation;
+  } else {
+    return util::Status::InvalidArgument("unknown --coherency: " + coherency);
+  }
+  config.sim.coherency.ttl = ttl;
+  config.sim.coherency.mutable_fraction = mutable_fraction;
+  config.sim.coherency.mean_update_period = update_period;
+
+  CASCACHE_ASSIGN_OR_RETURN(std::unique_ptr<sim::ExperimentRunner> runner,
+                            sim::ExperimentRunner::Create(config));
+
+  // Optional external trace handling.
+  const trace::Workload* workload = &runner->workload();
+  trace::Workload loaded;
+  std::unique_ptr<sim::Network> loaded_network;
+  if (!trace_path.empty()) {
+    CASCACHE_ASSIGN_OR_RETURN(loaded, trace::ReadTrace(trace_path));
+    CASCACHE_ASSIGN_OR_RETURN(
+        loaded_network, sim::Network::Build(config.network, &loaded.catalog));
+    workload = &loaded;
+    std::fprintf(stderr, "loaded trace %s: %zu requests, %u objects\n",
+                 trace_path.c_str(), loaded.requests.size(),
+                 loaded.catalog.num_objects());
+  }
+  if (!save_trace.empty()) {
+    CASCACHE_RETURN_IF_ERROR(trace::WriteTrace(*workload, save_trace));
+    std::fprintf(stderr, "wrote trace to %s\n", save_trace.c_str());
+  }
+
+  util::TablePrinter table({"cache", "scheme", "latency(s)", "resp(s/MB)",
+                            "byte hit", "hops", "traffic(B*hop)",
+                            "load(B/req)", "stale"});
+  for (double fraction : config.cache_fractions) {
+    for (const schemes::SchemeSpec& spec : config.schemes) {
+      sim::MetricsSummary m;
+      if (trace_path.empty()) {
+        CASCACHE_ASSIGN_OR_RETURN(sim::RunResult result,
+                                  runner->RunOne(spec, fraction));
+        m = result.metrics;
+      } else {
+        schemes::SchemeSpec effective = spec;
+        if (effective.kind == schemes::SchemeKind::kStatic &&
+            effective.static_freeze_requests == 0) {
+          effective.static_freeze_requests = std::max<uint64_t>(
+              1, static_cast<uint64_t>(
+                     warmup *
+                     static_cast<double>(workload->requests.size())));
+        }
+        CASCACHE_ASSIGN_OR_RETURN(
+            std::unique_ptr<schemes::CachingScheme> scheme,
+            schemes::MakeScheme(effective));
+        sim::Simulator simulator(loaded_network.get(), scheme.get(),
+                                 config.sim);
+        const uint64_t capacity = std::max<uint64_t>(
+            1, static_cast<uint64_t>(
+                   fraction *
+                   static_cast<double>(workload->catalog.total_bytes())));
+        CASCACHE_RETURN_IF_ERROR(simulator.Run(*workload, capacity));
+        m = simulator.metrics().Summary();
+      }
+      char cache_label[32];
+      std::snprintf(cache_label, sizeof(cache_label), "%.2f%%",
+                    fraction * 100);
+      table.AddRow({cache_label, spec.Label(),
+                    util::TablePrinter::Fmt(m.avg_latency, 4),
+                    util::TablePrinter::Fmt(m.avg_response_ratio, 4),
+                    util::TablePrinter::Fmt(m.byte_hit_ratio, 4),
+                    util::TablePrinter::Fmt(m.avg_hops, 4),
+                    util::TablePrinter::Fmt(m.avg_traffic_byte_hops, 4),
+                    util::TablePrinter::Fmt(m.avg_load_bytes, 4),
+                    util::TablePrinter::Fmt(m.stale_hit_ratio, 3)});
+    }
+  }
+  table.Print();
+  return util::Status::Ok();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const util::Status status = RunMain(argc, argv);
+  if (!status.ok()) {
+    std::fprintf(stderr, "error: %s\n", status.ToString().c_str());
+    std::fprintf(stderr, "run with --help for usage\n");
+    return 1;
+  }
+  return 0;
+}
