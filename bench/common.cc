@@ -1,7 +1,10 @@
 #include "common.h"
 
+#include <algorithm>
+#include <chrono>
 #include <cstdio>
 #include <cstdlib>
+#include <vector>
 
 namespace cascache::bench {
 
@@ -64,6 +67,59 @@ void MaybeExportCsv(const std::vector<sim::RunResult>& results) {
   }
 }
 
+/// One sweep's timing record for BENCH_sweep.json.
+struct SweepTiming {
+  size_t cells = 0;
+  int jobs = 1;
+  double total_wall_seconds = 0.0;
+  double cell_wall_p50 = 0.0;
+  double cell_wall_p95 = 0.0;
+  double requests_per_sec = 0.0;  ///< Aggregate replay throughput.
+};
+
+std::vector<SweepTiming>& SweepTimings() {
+  static std::vector<SweepTiming> timings;
+  return timings;
+}
+
+/// Rewrites the bench-timing JSON (default BENCH_sweep.json, overridable
+/// via CASCACHE_BENCH_JSON; empty disables) with every sweep this process
+/// has run, so the perf trajectory of the figure benches is trackable
+/// across PRs.
+void ExportSweepJson() {
+  const char* env = std::getenv("CASCACHE_BENCH_JSON");
+  const std::string path =
+      env == nullptr ? "BENCH_sweep.json" : std::string(env);
+  if (path.empty()) return;
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "cannot write %s\n", path.c_str());
+    return;
+  }
+  std::fputs("[\n", f);
+  const std::vector<SweepTiming>& timings = SweepTimings();
+  for (size_t i = 0; i < timings.size(); ++i) {
+    const SweepTiming& t = timings[i];
+    std::fprintf(f,
+                 "  {\"sweep\": %zu, \"cells\": %zu, \"jobs\": %d, "
+                 "\"total_wall_seconds\": %.6g, \"cell_wall_p50\": %.6g, "
+                 "\"cell_wall_p95\": %.6g, \"requests_per_sec\": %.6g}%s\n",
+                 i, t.cells, t.jobs, t.total_wall_seconds, t.cell_wall_p50,
+                 t.cell_wall_p95, t.requests_per_sec,
+                 i + 1 < timings.size() ? "," : "");
+  }
+  std::fputs("]\n", f);
+  std::fclose(f);
+}
+
+double Percentile(std::vector<double> sorted_values, double p) {
+  if (sorted_values.empty()) return 0.0;
+  const size_t index = std::min(
+      sorted_values.size() - 1,
+      static_cast<size_t>(p * static_cast<double>(sorted_values.size())));
+  return sorted_values[index];
+}
+
 }  // namespace
 
 std::vector<sim::RunResult> RunSweep(const sim::ExperimentConfig& config) {
@@ -71,20 +127,43 @@ std::vector<sim::RunResult> RunSweep(const sim::ExperimentConfig& config) {
   CASCACHE_CHECK_OK(runner_or.status());
   sim::ExperimentRunner& runner = **runner_or;
 
-  std::vector<sim::RunResult> results;
   const size_t total =
       config.cache_fractions.size() * config.schemes.size();
-  size_t done = 0;
-  for (double fraction : config.cache_fractions) {
-    for (const schemes::SchemeSpec& spec : config.schemes) {
-      auto result_or = runner.RunOne(spec, fraction);
-      CASCACHE_CHECK_OK(result_or.status());
-      results.push_back(std::move(result_or).value());
-      ++done;
-      std::fprintf(stderr, "  [%zu/%zu] %s @ %.2f%%\n", done, total,
-                   spec.Label().c_str(), fraction * 100);
-    }
+  const int jobs = std::min<int>(sim::ResolveJobs(config.jobs),
+                                 static_cast<int>(std::max<size_t>(1, total)));
+  std::fprintf(stderr, "  running %zu cells on %d worker%s...\n", total, jobs,
+               jobs == 1 ? "" : "s");
+  const auto start = std::chrono::steady_clock::now();
+  auto results_or = runner.RunAll();
+  CASCACHE_CHECK_OK(results_or.status());
+  std::vector<sim::RunResult> results = std::move(results_or).value();
+  const double wall =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+          .count();
+
+  SweepTiming timing;
+  timing.cells = results.size();
+  timing.jobs = jobs;
+  timing.total_wall_seconds = wall;
+  std::vector<double> cell_walls;
+  cell_walls.reserve(results.size());
+  uint64_t replayed = 0;
+  for (const sim::RunResult& r : results) {
+    std::fprintf(stderr, "  %-14s @ %6.2f%%  %.3fs (%.0f req/s)\n",
+                 r.scheme.c_str(), r.cache_fraction * 100, r.wall_seconds,
+                 r.requests_per_sec);
+    cell_walls.push_back(r.wall_seconds);
+    replayed += r.metrics.requests;
   }
+  std::sort(cell_walls.begin(), cell_walls.end());
+  timing.cell_wall_p50 = Percentile(cell_walls, 0.50);
+  timing.cell_wall_p95 = Percentile(cell_walls, 0.95);
+  timing.requests_per_sec =
+      wall > 0.0 ? static_cast<double>(replayed) / wall : 0.0;
+  std::fprintf(stderr, "  sweep done in %.3fs\n", wall);
+  SweepTimings().push_back(timing);
+  ExportSweepJson();
+
   MaybeExportCsv(results);
   return results;
 }

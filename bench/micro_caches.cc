@@ -87,6 +87,24 @@ void BM_NclPlanEviction(benchmark::State& state) {
 }
 BENCHMARK(BM_NclPlanEviction)->Arg(100)->Arg(1000)->Arg(10000);
 
+void BM_NclPlanEvictionScratch(benchmark::State& state) {
+  // Same planning work through the allocation-free path the coordinated
+  // scheme uses on its ascent: one EvictionPlan reused across calls.
+  const int n = 10000;
+  NclCache cache(static_cast<uint64_t>(n) * 100);
+  Rng rng(5);
+  for (ObjectId id = 0; id < n; ++id) {
+    cache.Insert(id, 100, rng.NextDouble(0.0, 10.0));
+  }
+  const uint64_t need = static_cast<uint64_t>(state.range(0));
+  NclCache::EvictionPlan plan;
+  for (auto _ : state) {
+    cache.PlanEvictionInto(need, &plan);
+    benchmark::DoNotOptimize(plan.cost_loss);
+  }
+}
+BENCHMARK(BM_NclPlanEvictionScratch)->Arg(100)->Arg(1000)->Arg(10000);
+
 void BM_DCacheChurn(benchmark::State& state) {
   const int capacity = static_cast<int>(state.range(0));
   DCache dcache(static_cast<size_t>(capacity));

@@ -14,25 +14,31 @@ double NclCache::LossOf(ObjectId id) const {
 
 NclCache::EvictionPlan NclCache::PlanEviction(uint64_t need_bytes) const {
   EvictionPlan plan;
+  PlanEvictionInto(need_bytes, &plan);
+  return plan;
+}
+
+void NclCache::PlanEvictionInto(uint64_t need_bytes,
+                                EvictionPlan* plan) const {
+  plan->Clear();
   const uint64_t free = capacity_ - used_;
   if (free >= need_bytes) {
-    plan.feasible = true;
-    return plan;
+    plan->feasible = true;
+    return;
   }
   uint64_t to_free = need_bytes - free;
   for (const auto& [ncl, id] : order_) {
     const Entry& e = entries_.at(id);
-    plan.victims.push_back(id);
-    plan.cost_loss += e.loss;
-    plan.freed_bytes += e.size;
-    if (plan.freed_bytes >= to_free) {
-      plan.feasible = true;
-      return plan;
+    plan->victims.push_back(id);
+    plan->cost_loss += e.loss;
+    plan->freed_bytes += e.size;
+    if (plan->freed_bytes >= to_free) {
+      plan->feasible = true;
+      return;
     }
   }
   // Even evicting everything is not enough.
-  plan.feasible = false;
-  return plan;
+  plan->feasible = false;
 }
 
 std::vector<ObjectId> NclCache::Insert(ObjectId id, uint64_t size,
@@ -46,9 +52,9 @@ std::vector<ObjectId> NclCache::Insert(ObjectId id, uint64_t size,
   }
   if (size > capacity_) return evicted;
 
-  EvictionPlan plan = PlanEviction(size);
-  CASCACHE_CHECK(plan.feasible);
-  for (ObjectId victim : plan.victims) {
+  PlanEvictionInto(size, &insert_plan_);
+  CASCACHE_CHECK(insert_plan_.feasible);
+  for (ObjectId victim : insert_plan_.victims) {
     CASCACHE_CHECK(Erase(victim));
     evicted.push_back(victim);
   }

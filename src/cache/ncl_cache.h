@@ -27,6 +27,14 @@ class NclCache {
     double cost_loss = 0.0;
     uint64_t freed_bytes = 0;
     bool feasible = false;  ///< True if enough bytes can be freed.
+
+    /// Resets to the empty plan, keeping the victims allocation.
+    void Clear() {
+      victims.clear();
+      cost_loss = 0.0;
+      freed_bytes = 0;
+      feasible = false;
+    }
   };
 
   explicit NclCache(uint64_t capacity_bytes);
@@ -41,6 +49,11 @@ class NclCache {
   /// If the cache already has `need_bytes` free, the plan is empty and
   /// feasible.
   EvictionPlan PlanEviction(uint64_t need_bytes) const;
+
+  /// Allocation-free variant for the hot path (coordinated placement
+  /// plans an eviction per candidate on every request ascent): fills a
+  /// caller-owned plan, reusing its victims buffer.
+  void PlanEvictionInto(uint64_t need_bytes, EvictionPlan* plan) const;
 
   /// Inserts an object, applying the greedy eviction as needed. Returns
   /// the evicted ids; `inserted` reports whether the object was stored
@@ -72,6 +85,9 @@ class NclCache {
 
   uint64_t capacity_;
   uint64_t used_ = 0;
+  /// Reused by Insert() so steady-state insertions do not allocate a
+  /// fresh victims vector per call.
+  EvictionPlan insert_plan_;
   std::unordered_map<ObjectId, Entry> entries_;
   /// Ascending (NCL, id) order; supports the greedy in-order scan that the
   /// heap alternative cannot provide without destructive pops.

@@ -9,7 +9,7 @@
 namespace cascache::schemes {
 
 void CoordinatedScheme::OnRequestServed(const ServedRequest& request,
-                                        Network* network,
+                                        CacheSet* caches,
                                         sim::RequestMetrics* metrics) {
   const std::vector<topology::NodeId>& path = *request.path;
   const std::vector<double>& costs = *request.link_costs;
@@ -29,7 +29,7 @@ void CoordinatedScheme::OnRequestServed(const ServedRequest& request,
 
   // Record the access at the serving cache (refreshes its NCL priority).
   if (!request.origin_served()) {
-    network->node(path[static_cast<size_t>(request.hit_index)])
+    caches->node(path[static_cast<size_t>(request.hit_index)])
         ->RecordAccess(request.object, request.now);
   }
 
@@ -44,7 +44,7 @@ void CoordinatedScheme::OnRequestServed(const ServedRequest& request,
       // Descending one link from the previous node on the path.
       cum_cost += costs[static_cast<size_t>(i)];
     }
-    sim::CacheNode* node = network->node(path[static_cast<size_t>(i)]);
+    sim::CacheNode* node = caches->node(path[static_cast<size_t>(i)]);
 
     core::PathNodeInfo node_info;
     node_info.node = path[static_cast<size_t>(i)];
@@ -62,9 +62,9 @@ void CoordinatedScheme::OnRequestServed(const ServedRequest& request,
     }
 
     if (request.size <= node->capacity_bytes()) {
-      const auto plan = node->PlanEvictionFor(request.size);
-      node_info.feasible = plan.feasible;
-      node_info.cost_loss = plan.cost_loss;
+      node->PlanEvictionInto(request.size, &scratch_plan_);
+      node_info.feasible = scratch_plan_.feasible;
+      node_info.cost_loss = scratch_plan_.cost_loss;
     } else {
       node_info.feasible = false;
     }
@@ -107,7 +107,7 @@ void CoordinatedScheme::OnRequestServed(const ServedRequest& request,
     if (i != highest_candidate || !request.origin_served()) {
       penalty += costs[static_cast<size_t>(i)];
     }
-    sim::CacheNode* node = network->node(path[static_cast<size_t>(i)]);
+    sim::CacheNode* node = caches->node(path[static_cast<size_t>(i)]);
     if (selected_path_indices.count(i) > 0) {
       if (node->InsertCost(request.object, request.size, penalty,
                            request.now)) {

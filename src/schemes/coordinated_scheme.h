@@ -1,6 +1,7 @@
 #ifndef CASCACHE_SCHEMES_COORDINATED_SCHEME_H_
 #define CASCACHE_SCHEMES_COORDINATED_SCHEME_H_
 
+#include "cache/ncl_cache.h"
 #include "core/path_info.h"
 #include "schemes/scheme.h"
 
@@ -65,7 +66,7 @@ class CoordinatedScheme : public CachingScheme {
   std::string name() const override { return "Coordinated"; }
   CacheMode cache_mode() const override { return CacheMode::kCost; }
 
-  void OnRequestServed(const ServedRequest& request, Network* network,
+  void OnRequestServed(const ServedRequest& request, CacheSet* caches,
                        sim::RequestMetrics* metrics) override;
 
   const Stats& stats() const { return stats_; }
@@ -73,6 +74,9 @@ class CoordinatedScheme : public CachingScheme {
 
  private:
   Stats stats_;
+  /// Reused across PlanEvictionInto calls (one per candidate per request)
+  /// so the ascent never allocates a fresh victims vector.
+  cache::NclCache::EvictionPlan scratch_plan_;
 };
 
 }  // namespace cascache::schemes

@@ -15,13 +15,13 @@ double UpstreamLinkCost(const ServedRequest& request, int i) {
 }  // namespace
 
 void GdsScheme::OnRequestServed(const ServedRequest& request,
-                                Network* network,
+                                CacheSet* caches,
                                 sim::RequestMetrics* metrics) {
   const std::vector<topology::NodeId>& path = *request.path;
   const int top = request.top_index();
 
   if (!request.origin_served()) {
-    network->node(path[static_cast<size_t>(request.hit_index)])
+    caches->node(path[static_cast<size_t>(request.hit_index)])
         ->gds()
         ->OnHit(request.object,
                 UpstreamLinkCost(request, request.hit_index));
@@ -30,7 +30,7 @@ void GdsScheme::OnRequestServed(const ServedRequest& request,
   const int first_missing = request.origin_served() ? top : top - 1;
   for (int i = first_missing; i >= 0; --i) {
     bool inserted = false;
-    network->node(path[static_cast<size_t>(i)])
+    caches->node(path[static_cast<size_t>(i)])
         ->gds()
         ->Insert(request.object, request.size, UpstreamLinkCost(request, i),
                  &inserted);
@@ -42,13 +42,13 @@ void GdsScheme::OnRequestServed(const ServedRequest& request,
 }
 
 void LfuScheme::OnRequestServed(const ServedRequest& request,
-                                Network* network,
+                                CacheSet* caches,
                                 sim::RequestMetrics* metrics) {
   const std::vector<topology::NodeId>& path = *request.path;
   const int top = request.top_index();
 
   if (!request.origin_served()) {
-    network->node(path[static_cast<size_t>(request.hit_index)])
+    caches->node(path[static_cast<size_t>(request.hit_index)])
         ->lfu()
         ->Touch(request.object);
   }
@@ -56,7 +56,7 @@ void LfuScheme::OnRequestServed(const ServedRequest& request,
   const int first_missing = request.origin_served() ? top : top - 1;
   for (int i = first_missing; i >= 0; --i) {
     bool inserted = false;
-    network->node(path[static_cast<size_t>(i)])
+    caches->node(path[static_cast<size_t>(i)])
         ->lfu()
         ->Insert(request.object, request.size, &inserted);
     if (inserted) {

@@ -19,7 +19,7 @@ class GdsScheme : public CachingScheme {
   CacheMode cache_mode() const override { return CacheMode::kGds; }
   bool uses_dcache() const override { return false; }
 
-  void OnRequestServed(const ServedRequest& request, Network* network,
+  void OnRequestServed(const ServedRequest& request, CacheSet* caches,
                        sim::RequestMetrics* metrics) override;
 };
 
@@ -32,7 +32,7 @@ class LfuScheme : public CachingScheme {
   CacheMode cache_mode() const override { return CacheMode::kLfu; }
   bool uses_dcache() const override { return false; }
 
-  void OnRequestServed(const ServedRequest& request, Network* network,
+  void OnRequestServed(const ServedRequest& request, CacheSet* caches,
                        sim::RequestMetrics* metrics) override;
 };
 

@@ -3,7 +3,7 @@
 namespace cascache::schemes {
 
 void LncrScheme::OnRequestServed(const ServedRequest& request,
-                                 Network* network,
+                                 CacheSet* caches,
                                  sim::RequestMetrics* metrics) {
   const std::vector<topology::NodeId>& path = *request.path;
   const std::vector<double>& costs = *request.link_costs;
@@ -12,7 +12,7 @@ void LncrScheme::OnRequestServed(const ServedRequest& request,
   // Record the access at every node the request traversed; at the serving
   // cache this also refreshes the object's NCL priority.
   for (int i = 0; i <= top; ++i) {
-    sim::CacheNode* node = network->node(path[static_cast<size_t>(i)]);
+    sim::CacheNode* node = caches->node(path[static_cast<size_t>(i)]);
     if (node->RecordAccess(request.object, request.now) == nullptr &&
         !node->Contains(request.object)) {
       // Unknown object: track it in the d-cache (frequency estimation).
@@ -24,7 +24,7 @@ void LncrScheme::OnRequestServed(const ServedRequest& request,
   // is the cost of the immediate upstream link.
   const int first_missing = request.origin_served() ? top : top - 1;
   for (int i = first_missing; i >= 0; --i) {
-    sim::CacheNode* node = network->node(path[static_cast<size_t>(i)]);
+    sim::CacheNode* node = caches->node(path[static_cast<size_t>(i)]);
     // Attach node: upstream link is the virtual server link.
     const double miss_penalty =
         (i == static_cast<int>(path.size()) - 1)

@@ -18,7 +18,7 @@ class LncrScheme : public CachingScheme {
   std::string name() const override { return "LNC-R"; }
   CacheMode cache_mode() const override { return CacheMode::kCost; }
 
-  void OnRequestServed(const ServedRequest& request, Network* network,
+  void OnRequestServed(const ServedRequest& request, CacheSet* caches,
                        sim::RequestMetrics* metrics) override;
 };
 

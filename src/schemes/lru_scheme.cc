@@ -3,14 +3,14 @@
 namespace cascache::schemes {
 
 void LruScheme::OnRequestServed(const ServedRequest& request,
-                                Network* network,
+                                CacheSet* caches,
                                 sim::RequestMetrics* metrics) {
   const std::vector<topology::NodeId>& path = *request.path;
   const int top = request.top_index();
 
   // Refresh recency at the serving cache.
   if (!request.origin_served()) {
-    network->node(path[static_cast<size_t>(request.hit_index)])
+    caches->node(path[static_cast<size_t>(request.hit_index)])
         ->lru()
         ->Touch(request.object);
   }
@@ -20,7 +20,7 @@ void LruScheme::OnRequestServed(const ServedRequest& request,
   const int first_missing = request.origin_served() ? top : top - 1;
   for (int i = first_missing; i >= 0; --i) {
     bool inserted = false;
-    network->node(path[static_cast<size_t>(i)])
+    caches->node(path[static_cast<size_t>(i)])
         ->lru()
         ->Insert(request.object, request.size, &inserted);
     if (inserted) {

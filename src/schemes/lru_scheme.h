@@ -14,7 +14,7 @@ class LruScheme : public CachingScheme {
   CacheMode cache_mode() const override { return CacheMode::kLru; }
   bool uses_dcache() const override { return false; }
 
-  void OnRequestServed(const ServedRequest& request, Network* network,
+  void OnRequestServed(const ServedRequest& request, CacheSet* caches,
                        sim::RequestMetrics* metrics) override;
 };
 

@@ -13,12 +13,12 @@ std::string ModuloScheme::name() const {
 }
 
 void ModuloScheme::OnRequestServed(const ServedRequest& request,
-                                   Network* network,
+                                   CacheSet* caches,
                                    sim::RequestMetrics* metrics) {
   const std::vector<topology::NodeId>& path = *request.path;
 
   if (!request.origin_served()) {
-    network->node(path[static_cast<size_t>(request.hit_index)])
+    caches->node(path[static_cast<size_t>(request.hit_index)])
         ->lru()
         ->Touch(request.object);
   }
@@ -40,7 +40,7 @@ void ModuloScheme::OnRequestServed(const ServedRequest& request,
     const int distance = serving_distance_base - i;
     if (distance <= 0 || distance % radius_ != 0) continue;
     bool inserted = false;
-    network->node(path[static_cast<size_t>(i)])
+    caches->node(path[static_cast<size_t>(i)])
         ->lru()
         ->Insert(request.object, request.size, &inserted);
     if (inserted) {

@@ -21,7 +21,7 @@ class ModuloScheme : public CachingScheme {
   bool uses_dcache() const override { return false; }
   int radius() const { return radius_; }
 
-  void OnRequestServed(const ServedRequest& request, Network* network,
+  void OnRequestServed(const ServedRequest& request, CacheSet* caches,
                        sim::RequestMetrics* metrics) override;
 
  private:

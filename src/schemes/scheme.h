@@ -5,15 +5,15 @@
 #include <string>
 #include <vector>
 
+#include "sim/cache_set.h"
 #include "sim/metrics.h"
-#include "sim/network.h"
 #include "trace/object_catalog.h"
 #include "util/status.h"
 
 namespace cascache::schemes {
 
 using sim::CacheMode;
-using sim::Network;
+using sim::CacheSet;
 using trace::ObjectId;
 
 /// Everything a scheme needs to know about a request once the simulator
@@ -55,6 +55,11 @@ struct ServedRequest {
 /// descriptors and decide placements/replacements on the delivery path.
 /// The simulator accounts reads and latency itself; schemes report the
 /// writes they perform through `metrics`.
+///
+/// Schemes mutate only the CacheSet they are handed (the run's cache
+/// plane) plus their own members; a scheme instance is used by exactly
+/// one simulation run, so it needs no internal synchronization even when
+/// sweeps run cells in parallel.
 class CachingScheme {
  public:
   virtual ~CachingScheme() = default;
@@ -68,9 +73,9 @@ class CachingScheme {
   /// one, paper §3.3).
   virtual bool uses_dcache() const { return cache_mode() == CacheMode::kCost; }
 
-  /// Applies the scheme's caching decisions for one request. Called for
-  /// every request, warm-up included.
-  virtual void OnRequestServed(const ServedRequest& request, Network* network,
+  /// Applies the scheme's caching decisions for one request against the
+  /// run's cache plane. Called for every request, warm-up included.
+  virtual void OnRequestServed(const ServedRequest& request, CacheSet* caches,
                                sim::RequestMetrics* metrics) = 0;
 };
 

@@ -11,12 +11,12 @@ StaticScheme::StaticScheme(uint64_t freeze_after_requests)
 }
 
 void StaticScheme::OnRequestServed(const ServedRequest& request,
-                                   Network* network,
+                                   CacheSet* caches,
                                    sim::RequestMetrics* metrics) {
   if (frozen_) return;  // Contents are fixed; nothing ever changes.
 
   if (demand_.empty()) {
-    demand_.resize(static_cast<size_t>(network->num_nodes()));
+    demand_.resize(static_cast<size_t>(caches->num_nodes()));
   }
 
   // Learning phase: count the request at every node it traversed (the
@@ -31,12 +31,12 @@ void StaticScheme::OnRequestServed(const ServedRequest& request,
   }
 
   ++requests_seen_;
-  if (requests_seen_ >= freeze_after_) Freeze(network, metrics);
+  if (requests_seen_ >= freeze_after_) Freeze(caches, metrics);
 }
 
-void StaticScheme::Freeze(Network* network, sim::RequestMetrics* metrics) {
+void StaticScheme::Freeze(CacheSet* caches, sim::RequestMetrics* metrics) {
   frozen_ = true;
-  for (topology::NodeId v = 0; v < network->num_nodes(); ++v) {
+  for (topology::NodeId v = 0; v < caches->num_nodes(); ++v) {
     auto& seen = demand_[static_cast<size_t>(v)];
     std::vector<std::pair<ObjectId, Demand>> ranked(seen.begin(), seen.end());
     // Density rule: requests served per byte of capacity.
@@ -49,7 +49,7 @@ void StaticScheme::Freeze(Network* network, sim::RequestMetrics* metrics) {
                 if (da != db) return da > db;
                 return a.first < b.first;  // Deterministic tie-break.
               });
-    cache::LruCache* cache = network->node(v)->lru();
+    cache::LruCache* cache = caches->node(v)->lru();
     for (const auto& [object, d] : ranked) {
       if (d.size > cache->capacity_bytes() - cache->used_bytes()) continue;
       bool inserted = false;

@@ -34,7 +34,7 @@ class StaticScheme : public CachingScheme {
   CacheMode cache_mode() const override { return CacheMode::kLru; }
   bool uses_dcache() const override { return false; }
 
-  void OnRequestServed(const ServedRequest& request, Network* network,
+  void OnRequestServed(const ServedRequest& request, CacheSet* caches,
                        sim::RequestMetrics* metrics) override;
 
   bool frozen() const { return frozen_; }
@@ -46,7 +46,7 @@ class StaticScheme : public CachingScheme {
     uint64_t size = 0;
   };
 
-  void Freeze(Network* network, sim::RequestMetrics* metrics);
+  void Freeze(CacheSet* caches, sim::RequestMetrics* metrics);
 
   uint64_t freeze_after_;
   uint64_t requests_seen_ = 0;

@@ -1,0 +1,29 @@
+#include "sim/cache_set.h"
+
+namespace cascache::sim {
+
+CacheSet::CacheSet(int num_nodes) {
+  CASCACHE_CHECK(num_nodes >= 0);
+  nodes_.reserve(static_cast<size_t>(num_nodes));
+  CacheNodeConfig default_config;
+  default_config.capacity_bytes = 1;  // Placeholder until Configure().
+  for (topology::NodeId v = 0; v < num_nodes; ++v) {
+    nodes_.emplace_back(v, default_config);
+  }
+}
+
+void CacheSet::Configure(const CacheNodeConfig& config) {
+  for (CacheNode& node : nodes_) node.Reset(config);
+}
+
+void CacheSet::ConfigureWithCapacities(
+    const CacheNodeConfig& config, const std::vector<uint64_t>& capacities) {
+  CASCACHE_CHECK(capacities.size() == nodes_.size());
+  for (size_t i = 0; i < nodes_.size(); ++i) {
+    CacheNodeConfig node_config = config;
+    node_config.capacity_bytes = capacities[i];
+    nodes_[i].Reset(node_config);
+  }
+}
+
+}  // namespace cascache::sim

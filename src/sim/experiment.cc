@@ -1,10 +1,15 @@
 #include "sim/experiment.h"
 
 #include <algorithm>
+#include <atomic>
+#include <chrono>
 #include <cstdio>
+#include <cstdlib>
 #include <map>
+#include <thread>
 
 #include "util/table.h"
+#include "util/thread_pool.h"
 
 namespace cascache::sim {
 
@@ -33,8 +38,24 @@ util::StatusOr<std::unique_ptr<ExperimentRunner>> ExperimentRunner::Create(
   return runner;
 }
 
+int ResolveJobs(int requested) {
+  if (requested >= 1) return requested;
+  if (const char* env = std::getenv("CASCACHE_JOBS"); env != nullptr) {
+    const int jobs = std::atoi(env);
+    if (jobs >= 1) return jobs;
+  }
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw > 0 ? static_cast<int>(hw) : 1;
+}
+
 util::StatusOr<RunResult> ExperimentRunner::RunOne(
     const schemes::SchemeSpec& spec, double cache_fraction) {
+  return RunCell(spec, cache_fraction, network_->caches());
+}
+
+util::StatusOr<RunResult> ExperimentRunner::RunCell(
+    const schemes::SchemeSpec& spec, double cache_fraction,
+    CacheSet* caches) {
   schemes::SchemeSpec effective = spec;
   if (effective.kind == schemes::SchemeKind::kStatic &&
       effective.static_freeze_requests == 0) {
@@ -51,25 +72,80 @@ util::StatusOr<RunResult> ExperimentRunner::RunOne(
       1, static_cast<uint64_t>(cache_fraction *
                                static_cast<double>(
                                    workload_.catalog.total_bytes())));
-  Simulator simulator(network_.get(), scheme.get(), config_.sim);
+  Simulator simulator(network_.get(), caches, scheme.get(), config_.sim);
+  const auto start = std::chrono::steady_clock::now();
   CASCACHE_RETURN_IF_ERROR(simulator.Run(workload_, capacity));
+  const double wall =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+          .count();
 
   RunResult result;
   result.scheme = spec.Label();
   result.cache_fraction = cache_fraction;
   result.capacity_bytes = capacity;
   result.metrics = simulator.metrics().Summary();
+  result.wall_seconds = wall;
+  result.requests_per_sec =
+      wall > 0.0 ? static_cast<double>(workload_.requests.size()) / wall : 0.0;
   return result;
 }
 
 util::StatusOr<std::vector<RunResult>> ExperimentRunner::RunAll() {
-  std::vector<RunResult> results;
-  results.reserve(config_.cache_fractions.size() * config_.schemes.size());
+  // Flatten the sweep into cells in the documented result order: cache
+  // size first, then scheme (the order given in the config).
+  struct Cell {
+    const schemes::SchemeSpec* spec;
+    double fraction;
+  };
+  std::vector<Cell> cells;
+  cells.reserve(config_.cache_fractions.size() * config_.schemes.size());
   for (double fraction : config_.cache_fractions) {
     for (const schemes::SchemeSpec& spec : config_.schemes) {
-      CASCACHE_ASSIGN_OR_RETURN(RunResult result, RunOne(spec, fraction));
+      cells.push_back({&spec, fraction});
+    }
+  }
+
+  const int jobs =
+      std::min<int>(ResolveJobs(config_.jobs),
+                    static_cast<int>(std::max<size_t>(1, cells.size())));
+  if (jobs <= 1) {
+    // Exact legacy path: sequential, on the network's default cache set
+    // (post-run state stays inspectable through Network::node()).
+    std::vector<RunResult> results;
+    results.reserve(cells.size());
+    for (const Cell& cell : cells) {
+      CASCACHE_ASSIGN_OR_RETURN(RunResult result,
+                                RunOne(*cell.spec, cell.fraction));
       results.push_back(std::move(result));
     }
+    return results;
+  }
+
+  // Parallel path: every cell runs on its own cache plane over the shared
+  // immutable network. Each worker writes only results[i]/statuses[i] for
+  // the cells it executed, so result order is the cell order by
+  // construction, independent of completion order.
+  std::vector<RunResult> results(cells.size());
+  std::vector<util::Status> statuses(cells.size(), util::Status::Ok());
+  {
+    util::ThreadPool pool(jobs);
+    for (size_t i = 0; i < cells.size(); ++i) {
+      pool.Submit([this, i, &cells, &results, &statuses] {
+        CacheSet caches = network_->MakeCacheSet();
+        auto result_or = RunCell(*cells[i].spec, cells[i].fraction, &caches);
+        if (result_or.ok()) {
+          results[i] = std::move(result_or).value();
+        } else {
+          statuses[i] = result_or.status();
+        }
+      });
+    }
+    pool.Wait();
+  }
+  // Report the first failure in cell order (deterministic, like the
+  // sequential path would).
+  for (const util::Status& status : statuses) {
+    if (!status.ok()) return status;
   }
   return results;
 }
@@ -80,27 +156,31 @@ util::Status WriteResultsCsv(const std::vector<RunResult>& results,
   if (f == nullptr) {
     return util::Status::IoError("cannot open for write: " + path);
   }
-  std::fputs(
-      "scheme,cache_fraction,capacity_bytes,requests,avg_latency,"
-      "avg_response_ratio,byte_hit_ratio,hit_ratio,avg_traffic_byte_hops,"
-      "avg_hops,avg_load_bytes,read_load_share,stale_hit_ratio\n",
-      f);
-  bool ok = true;
+  bool ok =
+      std::fputs(
+          "scheme,cache_fraction,capacity_bytes,requests,avg_latency,"
+          "avg_response_ratio,byte_hit_ratio,hit_ratio,avg_traffic_byte_hops,"
+          "avg_hops,avg_load_bytes,read_load_share,stale_hit_ratio,"
+          "wall_seconds,requests_per_sec\n",
+          f) >= 0;
   for (const RunResult& r : results) {
     const MetricsSummary& m = r.metrics;
     ok = ok &&
          std::fprintf(
              f, "%s,%.6g,%llu,%llu,%.8g,%.8g,%.8g,%.8g,%.8g,%.8g,%.8g,%.8g,"
-                "%.8g\n",
+                "%.8g,%.6g,%.6g\n",
              r.scheme.c_str(), r.cache_fraction,
              static_cast<unsigned long long>(r.capacity_bytes),
              static_cast<unsigned long long>(m.requests), m.avg_latency,
              m.avg_response_ratio, m.byte_hit_ratio, m.hit_ratio,
              m.avg_traffic_byte_hops, m.avg_hops, m.avg_load_bytes,
-             m.read_load_share, m.stale_hit_ratio) > 0;
+             m.read_load_share, m.stale_hit_ratio, r.wall_seconds,
+             r.requests_per_sec) > 0;
   }
-  std::fclose(f);
-  if (!ok) return util::Status::IoError("short write: " + path);
+  // fclose flushes the stdio buffer; on a full disk that is where the
+  // failure surfaces, so its result decides whether the CSV is whole.
+  const bool closed = std::fclose(f) == 0;
+  if (!ok || !closed) return util::Status::IoError("short write: " + path);
   return util::Status::Ok();
 }
 

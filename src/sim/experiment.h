@@ -24,7 +24,18 @@ struct ExperimentConfig {
   /// (the paper sweeps 0.1% .. 10%, log scale).
   std::vector<double> cache_fractions = {0.001, 0.003, 0.01, 0.03, 0.10};
   std::vector<schemes::SchemeSpec> schemes;
+  /// Worker threads for RunAll. 1 runs the exact legacy sequential path
+  /// on the network's default cache set; N > 1 runs cells concurrently,
+  /// each on its own cache plane; 0 (default) resolves via the
+  /// CASCACHE_JOBS environment variable, falling back to
+  /// hardware_concurrency. Results are bit-identical for every value.
+  int jobs = 0;
 };
+
+/// Number of workers RunAll would use for `requested` (the ExperimentConfig
+/// jobs field): `requested` itself if >= 1, else CASCACHE_JOBS, else
+/// hardware_concurrency. Exposed so benches can report the value.
+int ResolveJobs(int requested);
 
 /// One (scheme, cache size) cell of a sweep.
 struct RunResult {
@@ -32,6 +43,11 @@ struct RunResult {
   double cache_fraction = 0.0;
   uint64_t capacity_bytes = 0;
   MetricsSummary metrics;
+  /// Wall-clock seconds this cell's simulation took (replay only; not
+  /// part of the determinism contract).
+  double wall_seconds = 0.0;
+  /// Requests replayed per wall-clock second (warm-up included).
+  double requests_per_sec = 0.0;
 };
 
 /// Runs a configured sweep. Expensive state (topology, routing, workload)
@@ -46,10 +62,14 @@ class ExperimentRunner {
   ExperimentRunner& operator=(const ExperimentRunner&) = delete;
 
   /// Runs every (cache size, scheme) cell; results are ordered by cache
-  /// size then scheme (the order given in the config).
+  /// size then scheme (the order given in the config) regardless of
+  /// completion order. With config.jobs resolving to N > 1, cells execute
+  /// concurrently on per-worker cache planes over the shared immutable
+  /// network; the results are bit-identical to the sequential run.
   util::StatusOr<std::vector<RunResult>> RunAll();
 
-  /// Runs a single cell against the shared workload/network.
+  /// Runs a single cell against the shared workload/network, on the
+  /// network's default cache set (post-run cache state stays inspectable).
   util::StatusOr<RunResult> RunOne(const schemes::SchemeSpec& spec,
                                    double cache_fraction);
 
@@ -59,6 +79,11 @@ class ExperimentRunner {
 
  private:
   explicit ExperimentRunner(ExperimentConfig config);
+
+  /// Runs one cell on the given cache plane (the shared implementation
+  /// behind RunOne and the parallel RunAll workers).
+  util::StatusOr<RunResult> RunCell(const schemes::SchemeSpec& spec,
+                                    double cache_fraction, CacheSet* caches);
 
   ExperimentConfig config_;
   trace::Workload workload_;

@@ -68,12 +68,14 @@ util::StatusOr<std::unique_ptr<Network>> Network::Build(
   // large and sparse); fix the per-network salt here.
   net->client_attach_.clear();
 
-  net->nodes_.reserve(static_cast<size_t>(net->graph_.num_nodes()));
-  CacheNodeConfig default_config;
-  default_config.capacity_bytes = 1;  // Placeholder until ConfigureCaches.
-  for (topology::NodeId v = 0; v < net->graph_.num_nodes(); ++v) {
-    net->nodes_.emplace_back(v, default_config);
+  // Precompute the distribution tree of every destination in use, so the
+  // routing table is read-only (and therefore shareable across worker
+  // threads) from here on.
+  for (topology::NodeId dest : net->server_attach_) {
+    net->routing_->Precompute(dest);
   }
+
+  net->caches_ = CacheSet(net->graph_.num_nodes());
   return net;
 }
 
@@ -93,25 +95,11 @@ topology::NodeId Network::ServerAttach(ServerId server) const {
 }
 
 std::vector<topology::NodeId> Network::PathToServer(topology::NodeId from,
-                                                    ServerId server) {
-  return routing_->Path(from, ServerAttach(server));
+                                                    ServerId server) const {
+  return routing().Path(from, ServerAttach(server));
 }
 
-void Network::ConfigureCaches(const CacheNodeConfig& config) {
-  for (CacheNode& node : nodes_) node.Reset(config);
-}
-
-void Network::ConfigureCachesWithCapacities(
-    const CacheNodeConfig& config, const std::vector<uint64_t>& capacities) {
-  CASCACHE_CHECK(capacities.size() == nodes_.size());
-  for (size_t i = 0; i < nodes_.size(); ++i) {
-    CacheNodeConfig node_config = config;
-    node_config.capacity_bytes = capacities[i];
-    nodes_[i].Reset(node_config);
-  }
-}
-
-double Network::MeanClientServerHops() {
+double Network::MeanClientServerHops() const {
   // Average over distinct server attach points and all client sites.
   std::unordered_set<topology::NodeId> server_nodes(server_attach_.begin(),
                                                     server_attach_.end());
@@ -120,7 +108,7 @@ double Network::MeanClientServerHops() {
   uint64_t pairs = 0;
   for (topology::NodeId server_node : server_nodes) {
     for (topology::NodeId client_node : client_sites_) {
-      total += routing_->Hops(client_node, server_node);
+      total += routing().Hops(client_node, server_node);
       ++pairs;
     }
   }

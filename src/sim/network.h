@@ -4,6 +4,7 @@
 #include <memory>
 #include <vector>
 
+#include "sim/cache_set.h"
 #include "sim/node.h"
 #include "topology/routing.h"
 #include "topology/tiers.h"
@@ -32,10 +33,14 @@ struct NetworkParams {
   uint64_t placement_seed = 7;
 };
 
-/// The simulated content-distribution network: the graph, the distribution
-/// trees (shortest-path routing), the client/server attach points and one
-/// CacheNode per graph node. Built once per topology; caches are
-/// re-configured per simulation run via ConfigureCaches().
+/// The simulated content-distribution network. After Build() the Network
+/// is an immutable core — graph, distribution trees (precomputed for
+/// every server attach node), client/server attach points, catalog — that
+/// any number of threads may query concurrently through the const
+/// accessors. The mutable per-run cache state lives in CacheSet: the
+/// Network owns one default set (the single-threaded legacy interface
+/// below forwards to it), and parallel sweeps create one isolated set per
+/// worker via MakeCacheSet().
 class Network {
  public:
   /// Builds the network for a catalog's servers. The catalog outlives the
@@ -67,28 +72,40 @@ class Network {
   int server_link_hops() const { return server_link_delay_ > 0.0 ? 1 : 0; }
 
   /// Nodes from `from` to the server's attach node along the distribution
-  /// tree, inclusive.
+  /// tree, inclusive. Thread-safe: trees are precomputed at Build time.
   std::vector<topology::NodeId> PathToServer(topology::NodeId from,
-                                             ServerId server);
+                                             ServerId server) const;
 
   double LinkDelay(topology::NodeId u, topology::NodeId v) const {
     return graph_.EdgeDelay(u, v);
   }
 
+  /// A fresh, independently mutable cache plane over this topology (one
+  /// per worker in parallel sweeps).
+  CacheSet MakeCacheSet() const { return CacheSet(graph_.num_nodes()); }
+
+  /// The default cache plane, used by the legacy single-threaded
+  /// interface (tests, examples, sequential runs).
+  CacheSet* caches() { return &caches_; }
+
   CacheNode* node(topology::NodeId id) {
     CASCACHE_CHECK(graph_.IsValidNode(id));
-    return &nodes_[static_cast<size_t>(id)];
+    return caches_.node(id);
   }
 
-  /// Re-initializes every cache with the given configuration (start of a
-  /// simulation run).
-  void ConfigureCaches(const CacheNodeConfig& config);
+  /// Re-initializes every cache of the default set with the given
+  /// configuration (start of a simulation run).
+  void ConfigureCaches(const CacheNodeConfig& config) {
+    caches_.Configure(config);
+  }
 
-  /// Re-initializes caches with per-node capacities (heterogeneous
-  /// provisioning studies). `capacities` must have one entry per node;
-  /// the rest of `config` applies to every node.
-  void ConfigureCachesWithCapacities(
-      const CacheNodeConfig& config, const std::vector<uint64_t>& capacities);
+  /// Re-initializes the default set with per-node capacities
+  /// (heterogeneous provisioning studies). `capacities` must have one
+  /// entry per node; the rest of `config` applies to every node.
+  void ConfigureCachesWithCapacities(const CacheNodeConfig& config,
+                                     const std::vector<uint64_t>& capacities) {
+    caches_.ConfigureWithCapacities(config, capacities);
+  }
 
   /// Cache level of a node: tree level under the hierarchical
   /// architecture (0 = leaf, depth-1 = root); 0 for every node under
@@ -107,16 +124,19 @@ class Network {
   /// Mean hop count of client-to-server routing paths, averaged over all
   /// (client-attach, server-attach) pairs in use (Table 1's "average
   /// length of the routing path").
-  double MeanClientServerHops();
+  double MeanClientServerHops() const;
 
  private:
   Network(NetworkParams params, const trace::ObjectCatalog* catalog);
+
+  const topology::RoutingTable& routing() const { return *routing_; }
 
   NetworkParams params_;
   const trace::ObjectCatalog* catalog_;
   topology::Graph graph_{0};
   std::unique_ptr<topology::RoutingTable> routing_;
-  std::vector<CacheNode> nodes_;
+  /// Default (legacy single-threaded) cache plane.
+  CacheSet caches_;
   /// Candidate attach nodes for clients and servers.
   std::vector<topology::NodeId> client_sites_;
   std::vector<topology::NodeId> server_sites_;

@@ -166,6 +166,12 @@ cache::NclCache::EvictionPlan CacheNode::PlanEvictionFor(
   return ncl_->PlanEviction(size);
 }
 
+void CacheNode::PlanEvictionInto(uint64_t size,
+                                 cache::NclCache::EvictionPlan* plan) const {
+  CASCACHE_CHECK(ncl_ != nullptr);
+  ncl_->PlanEvictionInto(size, plan);
+}
+
 bool CacheNode::InsertCost(ObjectId id, uint64_t size, double miss_penalty,
                            double now) {
   CASCACHE_CHECK(ncl_ != nullptr);

@@ -127,6 +127,11 @@ class CacheNode {
   /// l computation). Cost mode only.
   cache::NclCache::EvictionPlan PlanEvictionFor(uint64_t size) const;
 
+  /// Allocation-free variant: fills a caller-owned plan, reusing its
+  /// victims buffer (hot path of the coordinated request ascent).
+  void PlanEvictionInto(uint64_t size,
+                        cache::NclCache::EvictionPlan* plan) const;
+
   /// Inserts an object into the cost-mode store with the given miss
   /// penalty. The object's descriptor is promoted from the d-cache (or
   /// created), the access history is preserved, evicted objects'

@@ -5,10 +5,13 @@
 
 namespace cascache::sim {
 
-Simulator::Simulator(Network* network, schemes::CachingScheme* scheme,
+Simulator::Simulator(const Network* network, CacheSet* caches,
+                     schemes::CachingScheme* scheme,
                      const SimOptions& options)
-    : network_(network), scheme_(scheme), options_(options) {
+    : network_(network), caches_(caches), scheme_(scheme), options_(options) {
   CASCACHE_CHECK(network != nullptr);
+  CASCACHE_CHECK(caches != nullptr);
+  CASCACHE_CHECK(caches->num_nodes() == network->num_nodes());
   CASCACHE_CHECK(scheme != nullptr);
   CASCACHE_CHECK(options.warmup_fraction >= 0.0 &&
                  options.warmup_fraction < 1.0);
@@ -16,6 +19,10 @@ Simulator::Simulator(Network* network, schemes::CachingScheme* scheme,
   CASCACHE_CHECK_OK(model_or.status());
   cost_model_ = *model_or;
 }
+
+Simulator::Simulator(Network* network, schemes::CachingScheme* scheme,
+                     const SimOptions& options)
+    : Simulator(network, network->caches(), scheme, options) {}
 
 util::Status Simulator::EnableCoherency(uint32_t num_objects) {
   const CoherencyParams& params = options_.coherency;
@@ -55,7 +62,7 @@ util::Status Simulator::Run(const trace::Workload& workload,
   }
   if (options_.level_capacity_growth == 1.0 ||
       network_->MaxNodeLevel() == 0) {
-    network_->ConfigureCaches(config);
+    caches_->Configure(config);
   } else {
     // Distribute the same total budget across levels with capacity
     // proportional to growth^level.
@@ -80,7 +87,7 @@ util::Status Simulator::Run(const trace::Workload& workload,
           1, static_cast<uint64_t>(budget * weights[static_cast<size_t>(v)] /
                                    weight_sum));
     }
-    network_->ConfigureCachesWithCapacities(config, capacities);
+    caches_->ConfigureWithCapacities(config, capacities);
   }
   metrics_.Reset();
 
@@ -126,7 +133,7 @@ void Simulator::Step(const trace::Request& request, bool collect) {
   uint32_t served_version =
       updates_ == nullptr ? 0 : updates_->VersionAt(object, request.time);
   for (size_t i = 0; i < path_.size(); ++i) {
-    CacheNode* node = network_->node(path_[i]);
+    CacheNode* node = caches_->node(path_[i]);
     if (!node->Contains(object)) continue;
     if (updates_ != nullptr) {
       const CacheNode::CopyStamp* stamp = node->FindCopy(object);
@@ -193,7 +200,7 @@ void Simulator::Step(const trace::Request& request, bool collect) {
           ? 0.0
           : cost_model_.LinkCost(network_->server_link_delay(), size,
                                  mean_size);
-  scheme_->OnRequestServed(served, network_, &request_metrics);
+  scheme_->OnRequestServed(served, caches_, &request_metrics);
 
   // Stamp freshness metadata on the copies this request created. Copies
   // below the serving point inherit the served version; the serving copy
@@ -202,7 +209,7 @@ void Simulator::Step(const trace::Request& request, bool collect) {
     const int top = served.top_index();
     for (int i = 0; i <= top; ++i) {
       if (i == hit_index) continue;
-      CacheNode* node = network_->node(path_[static_cast<size_t>(i)]);
+      CacheNode* node = caches_->node(path_[static_cast<size_t>(i)]);
       if (node->Contains(object)) {
         node->StampCopy(object, request.time, served_version);
       }

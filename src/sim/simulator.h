@@ -41,10 +41,20 @@ struct SimOptions {
 /// under one caching scheme, computing the paper's metrics. The paper's
 /// simulation is sequential and analytic (latency is derived from link
 /// delays, not queueing), so no event queue is needed.
+///
+/// The simulator only reads the Network (immutable shared topology) and
+/// mutates the CacheSet it was given, so simulators over disjoint cache
+/// sets may run concurrently on one Network.
 class Simulator {
  public:
-  /// `network` and `scheme` must outlive the simulator. Caches are (re)
-  /// configured by Run().
+  /// `network`, `caches` and `scheme` must outlive the simulator. Caches
+  /// are (re)configured by Run().
+  Simulator(const Network* network, CacheSet* caches,
+            schemes::CachingScheme* scheme,
+            const SimOptions& options = SimOptions());
+
+  /// Single-threaded convenience: runs on the network's default cache
+  /// set.
   Simulator(Network* network, schemes::CachingScheme* scheme,
             const SimOptions& options = SimOptions());
 
@@ -65,10 +75,12 @@ class Simulator {
   util::Status EnableCoherency(uint32_t num_objects);
 
   const MetricsCollector& metrics() const { return metrics_; }
-  Network* network() { return network_; }
+  const Network* network() const { return network_; }
+  CacheSet* caches() { return caches_; }
 
  private:
-  Network* network_;
+  const Network* network_;
+  CacheSet* caches_;
   schemes::CachingScheme* scheme_;
   SimOptions options_;
   CostModel cost_model_;

@@ -14,17 +14,38 @@ const ShortestPathTree& RoutingTable::TreeFor(NodeId dest) {
   return it->second;
 }
 
+const ShortestPathTree& RoutingTable::TreeFor(NodeId dest) const {
+  auto it = trees_.find(dest);
+  CASCACHE_CHECK_MSG(it != trees_.end(),
+                     "tree not precomputed for const access");
+  return it->second;
+}
+
 std::vector<NodeId> RoutingTable::Path(NodeId from, NodeId dest) {
   return TreeFor(dest).PathToRoot(from);
 }
 
+std::vector<NodeId> RoutingTable::Path(NodeId from, NodeId dest) const {
+  return TreeFor(dest).PathToRoot(from);
+}
+
 double RoutingTable::Delay(NodeId from, NodeId dest) {
+  Precompute(dest);
+  return static_cast<const RoutingTable*>(this)->Delay(from, dest);
+}
+
+double RoutingTable::Delay(NodeId from, NodeId dest) const {
   const ShortestPathTree& tree = TreeFor(dest);
   CASCACHE_CHECK(tree.Reachable(from));
   return tree.dist[static_cast<size_t>(from)];
 }
 
 int RoutingTable::Hops(NodeId from, NodeId dest) {
+  Precompute(dest);
+  return static_cast<const RoutingTable*>(this)->Hops(from, dest);
+}
+
+int RoutingTable::Hops(NodeId from, NodeId dest) const {
   const ShortestPathTree& tree = TreeFor(dest);
   CASCACHE_CHECK(tree.Reachable(from));
   return tree.hops[static_cast<size_t>(from)];

@@ -13,6 +13,11 @@ namespace cascache::topology {
 /// distribution trees, §2 and §3.2). Trees are computed lazily and cached,
 /// one per distinct destination (server attach node), since the number of
 /// distinct server locations is small compared to request volume.
+///
+/// Thread safety: the non-const accessors mutate the tree cache and must
+/// not race. The const overloads never mutate — after every destination
+/// in use has been Precompute()d (the Network does this at build time),
+/// any number of threads may query them concurrently.
 class RoutingTable {
  public:
   explicit RoutingTable(const Graph* graph);
@@ -20,15 +25,25 @@ class RoutingTable {
   /// The shortest-path tree rooted at `dest` (computed on first use).
   const ShortestPathTree& TreeFor(NodeId dest);
 
+  /// Read-only lookup; the tree must have been computed already.
+  const ShortestPathTree& TreeFor(NodeId dest) const;
+
+  /// Builds and caches the tree for `dest` so the const accessors can
+  /// serve it without mutation.
+  void Precompute(NodeId dest) { TreeFor(dest); }
+
   /// Node sequence from `from` to `dest` along the distribution tree,
   /// inclusive of both endpoints. `from` must be able to reach `dest`.
   std::vector<NodeId> Path(NodeId from, NodeId dest);
+  std::vector<NodeId> Path(NodeId from, NodeId dest) const;
 
   /// Total delay from `from` to `dest` along the tree.
   double Delay(NodeId from, NodeId dest);
+  double Delay(NodeId from, NodeId dest) const;
 
   /// Hop count from `from` to `dest` along the tree.
   int Hops(NodeId from, NodeId dest);
+  int Hops(NodeId from, NodeId dest) const;
 
   size_t num_cached_trees() const { return trees_.size(); }
 

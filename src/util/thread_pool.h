@@ -1,0 +1,134 @@
+#ifndef CASCACHE_UTIL_THREAD_POOL_H_
+#define CASCACHE_UTIL_THREAD_POOL_H_
+
+#include <condition_variable>
+#include <deque>
+#include <exception>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "util/check.h"
+
+namespace cascache::util {
+
+/// Fixed-size worker pool with a bounded FIFO task queue, used by the
+/// experiment runner to execute sweep cells concurrently.
+///
+/// Guarantees:
+///  - Submit() blocks when the queue is full (backpressure instead of
+///    unbounded memory growth).
+///  - Wait() blocks until every task submitted so far has finished; if a
+///    task threw, the first exception is rethrown there.
+///  - The destructor drains the queue, finishes running tasks and joins
+///    every worker — no detached threads survive the pool.
+///
+/// Tasks must synchronize any state they share; the pool itself only
+/// hands each task to exactly one worker (the queue operations
+/// happen-before the task body, and task completion happens-before
+/// Wait() returning).
+class ThreadPool {
+ public:
+  /// `num_threads` must be >= 1. `max_queued` bounds the number of
+  /// not-yet-started tasks; 0 picks 4 tasks per worker.
+  explicit ThreadPool(int num_threads, size_t max_queued = 0)
+      : max_queued_(max_queued > 0
+                        ? max_queued
+                        : 4 * static_cast<size_t>(num_threads)) {
+    CASCACHE_CHECK_MSG(num_threads >= 1, "thread pool needs >= 1 worker");
+    workers_.reserve(static_cast<size_t>(num_threads));
+    for (int i = 0; i < num_threads; ++i) {
+      workers_.emplace_back([this] { WorkerLoop(); });
+    }
+  }
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  ~ThreadPool() {
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      shutting_down_ = true;
+    }
+    task_available_.notify_all();
+    for (std::thread& worker : workers_) worker.join();
+    // A task failure that was never observed via Wait() is a programming
+    // error; surface it instead of swallowing it.
+    CASCACHE_CHECK_MSG(first_error_ == nullptr,
+                       "thread pool destroyed with unretrieved task error");
+  }
+
+  size_t num_threads() const { return workers_.size(); }
+
+  /// Enqueues a task; blocks while `max_queued` tasks are already
+  /// pending. Must not be called concurrently with the destructor.
+  void Submit(std::function<void()> task) {
+    CASCACHE_CHECK(task != nullptr);
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      CASCACHE_CHECK_MSG(!shutting_down_, "Submit after shutdown");
+      space_available_.wait(lock,
+                            [this] { return queue_.size() < max_queued_; });
+      queue_.push_back(std::move(task));
+    }
+    task_available_.notify_one();
+  }
+
+  /// Blocks until the queue is empty and no task is running, then
+  /// rethrows the first task exception, if any. The pool stays usable
+  /// afterwards.
+  void Wait() {
+    std::exception_ptr error;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      idle_.wait(lock, [this] { return queue_.empty() && active_ == 0; });
+      error = std::exchange(first_error_, nullptr);
+    }
+    if (error != nullptr) std::rethrow_exception(error);
+  }
+
+ private:
+  void WorkerLoop() {
+    for (;;) {
+      std::function<void()> task;
+      {
+        std::unique_lock<std::mutex> lock(mu_);
+        task_available_.wait(
+            lock, [this] { return !queue_.empty() || shutting_down_; });
+        if (queue_.empty()) return;  // Shutting down and fully drained.
+        task = std::move(queue_.front());
+        queue_.pop_front();
+        ++active_;
+      }
+      space_available_.notify_one();
+      try {
+        task();
+      } catch (...) {
+        std::unique_lock<std::mutex> lock(mu_);
+        if (first_error_ == nullptr) first_error_ = std::current_exception();
+      }
+      {
+        std::unique_lock<std::mutex> lock(mu_);
+        --active_;
+        if (queue_.empty() && active_ == 0) idle_.notify_all();
+      }
+    }
+  }
+
+  std::mutex mu_;
+  std::condition_variable task_available_;
+  std::condition_variable space_available_;
+  std::condition_variable idle_;
+  std::deque<std::function<void()>> queue_;
+  std::vector<std::thread> workers_;
+  const size_t max_queued_;
+  int active_ = 0;
+  bool shutting_down_ = false;
+  std::exception_ptr first_error_;
+};
+
+}  // namespace cascache::util
+
+#endif  // CASCACHE_UTIL_THREAD_POOL_H_

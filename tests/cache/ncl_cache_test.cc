@@ -79,6 +79,46 @@ TEST(NclCacheTest, PlanDoesNotMutate) {
   EXPECT_EQ(cache.used_bytes(), 60u);
 }
 
+TEST(NclCacheTest, PlanEvictionIntoReusesBuffer) {
+  NclCache cache(100);
+  cache.Insert(1, 40, 4.0);   // NCL 0.1
+  cache.Insert(2, 40, 20.0);  // NCL 0.5
+  NclCache::EvictionPlan plan;
+  cache.PlanEvictionInto(90, &plan);
+  ASSERT_TRUE(plan.feasible);
+  ASSERT_EQ(plan.victims.size(), 2u);
+  EXPECT_EQ(plan.victims[0], 1u);
+  EXPECT_EQ(plan.victims[1], 2u);
+  EXPECT_DOUBLE_EQ(plan.cost_loss, 24.0);
+  EXPECT_EQ(plan.freed_bytes, 80u);
+
+  // The same plan object must be fully reset by the next call — no stale
+  // victims, loss, or feasibility carried over.
+  cache.PlanEvictionInto(10, &plan);
+  EXPECT_TRUE(plan.feasible);
+  EXPECT_TRUE(plan.victims.empty());
+  EXPECT_DOUBLE_EQ(plan.cost_loss, 0.0);
+  EXPECT_EQ(plan.freed_bytes, 0u);
+}
+
+TEST(NclCacheTest, PlanEvictionIntoMatchesPlanEviction) {
+  util::Rng rng(11);
+  NclCache cache(1500);
+  for (ObjectId id = 0; id < 40; ++id) {
+    cache.Insert(id, 1 + rng.NextUint64(100), rng.NextDouble(0.0, 8.0));
+  }
+  NclCache::EvictionPlan reused;
+  for (int trial = 0; trial < 30; ++trial) {
+    const uint64_t need = 1 + rng.NextUint64(2000);
+    const auto fresh = cache.PlanEviction(need);
+    cache.PlanEvictionInto(need, &reused);
+    EXPECT_EQ(reused.feasible, fresh.feasible);
+    EXPECT_EQ(reused.victims, fresh.victims);
+    EXPECT_DOUBLE_EQ(reused.cost_loss, fresh.cost_loss);
+    EXPECT_EQ(reused.freed_bytes, fresh.freed_bytes);
+  }
+}
+
 TEST(NclCacheTest, OversizedObjectRejected) {
   NclCache cache(100);
   cache.Insert(1, 60, 5.0);

@@ -134,6 +134,72 @@ TEST(ExperimentTest, WriteResultsCsvBadPathFails) {
       WriteResultsCsv({}, "/nonexistent_dir_xyz/results.csv").ok());
 }
 
+// The parallel sweep contract: RunAll with N workers is bit-identical to
+// the sequential legacy path, cell for cell, for every architecture.
+void ExpectParallelMatchesSequential(ExperimentConfig config) {
+  config.jobs = 1;
+  auto seq_runner = ExperimentRunner::Create(config);
+  ASSERT_TRUE(seq_runner.ok()) << seq_runner.status();
+  auto seq_or = (*seq_runner)->RunAll();
+  ASSERT_TRUE(seq_or.ok()) << seq_or.status();
+
+  config.jobs = 4;
+  auto par_runner = ExperimentRunner::Create(config);
+  ASSERT_TRUE(par_runner.ok()) << par_runner.status();
+  auto par_or = (*par_runner)->RunAll();
+  ASSERT_TRUE(par_or.ok()) << par_or.status();
+
+  const std::vector<RunResult>& seq = *seq_or;
+  const std::vector<RunResult>& par = *par_or;
+  ASSERT_EQ(par.size(), seq.size());
+  for (size_t i = 0; i < seq.size(); ++i) {
+    SCOPED_TRACE("cell " + std::to_string(i) + " (" + seq[i].scheme + ")");
+    EXPECT_EQ(par[i].scheme, seq[i].scheme);
+    EXPECT_DOUBLE_EQ(par[i].cache_fraction, seq[i].cache_fraction);
+    EXPECT_EQ(par[i].capacity_bytes, seq[i].capacity_bytes);
+    const MetricsSummary& a = par[i].metrics;
+    const MetricsSummary& b = seq[i].metrics;
+    EXPECT_EQ(a.requests, b.requests);
+    EXPECT_DOUBLE_EQ(a.avg_latency, b.avg_latency);
+    EXPECT_DOUBLE_EQ(a.avg_response_ratio, b.avg_response_ratio);
+    EXPECT_DOUBLE_EQ(a.byte_hit_ratio, b.byte_hit_ratio);
+    EXPECT_DOUBLE_EQ(a.hit_ratio, b.hit_ratio);
+    EXPECT_DOUBLE_EQ(a.avg_traffic_byte_hops, b.avg_traffic_byte_hops);
+    EXPECT_DOUBLE_EQ(a.avg_hops, b.avg_hops);
+    EXPECT_DOUBLE_EQ(a.avg_load_bytes, b.avg_load_bytes);
+    EXPECT_DOUBLE_EQ(a.read_load_share, b.read_load_share);
+    EXPECT_DOUBLE_EQ(a.stale_hit_ratio, b.stale_hit_ratio);
+    EXPECT_EQ(a.total_bytes_requested, b.total_bytes_requested);
+    EXPECT_EQ(a.bytes_from_caches, b.bytes_from_caches);
+    // wall_seconds/requests_per_sec are timing, not part of the contract.
+  }
+}
+
+TEST(ExperimentTest, ParallelRunAllMatchesSequentialHierarchical) {
+  ExperimentConfig config = SmallConfig();
+  config.schemes = {{.kind = schemes::SchemeKind::kLru},
+                    {.kind = schemes::SchemeKind::kCoordinated},
+                    {.kind = schemes::SchemeKind::kLncr}};
+  ExpectParallelMatchesSequential(config);
+}
+
+TEST(ExperimentTest, ParallelRunAllMatchesSequentialEnRoute) {
+  ExperimentConfig config = SmallConfig();
+  config.network.architecture = Architecture::kEnRoute;
+  config.schemes = {{.kind = schemes::SchemeKind::kLru},
+                    {.kind = schemes::SchemeKind::kModulo,
+                     .modulo_radius = 2},
+                    {.kind = schemes::SchemeKind::kCoordinated}};
+  ExpectParallelMatchesSequential(config);
+}
+
+TEST(ExperimentTest, ResolveJobsHonorsExplicitRequest) {
+  EXPECT_EQ(ResolveJobs(1), 1);
+  EXPECT_EQ(ResolveJobs(7), 7);
+  // 0 resolves from the environment / hardware; it is always >= 1.
+  EXPECT_GE(ResolveJobs(0), 1);
+}
+
 TEST(ExperimentTest, DeterministicAcrossRunners) {
   auto a = ExperimentRunner::Create(SmallConfig());
   auto b = ExperimentRunner::Create(SmallConfig());

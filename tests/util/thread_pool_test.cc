@@ -1,0 +1,102 @@
+#include "util/thread_pool.h"
+
+#include <atomic>
+#include <chrono>
+#include <stdexcept>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace cascache::util {
+namespace {
+
+TEST(ThreadPoolTest, RunsEveryTask) {
+  ThreadPool pool(4);
+  std::atomic<int> count{0};
+  for (int i = 0; i < 100; ++i) {
+    pool.Submit([&count] { count.fetch_add(1, std::memory_order_relaxed); });
+  }
+  pool.Wait();
+  EXPECT_EQ(count.load(), 100);
+}
+
+TEST(ThreadPoolTest, WaitIsReusable) {
+  ThreadPool pool(2);
+  std::atomic<int> count{0};
+  pool.Submit([&count] { ++count; });
+  pool.Wait();
+  EXPECT_EQ(count.load(), 1);
+  pool.Submit([&count] { ++count; });
+  pool.Submit([&count] { ++count; });
+  pool.Wait();
+  EXPECT_EQ(count.load(), 3);
+}
+
+TEST(ThreadPoolTest, SingleWorkerRunsTasksInSubmissionOrder) {
+  ThreadPool pool(1);
+  std::vector<int> order;
+  for (int i = 0; i < 20; ++i) {
+    pool.Submit([&order, i] { order.push_back(i); });
+  }
+  pool.Wait();
+  ASSERT_EQ(order.size(), 20u);
+  for (int i = 0; i < 20; ++i) EXPECT_EQ(order[i], i);
+}
+
+TEST(ThreadPoolTest, DestructorDrainsQueue) {
+  std::atomic<int> count{0};
+  {
+    ThreadPool pool(2);
+    for (int i = 0; i < 50; ++i) {
+      pool.Submit([&count] { count.fetch_add(1, std::memory_order_relaxed); });
+    }
+    // No Wait(): the destructor must still run every queued task before
+    // joining its workers.
+  }
+  EXPECT_EQ(count.load(), 50);
+}
+
+TEST(ThreadPoolTest, BoundedQueueAppliesBackpressure) {
+  // One slow worker, queue depth 2: submissions block instead of queueing
+  // without bound.
+  ThreadPool pool(1, /*max_queued=*/2);
+  std::atomic<bool> release{false};
+  std::atomic<int> started{0};
+  pool.Submit([&] {
+    ++started;
+    while (!release.load()) std::this_thread::yield();
+  });
+  // These fill the queue while the worker is blocked.
+  pool.Submit([] {});
+  pool.Submit([] {});
+  std::atomic<bool> fourth_submitted{false};
+  std::thread submitter([&] {
+    pool.Submit([] {});
+    fourth_submitted = true;
+  });
+  // Give the submitter a chance to (incorrectly) return immediately.
+  std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  EXPECT_FALSE(fourth_submitted.load());
+  release = true;
+  submitter.join();
+  EXPECT_TRUE(fourth_submitted.load());
+  pool.Wait();
+}
+
+TEST(ThreadPoolTest, WaitRethrowsFirstTaskException) {
+  ThreadPool pool(2);
+  std::atomic<int> completed{0};
+  pool.Submit([] { throw std::runtime_error("task failed"); });
+  for (int i = 0; i < 10; ++i) {
+    pool.Submit([&completed] { ++completed; });
+  }
+  EXPECT_THROW(pool.Wait(), std::runtime_error);
+  // The error does not cancel other tasks; they all still ran.
+  EXPECT_EQ(completed.load(), 10);
+  // A second Wait() after the error was retrieved is clean.
+  pool.Wait();
+}
+
+}  // namespace
+}  // namespace cascache::util

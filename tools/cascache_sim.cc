@@ -101,6 +101,11 @@ util::Status RunMain(int argc, char** argv) {
   flags.AddDouble("level-growth", 1.0,
                   "hierarchical per-level capacity growth (1 = uniform)",
                   &level_growth);
+  int64_t jobs;
+  flags.AddInt64("jobs", 0,
+                 "worker threads for the sweep (0 = CASCACHE_JOBS env, "
+                 "else hardware concurrency; 1 = sequential)",
+                 &jobs);
 
   CASCACHE_RETURN_IF_ERROR(flags.Parse(argc - 1, argv + 1));
   if (help) {
@@ -168,6 +173,7 @@ util::Status RunMain(int argc, char** argv) {
   config.sim.coherency.ttl = ttl;
   config.sim.coherency.mutable_fraction = mutable_fraction;
   config.sim.coherency.mean_update_period = update_period;
+  config.jobs = static_cast<int>(jobs);
 
   CASCACHE_ASSIGN_OR_RETURN(std::unique_ptr<sim::ExperimentRunner> runner,
                             sim::ExperimentRunner::Create(config));
@@ -190,16 +196,22 @@ util::Status RunMain(int argc, char** argv) {
     std::fprintf(stderr, "wrote trace to %s\n", save_trace.c_str());
   }
 
+  // Generated traces go through the sweep engine, which runs the cells
+  // concurrently (--jobs); its result order matches the loop below.
+  std::vector<sim::RunResult> sweep_results;
+  if (trace_path.empty()) {
+    CASCACHE_ASSIGN_OR_RETURN(sweep_results, runner->RunAll());
+  }
+
   util::TablePrinter table({"cache", "scheme", "latency(s)", "resp(s/MB)",
                             "byte hit", "hops", "traffic(B*hop)",
                             "load(B/req)", "stale"});
+  size_t next_result = 0;
   for (double fraction : config.cache_fractions) {
     for (const schemes::SchemeSpec& spec : config.schemes) {
       sim::MetricsSummary m;
       if (trace_path.empty()) {
-        CASCACHE_ASSIGN_OR_RETURN(sim::RunResult result,
-                                  runner->RunOne(spec, fraction));
-        m = result.metrics;
+        m = sweep_results[next_result++].metrics;
       } else {
         schemes::SchemeSpec effective = spec;
         if (effective.kind == schemes::SchemeKind::kStatic &&
