@@ -2,73 +2,79 @@
 
 #include <algorithm>
 
-#include <unordered_set>
-
 #include "core/placement.h"
 
 namespace cascache::schemes {
 
-void CoordinatedScheme::OnRequestServed(const ServedRequest& request,
-                                        CacheSet* caches,
-                                        sim::RequestMetrics* metrics) {
-  const std::vector<topology::NodeId>& path = *request.path;
-  const std::vector<double>& costs = *request.link_costs;
-  const int top = request.top_index();
-  ++stats_.requests;
+void CoordinatedScheme::OnAscend(sim::MessageContext& ctx, int hop) {
+  // The request passes a cache that cannot serve it: piggyback this
+  // node's (f_i, l_i) view of the object (paper §2.3). The node's m_i is
+  // the running link-cost sum the serving node reconstructs in OnServe.
+  sim::CacheNode* node = ctx.node(hop);
 
-  // --- Request ascent: assemble the piggybacked path information. -------
-  //
-  // PathInfo is ordered A_1 (adjacent to the serving node) .. A_n (the
-  // requesting cache); path index i runs the other way, so A_j sits at
-  // path index (top_candidate - j + 1)... we simply walk i downward.
-  //
-  // The highest candidate: with a cache hit at path[hit], candidates are
-  // path[hit-1] .. path[0]. With an origin-served request, every cache on
-  // the path including the attach node is a candidate.
-  const int highest_candidate = request.origin_served() ? top : top - 1;
-
-  // Record the access at the serving cache (refreshes its NCL priority).
-  if (!request.origin_served()) {
-    caches->node(path[static_cast<size_t>(request.hit_index)])
-        ->RecordAccess(request.object, request.now);
+  HopRecord rec;
+  cache::ObjectDescriptor* desc = node->RecordAccess(ctx.object, ctx.now);
+  if (desc == nullptr) {
+    // No descriptor: tagged out of the candidate set (paper §2.4).
+    rec.has_descriptor = false;
+    ++stats_.excluded_no_descriptor;
+  } else {
+    rec.has_descriptor = true;
+    rec.frequency = desc->frequency;
   }
 
+  if (ctx.size <= node->capacity_bytes()) {
+    node->PlanEvictionInto(ctx.size, &scratch_plan_);
+    rec.feasible = scratch_plan_.feasible;
+    rec.cost_loss = scratch_plan_.cost_loss;
+  } else {
+    rec.feasible = false;
+  }
+
+  // Candidates append a 24-byte (f, m, l) triple; excluded nodes a
+  // 1-byte "no descriptor" tag.
+  ctx.request.payload_bytes += (rec.has_descriptor && rec.feasible) ? 24 : 1;
+  ascent_.push_back(rec);
+}
+
+void CoordinatedScheme::OnServe(sim::MessageContext& ctx) {
+  const std::vector<double>& costs = *ctx.link_costs;
+  ++stats_.requests;
+
+  // Record the access at the serving cache (refreshes its NCL priority).
+  if (!ctx.origin_served()) {
+    ctx.node(ctx.hit_index())->RecordAccess(ctx.object, ctx.now);
+  }
+
+  // Reassemble the piggybacked path information, ordered A_1 (adjacent
+  // to the serving node) .. A_n (the requesting cache): the ascent
+  // pushed hop records bottom-up, so walk them top-down accumulating the
+  // miss penalty m_i from the serving node.
+  //
+  // The highest candidate: with a cache hit at path[hit], candidates are
+  // path[hit-1] .. path[0] — exactly the hops OnAscend visited. With an
+  // origin-served request, every cache on the path including the attach
+  // node is a candidate.
+  const int highest_candidate = static_cast<int>(ascent_.size()) - 1;
   core::PathInfo info;
   std::vector<int> path_index_of;  // Parallel to info.nodes.
   // Cumulative cost from the serving node down to the current node: the
   // miss penalty m_i. Starts with the virtual server link when the origin
   // serves the request.
-  double cum_cost = request.origin_served() ? request.server_link_cost : 0.0;
+  double cum_cost = ctx.origin_served() ? ctx.server_link_cost : 0.0;
   for (int i = highest_candidate; i >= 0; --i) {
-    if (i != highest_candidate || !request.origin_served()) {
+    if (i != highest_candidate || !ctx.origin_served()) {
       // Descending one link from the previous node on the path.
       cum_cost += costs[static_cast<size_t>(i)];
     }
-    sim::CacheNode* node = caches->node(path[static_cast<size_t>(i)]);
-
+    const HopRecord& rec = ascent_[static_cast<size_t>(i)];
     core::PathNodeInfo node_info;
-    node_info.node = path[static_cast<size_t>(i)];
+    node_info.node = (*ctx.path)[static_cast<size_t>(i)];
     node_info.miss_penalty = cum_cost;
-
-    cache::ObjectDescriptor* desc =
-        node->RecordAccess(request.object, request.now);
-    if (desc == nullptr) {
-      // No descriptor: tagged out of the candidate set (paper §2.4).
-      node_info.has_descriptor = false;
-      ++stats_.excluded_no_descriptor;
-    } else {
-      node_info.has_descriptor = true;
-      node_info.frequency = desc->frequency;
-    }
-
-    if (request.size <= node->capacity_bytes()) {
-      node->PlanEvictionInto(request.size, &scratch_plan_);
-      node_info.feasible = scratch_plan_.feasible;
-      node_info.cost_loss = scratch_plan_.cost_loss;
-    } else {
-      node_info.feasible = false;
-    }
-
+    node_info.has_descriptor = rec.has_descriptor;
+    node_info.frequency = rec.frequency;
+    node_info.feasible = rec.feasible;
+    node_info.cost_loss = rec.cost_loss;
     info.nodes.push_back(node_info);
     path_index_of.push_back(i);
   }
@@ -76,14 +82,13 @@ void CoordinatedScheme::OnRequestServed(const ServedRequest& request,
   // --- Decision at the serving node: the dynamic program. ---------------
   std::vector<int> origin;
   const core::PlacementInput input = info.ToPlacementInput(&origin);
-  std::unordered_set<int> selected_path_indices;
-  // Protocol overhead: one (f, m, l) triple per candidate on the request
-  // ascent (3 x 8 bytes), a "no descriptor" tag bit per excluded node
-  // (counted as 1 byte), and on the descent an 8-byte penalty counter
-  // plus a decision bitmap (1 byte per traversed node).
+  selected_path_indices_.clear();
+  // The response carries an 8-byte penalty counter plus a decision bitmap
+  // (1 byte per traversed node); the ascent already accounted the
+  // per-hop triples/tags.
+  ctx.response.payload_bytes += 8 + info.nodes.size() / 8 + 1;
   stats_.piggyback_bytes +=
-      24 * input.f.size() + (info.nodes.size() - input.f.size()) + 8 +
-      info.nodes.size() / 8 + 1;
+      ctx.request.payload_bytes + ctx.response.payload_bytes;
   {
     const size_t k =
         std::min<size_t>(input.f.size(), Stats::kMaxTrackedCandidates - 1);
@@ -96,35 +101,41 @@ void CoordinatedScheme::OnRequestServed(const ServedRequest& request,
     stats_.total_gain += result.gain;
     stats_.placements += result.selected.size();
     for (int sel : result.selected) {
-      selected_path_indices.insert(
+      selected_path_indices_.insert(
           path_index_of[static_cast<size_t>(origin[static_cast<size_t>(sel)])]);
     }
   }
 
+  // The descent's penalty counter starts at the serving node (the
+  // virtual server link is already behind the attach node when the
+  // origin served).
+  ctx.response.penalty = ctx.origin_served() ? ctx.server_link_cost : 0.0;
+  ascent_.clear();
+}
+
+void CoordinatedScheme::OnDescend(sim::MessageContext& ctx, int hop) {
   // --- Response descent: miss-penalty refresh + placements. -------------
-  double penalty = request.origin_served() ? request.server_link_cost : 0.0;
-  for (int i = highest_candidate; i >= 0; --i) {
-    if (i != highest_candidate || !request.origin_served()) {
-      penalty += costs[static_cast<size_t>(i)];
+  const std::vector<double>& costs = *ctx.link_costs;
+  if (hop != ctx.first_missing() || !ctx.origin_served()) {
+    ctx.response.penalty += costs[static_cast<size_t>(hop)];
+  }
+  sim::CacheNode* node = ctx.node(hop);
+  if (selected_path_indices_.count(hop) > 0) {
+    if (node->InsertCost(ctx.object, ctx.size, ctx.response.penalty,
+                         ctx.now)) {
+      ctx.metrics->write_bytes += ctx.size;
+      ++ctx.metrics->insertions;
+      ctx.response.penalty = 0.0;  // Downstream nodes now have a nearer copy.
     }
-    sim::CacheNode* node = caches->node(path[static_cast<size_t>(i)]);
-    if (selected_path_indices.count(i) > 0) {
-      if (node->InsertCost(request.object, request.size, penalty,
-                           request.now)) {
-        metrics->write_bytes += request.size;
-        ++metrics->insertions;
-        penalty = 0.0;  // Downstream nodes now have a nearer copy.
-      }
+  } else {
+    // Refresh the miss penalty of a known descriptor, or admit one into
+    // the d-cache as the object passes through (paper §2.3-2.4).
+    if (node->FindDescriptor(ctx.object) != nullptr) {
+      node->UpdateMissPenalty(ctx.object, ctx.response.penalty, ctx.now);
     } else {
-      // Refresh the miss penalty of a known descriptor, or admit one into
-      // the d-cache as the object passes through (paper §2.3-2.4).
-      if (node->FindDescriptor(request.object) != nullptr) {
-        node->UpdateMissPenalty(request.object, penalty, request.now);
-      } else {
-        cache::ObjectDescriptor* desc =
-            node->AdmitDescriptor(request.object, request.size, request.now);
-        if (desc != nullptr) desc->miss_penalty = penalty;
-      }
+      cache::ObjectDescriptor* desc =
+          node->AdmitDescriptor(ctx.object, ctx.size, ctx.now);
+      if (desc != nullptr) desc->miss_penalty = ctx.response.penalty;
     }
   }
 }

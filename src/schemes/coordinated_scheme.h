@@ -1,6 +1,9 @@
 #ifndef CASCACHE_SCHEMES_COORDINATED_SCHEME_H_
 #define CASCACHE_SCHEMES_COORDINATED_SCHEME_H_
 
+#include <unordered_set>
+#include <vector>
+
 #include "cache/ncl_cache.h"
 #include "core/path_info.h"
 #include "schemes/scheme.h"
@@ -9,23 +12,23 @@ namespace cascache::schemes {
 
 /// The paper's contribution (§2.3): coordinated placement + replacement.
 ///
-/// Request ascent (piggybacking): every intermediate cache A_i appends its
+/// Request ascent (OnAscend): every intermediate cache A_i appends its
 /// (f_i, m_i, l_i) for the requested object to the request message — f_i
 /// from its sliding-window estimator, m_i the accumulated link cost from
 /// the serving node, l_i the cost loss of the greedy NCL eviction that
 /// would make room. Nodes without a descriptor for the object tag
 /// themselves out of the candidate set (§2.4).
 ///
-/// Decision: the serving node solves the n-optimization problem with the
-/// O(n²) dynamic program and sends the selected cache set downstream with
-/// the object.
+/// Decision (OnServe): the serving node solves the n-optimization problem
+/// with the O(n²) dynamic program and sends the selected cache set
+/// downstream with the object.
 ///
-/// Response descent: a penalty counter starts at 0 at the serving node and
-/// accumulates link costs; each node refreshes the object's miss penalty
-/// from it. Nodes selected by the DP insert the object (greedy NCL
-/// eviction; evicted descriptors demoted to the d-cache) and reset the
-/// counter; unselected nodes admit the object's descriptor into their
-/// d-cache.
+/// Response descent (OnDescend): the penalty counter starts at 0 at the
+/// serving node and accumulates link costs; each node refreshes the
+/// object's miss penalty from it. Nodes selected by the DP insert the
+/// object (greedy NCL eviction; evicted descriptors demoted to the
+/// d-cache) and reset the counter; unselected nodes admit the object's
+/// descriptor into their d-cache.
 ///
 /// Statistics counters expose how often the DP ran, how many candidates
 /// it saw and what it selected — used by the ablation benches.
@@ -48,7 +51,9 @@ class CoordinatedScheme : public CachingScheme {
     /// Communication overhead of the protocol (paper §2.3-2.4): bytes of
     /// (f_i, m_i, l_i) triples piggybacked on request messages plus the
     /// penalty counter + decision bitmap on responses, assuming 8-byte
-    /// fields.
+    /// fields. The same bytes flow into the per-run MetricsCollector
+    /// through the message payload counters; this total additionally
+    /// covers the warm-up phase.
     uint64_t piggyback_bytes = 0;
 
     double MeanCandidates() const {
@@ -65,15 +70,37 @@ class CoordinatedScheme : public CachingScheme {
 
   std::string name() const override { return "Coordinated"; }
   CacheMode cache_mode() const override { return CacheMode::kCost; }
+  bool observes_ascent() const override { return true; }
 
-  void OnRequestServed(const ServedRequest& request, CacheSet* caches,
-                       sim::RequestMetrics* metrics) override;
+  void OnAscend(sim::MessageContext& ctx, int hop) override;
+  void OnServe(sim::MessageContext& ctx) override;
+  void OnDescend(sim::MessageContext& ctx, int hop) override;
 
   const Stats& stats() const { return stats_; }
   void ResetStats() { stats_ = Stats(); }
 
  private:
+  /// What one ascent hop piggybacked: the node's local view of the
+  /// requested object. m_i is not carried — it is an accumulation of
+  /// link costs the serving node reconstructs exactly when it walks the
+  /// collected hops (the physical message carries the running sum
+  /// instead; both encodings are 8 bytes).
+  struct HopRecord {
+    bool has_descriptor = false;
+    double frequency = 0.0;
+    bool feasible = false;
+    double cost_loss = 0.0;
+  };
+
   Stats stats_;
+  /// Piggybacked hop records of the in-flight request, indexed by path
+  /// hop (ascending). Filled by OnAscend, consumed and cleared by
+  /// OnServe.
+  std::vector<HopRecord> ascent_;
+  /// Placement decision of the in-flight request (path indices selected
+  /// by the DP), carried by the response message. Written by OnServe,
+  /// read by OnDescend.
+  std::unordered_set<int> selected_path_indices_;
   /// Reused across PlanEvictionInto calls (one per candidate per request)
   /// so the ascent never allocates a fresh victims vector.
   cache::NclCache::EvictionPlan scratch_plan_;

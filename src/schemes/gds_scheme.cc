@@ -2,67 +2,36 @@
 
 namespace cascache::schemes {
 
-namespace {
-
-/// Cost of a node's immediate upstream link in the request's cost units
-/// (the local miss-penalty view used by the single-cache policies).
-double UpstreamLinkCost(const ServedRequest& request, int i) {
-  return (i == static_cast<int>(request.path->size()) - 1)
-             ? request.server_link_cost
-             : (*request.link_costs)[static_cast<size_t>(i)];
-}
-
-}  // namespace
-
-void GdsScheme::OnRequestServed(const ServedRequest& request,
-                                CacheSet* caches,
-                                sim::RequestMetrics* metrics) {
-  const std::vector<topology::NodeId>& path = *request.path;
-  const int top = request.top_index();
-
-  if (!request.origin_served()) {
-    caches->node(path[static_cast<size_t>(request.hit_index)])
+void GdsScheme::OnServe(sim::MessageContext& ctx) {
+  if (!ctx.origin_served()) {
+    ctx.node(ctx.hit_index())
         ->gds()
-        ->OnHit(request.object,
-                UpstreamLinkCost(request, request.hit_index));
-  }
-
-  const int first_missing = request.origin_served() ? top : top - 1;
-  for (int i = first_missing; i >= 0; --i) {
-    bool inserted = false;
-    caches->node(path[static_cast<size_t>(i)])
-        ->gds()
-        ->Insert(request.object, request.size, UpstreamLinkCost(request, i),
-                 &inserted);
-    if (inserted) {
-      metrics->write_bytes += request.size;
-      ++metrics->insertions;
-    }
+        ->OnHit(ctx.object, ctx.upstream_link_cost(ctx.hit_index()));
   }
 }
 
-void LfuScheme::OnRequestServed(const ServedRequest& request,
-                                CacheSet* caches,
-                                sim::RequestMetrics* metrics) {
-  const std::vector<topology::NodeId>& path = *request.path;
-  const int top = request.top_index();
-
-  if (!request.origin_served()) {
-    caches->node(path[static_cast<size_t>(request.hit_index)])
-        ->lfu()
-        ->Touch(request.object);
+void GdsScheme::OnDescend(sim::MessageContext& ctx, int hop) {
+  bool inserted = false;
+  ctx.node(hop)->gds()->Insert(ctx.object, ctx.size,
+                               ctx.upstream_link_cost(hop), &inserted);
+  if (inserted) {
+    ctx.metrics->write_bytes += ctx.size;
+    ++ctx.metrics->insertions;
   }
+}
 
-  const int first_missing = request.origin_served() ? top : top - 1;
-  for (int i = first_missing; i >= 0; --i) {
-    bool inserted = false;
-    caches->node(path[static_cast<size_t>(i)])
-        ->lfu()
-        ->Insert(request.object, request.size, &inserted);
-    if (inserted) {
-      metrics->write_bytes += request.size;
-      ++metrics->insertions;
-    }
+void LfuScheme::OnServe(sim::MessageContext& ctx) {
+  if (!ctx.origin_served()) {
+    ctx.node(ctx.hit_index())->lfu()->Touch(ctx.object);
+  }
+}
+
+void LfuScheme::OnDescend(sim::MessageContext& ctx, int hop) {
+  bool inserted = false;
+  ctx.node(hop)->lfu()->Insert(ctx.object, ctx.size, &inserted);
+  if (inserted) {
+    ctx.metrics->write_bytes += ctx.size;
+    ++ctx.metrics->insertions;
   }
 }
 

@@ -12,15 +12,15 @@ namespace cascache::schemes {
 /// taken as the node's immediate upstream link cost (the same local view
 /// LNC-R uses). Placement is again unoptimized, so GDS probes whether a
 /// stronger single-cache replacement policy can close the gap to
-/// coordinated placement. No d-cache.
+/// coordinated placement. No d-cache, no piggyback.
 class GdsScheme : public CachingScheme {
  public:
   std::string name() const override { return "GDS"; }
   CacheMode cache_mode() const override { return CacheMode::kGds; }
   bool uses_dcache() const override { return false; }
 
-  void OnRequestServed(const ServedRequest& request, CacheSet* caches,
-                       sim::RequestMetrics* metrics) override;
+  void OnServe(sim::MessageContext& ctx) override;
+  void OnDescend(sim::MessageContext& ctx, int hop) override;
 };
 
 /// Perfect in-cache LFU baseline (the classic frequency-based policy the
@@ -32,8 +32,8 @@ class LfuScheme : public CachingScheme {
   CacheMode cache_mode() const override { return CacheMode::kLfu; }
   bool uses_dcache() const override { return false; }
 
-  void OnRequestServed(const ServedRequest& request, CacheSet* caches,
-                       sim::RequestMetrics* metrics) override;
+  void OnServe(sim::MessageContext& ctx) override;
+  void OnDescend(sim::MessageContext& ctx, int hop) override;
 };
 
 }  // namespace cascache::schemes

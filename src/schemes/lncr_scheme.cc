@@ -2,39 +2,38 @@
 
 namespace cascache::schemes {
 
-void LncrScheme::OnRequestServed(const ServedRequest& request,
-                                 CacheSet* caches,
-                                 sim::RequestMetrics* metrics) {
-  const std::vector<topology::NodeId>& path = *request.path;
-  const std::vector<double>& costs = *request.link_costs;
-  const int top = request.top_index();
+namespace {
 
-  // Record the access at every node the request traversed; at the serving
-  // cache this also refreshes the object's NCL priority.
-  for (int i = 0; i <= top; ++i) {
-    sim::CacheNode* node = caches->node(path[static_cast<size_t>(i)]);
-    if (node->RecordAccess(request.object, request.now) == nullptr &&
-        !node->Contains(request.object)) {
-      // Unknown object: track it in the d-cache (frequency estimation).
-      node->AdmitDescriptor(request.object, request.size, request.now);
-    }
+/// Record the access at one node; unknown objects get a d-cache
+/// descriptor (frequency estimation).
+void RecordAt(sim::MessageContext& ctx, int hop) {
+  sim::CacheNode* node = ctx.node(hop);
+  if (node->RecordAccess(ctx.object, ctx.now) == nullptr &&
+      !node->Contains(ctx.object)) {
+    node->AdmitDescriptor(ctx.object, ctx.size, ctx.now);
   }
+}
 
+}  // namespace
+
+void LncrScheme::OnAscend(sim::MessageContext& ctx, int hop) {
+  RecordAt(ctx, hop);
+}
+
+void LncrScheme::OnServe(sim::MessageContext& ctx) {
+  // The serving cache also counts the access (this refreshes the
+  // object's NCL priority there); the ascent handled every node below.
+  if (!ctx.origin_served()) RecordAt(ctx, ctx.hit_index());
+}
+
+void LncrScheme::OnDescend(sim::MessageContext& ctx, int hop) {
   // Cache everywhere below the serving point. The per-node miss penalty
-  // is the cost of the immediate upstream link.
-  const int first_missing = request.origin_served() ? top : top - 1;
-  for (int i = first_missing; i >= 0; --i) {
-    sim::CacheNode* node = caches->node(path[static_cast<size_t>(i)]);
-    // Attach node: upstream link is the virtual server link.
-    const double miss_penalty =
-        (i == static_cast<int>(path.size()) - 1)
-            ? request.server_link_cost
-            : costs[static_cast<size_t>(i)];
-    if (node->InsertCost(request.object, request.size, miss_penalty,
-                         request.now)) {
-      metrics->write_bytes += request.size;
-      ++metrics->insertions;
-    }
+  // is the cost of the immediate upstream link (the virtual server link
+  // at the attach node).
+  if (ctx.node(hop)->InsertCost(ctx.object, ctx.size,
+                                ctx.upstream_link_cost(hop), ctx.now)) {
+    ctx.metrics->write_bytes += ctx.size;
+    ++ctx.metrics->insertions;
   }
 }
 

@@ -12,14 +12,17 @@ namespace cascache::schemes {
 /// of an object as the delay of its immediate upstream link (placement is
 /// not optimized, so a node cannot know the distance to the nearest real
 /// copy). Descriptors of non-cached objects are kept in the d-cache for
-/// better frequency estimation.
+/// better frequency estimation. All statistics are node-local, so the
+/// ascent carries no piggyback payload.
 class LncrScheme : public CachingScheme {
  public:
   std::string name() const override { return "LNC-R"; }
   CacheMode cache_mode() const override { return CacheMode::kCost; }
+  bool observes_ascent() const override { return true; }
 
-  void OnRequestServed(const ServedRequest& request, CacheSet* caches,
-                       sim::RequestMetrics* metrics) override;
+  void OnAscend(sim::MessageContext& ctx, int hop) override;
+  void OnServe(sim::MessageContext& ctx) override;
+  void OnDescend(sim::MessageContext& ctx, int hop) override;
 };
 
 }  // namespace cascache::schemes

@@ -2,31 +2,21 @@
 
 namespace cascache::schemes {
 
-void LruScheme::OnRequestServed(const ServedRequest& request,
-                                CacheSet* caches,
-                                sim::RequestMetrics* metrics) {
-  const std::vector<topology::NodeId>& path = *request.path;
-  const int top = request.top_index();
-
+void LruScheme::OnServe(sim::MessageContext& ctx) {
   // Refresh recency at the serving cache.
-  if (!request.origin_served()) {
-    caches->node(path[static_cast<size_t>(request.hit_index)])
-        ->lru()
-        ->Touch(request.object);
+  if (!ctx.origin_served()) {
+    ctx.node(ctx.hit_index())->lru()->Touch(ctx.object);
   }
+}
 
+void LruScheme::OnDescend(sim::MessageContext& ctx, int hop) {
   // Cache everywhere below the serving point (and at the attach node too
   // when the origin served the request).
-  const int first_missing = request.origin_served() ? top : top - 1;
-  for (int i = first_missing; i >= 0; --i) {
-    bool inserted = false;
-    caches->node(path[static_cast<size_t>(i)])
-        ->lru()
-        ->Insert(request.object, request.size, &inserted);
-    if (inserted) {
-      metrics->write_bytes += request.size;
-      ++metrics->insertions;
-    }
+  bool inserted = false;
+  ctx.node(hop)->lru()->Insert(ctx.object, ctx.size, &inserted);
+  if (inserted) {
+    ctx.metrics->write_bytes += ctx.size;
+    ++ctx.metrics->insertions;
   }
 }
 

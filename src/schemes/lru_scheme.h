@@ -7,15 +7,16 @@ namespace cascache::schemes {
 
 /// The standard baseline (paper §3.3): the requested object is cached at
 /// every node it passes through; each cache independently evicts its
-/// least-recently-used objects to make room. No descriptors, no d-cache.
+/// least-recently-used objects to make room. No descriptors, no d-cache,
+/// and nothing piggybacked on the messages.
 class LruScheme : public CachingScheme {
  public:
   std::string name() const override { return "LRU"; }
   CacheMode cache_mode() const override { return CacheMode::kLru; }
   bool uses_dcache() const override { return false; }
 
-  void OnRequestServed(const ServedRequest& request, CacheSet* caches,
-                       sim::RequestMetrics* metrics) override;
+  void OnServe(sim::MessageContext& ctx) override;
+  void OnDescend(sim::MessageContext& ctx, int hop) override;
 };
 
 }  // namespace cascache::schemes

@@ -12,41 +12,30 @@ std::string ModuloScheme::name() const {
   return "MODULO(" + std::to_string(radius_) + ")";
 }
 
-void ModuloScheme::OnRequestServed(const ServedRequest& request,
-                                   CacheSet* caches,
-                                   sim::RequestMetrics* metrics) {
-  const std::vector<topology::NodeId>& path = *request.path;
-
-  if (!request.origin_served()) {
-    caches->node(path[static_cast<size_t>(request.hit_index)])
-        ->lru()
-        ->Touch(request.object);
+void ModuloScheme::OnServe(sim::MessageContext& ctx) {
+  if (!ctx.origin_served()) {
+    ctx.node(ctx.hit_index())->lru()->Touch(ctx.object);
   }
+}
 
-  // Hop distance of node path[i] from the serving point. When the origin
-  // serves the request, the serving point sits one virtual hop above the
-  // attach node under the hierarchical architecture (and at the attach
-  // node itself under en-route, where servers are co-located).
+void ModuloScheme::OnDescend(sim::MessageContext& ctx, int hop) {
+  // Hop distance of node path[hop] from the serving point. When the
+  // origin serves the request, the serving point sits one virtual hop
+  // above the attach node under the hierarchical architecture (and at the
+  // attach node itself under en-route, where servers are co-located).
   const int serving_distance_base =
-      request.origin_served()
-          ? static_cast<int>(path.size()) - 1 +
-                (request.server_link_delay > 0.0 ? 1 : 0)
-          : request.hit_index;
+      ctx.origin_served()
+          ? static_cast<int>(ctx.path->size()) - 1 +
+                (ctx.server_link_delay > 0.0 ? 1 : 0)
+          : ctx.hit_index();
 
-  const int first_missing =
-      request.origin_served() ? static_cast<int>(path.size()) - 1
-                              : request.hit_index - 1;
-  for (int i = first_missing; i >= 0; --i) {
-    const int distance = serving_distance_base - i;
-    if (distance <= 0 || distance % radius_ != 0) continue;
-    bool inserted = false;
-    caches->node(path[static_cast<size_t>(i)])
-        ->lru()
-        ->Insert(request.object, request.size, &inserted);
-    if (inserted) {
-      metrics->write_bytes += request.size;
-      ++metrics->insertions;
-    }
+  const int distance = serving_distance_base - hop;
+  if (distance <= 0 || distance % radius_ != 0) return;
+  bool inserted = false;
+  ctx.node(hop)->lru()->Insert(ctx.object, ctx.size, &inserted);
+  if (inserted) {
+    ctx.metrics->write_bytes += ctx.size;
+    ++ctx.metrics->insertions;
   }
 }
 

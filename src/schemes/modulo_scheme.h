@@ -21,8 +21,8 @@ class ModuloScheme : public CachingScheme {
   bool uses_dcache() const override { return false; }
   int radius() const { return radius_; }
 
-  void OnRequestServed(const ServedRequest& request, CacheSet* caches,
-                       sim::RequestMetrics* metrics) override;
+  void OnServe(sim::MessageContext& ctx) override;
+  void OnDescend(sim::MessageContext& ctx, int hop) override;
 
  private:
   int radius_;

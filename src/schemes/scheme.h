@@ -6,6 +6,7 @@
 #include <vector>
 
 #include "sim/cache_set.h"
+#include "sim/message.h"
 #include "sim/metrics.h"
 #include "trace/object_catalog.h"
 #include "util/status.h"
@@ -16,49 +17,33 @@ using sim::CacheMode;
 using sim::CacheSet;
 using trace::ObjectId;
 
-/// Everything a scheme needs to know about a request once the simulator
-/// has located the serving node. `path[0]` is the requesting cache and
-/// `path.back()` the server's attach node; `link_delays[i]` is the base
-/// (average-object) delay of the link between path[i] and path[i+1].
-/// `hit_index` is the path index of the serving cache, or -1 when the
-/// origin server satisfied the request.
-struct ServedRequest {
-  ObjectId object = 0;
-  uint64_t size = 0;
-  /// size / mean object size; multiplies base delays into costs, per the
-  /// paper's "delay proportional to object size" cost function.
-  double size_scale = 1.0;
-  double now = 0.0;
-  const std::vector<topology::NodeId>* path = nullptr;
-  const std::vector<double>* link_delays = nullptr;
-  /// Per-link generic costs under the configured CostModel; parallel to
-  /// link_delays. Cost-aware schemes (LNC-R, GDS, Coordinated) optimize
-  /// these; the physical metrics always use the delays.
-  const std::vector<double>* link_costs = nullptr;
-  int hit_index = -1;
-  /// Delay/hop of the virtual attach-node-to-origin link (only nonzero
-  /// under the hierarchical architecture, and only relevant when
-  /// hit_index == -1).
-  double server_link_delay = 0.0;
-  /// Cost-model value of the virtual server link.
-  double server_link_cost = 0.0;
-
-  bool origin_served() const { return hit_index < 0; }
-  /// Path index of the highest node the request visited (serving cache,
-  /// or the attach node when the origin served it).
-  int top_index() const {
-    return origin_served() ? static_cast<int>(path->size()) - 1 : hit_index;
-  }
-};
-
-/// A cache-content management policy: given a served request, update
-/// descriptors and decide placements/replacements on the delivery path.
-/// The simulator accounts reads and latency itself; schemes report the
-/// writes they perform through `metrics`.
+/// A cache-content management policy, expressed as per-hop handlers over
+/// the request/response message exchange (paper §2.3): the simulator
+/// drives the ascent hop by hop (calling OnAscend at every cache that
+/// cannot serve), calls OnServe once at the serving point, then drives
+/// the descent (calling OnDescend at every node below the serving point,
+/// top-down). Schemes update descriptors and decide placements and
+/// replacements from these hooks; the simulator accounts reads and
+/// latency itself, and schemes report the writes they perform through
+/// `ctx.metrics`.
 ///
-/// Schemes mutate only the CacheSet they are handed (the run's cache
-/// plane) plus their own members; a scheme instance is used by exactly
-/// one simulation run, so it needs no internal synchronization even when
+/// Handler contract, per request:
+///  - OnAscend(ctx, hop) for hop = 0 .. top, ascending, at every cache
+///    that did not serve (per-hop coherency admission — TTL expiry /
+///    invalidation — has already run at that hop, so the node state the
+///    handler sees is post-admission). Not called for the serving hop.
+///  - OnServe(ctx): exactly once, after `ctx.response.hit_index` is
+///    final (-1 = origin). This is where the serving node decides
+///    placement (the coordinated DP) and where serving-cache bookkeeping
+///    (recency/frequency touch) belongs.
+///  - OnDescend(ctx, hop) for hop = first_missing .. 0, descending, at
+///    every node below the serving point.
+///
+/// Schemes attach piggyback state by mutating ctx.request /
+/// ctx.response (payload bytes, penalty counter) and their own members;
+/// per-hop scratch carried across hooks of one request must be cleared
+/// before OnServe returns. A scheme instance is used by exactly one
+/// simulation run, so it needs no internal synchronization even when
 /// sweeps run cells in parallel.
 class CachingScheme {
  public:
@@ -73,10 +58,30 @@ class CachingScheme {
   /// one, paper §3.3).
   virtual bool uses_dcache() const { return cache_mode() == CacheMode::kCost; }
 
-  /// Applies the scheme's caching decisions for one request against the
-  /// run's cache plane. Called for every request, warm-up included.
-  virtual void OnRequestServed(const ServedRequest& request, CacheSet* caches,
-                               sim::RequestMetrics* metrics) = 0;
+  /// Whether the scheme piggybacks per-hop state on the request ascent.
+  /// The simulator only dispatches OnAscend when this returns true, so
+  /// the locally-deciding schemes pay no per-hop call on the replay hot
+  /// path. Schemes overriding OnAscend must override this to true.
+  virtual bool observes_ascent() const { return false; }
+
+  /// Request ascent: the message passes through the non-serving cache at
+  /// path index `hop` (== ctx.request.hop). Only called when
+  /// observes_ascent() is true. Default: no piggyback.
+  virtual void OnAscend(sim::MessageContext& ctx, int hop) {
+    (void)ctx;
+    (void)hop;
+  }
+
+  /// The request reached its serving point (cache hit at
+  /// ctx.hit_index(), or the origin when ctx.origin_served()).
+  virtual void OnServe(sim::MessageContext& ctx) = 0;
+
+  /// Response descent: the object passes through the node at path index
+  /// `hop` on its way to the requester. Default: no placement.
+  virtual void OnDescend(sim::MessageContext& ctx, int hop) {
+    (void)ctx;
+    (void)hop;
+  }
 };
 
 /// Identifiers for the built-in schemes: the paper's four (§3.3) plus the

@@ -10,32 +10,39 @@ StaticScheme::StaticScheme(uint64_t freeze_after_requests)
                      "STATIC needs a learning phase");
 }
 
-void StaticScheme::OnRequestServed(const ServedRequest& request,
-                                   CacheSet* caches,
-                                   sim::RequestMetrics* metrics) {
-  if (frozen_) return;  // Contents are fixed; nothing ever changes.
-
+void StaticScheme::CountAt(sim::MessageContext& ctx, int hop) {
   if (demand_.empty()) {
-    demand_.resize(static_cast<size_t>(caches->num_nodes()));
+    demand_.resize(static_cast<size_t>(ctx.caches->num_nodes()));
   }
+  Demand& d = demand_[static_cast<size_t>(
+      (*ctx.path)[static_cast<size_t>(hop)])][ctx.object];
+  ++d.count;
+  d.size = ctx.size;
+}
 
-  // Learning phase: count the request at every node it traversed (the
+void StaticScheme::OnAscend(sim::MessageContext& ctx, int hop) {
+  if (frozen_) return;  // Contents are fixed; nothing ever changes.
+  // Learning phase: count the request at every node it traverses (the
   // same visibility the dynamic schemes have).
-  const std::vector<topology::NodeId>& path = *request.path;
-  const int top = request.top_index();
-  for (int i = 0; i <= top; ++i) {
-    Demand& d = demand_[static_cast<size_t>(path[static_cast<size_t>(i)])]
-                        [request.object];
-    ++d.count;
-    d.size = request.size;
-  }
+  CountAt(ctx, hop);
+}
+
+void StaticScheme::OnServe(sim::MessageContext& ctx) {
+  if (frozen_) return;
+
+  // The serving cache observed the request too; the ascent counted every
+  // node below it.
+  if (!ctx.origin_served()) CountAt(ctx, ctx.hit_index());
 
   ++requests_seen_;
-  if (requests_seen_ >= freeze_after_) Freeze(caches, metrics);
+  if (requests_seen_ >= freeze_after_) Freeze(ctx.caches, ctx.metrics);
 }
 
 void StaticScheme::Freeze(CacheSet* caches, sim::RequestMetrics* metrics) {
   frozen_ = true;
+  if (demand_.empty()) {
+    demand_.resize(static_cast<size_t>(caches->num_nodes()));
+  }
   for (topology::NodeId v = 0; v < caches->num_nodes(); ++v) {
     auto& seen = demand_[static_cast<size_t>(v)];
     std::vector<std::pair<ObjectId, Demand>> ranked(seen.begin(), seen.end());

@@ -10,10 +10,11 @@ namespace cascache::schemes {
 
 /// Clairvoyant static-placement baseline (extension beyond the paper):
 /// during a learning phase every cache counts the requests passing
-/// through it; at the freeze point each cache independently fills itself
-/// with the objects of highest observed demand density (count/size — the
-/// fractional-knapsack rule that maximizes byte hit ratio for a single
-/// cache), and contents never change again.
+/// through it (observed on the message ascent); at the freeze point each
+/// cache independently fills itself with the objects of highest observed
+/// demand density (count/size — the fractional-knapsack rule that
+/// maximizes byte hit ratio for a single cache), and contents never
+/// change again.
 ///
 /// This bounds what *uncoordinated but fully informed* static placement
 /// achieves: each cache optimizes locally with perfect popularity
@@ -33,9 +34,10 @@ class StaticScheme : public CachingScheme {
   std::string name() const override { return "STATIC"; }
   CacheMode cache_mode() const override { return CacheMode::kLru; }
   bool uses_dcache() const override { return false; }
+  bool observes_ascent() const override { return true; }
 
-  void OnRequestServed(const ServedRequest& request, CacheSet* caches,
-                       sim::RequestMetrics* metrics) override;
+  void OnAscend(sim::MessageContext& ctx, int hop) override;
+  void OnServe(sim::MessageContext& ctx) override;
 
   bool frozen() const { return frozen_; }
   uint64_t requests_seen() const { return requests_seen_; }
@@ -46,6 +48,7 @@ class StaticScheme : public CachingScheme {
     uint64_t size = 0;
   };
 
+  void CountAt(sim::MessageContext& ctx, int hop);
   void Freeze(CacheSet* caches, sim::RequestMetrics* metrics);
 
   uint64_t freeze_after_;

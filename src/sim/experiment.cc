@@ -161,6 +161,7 @@ util::Status WriteResultsCsv(const std::vector<RunResult>& results,
           "scheme,cache_fraction,capacity_bytes,requests,avg_latency,"
           "avg_response_ratio,byte_hit_ratio,hit_ratio,avg_traffic_byte_hops,"
           "avg_hops,avg_load_bytes,read_load_share,stale_hit_ratio,"
+          "avg_request_msg_bytes,avg_response_msg_bytes,avg_message_bytes,"
           "wall_seconds,requests_per_sec\n",
           f) >= 0;
   for (const RunResult& r : results) {
@@ -168,13 +169,14 @@ util::Status WriteResultsCsv(const std::vector<RunResult>& results,
     ok = ok &&
          std::fprintf(
              f, "%s,%.6g,%llu,%llu,%.8g,%.8g,%.8g,%.8g,%.8g,%.8g,%.8g,%.8g,"
-                "%.8g,%.6g,%.6g\n",
+                "%.8g,%.8g,%.8g,%.8g,%.6g,%.6g\n",
              r.scheme.c_str(), r.cache_fraction,
              static_cast<unsigned long long>(r.capacity_bytes),
              static_cast<unsigned long long>(m.requests), m.avg_latency,
              m.avg_response_ratio, m.byte_hit_ratio, m.hit_ratio,
              m.avg_traffic_byte_hops, m.avg_hops, m.avg_load_bytes,
-             m.read_load_share, m.stale_hit_ratio, r.wall_seconds,
+             m.read_load_share, m.stale_hit_ratio, m.avg_request_msg_bytes,
+             m.avg_response_msg_bytes, m.avg_message_bytes, r.wall_seconds,
              r.requests_per_sec) > 0;
   }
   // fclose flushes the stdio buffer; on a full disk that is where the

@@ -1,0 +1,22 @@
+#include "sim/message.h"
+
+#include <cstdio>
+
+namespace cascache::sim {
+
+std::string MessageContext::DebugString() const {
+  char buf[256];
+  std::snprintf(
+      buf, sizeof(buf),
+      "object=%llu size=%llu now=%.6f path_len=%zu hit_index=%d "
+      "req{hop=%d payload=%llu} resp{payload=%llu penalty=%.6g}",
+      static_cast<unsigned long long>(object),
+      static_cast<unsigned long long>(size), now,
+      path == nullptr ? 0 : path->size(), response.hit_index, request.hop,
+      static_cast<unsigned long long>(request.payload_bytes),
+      static_cast<unsigned long long>(response.payload_bytes),
+      response.penalty);
+  return buf;
+}
+
+}  // namespace cascache::sim

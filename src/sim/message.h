@@ -1,0 +1,114 @@
+#ifndef CASCACHE_SIM_MESSAGE_H_
+#define CASCACHE_SIM_MESSAGE_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "sim/cache_set.h"
+#include "sim/metrics.h"
+#include "trace/object_catalog.h"
+
+namespace cascache::sim {
+
+/// The request message ascending the distribution path (paper §2.3): it
+/// enters at the requesting cache (hop 0) and climbs node by node until
+/// a cache holds a servable copy or the origin server is reached. Schemes
+/// attach per-hop piggyback state to it — the coordinated scheme appends
+/// one (f_i, m_i, l_i) triple per candidate cache — and account the bytes
+/// they add in `payload_bytes`.
+struct RequestMessage {
+  /// Path index of the hop currently processing the message.
+  int hop = 0;
+  /// Protocol bytes piggybacked onto the request beyond the plain
+  /// object-id header (the paper's communication-overhead measure).
+  uint64_t payload_bytes = 0;
+};
+
+/// The response message descending from the serving node back to the
+/// requester (paper §2.3-2.4): it carries the placement decision and the
+/// accumulated miss-penalty counter, which caching nodes reset as they
+/// create nearer copies.
+struct ResponseMessage {
+  /// Path index of the serving cache; -1 when the origin served.
+  int hit_index = -1;
+  /// Protocol bytes carried downstream (penalty counter + decision
+  /// bitmap for the coordinated scheme; 0 for the local schemes).
+  uint64_t payload_bytes = 0;
+  /// Miss-penalty counter: cumulative link cost from the nearest copy
+  /// upstream, reset to 0 at every node that caches the object.
+  double penalty = 0.0;
+};
+
+/// Everything one request/response exchange knows, shared by the
+/// simulator and the per-hop scheme handlers. The request facts are
+/// fixed for the exchange; the two messages are mutated hop by hop.
+///
+/// `path[0]` is the requesting cache and `path.back()` the server attach
+/// node; `link_delays[i]` / `link_costs[i]` describe the link between
+/// path[i] and path[i+1].
+struct MessageContext {
+  // --- Request facts (immutable during the exchange). -------------------
+  trace::ObjectId object = 0;
+  uint64_t size = 0;
+  /// size / mean object size; multiplies base delays into costs, per the
+  /// paper's "delay proportional to object size" cost function.
+  double size_scale = 1.0;
+  double now = 0.0;
+  const std::vector<topology::NodeId>* path = nullptr;
+  const std::vector<double>* link_delays = nullptr;
+  /// Per-link generic costs under the configured CostModel; parallel to
+  /// link_delays. Cost-aware schemes (LNC-R, GDS, Coordinated) optimize
+  /// these; the physical metrics always use the delays.
+  const std::vector<double>* link_costs = nullptr;
+  /// Delay of the virtual attach-node-to-origin link (only nonzero under
+  /// the hierarchical architecture).
+  double server_link_delay = 0.0;
+  /// Cost-model value of the virtual server link.
+  double server_link_cost = 0.0;
+
+  // --- Mutable exchange state. ------------------------------------------
+  CacheSet* caches = nullptr;
+  RequestMetrics* metrics = nullptr;
+  RequestMessage request;
+  ResponseMessage response;
+
+  bool origin_served() const { return response.hit_index < 0; }
+  int hit_index() const { return response.hit_index; }
+
+  /// Path index of the highest node the request visited (serving cache,
+  /// or the attach node when the origin served it).
+  int top_index() const {
+    return origin_served() ? static_cast<int>(path->size()) - 1
+                           : response.hit_index;
+  }
+
+  /// Highest path index the response descends through, i.e. the first
+  /// node below the serving point (the attach node itself when the
+  /// origin served). Also the highest placement candidate.
+  int first_missing() const {
+    return origin_served() ? static_cast<int>(path->size()) - 1
+                           : response.hit_index - 1;
+  }
+
+  /// Cache node at path index `i` of this exchange's cache plane.
+  CacheNode* node(int i) const {
+    return caches->node((*path)[static_cast<size_t>(i)]);
+  }
+
+  /// Cost of the link immediately upstream of path index `i` (the local
+  /// miss-penalty view of the single-cache policies); the virtual server
+  /// link above the attach node.
+  double upstream_link_cost(int i) const {
+    return i == static_cast<int>(path->size()) - 1
+               ? server_link_cost
+               : (*link_costs)[static_cast<size_t>(i)];
+  }
+
+  /// Human-readable dump for test failures and debugging.
+  std::string DebugString() const;
+};
+
+}  // namespace cascache::sim
+
+#endif  // CASCACHE_SIM_MESSAGE_H_

@@ -26,6 +26,8 @@ void MetricsCollector::Record(const RequestMetrics& metrics) {
   if (metrics.stale_hit) ++stale_hits_;
   copies_expired_ += static_cast<uint64_t>(metrics.copies_expired);
   copies_invalidated_ += static_cast<uint64_t>(metrics.copies_invalidated);
+  request_msg_bytes_ += metrics.request_msg_bytes;
+  response_msg_bytes_ += metrics.response_msg_bytes;
 }
 
 void MetricsCollector::Reset() { *this = MetricsCollector(); }
@@ -57,6 +59,11 @@ MetricsSummary MetricsCollector::Summary() const {
                  : static_cast<double>(stale_hits_) / static_cast<double>(hits_);
   s.copies_expired = copies_expired_;
   s.copies_invalidated = copies_invalidated_;
+  s.avg_request_msg_bytes = static_cast<double>(request_msg_bytes_) /
+                            static_cast<double>(requests_);
+  s.avg_response_msg_bytes = static_cast<double>(response_msg_bytes_) /
+                             static_cast<double>(requests_);
+  s.avg_message_bytes = s.avg_request_msg_bytes + s.avg_response_msg_bytes;
   return s;
 }
 

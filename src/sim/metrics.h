@@ -32,6 +32,13 @@ struct RequestMetrics {
   /// Copies discarded because they were behind the origin version
   /// (CoherencyProtocol::kInvalidation).
   int copies_invalidated = 0;
+  /// Protocol bytes the scheme piggybacked on the ascending request
+  /// message (paper §2.3: the (f_i, m_i, l_i) triples; 0 for schemes
+  /// that decide locally).
+  uint64_t request_msg_bytes = 0;
+  /// Protocol bytes carried by the descending response message (penalty
+  /// counter + placement bitmap).
+  uint64_t response_msg_bytes = 0;
 };
 
 /// Aggregated results of a run, matching the paper's evaluation metrics.
@@ -52,6 +59,12 @@ struct MetricsSummary {
   double stale_hit_ratio = 0.0;
   uint64_t copies_expired = 0;
   uint64_t copies_invalidated = 0;
+  /// Protocol overhead (paper §2.3-2.4), reported uniformly for every
+  /// scheme: mean piggybacked bytes per request on the ascent / descent.
+  double avg_request_msg_bytes = 0.0;
+  double avg_response_msg_bytes = 0.0;
+  /// avg_request_msg_bytes + avg_response_msg_bytes.
+  double avg_message_bytes = 0.0;
 
   std::string ToString() const;
 };
@@ -82,6 +95,8 @@ class MetricsCollector {
   uint64_t stale_hits_ = 0;
   uint64_t copies_expired_ = 0;
   uint64_t copies_invalidated_ = 0;
+  uint64_t request_msg_bytes_ = 0;
+  uint64_t response_msg_bytes_ = 0;
 };
 
 }  // namespace cascache::sim

@@ -8,15 +8,41 @@ namespace cascache::sim {
 Simulator::Simulator(const Network* network, CacheSet* caches,
                      schemes::CachingScheme* scheme,
                      const SimOptions& options)
-    : network_(network), caches_(caches), scheme_(scheme), options_(options) {
+    : network_(network),
+      caches_(caches),
+      scheme_(scheme),
+      options_(options),
+      catalog_(&network->catalog()),
+      mean_object_size_(network->mean_object_size()),
+      server_link_delay_(network->server_link_delay()),
+      server_link_hops_(network->server_link_hops()),
+      scheme_observes_ascent_(scheme != nullptr && scheme->observes_ascent()) {
+  // The exchange context's invariant fields point at the simulator's
+  // reused per-request buffers; wire them once.
+  ctx_.path = &path_;
+  ctx_.link_delays = &link_delays_;
+  ctx_.link_costs = &link_costs_;
+  ctx_.server_link_delay = server_link_delay_;
+  ctx_.caches = caches_;
+  // Null/mismatched wiring is a programming error, not a configuration
+  // one: fail fast.
   CASCACHE_CHECK(network != nullptr);
   CASCACHE_CHECK(caches != nullptr);
   CASCACHE_CHECK(caches->num_nodes() == network->num_nodes());
   CASCACHE_CHECK(scheme != nullptr);
-  CASCACHE_CHECK(options.warmup_fraction >= 0.0 &&
-                 options.warmup_fraction < 1.0);
+  // Option values can come straight from the CLI; defer their rejection
+  // to Run() so callers get a Status instead of an abort. Direct Step()
+  // drivers fall back to the default cost model meanwhile.
+  if (!(options.warmup_fraction >= 0.0 && options.warmup_fraction < 1.0)) {
+    init_status_ = util::Status::InvalidArgument(
+        "warmup_fraction must be in [0, 1)");
+    return;
+  }
   auto model_or = CostModel::Create(options.cost_model);
-  CASCACHE_CHECK_OK(model_or.status());
+  if (!model_or.ok()) {
+    init_status_ = model_or.status();
+    return;
+  }
   cost_model_ = *model_or;
 }
 
@@ -39,6 +65,7 @@ util::Status Simulator::EnableCoherency(uint32_t num_objects) {
 
 util::Status Simulator::Run(const trace::Workload& workload,
                             uint64_t capacity_bytes_per_node) {
+  CASCACHE_RETURN_IF_ERROR(init_status_);
   if (capacity_bytes_per_node == 0) {
     return util::Status::InvalidArgument("cache capacity must be > 0");
   }
@@ -53,9 +80,8 @@ util::Status Simulator::Run(const trace::Workload& workload,
   config.capacity_bytes = capacity_bytes_per_node;
   config.frequency = options_.frequency;
   if (scheme_->uses_dcache()) {
-    const double mean_size = network_->mean_object_size();
     const double avg_objects =
-        static_cast<double>(capacity_bytes_per_node) / mean_size;
+        static_cast<double>(capacity_bytes_per_node) / mean_object_size_;
     config.dcache_entries = static_cast<size_t>(
         std::max(1.0, options_.dcache_ratio * avg_objects));
     config.dcache_policy = options_.dcache_policy;
@@ -99,44 +125,23 @@ util::Status Simulator::Run(const trace::Workload& workload,
   return util::Status::Ok();
 }
 
-void Simulator::Step(const trace::Request& request, bool collect) {
-  const trace::ObjectCatalog& catalog = network_->catalog();
-  const trace::ObjectId object = request.object;
-  const uint64_t size = catalog.size(object);
-  const trace::ServerId server = catalog.server(object);
-  const double size_scale =
-      static_cast<double>(size) / network_->mean_object_size();
-
-  const topology::NodeId requester = network_->RequesterNode(request.client);
-  path_ = network_->PathToServer(requester, server);
-
-  const double mean_size = network_->mean_object_size();
-  link_delays_.clear();
-  link_delays_.reserve(path_.size());
-  link_costs_.clear();
-  link_costs_.reserve(path_.size());
-  for (size_t i = 0; i + 1 < path_.size(); ++i) {
-    const double delay = network_->LinkDelay(path_[i], path_[i + 1]);
-    link_delays_.push_back(delay);
-    link_costs_.push_back(cost_model_.LinkCost(delay, size, mean_size));
-  }
-
-  // Walk up the distribution tree to the lowest cache holding a servable
-  // copy of the object. Under a coherency protocol, expired or
-  // invalidated copies are discarded on the way and the request continues
-  // upstream; under kNone a stale copy is served (and counted).
-  RequestMetrics request_metrics;
-  request_metrics.size_bytes = size;
-  int hit_index = -1;
+uint32_t Simulator::Ascend(const trace::Request& request,
+                           MessageContext& ctx) {
   // Version the client receives; downstream copies inherit it (a stale
   // serving copy propagates its stale version).
   uint32_t served_version =
-      updates_ == nullptr ? 0 : updates_->VersionAt(object, request.time);
+      updates_ == nullptr ? 0 : updates_->VersionAt(ctx.object, request.time);
+
+  // The request message climbs the distribution tree toward the server.
+  // At each hop: coherency admission first — under a protocol, expired or
+  // invalidated copies are discarded and the request continues upstream;
+  // under kNone a stale copy is served (and counted) — then, if the hop
+  // cannot serve, the scheme's ascent handler piggybacks its state.
   for (size_t i = 0; i < path_.size(); ++i) {
     CacheNode* node = caches_->node(path_[i]);
-    if (!node->Contains(object)) continue;
-    if (updates_ != nullptr) {
-      const CacheNode::CopyStamp* stamp = node->FindCopy(object);
+    bool servable = node->Contains(ctx.object);
+    if (servable && updates_ != nullptr) {
+      const CacheNode::CopyStamp* stamp = node->FindCopy(ctx.object);
       // Copies can only enter a cache through StampCopy'd insertions
       // within this run; treat a missing stamp (e.g. test-injected copy)
       // as fresh-at-time-0.
@@ -145,23 +150,76 @@ void Simulator::Step(const trace::Request& request, bool collect) {
       const CoherencyProtocol protocol = options_.coherency.protocol;
       if (protocol == CoherencyProtocol::kTtl &&
           request.time - fetch_time > options_.coherency.ttl) {
-        node->EraseObject(object);
-        ++request_metrics.copies_expired;
-        continue;
+        node->EraseObject(ctx.object);
+        ++ctx.metrics->copies_expired;
+        servable = false;
+      } else {
+        const uint32_t current = updates_->VersionAt(ctx.object, request.time);
+        if (protocol == CoherencyProtocol::kInvalidation &&
+            version < current) {
+          node->EraseObject(ctx.object);
+          ++ctx.metrics->copies_invalidated;
+          servable = false;
+        } else {
+          if (version < current) ctx.metrics->stale_hit = true;
+          served_version = version;
+        }
       }
-      const uint32_t current = updates_->VersionAt(object, request.time);
-      if (protocol == CoherencyProtocol::kInvalidation &&
-          version < current) {
-        node->EraseObject(object);
-        ++request_metrics.copies_invalidated;
-        continue;
-      }
-      if (version < current) request_metrics.stale_hit = true;
-      served_version = version;
     }
-    hit_index = static_cast<int>(i);
-    break;
+    if (servable) {
+      ctx.response.hit_index = static_cast<int>(i);
+      return served_version;
+    }
+    if (scheme_observes_ascent_) {
+      ctx.request.hop = static_cast<int>(i);
+      scheme_->OnAscend(ctx, static_cast<int>(i));
+    }
   }
+  ctx.response.hit_index = -1;
+  return served_version;
+}
+
+void Simulator::Step(const trace::Request& request, bool collect) {
+  const trace::ObjectId object = request.object;
+  const uint64_t size = catalog_->size(object);
+  const trace::ServerId server = catalog_->server(object);
+
+  const topology::NodeId requester = network_->RequesterNode(request.client);
+  path_ = network_->PathToServer(requester, server);
+
+  link_delays_.clear();
+  link_delays_.reserve(path_.size());
+  link_costs_.clear();
+  link_costs_.reserve(path_.size());
+  for (size_t i = 0; i + 1 < path_.size(); ++i) {
+    const double delay = network_->LinkDelay(path_[i], path_[i + 1]);
+    link_delays_.push_back(delay);
+    link_costs_.push_back(cost_model_.LinkCost(delay, size,
+                                               mean_object_size_));
+  }
+
+  RequestMetrics request_metrics;
+  request_metrics.size_bytes = size;
+
+  MessageContext& ctx = ctx_;
+  ctx.object = object;
+  ctx.size = size;
+  ctx.size_scale = static_cast<double>(size) / mean_object_size_;
+  ctx.now = request.time;
+  // No virtual server link under en-route (servers are co-located with
+  // their attach node), so its cost is 0 under every cost model.
+  ctx.server_link_cost =
+      server_link_hops_ == 0
+          ? 0.0
+          : cost_model_.LinkCost(server_link_delay_, size,
+                                 mean_object_size_);
+  ctx.metrics = &request_metrics;
+  ctx.request = RequestMessage();
+  ctx.response = ResponseMessage();
+
+  // --- Phase 1: the request message ascends to its serving point. -------
+  const uint32_t served_version = Ascend(request, ctx);
+  const int hit_index = ctx.response.hit_index;
 
   // Access latency and hops (paper cost model: link delay scaled by object
   // size; the client-to-first-cache cost is excluded).
@@ -176,37 +234,25 @@ void Simulator::Step(const trace::Request& request, bool collect) {
     request_metrics.read_bytes = size;
   } else {
     for (double d : link_delays_) base_delay += d;
-    base_delay += network_->server_link_delay();
-    hops = static_cast<int>(link_delays_.size()) + network_->server_link_hops();
+    base_delay += server_link_delay_;
+    hops = static_cast<int>(link_delays_.size()) + server_link_hops_;
   }
-  request_metrics.latency = base_delay * size_scale;
+  request_metrics.latency = base_delay * ctx.size_scale;
   request_metrics.hops = hops;
 
-  // Let the scheme update cache contents (placement + replacement).
-  schemes::ServedRequest served;
-  served.object = object;
-  served.size = size;
-  served.size_scale = size_scale;
-  served.now = request.time;
-  served.path = &path_;
-  served.link_delays = &link_delays_;
-  served.link_costs = &link_costs_;
-  served.hit_index = hit_index;
-  served.server_link_delay = network_->server_link_delay();
-  // No virtual server link under en-route (servers are co-located with
-  // their attach node), so its cost is 0 under every cost model.
-  served.server_link_cost =
-      network_->server_link_hops() == 0
-          ? 0.0
-          : cost_model_.LinkCost(network_->server_link_delay(), size,
-                                 mean_size);
-  scheme_->OnRequestServed(served, caches_, &request_metrics);
+  // --- Phase 2: the serving node decides, the response descends. --------
+  scheme_->OnServe(ctx);
+  for (int i = ctx.first_missing(); i >= 0; --i) {
+    scheme_->OnDescend(ctx, i);
+  }
+  request_metrics.request_msg_bytes = ctx.request.payload_bytes;
+  request_metrics.response_msg_bytes = ctx.response.payload_bytes;
 
   // Stamp freshness metadata on the copies this request created. Copies
   // below the serving point inherit the served version; the serving copy
   // keeps its original stamp (hits do not revalidate).
   if (updates_ != nullptr) {
-    const int top = served.top_index();
+    const int top = ctx.top_index();
     for (int i = 0; i <= top; ++i) {
       if (i == hit_index) continue;
       CacheNode* node = caches_->node(path_[static_cast<size_t>(i)]);

@@ -4,6 +4,7 @@
 #include "schemes/scheme.h"
 #include "sim/coherency.h"
 #include "sim/cost_model.h"
+#include "sim/message.h"
 #include "sim/metrics.h"
 #include "sim/network.h"
 #include "trace/synthetic.h"
@@ -42,13 +43,24 @@ struct SimOptions {
 /// simulation is sequential and analytic (latency is derived from link
 /// delays, not queueing), so no event queue is needed.
 ///
+/// Each request is processed as an explicit two-phase message exchange
+/// (see sim/message.h): a RequestMessage ascends the distribution path
+/// hop by hop — per-hop coherency admission (TTL expiry, invalidation,
+/// stale-serve accounting) runs at each cache before the scheme's
+/// OnAscend handler — until a cache serves it or the origin is reached,
+/// then a ResponseMessage descends through the scheme's OnServe/OnDescend
+/// handlers, carrying the placement decision and penalty counter.
+///
 /// The simulator only reads the Network (immutable shared topology) and
 /// mutates the CacheSet it was given, so simulators over disjoint cache
 /// sets may run concurrently on one Network.
 class Simulator {
  public:
-  /// `network`, `caches` and `scheme` must outlive the simulator. Caches
-  /// are (re)configured by Run().
+  /// `network`, `caches` and `scheme` must outlive the simulator (all
+  /// must be non-null, with one cache per network node). Caches are
+  /// (re)configured by Run(). Invalid *options* (bad warmup fraction,
+  /// inconsistent cost-model weights) do not abort here: they surface as
+  /// an InvalidArgument from Run(), so CLI-supplied options fail cleanly.
   Simulator(const Network* network, CacheSet* caches,
             schemes::CachingScheme* scheme,
             const SimOptions& options = SimOptions());
@@ -79,11 +91,29 @@ class Simulator {
   CacheSet* caches() { return caches_; }
 
  private:
+  /// Drives the request message up the path: per-hop coherency admission
+  /// then the scheme's ascent hook, stopping at the serving cache.
+  /// Returns the serving version for freshness stamping.
+  uint32_t Ascend(const trace::Request& request, MessageContext& ctx);
+
   const Network* network_;
   CacheSet* caches_;
   schemes::CachingScheme* scheme_;
   SimOptions options_;
   CostModel cost_model_;
+  /// Deferred SimOptions validation result, returned by Run() (bad
+  /// options must not abort construction — satellite of the pipeline
+  /// refactor).
+  util::Status init_status_;
+  /// Per-request invariants of the immutable network, hoisted out of the
+  /// Step hot path.
+  const trace::ObjectCatalog* catalog_;
+  double mean_object_size_;
+  double server_link_delay_;
+  int server_link_hops_;
+  /// Cached scheme->observes_ascent(): skips the per-hop ascent dispatch
+  /// for the locally-deciding schemes.
+  bool scheme_observes_ascent_;
   /// Present iff coherency tracking is active for this run.
   std::unique_ptr<UpdateSchedule> updates_;
   MetricsCollector metrics_;
@@ -91,6 +121,10 @@ class Simulator {
   std::vector<topology::NodeId> path_;
   std::vector<double> link_delays_;
   std::vector<double> link_costs_;
+  /// Reused exchange context; the invariant fields (path/link buffers,
+  /// cache plane, server link delay) are wired in the constructor and
+  /// only the per-request fields are rewritten by Step.
+  MessageContext ctx_;
 };
 
 }  // namespace cascache::sim

@@ -250,6 +250,93 @@ TEST(CoherencyCostModeTest, TtlDropDemotesDescriptorUnderCoordinated) {
   EXPECT_GE(desc->num_accesses, 3);
 }
 
+// Fixture for driving the coordinated scheme (cost-mode caches + d-cache)
+// through the coherency path of the message pipeline.
+class CoherencyCoordinatedTest : public ::testing::Test {
+ protected:
+  CoherencyCoordinatedTest()
+      : catalog_(MakeCatalog({{100, 0}})),
+        network_(MakeChainNetwork(&catalog_, 4)) {
+    CacheNodeConfig config;
+    config.mode = CacheMode::kCost;
+    config.capacity_bytes = 1000;
+    config.dcache_entries = 16;
+    network_->ConfigureCaches(config);
+    auto scheme_or =
+        schemes::MakeScheme({.kind = schemes::SchemeKind::kCoordinated});
+    CASCACHE_CHECK(scheme_or.ok());
+    scheme_ = std::move(*scheme_or);
+  }
+
+  /// First request seeds the descriptors, second places the object at the
+  /// leaf (see SimulatorSingleNodeTest.CoordinatedOnSingleProxy).
+  void SeedAndPlace(Simulator& simulator) {
+    simulator.Step(At(1.0, 0), false);
+    simulator.Step(At(2.0, 0), false);
+    ASSERT_TRUE(network_->node(3)->Contains(0));
+  }
+
+  trace::ObjectCatalog catalog_;
+  std::unique_ptr<sim::Network> network_;
+  std::unique_ptr<schemes::CachingScheme> scheme_;
+};
+
+TEST_F(CoherencyCoordinatedTest, NoneProtocolServesAndCountsStaleHit) {
+  SimOptions options;
+  options.coherency.protocol = CoherencyProtocol::kNone;
+  options.coherency.mutable_fraction = 1.0;
+  options.coherency.mean_update_period = 20.0;
+  Simulator simulator(network_.get(), scheme_.get(), options);
+  ASSERT_TRUE(simulator.EnableCoherency(1).ok());
+  SeedAndPlace(simulator);
+  // Far in the future the origin version has advanced, but without a
+  // protocol the leaf still serves its v0 copy — counted as stale.
+  simulator.Step(At(10'000.0, 0), true);
+  const MetricsSummary s = simulator.metrics().Summary();
+  EXPECT_DOUBLE_EQ(s.hit_ratio, 1.0);
+  EXPECT_DOUBLE_EQ(s.stale_hit_ratio, 1.0);
+  EXPECT_EQ(s.copies_expired, 0u);
+  EXPECT_EQ(s.copies_invalidated, 0u);
+}
+
+TEST_F(CoherencyCoordinatedTest, TtlExpiryDropsCopyOnAscent) {
+  SimOptions options;
+  options.coherency.protocol = CoherencyProtocol::kTtl;
+  options.coherency.ttl = 10.0;
+  Simulator simulator(network_.get(), scheme_.get(), options);
+  ASSERT_TRUE(simulator.EnableCoherency(1).ok());
+  SeedAndPlace(simulator);
+  // 48 s after the leaf copy was fetched (> ttl 10): the ascent drops it
+  // and the request continues to the origin.
+  simulator.Step(At(50.0, 0), true);
+  const MetricsSummary s = simulator.metrics().Summary();
+  EXPECT_EQ(s.copies_expired, 1u);
+  EXPECT_DOUBLE_EQ(s.hit_ratio, 0.0);
+  for (topology::NodeId v = 0; v < 4; ++v) {
+    EXPECT_TRUE(network_->node(v)->CheckInvariants()) << "node " << v;
+  }
+}
+
+TEST_F(CoherencyCoordinatedTest, InvalidationDropsOutdatedCopyOnAscent) {
+  SimOptions options;
+  options.coherency.protocol = CoherencyProtocol::kInvalidation;
+  options.coherency.mutable_fraction = 1.0;
+  options.coherency.mean_update_period = 20.0;
+  Simulator simulator(network_.get(), scheme_.get(), options);
+  ASSERT_TRUE(simulator.EnableCoherency(1).ok());
+  SeedAndPlace(simulator);
+  // The origin version advanced past the leaf copy's: invalidated on
+  // ascent, served fresh from the origin, never a stale serve.
+  simulator.Step(At(10'000.0, 0), true);
+  const MetricsSummary s = simulator.metrics().Summary();
+  EXPECT_EQ(s.copies_invalidated, 1u);
+  EXPECT_DOUBLE_EQ(s.hit_ratio, 0.0);
+  EXPECT_DOUBLE_EQ(s.stale_hit_ratio, 0.0);
+  for (topology::NodeId v = 0; v < 4; ++v) {
+    EXPECT_TRUE(network_->node(v)->CheckInvariants()) << "node " << v;
+  }
+}
+
 TEST(CoherencyDisabledTest, PaperSettingHasNoTracking) {
   trace::ObjectCatalog catalog = MakeCatalog({{100, 0}});
   auto network = MakeChainNetwork(&catalog, 4);

@@ -131,6 +131,39 @@ TEST_F(SimulatorChainTest, RunRejectsBadArguments) {
   EXPECT_FALSE(simulator.Run(nonempty, 0).ok());
 }
 
+TEST_F(SimulatorChainTest, RunRejectsBadWarmupFractionWithoutAborting) {
+  // Option values come straight from the CLI: a bad warmup fraction must
+  // surface as a Status from Run(), not abort construction.
+  schemes::LruScheme scheme;
+  SimOptions options;
+  options.warmup_fraction = 1.5;
+  Simulator simulator(network_.get(), &scheme, options);
+  trace::Workload workload;
+  workload.catalog.Add(100, 0);
+  workload.requests.push_back(At(0.0, 0));
+  const util::Status status = simulator.Run(workload, 1000);
+  EXPECT_EQ(status.code(), util::StatusCode::kInvalidArgument);
+
+  SimOptions negative;
+  negative.warmup_fraction = -0.1;
+  Simulator simulator2(network_.get(), &scheme, negative);
+  EXPECT_EQ(simulator2.Run(workload, 1000).code(),
+            util::StatusCode::kInvalidArgument);
+}
+
+TEST_F(SimulatorChainTest, RunRejectsBadCostModelWithoutAborting) {
+  schemes::LruScheme scheme;
+  SimOptions options;
+  options.cost_model.kind = CostModelKind::kWeighted;
+  options.cost_model.alpha = -1.0;  // Invalid weight.
+  Simulator simulator(network_.get(), &scheme, options);
+  trace::Workload workload;
+  workload.catalog.Add(100, 0);
+  workload.requests.push_back(At(0.0, 0));
+  EXPECT_EQ(simulator.Run(workload, 1000).code(),
+            util::StatusCode::kInvalidArgument);
+}
+
 TEST(SimulatorSingleNodeTest, DepthOneTreeIsASingleProxy) {
   // Degenerate hierarchy: one cache, origin one virtual hop above it.
   trace::ObjectCatalog catalog = MakeCatalog({{100, 0}});
