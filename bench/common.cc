@@ -56,14 +56,24 @@ void PrintTitle(const std::string& id, const std::string& title) {
 
 namespace {
 
-/// Appends results to the CSV named by CASCACHE_RESULTS_CSV, if set.
+/// Appends results to the CSV named by CASCACHE_RESULTS_CSV, if set, and
+/// the per-node counter breakdown to CASCACHE_PER_NODE_CSV likewise.
 void MaybeExportCsv(const std::vector<sim::RunResult>& results) {
-  const char* path = std::getenv("CASCACHE_RESULTS_CSV");
-  if (path == nullptr || path[0] == '\0') return;
-  const util::Status status = sim::WriteResultsCsv(results, path);
-  if (!status.ok()) {
-    std::fprintf(stderr, "CSV export failed: %s\n",
-                 status.ToString().c_str());
+  if (const char* path = std::getenv("CASCACHE_RESULTS_CSV");
+      path != nullptr && path[0] != '\0') {
+    const util::Status status = sim::WriteResultsCsv(results, path);
+    if (!status.ok()) {
+      std::fprintf(stderr, "CSV export failed: %s\n",
+                   status.ToString().c_str());
+    }
+  }
+  if (const char* path = std::getenv("CASCACHE_PER_NODE_CSV");
+      path != nullptr && path[0] != '\0') {
+    const util::Status status = sim::WritePerNodeCsv(results, path);
+    if (!status.ok()) {
+      std::fprintf(stderr, "per-node CSV export failed: %s\n",
+                   status.ToString().c_str());
+    }
   }
 }
 
@@ -75,6 +85,9 @@ struct SweepTiming {
   double cell_wall_p50 = 0.0;
   double cell_wall_p95 = 0.0;
   double requests_per_sec = 0.0;  ///< Aggregate replay throughput.
+  /// Phase breakdown summed over cells (the simulator's per-run timers).
+  double warmup_wall_seconds = 0.0;
+  double measure_wall_seconds = 0.0;
 };
 
 std::vector<SweepTiming>& SweepTimings() {
@@ -103,9 +116,12 @@ void ExportSweepJson() {
     std::fprintf(f,
                  "  {\"sweep\": %zu, \"cells\": %zu, \"jobs\": %d, "
                  "\"total_wall_seconds\": %.6g, \"cell_wall_p50\": %.6g, "
-                 "\"cell_wall_p95\": %.6g, \"requests_per_sec\": %.6g}%s\n",
+                 "\"cell_wall_p95\": %.6g, \"requests_per_sec\": %.6g, "
+                 "\"warmup_wall_seconds\": %.6g, "
+                 "\"measure_wall_seconds\": %.6g}%s\n",
                  i, t.cells, t.jobs, t.total_wall_seconds, t.cell_wall_p50,
-                 t.cell_wall_p95, t.requests_per_sec,
+                 t.cell_wall_p95, t.requests_per_sec, t.warmup_wall_seconds,
+                 t.measure_wall_seconds,
                  i + 1 < timings.size() ? "," : "");
   }
   std::fputs("]\n", f);
@@ -154,6 +170,8 @@ std::vector<sim::RunResult> RunSweep(const sim::ExperimentConfig& config) {
                  r.requests_per_sec);
     cell_walls.push_back(r.wall_seconds);
     replayed += r.metrics.requests;
+    timing.warmup_wall_seconds += r.warmup_seconds;
+    timing.measure_wall_seconds += r.measure_seconds;
   }
   std::sort(cell_walls.begin(), cell_walls.end());
   timing.cell_wall_p50 = Percentile(cell_walls, 0.50);

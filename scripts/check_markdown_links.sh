@@ -1,0 +1,33 @@
+#!/usr/bin/env bash
+# Checks that every relative link target in the repo's markdown files
+# exists on disk. Offline by design: http(s) and mailto links are
+# skipped. Usage: scripts/check_markdown_links.sh [repo-root]
+set -u
+
+root="${1:-.}"
+cd "$root" || exit 2
+
+failures=0
+while IFS= read -r file; do
+  # Inline links: [text](target). Good enough for this repo's markdown —
+  # no reference-style links in use.
+  while IFS= read -r target; do
+    case "$target" in
+      http://*|https://*|mailto:*|\#*) continue ;;
+    esac
+    # Strip a trailing #fragment; the file part must exist.
+    path="${target%%#*}"
+    [ -z "$path" ] && continue
+    base_dir=$(dirname "$file")
+    if [ ! -e "$path" ] && [ ! -e "$base_dir/$path" ]; then
+      echo "BROKEN LINK: $file -> $target"
+      failures=$((failures + 1))
+    fi
+  done < <(grep -o '\[[^]]*\]([^)]*)' "$file" | sed 's/.*](\([^)]*\))/\1/')
+done < <(git ls-files '*.md')
+
+if [ "$failures" -gt 0 ]; then
+  echo "$failures broken markdown link(s)"
+  exit 1
+fi
+echo "markdown links OK"

@@ -1,0 +1,54 @@
+#!/usr/bin/env bash
+# Verifies that README.md's flag listing matches `cascache_sim --help`,
+# so the two cannot drift. The README block sits between
+# `<!-- BEGIN cascache_sim --help -->` and `<!-- END ... -->` markers;
+# only the indented flag lines are compared (the usage line carries the
+# invocation path, which varies).
+#
+# Usage:
+#   scripts/check_readme_flags.sh <path-to-cascache_sim>            # check
+#   scripts/check_readme_flags.sh <path-to-cascache_sim> --update   # rewrite
+set -u
+
+binary="${1:?usage: $0 <path-to-cascache_sim> [--update]}"
+mode="${2:-check}"
+readme="$(dirname "$0")/../README.md"
+begin='<!-- BEGIN cascache_sim --help -->'
+end='<!-- END cascache_sim --help -->'
+
+help_flags=$("$binary" --help 2>&1 | grep -v '^usage:') || {
+  echo "failed to run $binary --help"
+  exit 2
+}
+
+if [ "$mode" = "--update" ]; then
+  tmp=$(mktemp)
+  awk -v begin="$begin" -v end="$end" -v help="$help_flags" '
+    index($0, begin) { print; print "```"; print help; print "```"; skip = 1; next }
+    index($0, end)   { skip = 0 }
+    !skip            { print }
+  ' "$readme" >"$tmp" && mv "$tmp" "$readme"
+  echo "README flag listing regenerated"
+  exit 0
+fi
+
+readme_flags=$(awk -v begin="$begin" -v end="$end" '
+  index($0, begin) { inside = 1; next }
+  index($0, end)   { inside = 0 }
+  inside && !/^```/ { print }
+' "$readme")
+
+if [ -z "$readme_flags" ]; then
+  echo "README.md: flag listing markers not found"
+  exit 1
+fi
+
+if ! diff_out=$(diff <(printf '%s\n' "$readme_flags") \
+                     <(printf '%s\n' "$help_flags")); then
+  echo "README.md flag listing is out of date vs $binary --help:"
+  echo "$diff_out"
+  echo
+  echo "Regenerate with: $0 $binary --update"
+  exit 1
+fi
+echo "README flag listing matches --help"

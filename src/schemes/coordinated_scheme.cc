@@ -21,6 +21,9 @@ void CoordinatedScheme::OnAscend(sim::MessageContext& ctx, int hop) {
   } else {
     rec.has_descriptor = true;
     rec.frequency = desc->frequency;
+    // The ascent only visits nodes that could not serve, so the
+    // descriptor lives in the d-cache.
+    ctx.RecordDCacheHit(hop);
   }
 
   if (ctx.size <= node->capacity_bytes()) {
@@ -122,10 +125,11 @@ void CoordinatedScheme::OnDescend(sim::MessageContext& ctx, int hop) {
   sim::CacheNode* node = ctx.node(hop);
   if (selected_path_indices_.count(hop) > 0) {
     if (node->InsertCost(ctx.object, ctx.size, ctx.response.penalty,
-                         ctx.now)) {
-      ctx.metrics->write_bytes += ctx.size;
-      ++ctx.metrics->insertions;
+                         ctx.now, &evicted_scratch_)) {
+      ctx.RecordPlacement(hop, evicted_scratch_);
       ctx.response.penalty = 0.0;  // Downstream nodes now have a nearer copy.
+    } else {
+      ctx.RecordPlacementRejected(hop);
     }
   } else {
     // Refresh the miss penalty of a known descriptor, or admit one into

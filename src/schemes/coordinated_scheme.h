@@ -104,6 +104,8 @@ class CoordinatedScheme : public CachingScheme {
   /// Reused across PlanEvictionInto calls (one per candidate per request)
   /// so the ascent never allocates a fresh victims vector.
   cache::NclCache::EvictionPlan scratch_plan_;
+  /// Reused victim buffer for the descent's insertions.
+  std::vector<ObjectId> evicted_scratch_;
 };
 
 }  // namespace cascache::schemes

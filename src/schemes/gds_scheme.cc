@@ -12,11 +12,12 @@ void GdsScheme::OnServe(sim::MessageContext& ctx) {
 
 void GdsScheme::OnDescend(sim::MessageContext& ctx, int hop) {
   bool inserted = false;
-  ctx.node(hop)->gds()->Insert(ctx.object, ctx.size,
-                               ctx.upstream_link_cost(hop), &inserted);
+  const std::vector<sim::ObjectId> evicted = ctx.node(hop)->gds()->Insert(
+      ctx.object, ctx.size, ctx.upstream_link_cost(hop), &inserted);
   if (inserted) {
-    ctx.metrics->write_bytes += ctx.size;
-    ++ctx.metrics->insertions;
+    ctx.RecordPlacement(hop, evicted);
+  } else {
+    ctx.RecordPlacementRejected(hop);
   }
 }
 
@@ -28,10 +29,12 @@ void LfuScheme::OnServe(sim::MessageContext& ctx) {
 
 void LfuScheme::OnDescend(sim::MessageContext& ctx, int hop) {
   bool inserted = false;
-  ctx.node(hop)->lfu()->Insert(ctx.object, ctx.size, &inserted);
+  const std::vector<sim::ObjectId> evicted =
+      ctx.node(hop)->lfu()->Insert(ctx.object, ctx.size, &inserted);
   if (inserted) {
-    ctx.metrics->write_bytes += ctx.size;
-    ++ctx.metrics->insertions;
+    ctx.RecordPlacement(hop, evicted);
+  } else {
+    ctx.RecordPlacementRejected(hop);
   }
 }
 

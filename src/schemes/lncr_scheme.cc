@@ -17,7 +17,14 @@ void RecordAt(sim::MessageContext& ctx, int hop) {
 }  // namespace
 
 void LncrScheme::OnAscend(sim::MessageContext& ctx, int hop) {
-  RecordAt(ctx, hop);
+  sim::CacheNode* node = ctx.node(hop);
+  if (node->RecordAccess(ctx.object, ctx.now) != nullptr) {
+    // The ascent only visits nodes that could not serve, so a descriptor
+    // found here lives in the d-cache.
+    ctx.RecordDCacheHit(hop);
+  } else if (!node->Contains(ctx.object)) {
+    node->AdmitDescriptor(ctx.object, ctx.size, ctx.now);
+  }
 }
 
 void LncrScheme::OnServe(sim::MessageContext& ctx) {
@@ -31,9 +38,11 @@ void LncrScheme::OnDescend(sim::MessageContext& ctx, int hop) {
   // is the cost of the immediate upstream link (the virtual server link
   // at the attach node).
   if (ctx.node(hop)->InsertCost(ctx.object, ctx.size,
-                                ctx.upstream_link_cost(hop), ctx.now)) {
-    ctx.metrics->write_bytes += ctx.size;
-    ++ctx.metrics->insertions;
+                                ctx.upstream_link_cost(hop), ctx.now,
+                                &evicted_scratch_)) {
+    ctx.RecordPlacement(hop, evicted_scratch_);
+  } else {
+    ctx.RecordPlacementRejected(hop);
   }
 }
 

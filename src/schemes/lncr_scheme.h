@@ -1,6 +1,8 @@
 #ifndef CASCACHE_SCHEMES_LNCR_SCHEME_H_
 #define CASCACHE_SCHEMES_LNCR_SCHEME_H_
 
+#include <vector>
+
 #include "schemes/scheme.h"
 
 namespace cascache::schemes {
@@ -23,6 +25,10 @@ class LncrScheme : public CachingScheme {
   void OnAscend(sim::MessageContext& ctx, int hop) override;
   void OnServe(sim::MessageContext& ctx) override;
   void OnDescend(sim::MessageContext& ctx, int hop) override;
+
+ private:
+  /// Reused victim buffer for the descent's insertions.
+  std::vector<ObjectId> evicted_scratch_;
 };
 
 }  // namespace cascache::schemes

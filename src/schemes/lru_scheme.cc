@@ -13,10 +13,12 @@ void LruScheme::OnDescend(sim::MessageContext& ctx, int hop) {
   // Cache everywhere below the serving point (and at the attach node too
   // when the origin served the request).
   bool inserted = false;
-  ctx.node(hop)->lru()->Insert(ctx.object, ctx.size, &inserted);
+  const std::vector<sim::ObjectId> evicted =
+      ctx.node(hop)->lru()->Insert(ctx.object, ctx.size, &inserted);
   if (inserted) {
-    ctx.metrics->write_bytes += ctx.size;
-    ++ctx.metrics->insertions;
+    ctx.RecordPlacement(hop, evicted);
+  } else {
+    ctx.RecordPlacementRejected(hop);
   }
 }
 

@@ -32,10 +32,12 @@ void ModuloScheme::OnDescend(sim::MessageContext& ctx, int hop) {
   const int distance = serving_distance_base - hop;
   if (distance <= 0 || distance % radius_ != 0) return;
   bool inserted = false;
-  ctx.node(hop)->lru()->Insert(ctx.object, ctx.size, &inserted);
+  const std::vector<sim::ObjectId> evicted =
+      ctx.node(hop)->lru()->Insert(ctx.object, ctx.size, &inserted);
   if (inserted) {
-    ctx.metrics->write_bytes += ctx.size;
-    ++ctx.metrics->insertions;
+    ctx.RecordPlacement(hop, evicted);
+  } else {
+    ctx.RecordPlacementRejected(hop);
   }
 }
 

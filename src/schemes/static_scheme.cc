@@ -35,14 +35,17 @@ void StaticScheme::OnServe(sim::MessageContext& ctx) {
   if (!ctx.origin_served()) CountAt(ctx, ctx.hit_index());
 
   ++requests_seen_;
-  if (requests_seen_ >= freeze_after_) Freeze(ctx.caches, ctx.metrics);
+  if (requests_seen_ >= freeze_after_) Freeze(ctx);
 }
 
-void StaticScheme::Freeze(CacheSet* caches, sim::RequestMetrics* metrics) {
+void StaticScheme::Freeze(sim::MessageContext& ctx) {
+  CacheSet* caches = ctx.caches;
   frozen_ = true;
   if (demand_.empty()) {
     demand_.resize(static_cast<size_t>(caches->num_nodes()));
   }
+  // Freeze only fills spare capacity, so no placement ever evicts.
+  const std::vector<ObjectId> no_evictions;
   for (topology::NodeId v = 0; v < caches->num_nodes(); ++v) {
     auto& seen = demand_[static_cast<size_t>(v)];
     std::vector<std::pair<ObjectId, Demand>> ranked(seen.begin(), seen.end());
@@ -62,8 +65,7 @@ void StaticScheme::Freeze(CacheSet* caches, sim::RequestMetrics* metrics) {
       bool inserted = false;
       cache->Insert(object, d.size, &inserted);
       CASCACHE_CHECK(inserted);
-      metrics->write_bytes += d.size;
-      ++metrics->insertions;
+      ctx.RecordPlacementAt(v, object, d.size, no_evictions);
     }
     seen.clear();
   }

@@ -49,7 +49,7 @@ class StaticScheme : public CachingScheme {
   };
 
   void CountAt(sim::MessageContext& ctx, int hop);
-  void Freeze(CacheSet* caches, sim::RequestMetrics* metrics);
+  void Freeze(sim::MessageContext& ctx);
 
   uint64_t freeze_after_;
   uint64_t requests_seen_ = 0;

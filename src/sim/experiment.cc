@@ -8,6 +8,7 @@
 #include <map>
 #include <thread>
 
+#include "util/csv.h"
 #include "util/table.h"
 #include "util/thread_pool.h"
 
@@ -87,6 +88,21 @@ util::StatusOr<RunResult> ExperimentRunner::RunCell(
   result.wall_seconds = wall;
   result.requests_per_sec =
       wall > 0.0 ? static_cast<double>(workload_.requests.size()) / wall : 0.0;
+  result.warmup_seconds = simulator.phase_times().warmup_seconds;
+  result.measure_seconds = simulator.phase_times().measure_seconds;
+  const std::vector<NodeCounters>& counters =
+      simulator.metrics().node_counters();
+  result.per_node.reserve(counters.size());
+  for (topology::NodeId v = 0; v < network_->num_nodes(); ++v) {
+    NodeUsage usage;
+    usage.node = v;
+    usage.level = network_->NodeLevel(v);
+    usage.counters = counters[static_cast<size_t>(v)];
+    result.per_node.push_back(usage);
+  }
+  if (const EventTrace* trace = simulator.event_trace(); trace != nullptr) {
+    result.trace_events = trace->Records();
+  }
   return result;
 }
 
@@ -152,37 +168,110 @@ util::StatusOr<std::vector<RunResult>> ExperimentRunner::RunAll() {
 
 util::Status WriteResultsCsv(const std::vector<RunResult>& results,
                              const std::string& path) {
+  util::CsvWriter csv(path);
+  csv.WriteLine(
+      "scheme,cache_fraction,capacity_bytes,requests,avg_latency,"
+      "avg_response_ratio,byte_hit_ratio,hit_ratio,avg_traffic_byte_hops,"
+      "avg_hops,avg_load_bytes,read_load_share,stale_hit_ratio,"
+      "avg_request_msg_bytes,avg_response_msg_bytes,avg_message_bytes,"
+      "wall_seconds,requests_per_sec,warmup_seconds,measure_seconds");
+  for (const RunResult& r : results) {
+    const MetricsSummary& m = r.metrics;
+    char buf[512];
+    std::snprintf(
+        buf, sizeof(buf),
+        "%s,%.6g,%llu,%llu,%.8g,%.8g,%.8g,%.8g,%.8g,%.8g,%.8g,%.8g,"
+        "%.8g,%.8g,%.8g,%.8g,%.6g,%.6g,%.6g,%.6g",
+        util::CsvEscape(r.scheme).c_str(), r.cache_fraction,
+        static_cast<unsigned long long>(r.capacity_bytes),
+        static_cast<unsigned long long>(m.requests), m.avg_latency,
+        m.avg_response_ratio, m.byte_hit_ratio, m.hit_ratio,
+        m.avg_traffic_byte_hops, m.avg_hops, m.avg_load_bytes,
+        m.read_load_share, m.stale_hit_ratio, m.avg_request_msg_bytes,
+        m.avg_response_msg_bytes, m.avg_message_bytes, r.wall_seconds,
+        r.requests_per_sec, r.warmup_seconds, r.measure_seconds);
+    csv.WriteLine(buf);
+  }
+  return csv.Close();
+}
+
+namespace {
+
+/// One per-node CSV row; `scope` is "node" or "level".
+void WriteCountersRow(util::CsvWriter* csv, const RunResult& r,
+                      const char* scope, int node, int level,
+                      const NodeCounters& c) {
+  char buf[512];
+  std::snprintf(
+      buf, sizeof(buf),
+      "%s,%.6g,%s,%d,%d,%llu,%llu,%llu,%llu,%llu,%llu,%llu,%llu,%llu,%llu,"
+      "%llu,%llu",
+      util::CsvEscape(r.scheme).c_str(), r.cache_fraction, scope, node, level,
+      static_cast<unsigned long long>(c.requests_seen()),
+      static_cast<unsigned long long>(c.hits),
+      static_cast<unsigned long long>(c.misses),
+      static_cast<unsigned long long>(c.evictions),
+      static_cast<unsigned long long>(c.placements),
+      static_cast<unsigned long long>(c.placements_rejected),
+      static_cast<unsigned long long>(c.expirations),
+      static_cast<unsigned long long>(c.invalidations),
+      static_cast<unsigned long long>(c.stale_serves),
+      static_cast<unsigned long long>(c.dcache_hits),
+      static_cast<unsigned long long>(c.bytes_served),
+      static_cast<unsigned long long>(c.bytes_cached));
+  csv->WriteLine(buf);
+}
+
+}  // namespace
+
+util::Status WritePerNodeCsv(const std::vector<RunResult>& results,
+                             const std::string& path) {
+  util::CsvWriter csv(path);
+  csv.WriteLine(
+      "scheme,cache_fraction,scope,node,level,requests,hits,misses,"
+      "evictions,placements,placements_rejected,expirations,invalidations,"
+      "stale_serves,dcache_hits,bytes_served,bytes_cached");
+  for (const RunResult& r : results) {
+    int max_level = 0;
+    for (const NodeUsage& u : r.per_node) {
+      WriteCountersRow(&csv, r, "node", u.node, u.level, u.counters);
+      max_level = std::max(max_level, u.level);
+    }
+    // Per-depth rollups (the paper's tree levels; node is -1).
+    std::vector<NodeCounters> by_level(static_cast<size_t>(max_level) + 1);
+    for (const NodeUsage& u : r.per_node) {
+      by_level[static_cast<size_t>(u.level)] += u.counters;
+    }
+    for (int level = 0; level <= max_level; ++level) {
+      WriteCountersRow(&csv, r, "level", -1, level,
+                       by_level[static_cast<size_t>(level)]);
+    }
+  }
+  return csv.Close();
+}
+
+util::Status WriteTraceJsonl(const std::vector<RunResult>& results,
+                             const std::string& path) {
   std::FILE* f = std::fopen(path.c_str(), "w");
   if (f == nullptr) {
     return util::Status::IoError("cannot open for write: " + path);
   }
-  bool ok =
-      std::fputs(
-          "scheme,cache_fraction,capacity_bytes,requests,avg_latency,"
-          "avg_response_ratio,byte_hit_ratio,hit_ratio,avg_traffic_byte_hops,"
-          "avg_hops,avg_load_bytes,read_load_share,stale_hit_ratio,"
-          "avg_request_msg_bytes,avg_response_msg_bytes,avg_message_bytes,"
-          "wall_seconds,requests_per_sec\n",
-          f) >= 0;
+  bool ok = true;
   for (const RunResult& r : results) {
-    const MetricsSummary& m = r.metrics;
-    ok = ok &&
-         std::fprintf(
-             f, "%s,%.6g,%llu,%llu,%.8g,%.8g,%.8g,%.8g,%.8g,%.8g,%.8g,%.8g,"
-                "%.8g,%.8g,%.8g,%.8g,%.6g,%.6g\n",
-             r.scheme.c_str(), r.cache_fraction,
-             static_cast<unsigned long long>(r.capacity_bytes),
-             static_cast<unsigned long long>(m.requests), m.avg_latency,
-             m.avg_response_ratio, m.byte_hit_ratio, m.hit_ratio,
-             m.avg_traffic_byte_hops, m.avg_hops, m.avg_load_bytes,
-             m.read_load_share, m.stale_hit_ratio, m.avg_request_msg_bytes,
-             m.avg_response_msg_bytes, m.avg_message_bytes, r.wall_seconds,
-             r.requests_per_sec) > 0;
+    for (const TraceEvent& event : r.trace_events) {
+      char prefix[128];
+      std::snprintf(prefix, sizeof(prefix),
+                    "{\"scheme\":\"%s\",\"cache_fraction\":%.6g,",
+                    r.scheme.c_str(), r.cache_fraction);
+      std::string line = prefix;
+      EventTrace::AppendJsonFields(event, &line);
+      line += "}\n";
+      ok = ok &&
+           std::fwrite(line.data(), 1, line.size(), f) == line.size();
+    }
   }
-  // fclose flushes the stdio buffer; on a full disk that is where the
-  // failure surfaces, so its result decides whether the CSV is whole.
-  const bool closed = std::fclose(f) == 0;
-  if (!ok || !closed) return util::Status::IoError("short write: " + path);
+  if (std::fclose(f) != 0) ok = false;
+  if (!ok) return util::Status::IoError("short write: " + path);
   return util::Status::Ok();
 }
 

@@ -37,17 +37,36 @@ struct ExperimentConfig {
 /// hardware_concurrency. Exposed so benches can report the value.
 int ResolveJobs(int requested);
 
+/// Per-node slice of one cell's replay (observability layer): the
+/// counters one cache accumulated over the measured phase, plus where in
+/// the tree it sits.
+struct NodeUsage {
+  topology::NodeId node = 0;
+  /// Tree depth (0 = leaf level under the hierarchical architecture; all
+  /// nodes are level 0 under en-route).
+  int level = 0;
+  NodeCounters counters;
+};
+
 /// One (scheme, cache size) cell of a sweep.
 struct RunResult {
   std::string scheme;
   double cache_fraction = 0.0;
   uint64_t capacity_bytes = 0;
   MetricsSummary metrics;
+  /// One entry per network node, in NodeId order.
+  std::vector<NodeUsage> per_node;
+  /// Ring snapshot of the cell's event trace, oldest first (empty unless
+  /// the sweep ran with tracing enabled).
+  std::vector<TraceEvent> trace_events;
   /// Wall-clock seconds this cell's simulation took (replay only; not
   /// part of the determinism contract).
   double wall_seconds = 0.0;
   /// Requests replayed per wall-clock second (warm-up included).
   double requests_per_sec = 0.0;
+  /// Phase breakdown of the replay (observability layer).
+  double warmup_seconds = 0.0;
+  double measure_seconds = 0.0;
 };
 
 /// Runs a configured sweep. Expensive state (topology, routing, workload)
@@ -100,6 +119,19 @@ std::string FormatSweepTable(
 /// columns) for external plotting; the benches accept an output path via
 /// CASCACHE_RESULTS_CSV.
 util::Status WriteResultsCsv(const std::vector<RunResult>& results,
+                             const std::string& path);
+
+/// Writes the per-node counter breakdown of each cell: one `scope=node`
+/// row per cache, followed by one `scope=level` rollup row per tree
+/// depth (node = -1). Totals reconcile exactly with the aggregate CSV:
+/// sum(hits) == requests * hit_ratio, sum(bytes_cached) ==
+/// requests * avg_write_bytes, and so on (see docs/METRICS.md).
+util::Status WritePerNodeCsv(const std::vector<RunResult>& results,
+                             const std::string& path);
+
+/// Writes every cell's trace snapshot as JSONL, each record annotated
+/// with the cell's scheme and cache fraction.
+util::Status WriteTraceJsonl(const std::vector<RunResult>& results,
                              const std::string& path);
 
 }  // namespace cascache::sim

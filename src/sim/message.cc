@@ -2,7 +2,56 @@
 
 #include <cstdio>
 
+#include "sim/event_trace.h"
+
 namespace cascache::sim {
+
+void MessageContext::EmitNodeEvent(TraceEventType type,
+                                   topology::NodeId node_id,
+                                   double value) const {
+  TraceEvent event;
+  event.request_index = telemetry.request_index;
+  event.time = now;
+  event.type = type;
+  event.node = node_id;
+  event.level = NodeLevel(node_id);
+  event.object = object;
+  event.size_bytes = size;
+  event.value = value;
+  telemetry.trace->Emit(event);
+}
+
+void MessageContext::EmitPlacementTrace(
+    topology::NodeId node_id, trace::ObjectId object_id, uint64_t bytes,
+    const std::vector<trace::ObjectId>& evicted) const {
+  TraceEvent event;
+  event.request_index = telemetry.request_index;
+  event.time = now;
+  event.type = TraceEventType::kPlacement;
+  event.node = node_id;
+  event.level = NodeLevel(node_id);
+  event.object = object_id;
+  event.size_bytes = bytes;
+  event.value = response.penalty;
+  telemetry.trace->Emit(event);
+  for (trace::ObjectId victim : evicted) {
+    TraceEvent ev = event;
+    ev.type = TraceEventType::kEviction;
+    ev.object = victim;
+    ev.size_bytes = 0;  // The store has already forgotten the victim size.
+    ev.value = static_cast<double>(evicted.size());
+    telemetry.trace->Emit(ev);
+  }
+}
+
+void MessageContext::EmitPlacementRejectedTrace(
+    topology::NodeId node_id) const {
+  EmitNodeEvent(TraceEventType::kPlacementRejected, node_id, 0.0);
+}
+
+void MessageContext::EmitDCacheHitTrace(topology::NodeId node_id) const {
+  EmitNodeEvent(TraceEventType::kDCacheHit, node_id, 0.0);
+}
 
 std::string MessageContext::DebugString() const {
   char buf[256];

@@ -11,6 +11,26 @@
 
 namespace cascache::sim {
 
+class EventTrace;
+enum class TraceEventType : uint8_t;
+
+/// Observability hooks of one exchange, wired by the simulator per
+/// request. Both sinks are null when off (warm-up phase, disabled trace,
+/// unsampled request), so every emit point costs one null check on the
+/// hot path and nothing else.
+struct ExchangeTelemetry {
+  /// Per-node counter slots indexed by NodeId; null while warming up or
+  /// when the driver never allocated them.
+  NodeCounters* node_counters = nullptr;
+  /// Event sink for this request; null when disabled or unsampled.
+  EventTrace* trace = nullptr;
+  /// Tree depth per NodeId for trace records; null means level 0
+  /// everywhere (en-route architecture).
+  const int* node_levels = nullptr;
+  /// Index of the request in the replayed workload (the sampling key).
+  uint64_t request_index = 0;
+};
+
 /// The request message ascending the distribution path (paper §2.3): it
 /// enters at the requesting cache (hop 0) and climbs node by node until
 /// a cache holds a servable copy or the origin server is reached. Schemes
@@ -70,6 +90,7 @@ struct MessageContext {
   // --- Mutable exchange state. ------------------------------------------
   CacheSet* caches = nullptr;
   RequestMetrics* metrics = nullptr;
+  ExchangeTelemetry telemetry;
   RequestMessage request;
   ResponseMessage response;
 
@@ -105,9 +126,105 @@ struct MessageContext {
                : (*link_costs)[static_cast<size_t>(i)];
   }
 
+  // --- Placement accounting (shared by every scheme). -------------------
+  // These fold the aggregate write accounting, the per-node counters and
+  // the trace emission into one call so the seven schemes cannot drift
+  // apart. The aggregate arithmetic is exactly the historical
+  // `write_bytes += size; ++insertions;` pair — results stay
+  // bit-identical to the pre-observability pipeline.
+
+  /// Records an accepted placement at path index `hop` plus the victims
+  /// the store pushed out to make room.
+  void RecordPlacement(int hop, const std::vector<trace::ObjectId>& evicted);
+
+  /// Same, for a node off the request path caching `object_id`
+  /// (STATIC's freeze fills every cache at once).
+  void RecordPlacementAt(topology::NodeId node_id, trace::ObjectId object_id,
+                         uint64_t bytes,
+                         const std::vector<trace::ObjectId>& evicted);
+
+  /// Records a placement attempt the store declined (oversized object or
+  /// copy already present).
+  void RecordPlacementRejected(int hop);
+
+  /// Records an ascent lookup that found the object's descriptor in the
+  /// d-cache at path index `hop` (the object itself is not cached there,
+  /// or the node would have served).
+  void RecordDCacheHit(int hop);
+
+  /// Tree depth of a node for trace records (0 when levels are unknown).
+  int32_t NodeLevel(topology::NodeId node_id) const {
+    return telemetry.node_levels == nullptr
+               ? 0
+               : telemetry.node_levels[node_id];
+  }
+
   /// Human-readable dump for test failures and debugging.
   std::string DebugString() const;
+
+ private:
+  /// Trace-only slow path of the Record* helpers, out of line so the
+  /// untraced fast path stays a null check.
+  void EmitPlacementTrace(topology::NodeId node_id, trace::ObjectId object_id,
+                          uint64_t bytes,
+                          const std::vector<trace::ObjectId>& evicted) const;
+  void EmitNodeEvent(TraceEventType type, topology::NodeId node_id,
+                     double value) const;
+  void EmitPlacementRejectedTrace(topology::NodeId node_id) const;
+  void EmitDCacheHitTrace(topology::NodeId node_id) const;
 };
+
+inline void MessageContext::RecordPlacement(
+    int hop, const std::vector<trace::ObjectId>& evicted) {
+  metrics->write_bytes += size;
+  ++metrics->insertions;
+  const topology::NodeId node_id = (*path)[static_cast<size_t>(hop)];
+  if (telemetry.node_counters != nullptr) {
+    NodeCounters& c = telemetry.node_counters[node_id];
+    ++c.placements;
+    c.evictions += evicted.size();
+    c.bytes_cached += size;
+  }
+  if (telemetry.trace != nullptr) {
+    EmitPlacementTrace(node_id, object, size, evicted);
+  }
+}
+
+inline void MessageContext::RecordPlacementAt(
+    topology::NodeId node_id, trace::ObjectId object_id, uint64_t bytes,
+    const std::vector<trace::ObjectId>& evicted) {
+  metrics->write_bytes += bytes;
+  ++metrics->insertions;
+  if (telemetry.node_counters != nullptr) {
+    NodeCounters& c = telemetry.node_counters[node_id];
+    ++c.placements;
+    c.evictions += evicted.size();
+    c.bytes_cached += bytes;
+  }
+  if (telemetry.trace != nullptr) {
+    EmitPlacementTrace(node_id, object_id, bytes, evicted);
+  }
+}
+
+inline void MessageContext::RecordPlacementRejected(int hop) {
+  const topology::NodeId node_id = (*path)[static_cast<size_t>(hop)];
+  if (telemetry.node_counters != nullptr) {
+    ++telemetry.node_counters[node_id].placements_rejected;
+  }
+  if (telemetry.trace != nullptr) {
+    EmitPlacementRejectedTrace(node_id);
+  }
+}
+
+inline void MessageContext::RecordDCacheHit(int hop) {
+  const topology::NodeId node_id = (*path)[static_cast<size_t>(hop)];
+  if (telemetry.node_counters != nullptr) {
+    ++telemetry.node_counters[node_id].dcache_hits;
+  }
+  if (telemetry.trace != nullptr) {
+    EmitDCacheHitTrace(node_id);
+  }
+}
 
 }  // namespace cascache::sim
 

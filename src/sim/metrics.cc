@@ -28,9 +28,35 @@ void MetricsCollector::Record(const RequestMetrics& metrics) {
   copies_invalidated_ += static_cast<uint64_t>(metrics.copies_invalidated);
   request_msg_bytes_ += metrics.request_msg_bytes;
   response_msg_bytes_ += metrics.response_msg_bytes;
+  insertions_ += static_cast<uint64_t>(metrics.insertions);
 }
 
 void MetricsCollector::Reset() { *this = MetricsCollector(); }
+
+NodeCounters& NodeCounters::operator+=(const NodeCounters& other) {
+  hits += other.hits;
+  misses += other.misses;
+  evictions += other.evictions;
+  placements += other.placements;
+  placements_rejected += other.placements_rejected;
+  expirations += other.expirations;
+  invalidations += other.invalidations;
+  stale_serves += other.stale_serves;
+  dcache_hits += other.dcache_hits;
+  bytes_served += other.bytes_served;
+  bytes_cached += other.bytes_cached;
+  return *this;
+}
+
+void MetricsCollector::ResetNodes(int num_nodes) {
+  node_counters_.assign(static_cast<size_t>(num_nodes), NodeCounters());
+}
+
+NodeCounters MetricsCollector::NodeTotals() const {
+  NodeCounters total;
+  for (const NodeCounters& c : node_counters_) total += c;
+  return total;
+}
 
 MetricsSummary MetricsCollector::Summary() const {
   MetricsSummary s;
@@ -64,6 +90,10 @@ MetricsSummary MetricsCollector::Summary() const {
   s.avg_response_msg_bytes = static_cast<double>(response_msg_bytes_) /
                              static_cast<double>(requests_);
   s.avg_message_bytes = s.avg_request_msg_bytes + s.avg_response_msg_bytes;
+  s.cache_hits = hits_;
+  s.stale_hits = stale_hits_;
+  s.insertions = insertions_;
+  s.bytes_written = write_bytes_;
   return s;
 }
 

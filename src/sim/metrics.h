@@ -3,6 +3,7 @@
 
 #include <cstdint>
 #include <string>
+#include <vector>
 
 #include "util/stats.h"
 
@@ -41,6 +42,29 @@ struct RequestMetrics {
   uint64_t response_msg_bytes = 0;
 };
 
+/// Counters one cache node accumulates over the measured phase of a run
+/// (the observability layer's per-node view; aggregates in
+/// MetricsSummary remain the paper's reported quantities). Every field
+/// is a plain event count except the two byte totals.
+struct NodeCounters {
+  uint64_t hits = 0;          ///< Requests this node served.
+  uint64_t misses = 0;        ///< Requests that passed through unserved.
+  uint64_t evictions = 0;     ///< Victims pushed out by placements.
+  uint64_t placements = 0;    ///< Copies accepted into the store.
+  uint64_t placements_rejected = 0;  ///< Placement attempts declined.
+  uint64_t expirations = 0;   ///< Copies dropped on TTL expiry.
+  uint64_t invalidations = 0;  ///< Copies dropped by invalidations.
+  uint64_t stale_serves = 0;  ///< Hits that served a stale version.
+  uint64_t dcache_hits = 0;   ///< Ascent lookups finding a d-cache entry.
+  uint64_t bytes_served = 0;  ///< Bytes read out of this node's store.
+  uint64_t bytes_cached = 0;  ///< Bytes written into this node's store.
+
+  /// Requests that consulted this node (every hop either hits or misses).
+  uint64_t requests_seen() const { return hits + misses; }
+
+  NodeCounters& operator+=(const NodeCounters& other);
+};
+
 /// Aggregated results of a run, matching the paper's evaluation metrics.
 struct MetricsSummary {
   uint64_t requests = 0;
@@ -65,6 +89,13 @@ struct MetricsSummary {
   double avg_response_msg_bytes = 0.0;
   /// avg_request_msg_bytes + avg_response_msg_bytes.
   double avg_message_bytes = 0.0;
+  /// Raw event totals behind the ratios above, exposed so per-node
+  /// counters can be reconciled against the aggregates exactly (no
+  /// round-tripping through divisions).
+  uint64_t cache_hits = 0;
+  uint64_t stale_hits = 0;
+  uint64_t insertions = 0;
+  uint64_t bytes_written = 0;
 
   std::string ToString() const;
 };
@@ -80,6 +111,25 @@ class MetricsCollector {
 
   const util::RunningStat& latency_stat() const { return latency_; }
   const util::RunningStat& hops_stat() const { return hops_; }
+
+  // --- Per-node counters (observability layer) ----------------------------
+
+  /// (Re)allocates zeroed per-node counters, indexed by NodeId. Call
+  /// after Reset(): Reset() discards the node slots along with the
+  /// aggregates.
+  void ResetNodes(int num_nodes);
+
+  /// Raw counter array for hot-path emit points; nullptr until
+  /// ResetNodes() allocates the slots.
+  NodeCounters* node_counters_data() {
+    return node_counters_.empty() ? nullptr : node_counters_.data();
+  }
+  const std::vector<NodeCounters>& node_counters() const {
+    return node_counters_;
+  }
+
+  /// Sum of all per-node counters.
+  NodeCounters NodeTotals() const;
 
  private:
   util::RunningStat latency_;
@@ -97,6 +147,8 @@ class MetricsCollector {
   uint64_t copies_invalidated_ = 0;
   uint64_t request_msg_bytes_ = 0;
   uint64_t response_msg_bytes_ = 0;
+  uint64_t insertions_ = 0;
+  std::vector<NodeCounters> node_counters_;
 };
 
 }  // namespace cascache::sim

@@ -173,8 +173,9 @@ void CacheNode::PlanEvictionInto(uint64_t size,
 }
 
 bool CacheNode::InsertCost(ObjectId id, uint64_t size, double miss_penalty,
-                           double now) {
+                           double now, std::vector<ObjectId>* evicted_out) {
   CASCACHE_CHECK(ncl_ != nullptr);
+  if (evicted_out != nullptr) evicted_out->clear();
   if (ncl_->Contains(id)) {
     UpdateMissPenalty(id, miss_penalty, now);
     return false;
@@ -212,6 +213,7 @@ bool CacheNode::InsertCost(ObjectId id, uint64_t size, double miss_penalty,
     main_descriptors_.erase(it);
   }
   main_descriptors_[id] = desc;
+  if (evicted_out != nullptr) *evicted_out = std::move(evicted);
   return true;
 }
 

@@ -136,9 +136,10 @@ class CacheNode {
   /// penalty. The object's descriptor is promoted from the d-cache (or
   /// created), the access history is preserved, evicted objects'
   /// descriptors are demoted to the d-cache. Returns whether the object
-  /// was stored.
+  /// was stored; `evicted_out`, when given, receives the victims the
+  /// insertion pushed out (empty on rejection).
   bool InsertCost(ObjectId id, uint64_t size, double miss_penalty,
-                  double now);
+                  double now, std::vector<ObjectId>* evicted_out = nullptr);
 
   /// Recomputes the NCL priority of a cached object from its descriptor
   /// (f(now) * miss_penalty). Cost mode; object must be cached.

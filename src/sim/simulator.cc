@@ -1,9 +1,31 @@
 #include "sim/simulator.h"
 
 #include <algorithm>
+#include <chrono>
 #include <cmath>
 
 namespace cascache::sim {
+
+namespace {
+
+/// Fills the exchange-invariant record fields and emits. `trace` must be
+/// non-null; callers keep the disabled path to one pointer test.
+void EmitEvent(EventTrace* trace, const MessageContext& ctx,
+               TraceEventType type, int32_t node, int32_t level,
+               double value) {
+  TraceEvent event;
+  event.request_index = ctx.telemetry.request_index;
+  event.time = ctx.now;
+  event.type = type;
+  event.node = node;
+  event.level = level;
+  event.object = ctx.object;
+  event.size_bytes = ctx.size;
+  event.value = value;
+  trace->Emit(event);
+}
+
+}  // namespace
 
 Simulator::Simulator(const Network* network, CacheSet* caches,
                      schemes::CachingScheme* scheme,
@@ -30,6 +52,14 @@ Simulator::Simulator(const Network* network, CacheSet* caches,
   CASCACHE_CHECK(caches != nullptr);
   CASCACHE_CHECK(caches->num_nodes() == network->num_nodes());
   CASCACHE_CHECK(scheme != nullptr);
+  node_levels_.resize(static_cast<size_t>(network->num_nodes()));
+  for (topology::NodeId v = 0; v < network->num_nodes(); ++v) {
+    node_levels_[static_cast<size_t>(v)] = network->NodeLevel(v);
+  }
+  ctx_.telemetry.node_levels = node_levels_.data();
+  if (options.trace.enabled) {
+    trace_ = std::make_unique<EventTrace>(options.trace);
+  }
   // Option values can come straight from the CLI; defer their rejection
   // to Run() so callers get a Status instead of an abort. Direct Step()
   // drivers fall back to the default cost model meanwhile.
@@ -65,6 +95,12 @@ util::Status Simulator::EnableCoherency(uint32_t num_objects) {
 
 util::Status Simulator::Run(const trace::Workload& workload,
                             uint64_t capacity_bytes_per_node) {
+  using Clock = std::chrono::steady_clock;
+  const auto seconds_between = [](Clock::time_point from,
+                                  Clock::time_point to) {
+    return std::chrono::duration<double>(to - from).count();
+  };
+  const Clock::time_point t_start = Clock::now();
   CASCACHE_RETURN_IF_ERROR(init_status_);
   if (capacity_bytes_per_node == 0) {
     return util::Status::InvalidArgument("cache capacity must be > 0");
@@ -116,12 +152,24 @@ util::Status Simulator::Run(const trace::Workload& workload,
     caches_->ConfigureWithCapacities(config, capacities);
   }
   metrics_.Reset();
+  metrics_.ResetNodes(network_->num_nodes());
+  if (trace_ != nullptr) trace_->Clear();
+  step_index_ = 0;
 
   const size_t warmup_count = static_cast<size_t>(
       options_.warmup_fraction * static_cast<double>(workload.requests.size()));
-  for (size_t i = 0; i < workload.requests.size(); ++i) {
-    Step(workload.requests[i], /*collect=*/i >= warmup_count);
+  const Clock::time_point t_configured = Clock::now();
+  for (size_t i = 0; i < warmup_count; ++i) {
+    Step(workload.requests[i], /*collect=*/false);
   }
+  const Clock::time_point t_warmed = Clock::now();
+  for (size_t i = warmup_count; i < workload.requests.size(); ++i) {
+    Step(workload.requests[i], /*collect=*/true);
+  }
+  const Clock::time_point t_done = Clock::now();
+  phase_times_.configure_seconds = seconds_between(t_start, t_configured);
+  phase_times_.warmup_seconds = seconds_between(t_configured, t_warmed);
+  phase_times_.measure_seconds = seconds_between(t_warmed, t_done);
   return util::Status::Ok();
 }
 
@@ -137,8 +185,12 @@ uint32_t Simulator::Ascend(const trace::Request& request,
   // invalidated copies are discarded and the request continues upstream;
   // under kNone a stale copy is served (and counted) — then, if the hop
   // cannot serve, the scheme's ascent handler piggybacks its state.
+  NodeCounters* const counters = ctx.telemetry.node_counters;
+  EventTrace* const trace = ctx.telemetry.trace;
   for (size_t i = 0; i < path_.size(); ++i) {
-    CacheNode* node = caches_->node(path_[i]);
+    const topology::NodeId node_id = path_[i];
+    CacheNode* node = caches_->node(node_id);
+    const int32_t level = node_levels_[static_cast<size_t>(node_id)];
     bool servable = node->Contains(ctx.object);
     if (servable && updates_ != nullptr) {
       const CacheNode::CopyStamp* stamp = node->FindCopy(ctx.object);
@@ -153,6 +205,11 @@ uint32_t Simulator::Ascend(const trace::Request& request,
         node->EraseObject(ctx.object);
         ++ctx.metrics->copies_expired;
         servable = false;
+        if (counters != nullptr) ++counters[node_id].expirations;
+        if (trace != nullptr) {
+          EmitEvent(trace, ctx, TraceEventType::kExpired, node_id, level,
+                    request.time - fetch_time);
+        }
       } else {
         const uint32_t current = updates_->VersionAt(ctx.object, request.time);
         if (protocol == CoherencyProtocol::kInvalidation &&
@@ -160,15 +217,40 @@ uint32_t Simulator::Ascend(const trace::Request& request,
           node->EraseObject(ctx.object);
           ++ctx.metrics->copies_invalidated;
           servable = false;
+          if (counters != nullptr) ++counters[node_id].invalidations;
+          if (trace != nullptr) {
+            EmitEvent(trace, ctx, TraceEventType::kInvalidated, node_id,
+                      level, static_cast<double>(current - version));
+          }
         } else {
-          if (version < current) ctx.metrics->stale_hit = true;
+          if (version < current) {
+            ctx.metrics->stale_hit = true;
+            if (counters != nullptr) ++counters[node_id].stale_serves;
+            if (trace != nullptr) {
+              EmitEvent(trace, ctx, TraceEventType::kStaleServe, node_id,
+                        level, static_cast<double>(current - version));
+            }
+          }
           served_version = version;
         }
       }
     }
     if (servable) {
       ctx.response.hit_index = static_cast<int>(i);
+      if (counters != nullptr) {
+        ++counters[node_id].hits;
+        counters[node_id].bytes_served += ctx.size;
+      }
+      if (trace != nullptr) {
+        EmitEvent(trace, ctx, TraceEventType::kHit, node_id, level,
+                  static_cast<double>(i));
+      }
       return served_version;
+    }
+    if (counters != nullptr) ++counters[node_id].misses;
+    if (trace != nullptr) {
+      EmitEvent(trace, ctx, TraceEventType::kMiss, node_id, level,
+                static_cast<double>(i));
     }
     if (scheme_observes_ascent_) {
       ctx.request.hop = static_cast<int>(i);
@@ -176,6 +258,11 @@ uint32_t Simulator::Ascend(const trace::Request& request,
     }
   }
   ctx.response.hit_index = -1;
+  if (trace != nullptr) {
+    // The origin serve is not node-scoped: node/level are -1.
+    EmitEvent(trace, ctx, TraceEventType::kOrigin, -1, -1,
+              static_cast<double>(path_.size()) - 1.0 + server_link_hops_);
+  }
   return served_version;
 }
 
@@ -216,6 +303,22 @@ void Simulator::Step(const trace::Request& request, bool collect) {
   ctx.metrics = &request_metrics;
   ctx.request = RequestMessage();
   ctx.response = ResponseMessage();
+
+  // Telemetry wiring: per-node counters only while collecting (they must
+  // mirror the aggregates' warm-up exclusion exactly); the trace keys its
+  // per-request sampling decision off the replay position.
+  const uint64_t request_index = step_index_++;
+  ctx.telemetry.request_index = request_index;
+  ctx.telemetry.node_counters = collect ? metrics_.node_counters_data()
+                                        : nullptr;
+  ctx.telemetry.trace = trace_ != nullptr && trace_->SampleRequest(request_index)
+                            ? trace_.get()
+                            : nullptr;
+  if (ctx.telemetry.trace != nullptr) {
+    EmitEvent(ctx.telemetry.trace, ctx, TraceEventType::kRequest, requester,
+              node_levels_[static_cast<size_t>(requester)],
+              static_cast<double>(path_.size()));
+  }
 
   // --- Phase 1: the request message ascends to its serving point. -------
   const uint32_t served_version = Ascend(request, ctx);

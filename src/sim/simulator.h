@@ -4,6 +4,7 @@
 #include "schemes/scheme.h"
 #include "sim/coherency.h"
 #include "sim/cost_model.h"
+#include "sim/event_trace.h"
 #include "sim/message.h"
 #include "sim/metrics.h"
 #include "sim/network.h"
@@ -36,6 +37,18 @@ struct SimOptions {
   /// paper's setting; > 1 concentrates capacity near the root, < 1 near
   /// the leaves. Ignored under en-route (all nodes are level 0).
   double level_capacity_growth = 1.0;
+  /// Structured event tracing (observability layer). Disabled by
+  /// default; when disabled the hot path pays one null check per request.
+  EventTraceOptions trace;
+};
+
+/// Wall-clock breakdown of the last Run(): cache (re)configuration +
+/// coherency setup, the warm-up replay, and the measured replay.
+/// Exported per sweep cell into BENCH_sweep.json.
+struct RunPhaseTimes {
+  double configure_seconds = 0.0;
+  double warmup_seconds = 0.0;
+  double measure_seconds = 0.0;
 };
 
 /// Trace-driven simulator: replays a request stream through the network
@@ -90,6 +103,13 @@ class Simulator {
   const Network* network() const { return network_; }
   CacheSet* caches() { return caches_; }
 
+  /// Event sink; nullptr unless options.trace.enabled.
+  EventTrace* event_trace() { return trace_.get(); }
+  const EventTrace* event_trace() const { return trace_.get(); }
+
+  /// Phase breakdown of the last Run() (zeros before the first).
+  const RunPhaseTimes& phase_times() const { return phase_times_; }
+
  private:
   /// Drives the request message up the path: per-hop coherency admission
   /// then the scheme's ascent hook, stopping at the serving cache.
@@ -117,6 +137,16 @@ class Simulator {
   /// Present iff coherency tracking is active for this run.
   std::unique_ptr<UpdateSchedule> updates_;
   MetricsCollector metrics_;
+  /// Tree depth per NodeId, hoisted for trace records and per-level
+  /// rollups (all zeros under en-route).
+  std::vector<int> node_levels_;
+  /// Present iff options.trace.enabled.
+  std::unique_ptr<EventTrace> trace_;
+  RunPhaseTimes phase_times_;
+  /// Index of the next Step()'ed request: the trace position under Run()
+  /// (reset there), a monotone counter for direct Step() drivers. Keys
+  /// the deterministic trace sampler.
+  uint64_t step_index_ = 0;
   /// Reused across Step calls to avoid per-request allocation.
   std::vector<topology::NodeId> path_;
   std::vector<double> link_delays_;

@@ -1,0 +1,66 @@
+#include "util/csv.h"
+
+namespace cascache::util {
+
+std::string CsvEscape(const std::string& field) {
+  bool needs_quotes = false;
+  for (char c : field) {
+    if (c == ',' || c == '"' || c == '\n' || c == '\r') {
+      needs_quotes = true;
+      break;
+    }
+  }
+  if (!needs_quotes) return field;
+  std::string out;
+  out.reserve(field.size() + 2);
+  out.push_back('"');
+  for (char c : field) {
+    if (c == '"') out.push_back('"');
+    out.push_back(c);
+  }
+  out.push_back('"');
+  return out;
+}
+
+CsvWriter::CsvWriter(const std::string& path) : path_(path) {
+  file_ = std::fopen(path.c_str(), "w");
+  if (file_ == nullptr) ok_ = false;
+}
+
+CsvWriter::~CsvWriter() {
+  if (file_ != nullptr) std::fclose(file_);
+}
+
+void CsvWriter::WriteRow(const std::vector<std::string>& fields) {
+  std::string line;
+  for (size_t i = 0; i < fields.size(); ++i) {
+    if (i > 0) line.push_back(',');
+    line += CsvEscape(fields[i]);
+  }
+  WriteLine(line);
+}
+
+void CsvWriter::WriteLine(const std::string& line) {
+  if (file_ == nullptr) return;
+  if (std::fwrite(line.data(), 1, line.size(), file_) != line.size() ||
+      std::fputc('\n', file_) == EOF) {
+    ok_ = false;
+  }
+}
+
+Status CsvWriter::Close() {
+  if (closed_) return close_status_;
+  closed_ = true;
+  if (file_ == nullptr) {
+    close_status_ = Status::IoError("cannot open " + path_);
+    return close_status_;
+  }
+  const int rc = std::fclose(file_);
+  file_ = nullptr;
+  if (!ok_ || rc != 0) {
+    close_status_ = Status::IoError("short write to " + path_);
+  }
+  return close_status_;
+}
+
+}  // namespace cascache::util

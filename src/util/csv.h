@@ -1,0 +1,53 @@
+#ifndef CASCACHE_UTIL_CSV_H_
+#define CASCACHE_UTIL_CSV_H_
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "util/status.h"
+
+namespace cascache::util {
+
+/// RFC-4180 field escaping: fields containing a comma, double quote, CR
+/// or LF are wrapped in double quotes with embedded quotes doubled; plain
+/// fields pass through unchanged.
+std::string CsvEscape(const std::string& field);
+
+/// CSV file writer shared by the result exporters (sweep CSV, per-node
+/// CSV): one place for field escaping and for short-write checking. Every
+/// stdio error is accumulated into a single Close() verdict — on a full
+/// disk the failure often only surfaces when fclose flushes the buffer,
+/// so Close() decides whether the file is whole.
+class CsvWriter {
+ public:
+  /// Opens `path` for writing; errors surface from Close().
+  explicit CsvWriter(const std::string& path);
+  /// Closes silently if Close() was never called; errors are lost, so
+  /// call Close() on every intentional path.
+  ~CsvWriter();
+
+  CsvWriter(const CsvWriter&) = delete;
+  CsvWriter& operator=(const CsvWriter&) = delete;
+
+  /// Writes one row, escaping every field.
+  void WriteRow(const std::vector<std::string>& fields);
+
+  /// Writes a preformatted line (caller guarantees escaping) plus '\n'.
+  void WriteLine(const std::string& line);
+
+  /// Flushes and closes; IoError if the open, any write, or the close
+  /// failed. Idempotent: later calls return the first verdict.
+  Status Close();
+
+ private:
+  std::string path_;
+  std::FILE* file_ = nullptr;
+  bool ok_ = true;
+  Status close_status_;
+  bool closed_ = false;
+};
+
+}  // namespace cascache::util
+
+#endif  // CASCACHE_UTIL_CSV_H_

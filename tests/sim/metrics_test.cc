@@ -93,6 +93,77 @@ TEST(MetricsTest, ResetClears) {
   EXPECT_EQ(collector.Summary().requests, 0u);
 }
 
+TEST(MetricsTest, SummaryExposesRawTotals) {
+  MetricsCollector collector;
+  RequestMetrics m = Miss(2000, 0.1, 5, 6000);
+  m.insertions = 3;
+  collector.Record(m);
+  collector.Record(Hit(1000, 0.1, 1));
+  const MetricsSummary s = collector.Summary();
+  EXPECT_EQ(s.cache_hits, 1u);
+  EXPECT_EQ(s.insertions, 3u);
+  EXPECT_EQ(s.bytes_written, 6000u);
+  EXPECT_EQ(s.stale_hits, 0u);
+}
+
+TEST(MetricsTest, NodeCountersRollUp) {
+  MetricsCollector collector;
+  collector.ResetNodes(3);
+  ASSERT_NE(collector.node_counters_data(), nullptr);
+  NodeCounters* nodes = collector.node_counters_data();
+  nodes[0].hits = 2;
+  nodes[0].misses = 1;
+  nodes[0].bytes_served = 500;
+  nodes[2].hits = 1;
+  nodes[2].evictions = 4;
+  nodes[2].placements = 5;
+  const NodeCounters total = collector.NodeTotals();
+  EXPECT_EQ(total.hits, 3u);
+  EXPECT_EQ(total.misses, 1u);
+  EXPECT_EQ(total.evictions, 4u);
+  EXPECT_EQ(total.placements, 5u);
+  EXPECT_EQ(total.bytes_served, 500u);
+  EXPECT_EQ(nodes[0].requests_seen(), 3u);
+}
+
+TEST(MetricsTest, NodeCountersAccumulateAllFields) {
+  NodeCounters a;
+  a.hits = 1;
+  a.misses = 2;
+  a.evictions = 3;
+  a.placements = 4;
+  a.placements_rejected = 5;
+  a.expirations = 6;
+  a.invalidations = 7;
+  a.stale_serves = 8;
+  a.dcache_hits = 9;
+  a.bytes_served = 10;
+  a.bytes_cached = 11;
+  NodeCounters b = a;
+  b += a;
+  EXPECT_EQ(b.hits, 2u);
+  EXPECT_EQ(b.misses, 4u);
+  EXPECT_EQ(b.evictions, 6u);
+  EXPECT_EQ(b.placements, 8u);
+  EXPECT_EQ(b.placements_rejected, 10u);
+  EXPECT_EQ(b.expirations, 12u);
+  EXPECT_EQ(b.invalidations, 14u);
+  EXPECT_EQ(b.stale_serves, 16u);
+  EXPECT_EQ(b.dcache_hits, 18u);
+  EXPECT_EQ(b.bytes_served, 20u);
+  EXPECT_EQ(b.bytes_cached, 22u);
+}
+
+TEST(MetricsTest, ResetDropsNodeCounters) {
+  MetricsCollector collector;
+  collector.ResetNodes(2);
+  collector.node_counters_data()[1].hits = 7;
+  collector.Reset();
+  EXPECT_EQ(collector.node_counters_data(), nullptr);
+  collector.ResetNodes(2);
+  EXPECT_EQ(collector.node_counters()[1].hits, 0u);
+}
+
 TEST(MetricsTest, ToStringMentionsKeyFields) {
   MetricsCollector collector;
   collector.Record(Hit(1000, 0.1, 1));

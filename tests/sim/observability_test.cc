@@ -1,0 +1,309 @@
+/// End-to-end checks of the per-node observability layer: the counters
+/// each cache accumulates must reconcile exactly with the aggregate
+/// MetricsSummary the paper reports, for every scheme and architecture,
+/// and the event trace must describe the same replay.
+#include <cstdio>
+#include <fstream>
+#include <set>
+#include <sstream>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "sim/experiment.h"
+
+namespace cascache::sim {
+namespace {
+
+std::vector<schemes::SchemeSpec> AllSchemes() {
+  return {{.kind = schemes::SchemeKind::kLru},
+          {.kind = schemes::SchemeKind::kModulo, .modulo_radius = 2},
+          {.kind = schemes::SchemeKind::kLncr},
+          {.kind = schemes::SchemeKind::kCoordinated},
+          {.kind = schemes::SchemeKind::kGds},
+          {.kind = schemes::SchemeKind::kLfu},
+          {.kind = schemes::SchemeKind::kStatic}};
+}
+
+ExperimentConfig BaseConfig(Architecture arch) {
+  ExperimentConfig config;
+  config.network.architecture = arch;
+  config.network.tree.depth = 3;
+  config.workload.num_objects = 250;
+  config.workload.num_requests = 12000;
+  config.workload.num_clients = 40;
+  config.workload.num_servers = 10;
+  config.workload.seed = 7;
+  config.cache_fractions = {0.02};
+  config.schemes = AllSchemes();
+  config.jobs = 1;
+  return config;
+}
+
+NodeCounters SumPerNode(const RunResult& r) {
+  NodeCounters total;
+  for (const NodeUsage& usage : r.per_node) total += usage.counters;
+  return total;
+}
+
+/// The reconciliation contract (see docs/METRICS.md): every aggregate
+/// event total equals the sum of the corresponding per-node counter.
+void ExpectReconciles(const RunResult& r) {
+  SCOPED_TRACE(r.scheme);
+  const NodeCounters total = SumPerNode(r);
+  const MetricsSummary& m = r.metrics;
+  EXPECT_EQ(total.hits, m.cache_hits);
+  EXPECT_EQ(total.bytes_served, m.bytes_from_caches);
+  EXPECT_EQ(total.placements, m.insertions);
+  EXPECT_EQ(total.bytes_cached, m.bytes_written);
+  EXPECT_EQ(total.stale_serves, m.stale_hits);
+  EXPECT_EQ(total.expirations, m.copies_expired);
+  EXPECT_EQ(total.invalidations, m.copies_invalidated);
+  // Every measured request consults at least its first cache.
+  EXPECT_GE(total.requests_seen(), m.requests);
+}
+
+TEST(ObservabilityTest, PerNodeCountersReconcileHierarchical) {
+  auto runner_or = ExperimentRunner::Create(BaseConfig(
+      Architecture::kHierarchical));
+  ASSERT_TRUE(runner_or.ok()) << runner_or.status();
+  auto results_or = (*runner_or)->RunAll();
+  ASSERT_TRUE(results_or.ok()) << results_or.status();
+  ASSERT_EQ(results_or->size(), AllSchemes().size());
+  for (const RunResult& r : *results_or) {
+    ExpectReconciles(r);
+    // The workload hits under every scheme at this cache size.
+    EXPECT_GT(SumPerNode(r).hits, 0u);
+  }
+}
+
+TEST(ObservabilityTest, PerNodeCountersReconcileEnRoute) {
+  auto runner_or =
+      ExperimentRunner::Create(BaseConfig(Architecture::kEnRoute));
+  ASSERT_TRUE(runner_or.ok()) << runner_or.status();
+  auto results_or = (*runner_or)->RunAll();
+  ASSERT_TRUE(results_or.ok()) << results_or.status();
+  for (const RunResult& r : *results_or) ExpectReconciles(r);
+}
+
+TEST(ObservabilityTest, PerNodeCountersReconcileUnderCoherency) {
+  // TTL expiry + update-driven invalidation exercise the coherency
+  // counters; both protocols in turn so expirations and invalidations
+  // are each nonzero somewhere.
+  for (const CoherencyProtocol protocol :
+       {CoherencyProtocol::kTtl, CoherencyProtocol::kInvalidation}) {
+    ExperimentConfig config = BaseConfig(Architecture::kHierarchical);
+    config.schemes = {{.kind = schemes::SchemeKind::kLru},
+                      {.kind = schemes::SchemeKind::kCoordinated}};
+    config.sim.coherency.protocol = protocol;
+    config.sim.coherency.ttl = 5.0;
+    config.sim.coherency.mutable_fraction = 1.0;
+    config.sim.coherency.mean_update_period = 20.0;
+    auto runner_or = ExperimentRunner::Create(config);
+    ASSERT_TRUE(runner_or.ok()) << runner_or.status();
+    auto results_or = (*runner_or)->RunAll();
+    ASSERT_TRUE(results_or.ok()) << results_or.status();
+    for (const RunResult& r : *results_or) {
+      SCOPED_TRACE(CoherencyProtocolName(protocol));
+      ExpectReconciles(r);
+      const NodeCounters total = SumPerNode(r);
+      if (protocol == CoherencyProtocol::kTtl) {
+        EXPECT_GT(total.expirations, 0u);
+      } else {
+        EXPECT_GT(total.invalidations, 0u);
+      }
+    }
+  }
+}
+
+TEST(ObservabilityTest, WarmupIsExcludedFromNodeCounters) {
+  ExperimentConfig config = BaseConfig(Architecture::kHierarchical);
+  config.schemes = {{.kind = schemes::SchemeKind::kLru}};
+  auto runner_or = ExperimentRunner::Create(config);
+  ASSERT_TRUE(runner_or.ok()) << runner_or.status();
+  auto results_or = (*runner_or)->RunAll();
+  ASSERT_TRUE(results_or.ok()) << results_or.status();
+  const RunResult& r = results_or->front();
+  // Only the measured half of the trace reaches the counters: the
+  // requester's own node sees at most `requests` lookups.
+  uint64_t max_node_requests = 0;
+  for (const NodeUsage& usage : r.per_node) {
+    max_node_requests =
+        std::max(max_node_requests, usage.counters.requests_seen());
+  }
+  EXPECT_LE(max_node_requests, r.metrics.requests);
+  EXPECT_GT(r.warmup_seconds, 0.0);
+  EXPECT_GT(r.measure_seconds, 0.0);
+}
+
+TEST(ObservabilityTest, TraceDescribesTheReplay) {
+  ExperimentConfig config = BaseConfig(Architecture::kHierarchical);
+  config.schemes = {{.kind = schemes::SchemeKind::kCoordinated}};
+  config.sim.trace.enabled = true;
+  config.sim.trace.ring_capacity = 1 << 16;
+  auto runner_or = ExperimentRunner::Create(config);
+  ASSERT_TRUE(runner_or.ok()) << runner_or.status();
+  auto results_or = (*runner_or)->RunAll();
+  ASSERT_TRUE(results_or.ok()) << results_or.status();
+  const RunResult& r = results_or->front();
+  ASSERT_FALSE(r.trace_events.empty());
+
+  std::set<TraceEventType> seen;
+  uint64_t last_request = 0;
+  for (const TraceEvent& e : r.trace_events) {
+    seen.insert(e.type);
+    // The ring is in emit order: request indices never go backwards.
+    EXPECT_GE(e.request_index, last_request);
+    last_request = e.request_index;
+    if (e.type != TraceEventType::kOrigin) {
+      EXPECT_GE(e.node, 0);
+      EXPECT_GE(e.level, 0);
+    }
+  }
+  EXPECT_TRUE(seen.count(TraceEventType::kRequest));
+  EXPECT_TRUE(seen.count(TraceEventType::kHit));
+  EXPECT_TRUE(seen.count(TraceEventType::kMiss));
+  EXPECT_TRUE(seen.count(TraceEventType::kPlacement));
+
+  // Every traced request leads with its kRequest record, so the event
+  // chain for a sampled request is complete.
+  std::set<uint64_t> announced;
+  for (const TraceEvent& e : r.trace_events) {
+    if (e.type == TraceEventType::kRequest) announced.insert(e.request_index);
+  }
+  // Skip any leading partial request the ring clipped.
+  const uint64_t first_full = r.trace_events.front().request_index + 1;
+  for (const TraceEvent& e : r.trace_events) {
+    if (e.request_index >= first_full) {
+      EXPECT_TRUE(announced.count(e.request_index))
+          << "orphan event for request " << e.request_index;
+    }
+  }
+}
+
+TEST(ObservabilityTest, TraceSamplingDropsWholeRequests) {
+  ExperimentConfig config = BaseConfig(Architecture::kHierarchical);
+  config.schemes = {{.kind = schemes::SchemeKind::kLru}};
+  config.sim.trace.enabled = true;
+  config.sim.trace.sampling_rate = 0.25;
+  config.sim.trace.ring_capacity = 1 << 16;
+  auto runner_or = ExperimentRunner::Create(config);
+  ASSERT_TRUE(runner_or.ok()) << runner_or.status();
+  auto results_or = (*runner_or)->RunAll();
+  ASSERT_TRUE(results_or.ok()) << results_or.status();
+  const RunResult& r = results_or->front();
+  ASSERT_FALSE(r.trace_events.empty());
+  std::set<uint64_t> sampled;
+  for (const TraceEvent& e : r.trace_events) sampled.insert(e.request_index);
+  // A strict subset of the measured requests was sampled...
+  EXPECT_LT(sampled.size(), r.metrics.requests);
+  EXPECT_GT(sampled.size(), 0u);
+  // ...and sampling never split a request's event chain.
+  std::set<uint64_t> announced;
+  for (const TraceEvent& e : r.trace_events) {
+    if (e.type == TraceEventType::kRequest) announced.insert(e.request_index);
+  }
+  EXPECT_EQ(sampled, announced);
+
+  // Same config, same workload: the sampler is deterministic.
+  auto rerun_runner = ExperimentRunner::Create(config);
+  ASSERT_TRUE(rerun_runner.ok());
+  auto rerun_or = (*rerun_runner)->RunAll();
+  ASSERT_TRUE(rerun_or.ok());
+  const RunResult& r2 = rerun_or->front();
+  ASSERT_EQ(r2.trace_events.size(), r.trace_events.size());
+  for (size_t i = 0; i < r.trace_events.size(); ++i) {
+    EXPECT_EQ(r2.trace_events[i].request_index,
+              r.trace_events[i].request_index);
+    EXPECT_EQ(r2.trace_events[i].type, r.trace_events[i].type);
+    EXPECT_EQ(r2.trace_events[i].object, r.trace_events[i].object);
+  }
+}
+
+TEST(ObservabilityTest, DisabledTraceLeavesNoEvents) {
+  ExperimentConfig config = BaseConfig(Architecture::kHierarchical);
+  config.schemes = {{.kind = schemes::SchemeKind::kLru}};
+  auto runner_or = ExperimentRunner::Create(config);
+  ASSERT_TRUE(runner_or.ok()) << runner_or.status();
+  auto results_or = (*runner_or)->RunAll();
+  ASSERT_TRUE(results_or.ok()) << results_or.status();
+  EXPECT_TRUE(results_or->front().trace_events.empty());
+}
+
+TEST(ObservabilityTest, PerNodeCsvRollsUpLevels) {
+  ExperimentConfig config = BaseConfig(Architecture::kHierarchical);
+  config.schemes = {{.kind = schemes::SchemeKind::kLru}};
+  auto runner_or = ExperimentRunner::Create(config);
+  ASSERT_TRUE(runner_or.ok()) << runner_or.status();
+  auto results_or = (*runner_or)->RunAll();
+  ASSERT_TRUE(results_or.ok()) << results_or.status();
+
+  const std::string path = ::testing::TempDir() + "/per_node_test.csv";
+  ASSERT_TRUE(WritePerNodeCsv(*results_or, path).ok());
+  std::ifstream in(path);
+  std::string header;
+  ASSERT_TRUE(static_cast<bool>(std::getline(in, header)));
+  EXPECT_EQ(header,
+            "scheme,cache_fraction,scope,node,level,requests,hits,misses,"
+            "evictions,placements,placements_rejected,expirations,"
+            "invalidations,stale_serves,dcache_hits,bytes_served,"
+            "bytes_cached");
+
+  size_t node_rows = 0;
+  uint64_t node_hits = 0, level_hits = 0;
+  std::string line;
+  while (std::getline(in, line)) {
+    std::stringstream row(line);
+    std::string scheme, fraction, scope, node, level, requests, hits;
+    std::getline(row, scheme, ',');
+    std::getline(row, fraction, ',');
+    std::getline(row, scope, ',');
+    std::getline(row, node, ',');
+    std::getline(row, level, ',');
+    std::getline(row, requests, ',');
+    std::getline(row, hits, ',');
+    EXPECT_EQ(scheme, "LRU");
+    if (scope == "node") {
+      ++node_rows;
+      node_hits += std::stoull(hits);
+    } else {
+      ASSERT_EQ(scope, "level");
+      EXPECT_EQ(node, "-1");
+      level_hits += std::stoull(hits);
+    }
+  }
+  EXPECT_EQ(node_rows, results_or->front().per_node.size());
+  // Node rows and level rollups both sum to the aggregate.
+  EXPECT_EQ(node_hits, results_or->front().metrics.cache_hits);
+  EXPECT_EQ(level_hits, node_hits);
+  std::remove(path.c_str());
+}
+
+TEST(ObservabilityTest, TraceJsonlAnnotatesCells) {
+  ExperimentConfig config = BaseConfig(Architecture::kHierarchical);
+  config.schemes = {{.kind = schemes::SchemeKind::kLru}};
+  config.sim.trace.enabled = true;
+  config.sim.trace.ring_capacity = 64;
+  auto runner_or = ExperimentRunner::Create(config);
+  ASSERT_TRUE(runner_or.ok()) << runner_or.status();
+  auto results_or = (*runner_or)->RunAll();
+  ASSERT_TRUE(results_or.ok()) << results_or.status();
+
+  const std::string path = ::testing::TempDir() + "/trace_test.jsonl";
+  ASSERT_TRUE(WriteTraceJsonl(*results_or, path).ok());
+  std::ifstream in(path);
+  std::string line;
+  size_t lines = 0;
+  while (std::getline(in, line)) {
+    ++lines;
+    EXPECT_EQ(line.find("{\"scheme\":\"LRU\",\"cache_fraction\":0.02,"), 0u)
+        << line;
+    EXPECT_EQ(line.back(), '}');
+    EXPECT_NE(line.find("\"type\":\""), std::string::npos);
+  }
+  EXPECT_EQ(lines, results_or->front().trace_events.size());
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace cascache::sim

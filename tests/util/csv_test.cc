@@ -1,0 +1,55 @@
+#include "util/csv.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+namespace cascache::util {
+namespace {
+
+TEST(CsvEscapeTest, PlainFieldsPassThrough) {
+  EXPECT_EQ(CsvEscape("plain"), "plain");
+  EXPECT_EQ(CsvEscape(""), "");
+  EXPECT_EQ(CsvEscape("MODULO(r=1)"), "MODULO(r=1)");
+}
+
+TEST(CsvEscapeTest, QuotesFieldsWithSeparators) {
+  EXPECT_EQ(CsvEscape("a,b"), "\"a,b\"");
+  EXPECT_EQ(CsvEscape("line\nbreak"), "\"line\nbreak\"");
+  EXPECT_EQ(CsvEscape("line\rbreak"), "\"line\rbreak\"");
+}
+
+TEST(CsvEscapeTest, DoublesEmbeddedQuotes) {
+  EXPECT_EQ(CsvEscape("say \"hi\""), "\"say \"\"hi\"\"\"");
+}
+
+TEST(CsvWriterTest, WritesRowsAndLines) {
+  const std::string path = ::testing::TempDir() + "/csv_writer_test.csv";
+  {
+    CsvWriter writer(path);
+    writer.WriteRow({"scheme", "note"});
+    writer.WriteRow({"a,b", "plain"});
+    writer.WriteLine("1,2");
+    EXPECT_TRUE(writer.Close().ok());
+    // Close is idempotent.
+    EXPECT_TRUE(writer.Close().ok());
+  }
+  std::ifstream in(path);
+  std::stringstream contents;
+  contents << in.rdbuf();
+  EXPECT_EQ(contents.str(), "scheme,note\n\"a,b\",plain\n1,2\n");
+  std::remove(path.c_str());
+}
+
+TEST(CsvWriterTest, BadPathReportsIoError) {
+  CsvWriter writer("/nonexistent-dir/out.csv");
+  writer.WriteLine("ignored");
+  const Status status = writer.Close();
+  EXPECT_FALSE(status.ok());
+  EXPECT_NE(status.ToString().find("cannot open"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace cascache::util

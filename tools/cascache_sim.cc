@@ -106,6 +106,24 @@ util::Status RunMain(int argc, char** argv) {
                  "worker threads for the sweep (0 = CASCACHE_JOBS env, "
                  "else hardware concurrency; 1 = sequential)",
                  &jobs);
+  std::string results_csv, per_node_csv, trace_jsonl;
+  double trace_sample;
+  int64_t trace_ring;
+  flags.AddString("results-csv", "",
+                  "write the aggregate sweep results CSV to this path",
+                  &results_csv);
+  flags.AddString("per-node-csv", "",
+                  "write per-node and per-level counter rows to this path",
+                  &per_node_csv);
+  flags.AddString("trace-jsonl", "",
+                  "enable event tracing and write JSONL records to this path",
+                  &trace_jsonl);
+  flags.AddDouble("trace-sample", 1.0,
+                  "fraction of requests traced (deterministic per seed)",
+                  &trace_sample);
+  flags.AddInt64("trace-ring", 4096,
+                 "trace ring capacity: most recent records kept per cell",
+                 &trace_ring);
 
   CASCACHE_RETURN_IF_ERROR(flags.Parse(argc - 1, argv + 1));
   if (help) {
@@ -174,6 +192,15 @@ util::Status RunMain(int argc, char** argv) {
   config.sim.coherency.mutable_fraction = mutable_fraction;
   config.sim.coherency.mean_update_period = update_period;
   config.jobs = static_cast<int>(jobs);
+  config.sim.trace.enabled = !trace_jsonl.empty();
+  config.sim.trace.sampling_rate = trace_sample;
+  if (trace_ring < 1) {
+    return util::Status::InvalidArgument("--trace-ring must be >= 1");
+  }
+  config.sim.trace.ring_capacity = static_cast<size_t>(trace_ring);
+  // Key the trace sampler off the workload seed so a rerun with the same
+  // flags samples the same requests.
+  config.sim.trace.seed = seed;
 
   CASCACHE_ASSIGN_OR_RETURN(std::unique_ptr<sim::ExperimentRunner> runner,
                             sim::ExperimentRunner::Create(config));
@@ -197,22 +224,15 @@ util::Status RunMain(int argc, char** argv) {
   }
 
   // Generated traces go through the sweep engine, which runs the cells
-  // concurrently (--jobs); its result order matches the loop below.
+  // concurrently (--jobs); loaded traces replay cell by cell below. Both
+  // paths produce the same RunResult rows, so the table and the CSV/JSONL
+  // writers need no per-path handling.
   std::vector<sim::RunResult> sweep_results;
   if (trace_path.empty()) {
     CASCACHE_ASSIGN_OR_RETURN(sweep_results, runner->RunAll());
-  }
-
-  util::TablePrinter table({"cache", "scheme", "latency(s)", "resp(s/MB)",
-                            "byte hit", "hops", "traffic(B*hop)",
-                            "load(B/req)", "stale"});
-  size_t next_result = 0;
-  for (double fraction : config.cache_fractions) {
-    for (const schemes::SchemeSpec& spec : config.schemes) {
-      sim::MetricsSummary m;
-      if (trace_path.empty()) {
-        m = sweep_results[next_result++].metrics;
-      } else {
+  } else {
+    for (double fraction : config.cache_fractions) {
+      for (const schemes::SchemeSpec& spec : config.schemes) {
         schemes::SchemeSpec effective = spec;
         if (effective.kind == schemes::SchemeKind::kStatic &&
             effective.static_freeze_requests == 0) {
@@ -231,22 +251,60 @@ util::Status RunMain(int argc, char** argv) {
                    fraction *
                    static_cast<double>(workload->catalog.total_bytes())));
         CASCACHE_RETURN_IF_ERROR(simulator.Run(*workload, capacity));
-        m = simulator.metrics().Summary();
+
+        sim::RunResult result;
+        result.scheme = spec.Label();
+        result.cache_fraction = fraction;
+        result.capacity_bytes = capacity;
+        result.metrics = simulator.metrics().Summary();
+        result.warmup_seconds = simulator.phase_times().warmup_seconds;
+        result.measure_seconds = simulator.phase_times().measure_seconds;
+        const auto& counters = simulator.metrics().node_counters();
+        for (topology::NodeId v = 0; v < loaded_network->num_nodes(); ++v) {
+          result.per_node.push_back({v, loaded_network->NodeLevel(v),
+                                     counters[static_cast<size_t>(v)]});
+        }
+        if (const sim::EventTrace* trace = simulator.event_trace();
+            trace != nullptr) {
+          result.trace_events = trace->Records();
+        }
+        sweep_results.push_back(std::move(result));
       }
-      char cache_label[32];
-      std::snprintf(cache_label, sizeof(cache_label), "%.2f%%",
-                    fraction * 100);
-      table.AddRow({cache_label, spec.Label(),
-                    util::TablePrinter::Fmt(m.avg_latency, 4),
-                    util::TablePrinter::Fmt(m.avg_response_ratio, 4),
-                    util::TablePrinter::Fmt(m.byte_hit_ratio, 4),
-                    util::TablePrinter::Fmt(m.avg_hops, 4),
-                    util::TablePrinter::Fmt(m.avg_traffic_byte_hops, 4),
-                    util::TablePrinter::Fmt(m.avg_load_bytes, 4),
-                    util::TablePrinter::Fmt(m.stale_hit_ratio, 3)});
     }
   }
+
+  util::TablePrinter table({"cache", "scheme", "latency(s)", "resp(s/MB)",
+                            "byte hit", "hops", "traffic(B*hop)",
+                            "load(B/req)", "stale"});
+  for (const sim::RunResult& r : sweep_results) {
+    const sim::MetricsSummary& m = r.metrics;
+    char cache_label[32];
+    std::snprintf(cache_label, sizeof(cache_label), "%.2f%%",
+                  r.cache_fraction * 100);
+    table.AddRow({cache_label, r.scheme,
+                  util::TablePrinter::Fmt(m.avg_latency, 4),
+                  util::TablePrinter::Fmt(m.avg_response_ratio, 4),
+                  util::TablePrinter::Fmt(m.byte_hit_ratio, 4),
+                  util::TablePrinter::Fmt(m.avg_hops, 4),
+                  util::TablePrinter::Fmt(m.avg_traffic_byte_hops, 4),
+                  util::TablePrinter::Fmt(m.avg_load_bytes, 4),
+                  util::TablePrinter::Fmt(m.stale_hit_ratio, 3)});
+  }
   table.Print();
+
+  if (!results_csv.empty()) {
+    CASCACHE_RETURN_IF_ERROR(sim::WriteResultsCsv(sweep_results, results_csv));
+    std::fprintf(stderr, "wrote sweep CSV to %s\n", results_csv.c_str());
+  }
+  if (!per_node_csv.empty()) {
+    CASCACHE_RETURN_IF_ERROR(
+        sim::WritePerNodeCsv(sweep_results, per_node_csv));
+    std::fprintf(stderr, "wrote per-node CSV to %s\n", per_node_csv.c_str());
+  }
+  if (!trace_jsonl.empty()) {
+    CASCACHE_RETURN_IF_ERROR(sim::WriteTraceJsonl(sweep_results, trace_jsonl));
+    std::fprintf(stderr, "wrote event trace to %s\n", trace_jsonl.c_str());
+  }
   return util::Status::Ok();
 }
 
