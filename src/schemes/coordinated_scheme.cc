@@ -10,6 +10,17 @@ void CoordinatedScheme::OnAscend(sim::MessageContext& ctx, int hop) {
   // The request passes a cache that cannot serve it: piggyback this
   // node's (f_i, l_i) view of the object (paper §2.3). The node's m_i is
   // the running link-cost sum the serving node reconstructs in OnServe.
+  //
+  // A lost piggyback entry (fault plane) still occupies its slot in the
+  // hop-indexed ascent so OnServe's path reconstruction stays aligned,
+  // but carries no descriptor and is infeasible — the serving node's DP
+  // treats the hop as a non-candidate, the same exclusion the paper
+  // applies to nodes without a descriptor. The node's own state is
+  // untouched (a down node has none to offer).
+  if (ctx.request.piggyback_lost) {
+    ascent_.push_back(HopRecord());
+    return;
+  }
   sim::CacheNode* node = ctx.node(hop);
 
   HopRecord rec;
@@ -122,6 +133,12 @@ void CoordinatedScheme::OnDescend(sim::MessageContext& ctx, int hop) {
   if (hop != ctx.first_missing() || !ctx.origin_served()) {
     ctx.response.penalty += costs[static_cast<size_t>(hop)];
   }
+  // Lost decision entry (fault plane): the penalty counter above still
+  // advances — it models the link the object traversed, not node state —
+  // but the node can neither place the copy nor refresh/admit its
+  // descriptor. The next unfaulted pass re-admits it (paper §2.4's
+  // d-cache admission is idempotent).
+  if (ctx.response.decision_lost) return;
   sim::CacheNode* node = ctx.node(hop);
   if (selected_path_indices_.count(hop) > 0) {
     if (node->InsertCost(ctx.object, ctx.size, ctx.response.penalty,

@@ -11,6 +11,8 @@ void GdsScheme::OnServe(sim::MessageContext& ctx) {
 }
 
 void GdsScheme::OnDescend(sim::MessageContext& ctx, int hop) {
+  // Lost decision (fault plane): skip the placement at this hop.
+  if (ctx.response.decision_lost) return;
   bool inserted = false;
   const std::vector<sim::ObjectId> evicted = ctx.node(hop)->gds()->Insert(
       ctx.object, ctx.size, ctx.upstream_link_cost(hop), &inserted);
@@ -28,6 +30,8 @@ void LfuScheme::OnServe(sim::MessageContext& ctx) {
 }
 
 void LfuScheme::OnDescend(sim::MessageContext& ctx, int hop) {
+  // Lost decision (fault plane): skip the placement at this hop.
+  if (ctx.response.decision_lost) return;
   bool inserted = false;
   const std::vector<sim::ObjectId> evicted =
       ctx.node(hop)->lfu()->Insert(ctx.object, ctx.size, &inserted);

@@ -17,6 +17,10 @@ void RecordAt(sim::MessageContext& ctx, int hop) {
 }  // namespace
 
 void LncrScheme::OnAscend(sim::MessageContext& ctx, int hop) {
+  // Lost piggyback entry (fault plane): the hop's access is simply not
+  // observed — LNC-R keeps no cross-hop alignment, so skipping the
+  // frequency update is the whole fallback.
+  if (ctx.request.piggyback_lost) return;
   sim::CacheNode* node = ctx.node(hop);
   if (node->RecordAccess(ctx.object, ctx.now) != nullptr) {
     // The ascent only visits nodes that could not serve, so a descriptor
@@ -36,7 +40,9 @@ void LncrScheme::OnServe(sim::MessageContext& ctx) {
 void LncrScheme::OnDescend(sim::MessageContext& ctx, int hop) {
   // Cache everywhere below the serving point. The per-node miss penalty
   // is the cost of the immediate upstream link (the virtual server link
-  // at the attach node).
+  // at the attach node). A lost decision (fault plane) skips the
+  // placement; the object simply passes this hop uncached.
+  if (ctx.response.decision_lost) return;
   if (ctx.node(hop)->InsertCost(ctx.object, ctx.size,
                                 ctx.upstream_link_cost(hop), ctx.now,
                                 &evicted_scratch_)) {

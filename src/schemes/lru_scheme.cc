@@ -11,7 +11,9 @@ void LruScheme::OnServe(sim::MessageContext& ctx) {
 
 void LruScheme::OnDescend(sim::MessageContext& ctx, int hop) {
   // Cache everywhere below the serving point (and at the attach node too
-  // when the origin served the request).
+  // when the origin served the request). A lost decision (fault plane)
+  // skips the placement; the object passes this hop uncached.
+  if (ctx.response.decision_lost) return;
   bool inserted = false;
   const std::vector<sim::ObjectId> evicted =
       ctx.node(hop)->lru()->Insert(ctx.object, ctx.size, &inserted);

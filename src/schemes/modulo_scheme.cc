@@ -31,6 +31,8 @@ void ModuloScheme::OnDescend(sim::MessageContext& ctx, int hop) {
 
   const int distance = serving_distance_base - hop;
   if (distance <= 0 || distance % radius_ != 0) return;
+  // Lost decision (fault plane): the selected hop misses its placement.
+  if (ctx.response.decision_lost) return;
   bool inserted = false;
   const std::vector<sim::ObjectId> evicted =
       ctx.node(hop)->lru()->Insert(ctx.object, ctx.size, &inserted);

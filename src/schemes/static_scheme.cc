@@ -22,6 +22,10 @@ void StaticScheme::CountAt(sim::MessageContext& ctx, int hop) {
 
 void StaticScheme::OnAscend(sim::MessageContext& ctx, int hop) {
   if (frozen_) return;  // Contents are fixed; nothing ever changes.
+  // A lost piggyback entry (fault plane) drops this hop's demand sample.
+  // The Freeze itself is a management-plane action outside the request
+  // path and is not subject to message faults.
+  if (ctx.request.piggyback_lost) return;
   // Learning phase: count the request at every node it traverses (the
   // same visibility the dynamic schemes have).
   CountAt(ctx, hop);

@@ -48,6 +48,16 @@ const char* TraceEventTypeName(TraceEventType type) {
       return "eviction";
     case TraceEventType::kDCacheHit:
       return "dcache_hit";
+    case TraceEventType::kNodeCrash:
+      return "node_crash";
+    case TraceEventType::kReroute:
+      return "reroute";
+    case TraceEventType::kRetry:
+      return "retry";
+    case TraceEventType::kRequestFailed:
+      return "request_failed";
+    case TraceEventType::kFaultDegraded:
+      return "fault_degraded";
   }
   return "unknown";
 }

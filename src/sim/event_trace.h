@@ -40,6 +40,12 @@ enum class TraceEventType : uint8_t {
   kPlacementRejected,     ///< A store declined a placement attempt.
   kEviction,              ///< A placement pushed a victim out.
   kDCacheHit,             ///< An ascent lookup found a d-cache descriptor.
+  // Fault-plane records (emitted only when fault injection is active).
+  kNodeCrash,             ///< A crashed cache was cold-restarted.
+  kReroute,               ///< A request detoured around a failure.
+  kRetry,                 ///< A timed-out request was retried.
+  kRequestFailed,         ///< A request exhausted its retries.
+  kFaultDegraded,         ///< A scheme fell back to no-state behavior.
 };
 
 /// Stable wire name of a record type (the JSONL "type" field).

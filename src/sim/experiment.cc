@@ -174,14 +174,16 @@ util::Status WriteResultsCsv(const std::vector<RunResult>& results,
       "avg_response_ratio,byte_hit_ratio,hit_ratio,avg_traffic_byte_hops,"
       "avg_hops,avg_load_bytes,read_load_share,stale_hit_ratio,"
       "avg_request_msg_bytes,avg_response_msg_bytes,avg_message_bytes,"
-      "wall_seconds,requests_per_sec,warmup_seconds,measure_seconds");
+      "wall_seconds,requests_per_sec,warmup_seconds,measure_seconds,"
+      "retries,failed_requests,reroutes,crashes_applied,"
+      "degraded_decisions");
   for (const RunResult& r : results) {
     const MetricsSummary& m = r.metrics;
-    char buf[512];
+    char buf[640];
     std::snprintf(
         buf, sizeof(buf),
         "%s,%.6g,%llu,%llu,%.8g,%.8g,%.8g,%.8g,%.8g,%.8g,%.8g,%.8g,"
-        "%.8g,%.8g,%.8g,%.8g,%.6g,%.6g,%.6g,%.6g",
+        "%.8g,%.8g,%.8g,%.8g,%.6g,%.6g,%.6g,%.6g,%llu,%llu,%llu,%llu,%llu",
         util::CsvEscape(r.scheme).c_str(), r.cache_fraction,
         static_cast<unsigned long long>(r.capacity_bytes),
         static_cast<unsigned long long>(m.requests), m.avg_latency,
@@ -189,7 +191,12 @@ util::Status WriteResultsCsv(const std::vector<RunResult>& results,
         m.avg_traffic_byte_hops, m.avg_hops, m.avg_load_bytes,
         m.read_load_share, m.stale_hit_ratio, m.avg_request_msg_bytes,
         m.avg_response_msg_bytes, m.avg_message_bytes, r.wall_seconds,
-        r.requests_per_sec, r.warmup_seconds, r.measure_seconds);
+        r.requests_per_sec, r.warmup_seconds, r.measure_seconds,
+        static_cast<unsigned long long>(m.retries),
+        static_cast<unsigned long long>(m.failed_requests),
+        static_cast<unsigned long long>(m.reroutes),
+        static_cast<unsigned long long>(m.crashes_applied),
+        static_cast<unsigned long long>(m.degraded_decisions));
     csv.WriteLine(buf);
   }
   return csv.Close();
@@ -205,7 +212,7 @@ void WriteCountersRow(util::CsvWriter* csv, const RunResult& r,
   std::snprintf(
       buf, sizeof(buf),
       "%s,%.6g,%s,%d,%d,%llu,%llu,%llu,%llu,%llu,%llu,%llu,%llu,%llu,%llu,"
-      "%llu,%llu",
+      "%llu,%llu,%llu,%llu,%llu,%llu",
       util::CsvEscape(r.scheme).c_str(), r.cache_fraction, scope, node, level,
       static_cast<unsigned long long>(c.requests_seen()),
       static_cast<unsigned long long>(c.hits),
@@ -218,7 +225,11 @@ void WriteCountersRow(util::CsvWriter* csv, const RunResult& r,
       static_cast<unsigned long long>(c.stale_serves),
       static_cast<unsigned long long>(c.dcache_hits),
       static_cast<unsigned long long>(c.bytes_served),
-      static_cast<unsigned long long>(c.bytes_cached));
+      static_cast<unsigned long long>(c.bytes_cached),
+      static_cast<unsigned long long>(c.crashes),
+      static_cast<unsigned long long>(c.retries),
+      static_cast<unsigned long long>(c.reroutes),
+      static_cast<unsigned long long>(c.degraded));
   csv->WriteLine(buf);
 }
 
@@ -230,7 +241,8 @@ util::Status WritePerNodeCsv(const std::vector<RunResult>& results,
   csv.WriteLine(
       "scheme,cache_fraction,scope,node,level,requests,hits,misses,"
       "evictions,placements,placements_rejected,expirations,invalidations,"
-      "stale_serves,dcache_hits,bytes_served,bytes_cached");
+      "stale_serves,dcache_hits,bytes_served,bytes_cached,crashes,retries,"
+      "reroutes,degraded");
   for (const RunResult& r : results) {
     int max_level = 0;
     for (const NodeUsage& u : r.per_node) {

@@ -1,0 +1,386 @@
+#include "sim/fault_plane.h"
+
+#include <algorithm>
+#include <cctype>
+#include <cstdio>
+#include <cstdlib>
+#include <limits>
+#include <queue>
+#include <utility>
+
+namespace cascache::sim {
+
+namespace {
+
+/// SplitMix64 finalizer: full-avalanche mix for per-entity stream seeds
+/// and per-(request, hop) message-fault decisions.
+uint64_t Mix(uint64_t z) {
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+  return z ^ (z >> 31);
+}
+
+uint64_t MixSeed(uint64_t seed, uint64_t tag, uint64_t id) {
+  return Mix(seed + tag * 0x9E3779B97F4A7C15ULL + Mix(id));
+}
+
+/// Uniform double in [0, 1) from a hash value.
+double HashToUnit(uint64_t h) {
+  return static_cast<double>(h >> 11) * 0x1.0p-53;
+}
+
+/// Stable undirected-edge key.
+uint64_t EdgeKey(topology::NodeId u, topology::NodeId v) {
+  const uint64_t lo = static_cast<uint64_t>(std::min(u, v));
+  const uint64_t hi = static_cast<uint64_t>(std::max(u, v));
+  return (hi << 32) | lo;
+}
+
+constexpr uint64_t kNodeTag = 0x4e;     // 'N'
+constexpr uint64_t kEdgeTag = 0x45;     // 'E'
+constexpr uint64_t kAscentTag = 0x41;   // 'A'
+constexpr uint64_t kDescentTag = 0x44;  // 'D'
+
+}  // namespace
+
+util::Status FaultScheduleConfig::Validate() const {
+  if (node_crash_mtbf < 0.0 || link_mtbf < 0.0) {
+    return util::Status::InvalidArgument("fault mtbf must be >= 0");
+  }
+  if (node_crash_mtbf > 0.0 && node_downtime <= 0.0) {
+    return util::Status::InvalidArgument(
+        "node_downtime must be > 0 when crashes are enabled");
+  }
+  if (link_mtbf > 0.0 && link_downtime <= 0.0) {
+    return util::Status::InvalidArgument(
+        "link_downtime must be > 0 when outages are enabled");
+  }
+  if (ascent_loss_prob < 0.0 || ascent_loss_prob > 1.0 ||
+      decision_loss_prob < 0.0 || decision_loss_prob > 1.0) {
+    return util::Status::InvalidArgument(
+        "fault loss probabilities must be in [0, 1]");
+  }
+  if (request_timeout <= 0.0) {
+    return util::Status::InvalidArgument("request_timeout must be > 0");
+  }
+  if (max_retries < 0) {
+    return util::Status::InvalidArgument("max_retries must be >= 0");
+  }
+  if (retry_backoff < 0.0) {
+    return util::Status::InvalidArgument("retry_backoff must be >= 0");
+  }
+  return util::Status::Ok();
+}
+
+util::Status ApplyFaultSetting(const std::string& key,
+                               const std::string& value,
+                               FaultScheduleConfig* config) {
+  const auto parse_double = [&](double* out) -> util::Status {
+    char* end = nullptr;
+    const double parsed = std::strtod(value.c_str(), &end);
+    if (value.empty() || *end != '\0') {
+      return util::Status::InvalidArgument("bad number for fault setting " +
+                                           key + ": " + value);
+    }
+    *out = parsed;
+    return util::Status::Ok();
+  };
+  if (key == "seed") {
+    char* end = nullptr;
+    const unsigned long long parsed = std::strtoull(value.c_str(), &end, 10);
+    if (value.empty() || *end != '\0' || value[0] == '-') {
+      return util::Status::InvalidArgument("bad seed: " + value);
+    }
+    config->seed = parsed;
+    return util::Status::Ok();
+  }
+  if (key == "node_mtbf") return parse_double(&config->node_crash_mtbf);
+  if (key == "node_downtime") return parse_double(&config->node_downtime);
+  if (key == "link_mtbf") return parse_double(&config->link_mtbf);
+  if (key == "link_downtime") return parse_double(&config->link_downtime);
+  if (key == "crash_cuts_routing") {
+    if (value == "true" || value == "1" || value == "yes") {
+      config->crash_cuts_routing = true;
+    } else if (value == "false" || value == "0" || value == "no") {
+      config->crash_cuts_routing = false;
+    } else {
+      return util::Status::InvalidArgument("bad bool for crash_cuts_routing: " +
+                                           value);
+    }
+    return util::Status::Ok();
+  }
+  if (key == "ascent_loss") return parse_double(&config->ascent_loss_prob);
+  if (key == "decision_loss") return parse_double(&config->decision_loss_prob);
+  if (key == "timeout") return parse_double(&config->request_timeout);
+  if (key == "max_retries") {
+    char* end = nullptr;
+    const long parsed = std::strtol(value.c_str(), &end, 10);
+    if (value.empty() || *end != '\0') {
+      return util::Status::InvalidArgument("bad max_retries: " + value);
+    }
+    config->max_retries = static_cast<int>(parsed);
+    return util::Status::Ok();
+  }
+  if (key == "backoff") return parse_double(&config->retry_backoff);
+  return util::Status::InvalidArgument("unknown fault setting: " + key);
+}
+
+util::Status LoadFaultConfigFile(const std::string& path,
+                                 FaultScheduleConfig* config) {
+  std::FILE* file = std::fopen(path.c_str(), "r");
+  if (file == nullptr) {
+    return util::Status::IoError("cannot open fault config: " + path);
+  }
+  char line[512];
+  int line_no = 0;
+  util::Status status = util::Status::Ok();
+  while (std::fgets(line, sizeof(line), file) != nullptr) {
+    ++line_no;
+    std::string text(line);
+    if (const size_t hash = text.find('#'); hash != std::string::npos) {
+      text.resize(hash);
+    }
+    // Trim whitespace.
+    const size_t first = text.find_first_not_of(" \t\r\n");
+    if (first == std::string::npos) continue;
+    const size_t last = text.find_last_not_of(" \t\r\n");
+    text = text.substr(first, last - first + 1);
+    const size_t eq = text.find('=');
+    if (eq == std::string::npos) {
+      status = util::Status::InvalidArgument(
+          path + ":" + std::to_string(line_no) + ": expected key=value");
+      break;
+    }
+    // Allow whitespace around '=' ("node_mtbf = 40").
+    const auto trim = [](std::string s) {
+      const size_t begin = s.find_first_not_of(" \t");
+      if (begin == std::string::npos) return std::string();
+      const size_t end = s.find_last_not_of(" \t");
+      return s.substr(begin, end - begin + 1);
+    };
+    status = ApplyFaultSetting(trim(text.substr(0, eq)),
+                               trim(text.substr(eq + 1)), config);
+    if (!status.ok()) break;
+  }
+  std::fclose(file);
+  return status;
+}
+
+util::Status ApplyFaultEnvOverrides(FaultScheduleConfig* config) {
+  static constexpr const char* kKeys[] = {
+      "seed",        "node_mtbf",   "node_downtime",      "link_mtbf",
+      "link_downtime", "crash_cuts_routing", "ascent_loss", "decision_loss",
+      "timeout",     "max_retries", "backoff"};
+  for (const char* key : kKeys) {
+    std::string env_name = "CASCACHE_FAULT_";
+    for (const char* p = key; *p != '\0'; ++p) {
+      env_name += static_cast<char>(std::toupper(*p));
+    }
+    if (const char* value = std::getenv(env_name.c_str()); value != nullptr) {
+      CASCACHE_RETURN_IF_ERROR(ApplyFaultSetting(key, value, config));
+    }
+  }
+  return util::Status::Ok();
+}
+
+// --- OutageTrack -----------------------------------------------------------
+
+FaultPlane::OutageTrack::OutageTrack(uint64_t seed, double mtbf,
+                                     double downtime)
+    : rng_(seed), enabled_(mtbf > 0.0) {
+  if (enabled_) {
+    onset_rate_ = 1.0 / mtbf;
+    recovery_rate_ = 1.0 / downtime;
+  }
+}
+
+size_t FaultPlane::OutageTrack::CoverIndex(double t) {
+  // Generate [down-start, down-end) pairs until the last boundary passes
+  // `t`. The pairs are a fixed stream of the track's RNG, so queries in
+  // any time order observe the same process.
+  while (boundaries_.empty() || boundaries_.back() <= t) {
+    const double last = boundaries_.empty() ? 0.0 : boundaries_.back();
+    const double start = last + rng_.NextExponential(onset_rate_);
+    const double end = start + rng_.NextExponential(recovery_rate_);
+    boundaries_.push_back(start);
+    boundaries_.push_back(end);
+  }
+  return static_cast<size_t>(
+      std::upper_bound(boundaries_.begin(), boundaries_.end(), t) -
+      boundaries_.begin());
+}
+
+bool FaultPlane::OutageTrack::IsDown(double t) {
+  if (!enabled_) return false;
+  // Odd cover index: t sits inside a [down-start, down-end) interval.
+  return CoverIndex(t) % 2 == 1;
+}
+
+uint64_t FaultPlane::OutageTrack::CrashEpoch(double t) {
+  if (!enabled_) return 0;
+  return (CoverIndex(t) + 1) / 2;
+}
+
+// --- FaultPlane ------------------------------------------------------------
+
+FaultPlane::FaultPlane(const FaultScheduleConfig& config,
+                       const Network* network)
+    : config_(config), network_(network) {
+  CASCACHE_CHECK(network != nullptr);
+  CASCACHE_CHECK(config.Validate().ok());
+  routing_faults_ = config_.link_mtbf > 0.0 ||
+                    (config_.crash_cuts_routing && config_.node_crash_mtbf > 0.0);
+  Reset();
+}
+
+void FaultPlane::Reset() {
+  const size_t n = static_cast<size_t>(network_->num_nodes());
+  node_tracks_.assign(n, OutageTrack());
+  node_track_ready_.assign(n, false);
+  edge_tracks_.clear();
+  applied_crash_epoch_.assign(n, 0);
+}
+
+FaultPlane::OutageTrack& FaultPlane::NodeTrack(topology::NodeId v) {
+  const size_t i = static_cast<size_t>(v);
+  if (!node_track_ready_[i]) {
+    node_tracks_[i] =
+        OutageTrack(MixSeed(config_.seed, kNodeTag, static_cast<uint64_t>(v)),
+                    config_.node_crash_mtbf, config_.node_downtime);
+    node_track_ready_[i] = true;
+  }
+  return node_tracks_[i];
+}
+
+FaultPlane::OutageTrack& FaultPlane::EdgeTrack(topology::NodeId u,
+                                               topology::NodeId v) {
+  const uint64_t key = EdgeKey(u, v);
+  auto it = edge_tracks_.find(key);
+  if (it == edge_tracks_.end()) {
+    it = edge_tracks_
+             .emplace(key, OutageTrack(MixSeed(config_.seed, kEdgeTag, key),
+                                       config_.link_mtbf,
+                                       config_.link_downtime))
+             .first;
+  }
+  return it->second;
+}
+
+bool FaultPlane::NodeDown(topology::NodeId v, double t) {
+  if (config_.node_crash_mtbf <= 0.0) return false;
+  return NodeTrack(v).IsDown(t);
+}
+
+bool FaultPlane::LinkDown(topology::NodeId u, topology::NodeId v, double t) {
+  if (config_.link_mtbf <= 0.0) return false;
+  return EdgeTrack(u, v).IsDown(t);
+}
+
+int FaultPlane::ApplyCrashRestarts(CacheNode* node, double t) {
+  if (config_.node_crash_mtbf <= 0.0) return 0;
+  const size_t i = static_cast<size_t>(node->id());
+  const uint64_t epoch = NodeTrack(node->id()).CrashEpoch(t);
+  const uint64_t applied = applied_crash_epoch_[i];
+  if (epoch <= applied) return 0;
+  // Cold restart: everything volatile — store, descriptors, d-cache,
+  // frequency windows — is gone; the capacity configuration survives.
+  node->Reset(node->config());
+  applied_crash_epoch_[i] = epoch;
+  return static_cast<int>(epoch - applied);
+}
+
+bool FaultPlane::AscentLoss(uint64_t request_index, int hop) const {
+  if (config_.ascent_loss_prob <= 0.0) return false;
+  const uint64_t h = Mix(MixSeed(config_.seed, kAscentTag, request_index) +
+                         static_cast<uint64_t>(hop));
+  return HashToUnit(h) < config_.ascent_loss_prob;
+}
+
+bool FaultPlane::DescentLoss(uint64_t request_index, int hop) const {
+  if (config_.decision_loss_prob <= 0.0) return false;
+  const uint64_t h = Mix(MixSeed(config_.seed, kDescentTag, request_index) +
+                         static_cast<uint64_t>(hop));
+  return HashToUnit(h) < config_.decision_loss_prob;
+}
+
+bool FaultPlane::PathHealthy(const std::vector<topology::NodeId>& path,
+                             double t) {
+  for (size_t i = 0; i + 1 < path.size(); ++i) {
+    if (LinkDown(path[i], path[i + 1], t)) return false;
+  }
+  if (config_.crash_cuts_routing) {
+    // Endpoints stay routable: the requester's router and the server
+    // attach node forward even when their cache process is down.
+    for (size_t i = 1; i + 1 < path.size(); ++i) {
+      if (NodeDown(path[i], t)) return false;
+    }
+  }
+  return true;
+}
+
+bool FaultPlane::ResolvePath(topology::NodeId from, trace::ServerId server,
+                             double t, std::vector<topology::NodeId>* path,
+                             bool* rerouted) {
+  *rerouted = false;
+  *path = network_->PathToServer(from, server);
+  if (!routing_faults_ || PathHealthy(*path, t)) return true;
+  const topology::NodeId root = network_->ServerAttach(server);
+  if (DetourPath(from, root, t, path)) {
+    *rerouted = true;
+    return true;
+  }
+  return false;
+}
+
+bool FaultPlane::DetourPath(topology::NodeId from, topology::NodeId root,
+                            double t, std::vector<topology::NodeId>* path) {
+  // Dijkstra rooted at the server attach node over the surviving graph
+  // (the paper routes along server-rooted trees), so the detour path runs
+  // from -> ... -> root like the precomputed routes. Ties prefer the
+  // smaller parent id, matching BuildShortestPathTree's determinism.
+  const topology::Graph& graph = network_->graph();
+  const size_t n = static_cast<size_t>(graph.num_nodes());
+  constexpr double kInf = std::numeric_limits<double>::infinity();
+  detour_dist_.assign(n, kInf);
+  detour_parent_.assign(n, topology::kInvalidNode);
+  const bool cut_nodes =
+      config_.crash_cuts_routing && config_.node_crash_mtbf > 0.0;
+  const auto forwarding = [&](topology::NodeId v) {
+    return !cut_nodes || v == from || v == root || !NodeDown(v, t);
+  };
+  if (from == root) {
+    path->assign(1, root);
+    return true;
+  }
+
+  using Item = std::pair<double, topology::NodeId>;
+  std::priority_queue<Item, std::vector<Item>, std::greater<Item>> queue;
+  detour_dist_[static_cast<size_t>(root)] = 0.0;
+  queue.push({0.0, root});
+  while (!queue.empty()) {
+    const auto [dist, u] = queue.top();
+    queue.pop();
+    if (dist > detour_dist_[static_cast<size_t>(u)]) continue;
+    for (const topology::Edge& edge : graph.Neighbors(u)) {
+      const topology::NodeId v = edge.to;
+      if (!forwarding(v) || LinkDown(u, v, t)) continue;
+      const double next = dist + edge.delay;
+      double& best = detour_dist_[static_cast<size_t>(v)];
+      topology::NodeId& parent = detour_parent_[static_cast<size_t>(v)];
+      if (next < best || (next == best && u < parent)) {
+        best = next;
+        parent = u;
+        queue.push({next, v});
+      }
+    }
+  }
+  if (detour_dist_[static_cast<size_t>(from)] == kInf) return false;
+  path->clear();
+  for (topology::NodeId v = from; v != topology::kInvalidNode;
+       v = detour_parent_[static_cast<size_t>(v)]) {
+    path->push_back(v);
+  }
+  return true;
+}
+
+}  // namespace cascache::sim

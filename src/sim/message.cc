@@ -53,6 +53,12 @@ void MessageContext::EmitDCacheHitTrace(topology::NodeId node_id) const {
   EmitNodeEvent(TraceEventType::kDCacheHit, node_id, 0.0);
 }
 
+void MessageContext::EmitDegradedTrace(topology::NodeId node_id,
+                                       int hop) const {
+  EmitNodeEvent(TraceEventType::kFaultDegraded, node_id,
+                static_cast<double>(hop));
+}
+
 std::string MessageContext::DebugString() const {
   char buf[256];
   std::snprintf(

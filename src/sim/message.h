@@ -43,6 +43,12 @@ struct RequestMessage {
   /// Protocol bytes piggybacked onto the request beyond the plain
   /// object-id header (the paper's communication-overhead measure).
   uint64_t payload_bytes = 0;
+  /// Fault plane: the piggyback entry this hop would contribute was lost
+  /// (node crashed, or the entry was dropped in transit). Set by the
+  /// simulator for the current hop only; schemes fall back to the
+  /// paper's no-state behavior (the node is excluded from the candidate
+  /// set) and must not touch the node's cache state.
+  bool piggyback_lost = false;
 };
 
 /// The response message descending from the serving node back to the
@@ -58,6 +64,11 @@ struct ResponseMessage {
   /// Miss-penalty counter: cumulative link cost from the nearest copy
   /// upstream, reset to 0 at every node that caches the object.
   double penalty = 0.0;
+  /// Fault plane: the placement decision / penalty block was lost at the
+  /// current hop (node crashed, or the block was dropped in transit).
+  /// Set by the simulator for that hop only; schemes skip placement and
+  /// penalty refresh there.
+  bool decision_lost = false;
 };
 
 /// Everything one request/response exchange knows, shared by the
@@ -152,6 +163,11 @@ struct MessageContext {
   /// or the node would have served).
   void RecordDCacheHit(int hop);
 
+  /// Records a degraded decision at path index `hop`: the scheme fell
+  /// back to its no-state behavior there because the node was down or
+  /// the message block it needed was lost (fault plane).
+  void RecordDegraded(int hop);
+
   /// Tree depth of a node for trace records (0 when levels are unknown).
   int32_t NodeLevel(topology::NodeId node_id) const {
     return telemetry.node_levels == nullptr
@@ -172,6 +188,7 @@ struct MessageContext {
                      double value) const;
   void EmitPlacementRejectedTrace(topology::NodeId node_id) const;
   void EmitDCacheHitTrace(topology::NodeId node_id) const;
+  void EmitDegradedTrace(topology::NodeId node_id, int hop) const;
 };
 
 inline void MessageContext::RecordPlacement(
@@ -223,6 +240,17 @@ inline void MessageContext::RecordDCacheHit(int hop) {
   }
   if (telemetry.trace != nullptr) {
     EmitDCacheHitTrace(node_id);
+  }
+}
+
+inline void MessageContext::RecordDegraded(int hop) {
+  ++metrics->degraded;
+  const topology::NodeId node_id = (*path)[static_cast<size_t>(hop)];
+  if (telemetry.node_counters != nullptr) {
+    ++telemetry.node_counters[node_id].degraded;
+  }
+  if (telemetry.trace != nullptr) {
+    EmitDegradedTrace(node_id, hop);
   }
 }
 

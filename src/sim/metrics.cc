@@ -29,6 +29,11 @@ void MetricsCollector::Record(const RequestMetrics& metrics) {
   request_msg_bytes_ += metrics.request_msg_bytes;
   response_msg_bytes_ += metrics.response_msg_bytes;
   insertions_ += static_cast<uint64_t>(metrics.insertions);
+  retries_ += static_cast<uint64_t>(metrics.retries);
+  if (metrics.failed) ++failed_requests_;
+  if (metrics.rerouted) ++reroutes_;
+  crashes_applied_ += static_cast<uint64_t>(metrics.crashes_applied);
+  degraded_decisions_ += static_cast<uint64_t>(metrics.degraded);
 }
 
 void MetricsCollector::Reset() { *this = MetricsCollector(); }
@@ -45,6 +50,10 @@ NodeCounters& NodeCounters::operator+=(const NodeCounters& other) {
   dcache_hits += other.dcache_hits;
   bytes_served += other.bytes_served;
   bytes_cached += other.bytes_cached;
+  crashes += other.crashes;
+  retries += other.retries;
+  reroutes += other.reroutes;
+  degraded += other.degraded;
   return *this;
 }
 
@@ -94,6 +103,11 @@ MetricsSummary MetricsCollector::Summary() const {
   s.stale_hits = stale_hits_;
   s.insertions = insertions_;
   s.bytes_written = write_bytes_;
+  s.retries = retries_;
+  s.failed_requests = failed_requests_;
+  s.reroutes = reroutes_;
+  s.crashes_applied = crashes_applied_;
+  s.degraded_decisions = degraded_decisions_;
   return s;
 }
 

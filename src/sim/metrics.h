@@ -40,6 +40,19 @@ struct RequestMetrics {
   /// Protocol bytes carried by the descending response message (penalty
   /// counter + placement bitmap).
   uint64_t response_msg_bytes = 0;
+  // --- Fault plane (all zero when fault injection is off). ----------------
+  /// Timed-out attempts that were retried before this request resolved.
+  int retries = 0;
+  /// The request never reached its server (timed out max_retries times);
+  /// recorded with the accumulated waiting time as its latency.
+  bool failed = false;
+  /// The request took a detour around a failed link or node.
+  bool rerouted = false;
+  /// Node crash/restart cycles applied while processing this request.
+  int crashes_applied = 0;
+  /// Hops where the scheme fell back to its no-state behavior because a
+  /// node was down or a message block was lost.
+  int degraded = 0;
 };
 
 /// Counters one cache node accumulates over the measured phase of a run
@@ -58,6 +71,11 @@ struct NodeCounters {
   uint64_t dcache_hits = 0;   ///< Ascent lookups finding a d-cache entry.
   uint64_t bytes_served = 0;  ///< Bytes read out of this node's store.
   uint64_t bytes_cached = 0;  ///< Bytes written into this node's store.
+  // --- Fault plane (all zero when fault injection is off). ----------------
+  uint64_t crashes = 0;       ///< Cold restarts applied to this node.
+  uint64_t retries = 0;       ///< Retries of requests entering here.
+  uint64_t reroutes = 0;      ///< Detoured requests entering here.
+  uint64_t degraded = 0;      ///< Degraded scheme decisions at this node.
 
   /// Requests that consulted this node (every hop either hits or misses).
   uint64_t requests_seen() const { return hits + misses; }
@@ -96,6 +114,15 @@ struct MetricsSummary {
   uint64_t stale_hits = 0;
   uint64_t insertions = 0;
   uint64_t bytes_written = 0;
+  /// Fault plane totals (all zero when fault injection is off). Each
+  /// reconciles integer-exactly with the per-node counters: crashes are
+  /// counted at the crashed node, retries and reroutes at the requesting
+  /// node, degraded decisions at the affected hop.
+  uint64_t retries = 0;
+  uint64_t failed_requests = 0;
+  uint64_t reroutes = 0;
+  uint64_t crashes_applied = 0;
+  uint64_t degraded_decisions = 0;
 
   std::string ToString() const;
 };
@@ -148,6 +175,11 @@ class MetricsCollector {
   uint64_t request_msg_bytes_ = 0;
   uint64_t response_msg_bytes_ = 0;
   uint64_t insertions_ = 0;
+  uint64_t retries_ = 0;
+  uint64_t failed_requests_ = 0;
+  uint64_t reroutes_ = 0;
+  uint64_t crashes_applied_ = 0;
+  uint64_t degraded_decisions_ = 0;
   std::vector<NodeCounters> node_counters_;
 };
 

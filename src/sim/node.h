@@ -46,6 +46,8 @@ class CacheNode {
 
   topology::NodeId id() const { return id_; }
   CacheMode mode() const { return config_.mode; }
+  /// Active configuration; a cold restart (fault plane) re-applies it.
+  const CacheNodeConfig& config() const { return config_; }
   uint64_t capacity_bytes() const { return config_.capacity_bytes; }
   const cache::FrequencyEstimator& estimator() const { return estimator_; }
 

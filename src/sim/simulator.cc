@@ -74,6 +74,13 @@ Simulator::Simulator(const Network* network, CacheSet* caches,
     return;
   }
   cost_model_ = *model_or;
+  if (options.faults.active()) {
+    if (util::Status status = options.faults.Validate(); !status.ok()) {
+      init_status_ = status;
+      return;
+    }
+    faults_ = std::make_unique<FaultPlane>(options.faults, network_);
+  }
 }
 
 Simulator::Simulator(Network* network, schemes::CachingScheme* scheme,
@@ -154,6 +161,9 @@ util::Status Simulator::Run(const trace::Workload& workload,
   metrics_.Reset();
   metrics_.ResetNodes(network_->num_nodes());
   if (trace_ != nullptr) trace_->Clear();
+  // Forget fault streams and applied crash epochs so a repeated Run
+  // replays the same chaotic schedule bit-identically.
+  if (faults_ != nullptr) faults_->Reset();
   step_index_ = 0;
 
   const size_t warmup_count = static_cast<size_t>(
@@ -173,25 +183,30 @@ util::Status Simulator::Run(const trace::Workload& workload,
   return util::Status::Ok();
 }
 
-uint32_t Simulator::Ascend(const trace::Request& request,
-                           MessageContext& ctx) {
+uint32_t Simulator::Ascend(MessageContext& ctx) {
   // Version the client receives; downstream copies inherit it (a stale
-  // serving copy propagates its stale version).
+  // serving copy propagates its stale version). All freshness checks use
+  // ctx.now, the attempt time: after fault-plane retries it trails the
+  // request's nominal time (and equals it otherwise).
   uint32_t served_version =
-      updates_ == nullptr ? 0 : updates_->VersionAt(ctx.object, request.time);
+      updates_ == nullptr ? 0 : updates_->VersionAt(ctx.object, ctx.now);
 
   // The request message climbs the distribution tree toward the server.
   // At each hop: coherency admission first — under a protocol, expired or
   // invalidated copies are discarded and the request continues upstream;
   // under kNone a stale copy is served (and counted) — then, if the hop
-  // cannot serve, the scheme's ascent handler piggybacks its state.
+  // cannot serve, the scheme's ascent handler piggybacks its state. A
+  // hop whose cache process is down (fault plane) is transparent: it can
+  // serve nothing and its piggyback entry is lost.
   NodeCounters* const counters = ctx.telemetry.node_counters;
   EventTrace* const trace = ctx.telemetry.trace;
+  const bool faults_active = faults_ != nullptr;
   for (size_t i = 0; i < path_.size(); ++i) {
     const topology::NodeId node_id = path_[i];
     CacheNode* node = caches_->node(node_id);
     const int32_t level = node_levels_[static_cast<size_t>(node_id)];
-    bool servable = node->Contains(ctx.object);
+    const bool down = faults_active && node_down_[i] != 0;
+    bool servable = !down && node->Contains(ctx.object);
     if (servable && updates_ != nullptr) {
       const CacheNode::CopyStamp* stamp = node->FindCopy(ctx.object);
       // Copies can only enter a cache through StampCopy'd insertions
@@ -201,17 +216,17 @@ uint32_t Simulator::Ascend(const trace::Request& request,
       const uint32_t version = stamp != nullptr ? stamp->version : 0;
       const CoherencyProtocol protocol = options_.coherency.protocol;
       if (protocol == CoherencyProtocol::kTtl &&
-          request.time - fetch_time > options_.coherency.ttl) {
+          ctx.now - fetch_time > options_.coherency.ttl) {
         node->EraseObject(ctx.object);
         ++ctx.metrics->copies_expired;
         servable = false;
         if (counters != nullptr) ++counters[node_id].expirations;
         if (trace != nullptr) {
           EmitEvent(trace, ctx, TraceEventType::kExpired, node_id, level,
-                    request.time - fetch_time);
+                    ctx.now - fetch_time);
         }
       } else {
-        const uint32_t current = updates_->VersionAt(ctx.object, request.time);
+        const uint32_t current = updates_->VersionAt(ctx.object, ctx.now);
         if (protocol == CoherencyProtocol::kInvalidation &&
             version < current) {
           node->EraseObject(ctx.object);
@@ -254,7 +269,23 @@ uint32_t Simulator::Ascend(const trace::Request& request,
     }
     if (scheme_observes_ascent_) {
       ctx.request.hop = static_cast<int>(i);
-      scheme_->OnAscend(ctx, static_cast<int>(i));
+      if (faults_active) {
+        // A down hop contributes no piggyback entry; an up hop's entry
+        // may still be lost in transit. Either way the scheme sees
+        // piggyback_lost for this hop only and applies its documented
+        // fallback (DESIGN.md §10).
+        const bool lost =
+            down || faults_->AscentLoss(ctx.telemetry.request_index,
+                                        static_cast<int>(i));
+        if (lost) {
+          ctx.request.piggyback_lost = true;
+          ctx.RecordDegraded(static_cast<int>(i));
+        }
+        scheme_->OnAscend(ctx, static_cast<int>(i));
+        ctx.request.piggyback_lost = false;
+      } else {
+        scheme_->OnAscend(ctx, static_cast<int>(i));
+      }
     }
   }
   ctx.response.hit_index = -1;
@@ -272,27 +303,41 @@ void Simulator::Step(const trace::Request& request, bool collect) {
   const trace::ServerId server = catalog_->server(object);
 
   const topology::NodeId requester = network_->RequesterNode(request.client);
-  path_ = network_->PathToServer(requester, server);
-
-  link_delays_.clear();
-  link_delays_.reserve(path_.size());
-  link_costs_.clear();
-  link_costs_.reserve(path_.size());
-  for (size_t i = 0; i + 1 < path_.size(); ++i) {
-    const double delay = network_->LinkDelay(path_[i], path_[i + 1]);
-    link_delays_.push_back(delay);
-    link_costs_.push_back(cost_model_.LinkCost(delay, size,
-                                               mean_object_size_));
-  }
 
   RequestMetrics request_metrics;
   request_metrics.size_bytes = size;
+
+  // Path resolution. Without a fault plane this is the historical direct
+  // lookup; with one, an unroutable attempt (link outage / crash cutting
+  // the path) times out and retries with deterministic exponential
+  // backoff, so the attempt time `now` may trail the request time.
+  double now = request.time;
+  bool reachable = true;
+  if (faults_ == nullptr) {
+    path_ = network_->PathToServer(requester, server);
+  } else {
+    const FaultScheduleConfig& fc = faults_->config();
+    int attempt = 0;
+    for (;;) {
+      bool rerouted = false;
+      reachable = faults_->ResolvePath(requester, server, now, &path_,
+                                       &rerouted);
+      if (reachable) {
+        request_metrics.rerouted = rerouted;
+        break;
+      }
+      if (attempt >= fc.max_retries) break;
+      now += fc.request_timeout + std::ldexp(fc.retry_backoff, attempt);
+      ++attempt;
+      ++request_metrics.retries;
+    }
+  }
 
   MessageContext& ctx = ctx_;
   ctx.object = object;
   ctx.size = size;
   ctx.size_scale = static_cast<double>(size) / mean_object_size_;
-  ctx.now = request.time;
+  ctx.now = now;
   // No virtual server link under en-route (servers are co-located with
   // their attach node), so its cost is 0 under every cost model.
   ctx.server_link_cost =
@@ -314,14 +359,94 @@ void Simulator::Step(const trace::Request& request, bool collect) {
   ctx.telemetry.trace = trace_ != nullptr && trace_->SampleRequest(request_index)
                             ? trace_.get()
                             : nullptr;
-  if (ctx.telemetry.trace != nullptr) {
-    EmitEvent(ctx.telemetry.trace, ctx, TraceEventType::kRequest, requester,
+  NodeCounters* const counters = ctx.telemetry.node_counters;
+  EventTrace* const trace = ctx.telemetry.trace;
+
+  if (!reachable) {
+    // Retries exhausted with no surviving route: the request fails. It
+    // still pays the timeouts it sat through — latency covers the elapsed
+    // attempts plus the final timeout — and is recorded (failed, zero
+    // hops) so requests == served + failed with nothing silently dropped.
+    request_metrics.failed = true;
+    request_metrics.latency = (now - request.time) + options_.faults.request_timeout;
+    if (counters != nullptr) {
+      counters[requester].retries +=
+          static_cast<uint64_t>(request_metrics.retries);
+    }
+    if (trace != nullptr) {
+      const int32_t level = node_levels_[static_cast<size_t>(requester)];
+      if (request_metrics.retries > 0) {
+        EmitEvent(trace, ctx, TraceEventType::kRetry, requester, level,
+                  static_cast<double>(request_metrics.retries));
+      }
+      EmitEvent(trace, ctx, TraceEventType::kRequestFailed, requester, level,
+                static_cast<double>(request_metrics.retries));
+    }
+    if (collect) metrics_.Record(request_metrics);
+    return;
+  }
+
+  link_delays_.clear();
+  link_delays_.reserve(path_.size());
+  link_costs_.clear();
+  link_costs_.reserve(path_.size());
+  for (size_t i = 0; i + 1 < path_.size(); ++i) {
+    const double delay = network_->LinkDelay(path_[i], path_[i + 1]);
+    link_delays_.push_back(delay);
+    link_costs_.push_back(cost_model_.LinkCost(delay, size,
+                                               mean_object_size_));
+  }
+
+  if (faults_ != nullptr) {
+    // Apply pending cold restarts along the path, then flag hops whose
+    // cache process is still down at the attempt time. Crashes are
+    // charged to the crashed node; retries and reroutes to the
+    // requester — the same localities NodeCounters reconciliation
+    // asserts against the aggregates.
+    node_down_.assign(path_.size(), 0);
+    for (size_t i = 0; i < path_.size(); ++i) {
+      const topology::NodeId node_id = path_[i];
+      const int applied =
+          faults_->ApplyCrashRestarts(caches_->node(node_id), now);
+      if (applied > 0) {
+        request_metrics.crashes_applied += applied;
+        if (counters != nullptr) {
+          counters[node_id].crashes += static_cast<uint64_t>(applied);
+        }
+        if (trace != nullptr) {
+          EmitEvent(trace, ctx, TraceEventType::kNodeCrash, node_id,
+                    node_levels_[static_cast<size_t>(node_id)],
+                    static_cast<double>(applied));
+        }
+      }
+      if (faults_->NodeDown(node_id, now)) node_down_[i] = 1;
+    }
+    if (counters != nullptr) {
+      counters[requester].retries +=
+          static_cast<uint64_t>(request_metrics.retries);
+      if (request_metrics.rerouted) ++counters[requester].reroutes;
+    }
+    if (trace != nullptr) {
+      const int32_t level = node_levels_[static_cast<size_t>(requester)];
+      if (request_metrics.retries > 0) {
+        EmitEvent(trace, ctx, TraceEventType::kRetry, requester, level,
+                  static_cast<double>(request_metrics.retries));
+      }
+      if (request_metrics.rerouted) {
+        EmitEvent(trace, ctx, TraceEventType::kReroute, requester, level,
+                  static_cast<double>(path_.size()));
+      }
+    }
+  }
+
+  if (trace != nullptr) {
+    EmitEvent(trace, ctx, TraceEventType::kRequest, requester,
               node_levels_[static_cast<size_t>(requester)],
               static_cast<double>(path_.size()));
   }
 
   // --- Phase 1: the request message ascends to its serving point. -------
-  const uint32_t served_version = Ascend(request, ctx);
+  const uint32_t served_version = Ascend(ctx);
   const int hit_index = ctx.response.hit_index;
 
   // Access latency and hops (paper cost model: link delay scaled by object
@@ -345,22 +470,44 @@ void Simulator::Step(const trace::Request& request, bool collect) {
 
   // --- Phase 2: the serving node decides, the response descends. --------
   scheme_->OnServe(ctx);
-  for (int i = ctx.first_missing(); i >= 0; --i) {
-    scheme_->OnDescend(ctx, i);
+  if (faults_ == nullptr) {
+    for (int i = ctx.first_missing(); i >= 0; --i) {
+      scheme_->OnDescend(ctx, i);
+    }
+  } else {
+    // A down hop cannot act on the descending decision, and an up hop's
+    // decision entry may be lost in transit. The scheme still runs its
+    // descent hook (penalty bookkeeping survives; see DESIGN.md §10) but
+    // must not place or refresh under decision_lost.
+    for (int i = ctx.first_missing(); i >= 0; --i) {
+      const bool lost =
+          node_down_[static_cast<size_t>(i)] != 0 ||
+          faults_->DescentLoss(request_index, i);
+      if (lost) {
+        ctx.response.decision_lost = true;
+        ctx.RecordDegraded(i);
+      }
+      scheme_->OnDescend(ctx, i);
+      ctx.response.decision_lost = false;
+    }
   }
   request_metrics.request_msg_bytes = ctx.request.payload_bytes;
   request_metrics.response_msg_bytes = ctx.response.payload_bytes;
 
   // Stamp freshness metadata on the copies this request created. Copies
   // below the serving point inherit the served version; the serving copy
-  // keeps its original stamp (hits do not revalidate).
+  // keeps its original stamp (hits do not revalidate). A down hop stored
+  // nothing this request, so any copy it already holds keeps its stamp.
   if (updates_ != nullptr) {
     const int top = ctx.top_index();
     for (int i = 0; i <= top; ++i) {
       if (i == hit_index) continue;
+      if (faults_ != nullptr && node_down_[static_cast<size_t>(i)] != 0) {
+        continue;
+      }
       CacheNode* node = caches_->node(path_[static_cast<size_t>(i)]);
       if (node->Contains(object)) {
-        node->StampCopy(object, request.time, served_version);
+        node->StampCopy(object, ctx.now, served_version);
       }
     }
   }

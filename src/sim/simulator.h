@@ -5,6 +5,7 @@
 #include "sim/coherency.h"
 #include "sim/cost_model.h"
 #include "sim/event_trace.h"
+#include "sim/fault_plane.h"
 #include "sim/message.h"
 #include "sim/metrics.h"
 #include "sim/network.h"
@@ -40,6 +41,11 @@ struct SimOptions {
   /// Structured event tracing (observability layer). Disabled by
   /// default; when disabled the hot path pays one null check per request.
   EventTraceOptions trace;
+  /// Deterministic fault injection (crashes, link outages, message
+  /// faults, timeouts — see sim/fault_plane.h). Inactive by default; an
+  /// inactive schedule leaves the replay bit-identical to a build without
+  /// the fault plane, at the cost of one null check per request.
+  FaultScheduleConfig faults;
 };
 
 /// Wall-clock breakdown of the last Run(): cache (re)configuration +
@@ -107,14 +113,20 @@ class Simulator {
   EventTrace* event_trace() { return trace_.get(); }
   const EventTrace* event_trace() const { return trace_.get(); }
 
+  /// Fault-injection layer; nullptr unless options.faults.active().
+  FaultPlane* fault_plane() { return faults_.get(); }
+  const FaultPlane* fault_plane() const { return faults_.get(); }
+
   /// Phase breakdown of the last Run() (zeros before the first).
   const RunPhaseTimes& phase_times() const { return phase_times_; }
 
  private:
   /// Drives the request message up the path: per-hop coherency admission
-  /// then the scheme's ascent hook, stopping at the serving cache.
-  /// Returns the serving version for freshness stamping.
-  uint32_t Ascend(const trace::Request& request, MessageContext& ctx);
+  /// then the scheme's ascent hook, stopping at the serving cache. All
+  /// timing uses ctx.now (== the attempt time, which trails the request
+  /// time after fault-plane retries). Returns the serving version for
+  /// freshness stamping.
+  uint32_t Ascend(MessageContext& ctx);
 
   const Network* network_;
   CacheSet* caches_;
@@ -142,6 +154,12 @@ class Simulator {
   std::vector<int> node_levels_;
   /// Present iff options.trace.enabled.
   std::unique_ptr<EventTrace> trace_;
+  /// Present iff options.faults.active(); nullptr keeps the unfaulted
+  /// replay on the historical hot path (one pointer test per request).
+  std::unique_ptr<FaultPlane> faults_;
+  /// Per-hop "cache process down" flags of the current request's path
+  /// (fault plane only; parallel to path_).
+  std::vector<uint8_t> node_down_;
   RunPhaseTimes phase_times_;
   /// Index of the next Step()'ed request: the trace position under Run()
   /// (reset there), a monotone counter for direct Step() drivers. Keys

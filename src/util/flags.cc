@@ -60,11 +60,23 @@ void FlagParser::AddBool(const std::string& name, bool default_value,
       {name, Type::kBool, help, default_value ? "true" : "false", out});
 }
 
+FlagParser::Flag* FlagParser::Find(const std::string& name) {
+  for (Flag& flag : flags_) {
+    if (flag.name == name) return &flag;
+  }
+  return nullptr;
+}
+
 const FlagParser::Flag* FlagParser::Find(const std::string& name) const {
   for (const Flag& flag : flags_) {
     if (flag.name == name) return &flag;
   }
   return nullptr;
+}
+
+bool FlagParser::WasSet(const std::string& name) const {
+  const Flag* flag = Find(name);
+  return flag != nullptr && flag->parsed;
 }
 
 Status FlagParser::SetValue(const Flag& flag, const std::string& value) {
@@ -119,6 +131,7 @@ Status FlagParser::SetValue(const Flag& flag, const std::string& value) {
 
 Status FlagParser::Parse(int argc, const char* const* argv) {
   positional_.clear();
+  for (Flag& flag : flags_) flag.parsed = false;
   for (int i = 0; i < argc; ++i) {
     const std::string arg = argv[i];
     if (arg.rfind("--", 0) != 0) {
@@ -133,7 +146,7 @@ Status FlagParser::Parse(int argc, const char* const* argv) {
       name = name.substr(0, eq);
       has_value = true;
     }
-    const Flag* flag = Find(name);
+    Flag* flag = Find(name);
     if (flag == nullptr) {
       return Status::InvalidArgument("unknown flag --" + name);
     }
@@ -141,6 +154,7 @@ Status FlagParser::Parse(int argc, const char* const* argv) {
       if (flag->type == Type::kBool) {
         // Bare boolean flag.
         *static_cast<bool*>(flag->out) = true;
+        flag->parsed = true;
         continue;
       }
       if (i + 1 >= argc) {
@@ -149,6 +163,7 @@ Status FlagParser::Parse(int argc, const char* const* argv) {
       value = argv[++i];
     }
     CASCACHE_RETURN_IF_ERROR(SetValue(*flag, value));
+    flag->parsed = true;
   }
   return Status::Ok();
 }

@@ -33,6 +33,11 @@ class FlagParser {
 
   const std::vector<std::string>& positional() const { return positional_; }
 
+  /// Whether the flag appeared on the last parsed command line (as
+  /// opposed to holding its default). Lets callers layer CLI values over
+  /// other configuration sources. False for unknown names.
+  bool WasSet(const std::string& name) const;
+
   /// Help text listing every flag with its default and description.
   std::string Usage(const std::string& program) const;
 
@@ -45,9 +50,11 @@ class FlagParser {
     std::string help;
     std::string default_text;
     void* out;
+    bool parsed = false;  ///< Seen on the last Parse'd command line.
   };
 
   Status SetValue(const Flag& flag, const std::string& value);
+  Flag* Find(const std::string& name);
   const Flag* Find(const std::string& name) const;
 
   std::vector<Flag> flags_;

@@ -101,6 +101,13 @@ TEST(EventTraceTest, TypeNamesAreStable) {
                "placement_rejected");
   EXPECT_STREQ(TraceEventTypeName(TraceEventType::kEviction), "eviction");
   EXPECT_STREQ(TraceEventTypeName(TraceEventType::kDCacheHit), "dcache_hit");
+  EXPECT_STREQ(TraceEventTypeName(TraceEventType::kNodeCrash), "node_crash");
+  EXPECT_STREQ(TraceEventTypeName(TraceEventType::kReroute), "reroute");
+  EXPECT_STREQ(TraceEventTypeName(TraceEventType::kRetry), "retry");
+  EXPECT_STREQ(TraceEventTypeName(TraceEventType::kRequestFailed),
+               "request_failed");
+  EXPECT_STREQ(TraceEventTypeName(TraceEventType::kFaultDegraded),
+               "fault_degraded");
 }
 
 TEST(EventTraceTest, JsonLineGoldenShape) {

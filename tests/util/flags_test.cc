@@ -128,6 +128,32 @@ TEST(FlagParserTest, NegativeAndLargeNumbers) {
   EXPECT_DOUBLE_EQ(d, -2500.0);
 }
 
+TEST(FlagParserTest, WasSetTracksExplicitFlags) {
+  FlagParser parser;
+  double d = 0;
+  bool b = false;
+  int64_t i = 0;
+  parser.AddDouble("rate", 1.0, "h", &d);
+  parser.AddBool("verbose", false, "h", &b);
+  parser.AddInt64("count", 5, "h", &i);
+
+  const char* argv[] = {"--rate=2.5", "--verbose"};
+  ASSERT_TRUE(parser.Parse(2, argv).ok());
+  EXPECT_TRUE(parser.WasSet("rate"));
+  EXPECT_TRUE(parser.WasSet("verbose"));
+  // Flags left at their defaults are not "set" — the CLI uses this to
+  // decide whether a flag should override a fault-config file value.
+  EXPECT_FALSE(parser.WasSet("count"));
+  EXPECT_FALSE(parser.WasSet("no-such-flag"));
+
+  // Parse resets the set-tracking: a second parse with no args reports
+  // everything unset again.
+  const char* none[] = {"positional-only"};
+  ASSERT_TRUE(parser.Parse(1, none).ok());
+  EXPECT_FALSE(parser.WasSet("rate"));
+  EXPECT_FALSE(parser.WasSet("verbose"));
+}
+
 TEST(SplitCommaListTest, Basic) {
   EXPECT_EQ(SplitCommaList("a,b,c"),
             (std::vector<std::string>{"a", "b", "c"}));

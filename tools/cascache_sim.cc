@@ -14,6 +14,7 @@
 #include <cstdlib>
 
 #include "sim/experiment.h"
+#include "sim/fault_plane.h"
 #include "trace/trace_io.h"
 #include "util/flags.h"
 #include "util/table.h"
@@ -124,6 +125,50 @@ util::Status RunMain(int argc, char** argv) {
   flags.AddInt64("trace-ring", 4096,
                  "trace ring capacity: most recent records kept per cell",
                  &trace_ring);
+  // Fault injection (sim/fault_plane.h). Precedence: defaults, then
+  // --fault-config file, then CASCACHE_FAULT_* env vars, then explicit
+  // --fault-* flags.
+  std::string fault_config_path;
+  uint64_t fault_seed;
+  int64_t fault_max_retries;
+  double fault_node_mtbf, fault_node_downtime, fault_link_mtbf,
+      fault_link_downtime, fault_ascent_loss, fault_decision_loss,
+      fault_timeout, fault_backoff;
+  bool fault_crash_cuts_routing;
+  flags.AddString("fault-config", "",
+                  "fault schedule file (key=value lines; see DESIGN.md)",
+                  &fault_config_path);
+  flags.AddUint64("fault-seed", 1, "seed of the fault streams", &fault_seed);
+  flags.AddDouble("fault-node-mtbf", 0.0,
+                  "mean seconds between node crashes (0 = none)",
+                  &fault_node_mtbf);
+  flags.AddDouble("fault-node-downtime", 30.0,
+                  "mean seconds a crashed node stays down",
+                  &fault_node_downtime);
+  flags.AddDouble("fault-link-mtbf", 0.0,
+                  "mean seconds between link outages (0 = none)",
+                  &fault_link_mtbf);
+  flags.AddDouble("fault-link-downtime", 30.0,
+                  "mean seconds a failed link stays down",
+                  &fault_link_downtime);
+  flags.AddBool("fault-crash-cuts-routing", false,
+                "crashed nodes also stop forwarding (requests detour)",
+                &fault_crash_cuts_routing);
+  flags.AddDouble("fault-ascent-loss", 0.0,
+                  "probability a hop's piggyback entry is lost",
+                  &fault_ascent_loss);
+  flags.AddDouble("fault-decision-loss", 0.0,
+                  "probability a hop's placement decision is lost",
+                  &fault_decision_loss);
+  flags.AddDouble("fault-timeout", 5.0,
+                  "seconds before an unreachable request retries",
+                  &fault_timeout);
+  flags.AddInt64("fault-max-retries", 3,
+                 "retries before a request is recorded as failed",
+                 &fault_max_retries);
+  flags.AddDouble("fault-backoff", 1.0,
+                  "retry k backs off fault-backoff * 2^k seconds",
+                  &fault_backoff);
 
   CASCACHE_RETURN_IF_ERROR(flags.Parse(argc - 1, argv + 1));
   if (help) {
@@ -201,6 +246,46 @@ util::Status RunMain(int argc, char** argv) {
   // Key the trace sampler off the workload seed so a rerun with the same
   // flags samples the same requests.
   config.sim.trace.seed = seed;
+
+  // Fault schedule, lowest to highest precedence source.
+  sim::FaultScheduleConfig& fault_config = config.sim.faults;
+  if (!fault_config_path.empty()) {
+    CASCACHE_RETURN_IF_ERROR(
+        sim::LoadFaultConfigFile(fault_config_path, &fault_config));
+  }
+  CASCACHE_RETURN_IF_ERROR(sim::ApplyFaultEnvOverrides(&fault_config));
+  if (flags.WasSet("fault-seed")) fault_config.seed = fault_seed;
+  if (flags.WasSet("fault-node-mtbf")) {
+    fault_config.node_crash_mtbf = fault_node_mtbf;
+  }
+  if (flags.WasSet("fault-node-downtime")) {
+    fault_config.node_downtime = fault_node_downtime;
+  }
+  if (flags.WasSet("fault-link-mtbf")) {
+    fault_config.link_mtbf = fault_link_mtbf;
+  }
+  if (flags.WasSet("fault-link-downtime")) {
+    fault_config.link_downtime = fault_link_downtime;
+  }
+  if (flags.WasSet("fault-crash-cuts-routing")) {
+    fault_config.crash_cuts_routing = fault_crash_cuts_routing;
+  }
+  if (flags.WasSet("fault-ascent-loss")) {
+    fault_config.ascent_loss_prob = fault_ascent_loss;
+  }
+  if (flags.WasSet("fault-decision-loss")) {
+    fault_config.decision_loss_prob = fault_decision_loss;
+  }
+  if (flags.WasSet("fault-timeout")) {
+    fault_config.request_timeout = fault_timeout;
+  }
+  if (flags.WasSet("fault-max-retries")) {
+    fault_config.max_retries = static_cast<int>(fault_max_retries);
+  }
+  if (flags.WasSet("fault-backoff")) {
+    fault_config.retry_backoff = fault_backoff;
+  }
+  CASCACHE_RETURN_IF_ERROR(fault_config.Validate());
 
   CASCACHE_ASSIGN_OR_RETURN(std::unique_ptr<sim::ExperimentRunner> runner,
                             sim::ExperimentRunner::Create(config));
