@@ -6,7 +6,7 @@
 #include <benchmark/benchmark.h>
 
 #include "cache/dcache.h"
-#include "cache/lru_cache.h"
+#include "cache/flat_lru.h"
 #include "cache/ncl_cache.h"
 #include "schemes/scheme.h"
 #include "sim/simulator.h"
@@ -16,7 +16,7 @@
 namespace {
 
 using cascache::cache::DCache;
-using cascache::cache::LruCache;
+using cascache::cache::FlatLru;
 using cascache::cache::NclCache;
 using cascache::cache::ObjectDescriptor;
 using cascache::trace::ObjectId;
@@ -24,7 +24,7 @@ using cascache::util::Rng;
 
 void BM_LruInsertEvict(benchmark::State& state) {
   const int working_set = static_cast<int>(state.range(0));
-  LruCache cache(static_cast<uint64_t>(working_set) * 100 / 2);
+  FlatLru cache(static_cast<uint64_t>(working_set) * 100 / 2);
   Rng rng(1);
   ObjectId next = 0;
   for (auto _ : state) {
@@ -36,7 +36,7 @@ BENCHMARK(BM_LruInsertEvict)->Arg(1000)->Arg(100000);
 
 void BM_LruTouch(benchmark::State& state) {
   const int n = static_cast<int>(state.range(0));
-  LruCache cache(static_cast<uint64_t>(n) * 100);
+  FlatLru cache(static_cast<uint64_t>(n) * 100);
   for (ObjectId id = 0; id < static_cast<ObjectId>(n); ++id) {
     cache.Insert(id, 100);
   }

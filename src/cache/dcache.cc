@@ -13,33 +13,40 @@ double DCache::PriorityOf(const ObjectDescriptor& desc) const {
 }
 
 ObjectDescriptor* DCache::Find(ObjectId id) {
-  auto it = descriptors_.find(id);
-  return it == descriptors_.end() ? nullptr : &it->second;
+  const SlotId slot = index_.Get(id);
+  return slot == kNoSlot ? nullptr : &pool_.at(slot);
 }
 
 const ObjectDescriptor* DCache::Find(ObjectId id) const {
-  auto it = descriptors_.find(id);
-  return it == descriptors_.end() ? nullptr : &it->second;
+  const SlotId slot = index_.Get(id);
+  return slot == kNoSlot ? nullptr : &pool_.at(slot);
 }
 
 ObjectDescriptor* DCache::Insert(ObjectId id, const ObjectDescriptor& desc) {
   if (capacity_ == 0) return nullptr;
-  auto it = descriptors_.find(id);
-  if (it != descriptors_.end()) {
-    it->second = desc;
+  if (const SlotId slot = index_.Get(id); slot != kNoSlot) {
+    ObjectDescriptor& stored = pool_.at(slot);
+    stored = desc;
     heap_.Update(id, PriorityOf(desc));
-    return &it->second;
+    return &stored;
   }
-  if (descriptors_.size() >= capacity_) {
+  if (count_ >= capacity_) {
     // Admission: do not displace a higher-priority descriptor.
     if (PriorityOf(desc) < heap_.Top().second) return nullptr;
     const ObjectId victim = heap_.Pop().first;
-    descriptors_.erase(victim);
+    const SlotId victim_slot = index_.Get(victim);
+    CASCACHE_CHECK(victim_slot != kNoSlot);
+    index_.Erase(victim);
+    pool_.Free(victim_slot);
+    --count_;
   }
-  auto [new_it, ok] = descriptors_.emplace(id, desc);
-  CASCACHE_CHECK(ok);
+  const SlotId slot = pool_.Alloc();
+  ObjectDescriptor& stored = pool_.at(slot);
+  stored = desc;
+  index_.Set(id, slot);
   heap_.Push(id, PriorityOf(desc));
-  return &new_it->second;
+  ++count_;
+  return &stored;
 }
 
 void DCache::Refresh(ObjectId id, const ObjectDescriptor& desc) {
@@ -48,14 +55,20 @@ void DCache::Refresh(ObjectId id, const ObjectDescriptor& desc) {
 }
 
 bool DCache::Erase(ObjectId id) {
-  if (descriptors_.erase(id) == 0) return false;
+  const SlotId slot = index_.Get(id);
+  if (slot == kNoSlot) return false;
+  index_.Erase(id);
+  pool_.Free(slot);
+  --count_;
   CASCACHE_CHECK(heap_.Erase(id));
   return true;
 }
 
 void DCache::Clear() {
-  descriptors_.clear();
+  pool_.Clear();
+  index_.Clear();
   heap_.Clear();
+  count_ = 0;
 }
 
 }  // namespace cascache::cache

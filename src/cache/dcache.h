@@ -2,9 +2,9 @@
 #define CASCACHE_CACHE_DCACHE_H_
 
 #include <cstddef>
-#include <unordered_map>
 
 #include "cache/descriptor.h"
+#include "cache/flat_store.h"
 #include "util/indexed_heap.h"
 
 namespace cascache::cache {
@@ -24,6 +24,12 @@ enum class DCachePolicy {
 /// frequently accessed objects *not* stored in the main cache, so the
 /// coordinated scheme (and LNC-R) can evaluate cost savings for objects it
 /// does not hold. Capacity is measured in descriptor count.
+///
+/// Descriptors live in a chunked slot pool indexed by a direct id→slot
+/// table, so Find/Insert/Refresh are O(1) array hops with no hashing and
+/// no per-descriptor allocation; chunks are stable, so returned
+/// ObjectDescriptor pointers survive later insertions. The eviction heap
+/// is keyed by the dense ObjectId space (direct-index position map).
 class DCache {
  public:
   explicit DCache(size_t max_descriptors,
@@ -31,7 +37,7 @@ class DCache {
 
   DCachePolicy policy() const { return policy_; }
 
-  bool Contains(ObjectId id) const { return descriptors_.count(id) > 0; }
+  bool Contains(ObjectId id) const { return index_.Contains(id); }
 
   /// Mutable descriptor lookup; nullptr if absent.
   ObjectDescriptor* Find(ObjectId id);
@@ -52,17 +58,23 @@ class DCache {
   bool Erase(ObjectId id);
   void Clear();
 
-  size_t size() const { return descriptors_.size(); }
+  size_t size() const { return count_; }
   size_t capacity() const { return capacity_; }
+
+  /// High-water pool slot count (test/debug helper for pool-reuse
+  /// assertions after Reset).
+  size_t slot_span() const { return pool_.slot_span(); }
 
  private:
   double PriorityOf(const ObjectDescriptor& desc) const;
 
   size_t capacity_;
   DCachePolicy policy_;
-  std::unordered_map<ObjectId, ObjectDescriptor> descriptors_;
+  ChunkedSlotPool<ObjectDescriptor> pool_;
+  SlotIndex index_;
+  size_t count_ = 0;
   /// Min-heap on priority: the top is the eviction victim.
-  util::IndexedMinHeap<ObjectId> heap_;
+  util::DenseIndexedMinHeap<ObjectId> heap_;
 };
 
 }  // namespace cascache::cache

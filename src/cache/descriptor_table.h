@@ -1,0 +1,97 @@
+#ifndef CASCACHE_CACHE_DESCRIPTOR_TABLE_H_
+#define CASCACHE_CACHE_DESCRIPTOR_TABLE_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "cache/descriptor.h"
+#include "cache/flat_store.h"
+#include "util/check.h"
+
+namespace cascache::cache {
+
+/// Flat table of the descriptors of objects resident in a cost-mode main
+/// cache: a chunked descriptor pool behind a direct-index id→slot table.
+/// Replaces the per-node `unordered_map<ObjectId, ObjectDescriptor>`:
+/// Find is two array hops, Insert never allocates per entry (slots are
+/// recycled through a free list), and chunk stability keeps returned
+/// ObjectDescriptor pointers valid across later insertions.
+class DescriptorTable {
+ public:
+  ObjectDescriptor* Find(trace::ObjectId id) {
+    const SlotId slot = index_.Get(id);
+    return slot == kNoSlot ? nullptr : &pool_.at(slot);
+  }
+  const ObjectDescriptor* Find(trace::ObjectId id) const {
+    const SlotId slot = index_.Get(id);
+    return slot == kNoSlot ? nullptr : &pool_.at(slot);
+  }
+
+  bool Contains(trace::ObjectId id) const { return index_.Contains(id); }
+
+  /// Stores (or overwrites) the descriptor for `id`; returns the stored
+  /// copy.
+  ObjectDescriptor* Insert(trace::ObjectId id, const ObjectDescriptor& desc) {
+    SlotId slot = index_.Get(id);
+    if (slot == kNoSlot) {
+      slot = pool_.Alloc();
+      index_.Set(id, slot);
+      slot_ids_.resize(std::max<size_t>(slot_ids_.size(), pool_.slot_span()),
+                       trace::ObjectId(0));
+      occupied_.resize(slot_ids_.size(), 0);
+      slot_ids_[slot] = id;
+      occupied_[slot] = 1;
+      ++count_;
+    }
+    ObjectDescriptor& stored = pool_.at(slot);
+    stored = desc;
+    return &stored;
+  }
+
+  bool Erase(trace::ObjectId id) {
+    const SlotId slot = index_.Get(id);
+    if (slot == kNoSlot) return false;
+    index_.Erase(id);
+    occupied_[slot] = 0;
+    pool_.Free(slot);
+    --count_;
+    return true;
+  }
+
+  void Clear() {
+    pool_.Clear();
+    index_.Clear();
+    slot_ids_.clear();
+    occupied_.clear();
+    count_ = 0;
+  }
+
+  size_t size() const { return count_; }
+
+  /// High-water pool slot count (test/debug helper).
+  size_t slot_span() const { return pool_.slot_span(); }
+
+  /// Visits every (id, descriptor) pair in unspecified order; `fn` takes
+  /// (trace::ObjectId, const ObjectDescriptor&). Invariant checks only —
+  /// the hot path never iterates.
+  template <typename Fn>
+  void ForEach(Fn fn) const {
+    for (size_t slot = 0; slot < pool_.slot_span(); ++slot) {
+      if (occupied_[slot] == 0) continue;
+      fn(slot_ids_[slot], pool_.at(static_cast<SlotId>(slot)));
+    }
+  }
+
+ private:
+  ChunkedSlotPool<ObjectDescriptor> pool_;
+  SlotIndex index_;
+  /// Reverse slot→id mapping (+ occupancy) for ForEach; parallel to the
+  /// pool's slot span.
+  std::vector<trace::ObjectId> slot_ids_;
+  std::vector<uint8_t> occupied_;
+  size_t count_ = 0;
+};
+
+}  // namespace cascache::cache
+
+#endif  // CASCACHE_CACHE_DESCRIPTOR_TABLE_H_

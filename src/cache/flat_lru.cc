@@ -1,0 +1,47 @@
+#include "cache/flat_lru.h"
+
+#include "util/check.h"
+
+namespace cascache::cache {
+
+void FlatLru::Clear() {
+  // Return every slot to the free list instead of shrinking the arrays:
+  // a cleared store re-fills its old slots (descending push so refills
+  // allocate slot 0 first, like a fresh store) without regrowing.
+  free_.clear();
+  free_.reserve(ids_.size());
+  for (SlotId slot = static_cast<SlotId>(ids_.size()); slot-- > 0;) {
+    free_.push_back(slot);
+  }
+  index_.Clear();
+  head_ = kNoSlot;
+  tail_ = kNoSlot;
+  used_ = 0;
+  count_ = 0;
+}
+
+ObjectId FlatLru::LruVictim() const {
+  CASCACHE_CHECK(tail_ != kNoSlot);
+  return ids_[tail_];
+}
+
+bool FlatLru::CheckInvariants() const {
+  uint64_t sum = 0;
+  size_t seen = 0;
+  SlotId prev = kNoSlot;
+  for (SlotId slot = head_; slot != kNoSlot; slot = next_[slot]) {
+    if (prev_[slot] != prev) return false;
+    if (index_.Get(ids_[slot]) != slot) return false;
+    sum += sizes_[slot];
+    ++seen;
+    if (seen > count_) return false;  // Cycle.
+    prev = slot;
+  }
+  if (tail_ != prev) return false;
+  if (seen != count_) return false;
+  if (sum != used_) return false;
+  if (count_ + free_.size() != ids_.size()) return false;
+  return used_ <= capacity_;
+}
+
+}  // namespace cascache::cache

@@ -1,0 +1,191 @@
+#ifndef CASCACHE_CACHE_FLAT_STORE_H_
+#define CASCACHE_CACHE_FLAT_STORE_H_
+
+#include <algorithm>
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "trace/object_catalog.h"
+#include "util/check.h"
+
+namespace cascache::cache {
+
+/// Slot handle inside a flat store; slots are dense indices into
+/// struct-of-arrays storage.
+using SlotId = uint32_t;
+inline constexpr SlotId kNoSlot = UINT32_MAX;
+
+/// Direct-index id→slot table over the closed object catalog (ObjectId is
+/// a dense uint32_t, see trace/object_catalog.h). Replaces the per-store
+/// `std::unordered_map<ObjectId, ...>`: a lookup is one bounds check and
+/// one array load instead of a hash, a probe chain and a pointer chase.
+/// The table grows lazily to the largest id seen, so stores never need
+/// the catalog size up front.
+class SlotIndex {
+ public:
+  SlotId Get(trace::ObjectId id) const {
+    return id < slots_.size() ? slots_[id] : kNoSlot;
+  }
+
+  bool Contains(trace::ObjectId id) const { return Get(id) != kNoSlot; }
+
+  void Set(trace::ObjectId id, SlotId slot) {
+    if (id >= slots_.size()) {
+      // Geometric growth keeps amortized cost O(1) for ids arriving in
+      // ascending order; new entries start empty.
+      const size_t target =
+          std::max<size_t>(static_cast<size_t>(id) + 1, slots_.size() * 2);
+      slots_.resize(target, kNoSlot);
+    }
+    slots_[id] = slot;
+  }
+
+  void Erase(trace::ObjectId id) {
+    if (id < slots_.size()) slots_[id] = kNoSlot;
+  }
+
+  /// Hints the CPU to pull the id's table entry into cache (read intent,
+  /// low temporal locality). The replay loop issues this for the next
+  /// request's probes one request ahead, hiding the dependent-load
+  /// latency of the per-hop Contains chain. Purely advisory: no state
+  /// changes, no effect on results.
+  void Prefetch(trace::ObjectId id) const {
+    if (id < slots_.size()) __builtin_prefetch(&slots_[id], 0, 1);
+  }
+
+  /// Drops every mapping in O(1): the backing vector's size is reset and
+  /// later Sets re-grow it (capacity is retained, so no reallocation in
+  /// steady state).
+  void Clear() { slots_.clear(); }
+
+  /// Number of id slots the table currently spans (test/debug helper).
+  size_t span() const { return slots_.size(); }
+
+ private:
+  std::vector<SlotId> slots_;
+};
+
+/// Fixed-chunk slot pool with a free list. Objects live in contiguous
+/// chunks, so slot access is two array hops; chunks are never moved or
+/// freed before Clear()/destruction, which makes `&pool.at(slot)` stable
+/// across Alloc — callers (the cache node, schemes) may hold
+/// ObjectDescriptor pointers across later insertions.
+///
+/// Alloc() returns a slot with *stale* contents; callers must fully
+/// assign it. Clear() recycles every slot but keeps the chunks, so a
+/// reset store re-fills warm memory.
+template <typename T, size_t kChunkSize = 256>
+class ChunkedSlotPool {
+  static_assert((kChunkSize & (kChunkSize - 1)) == 0,
+                "chunk size must be a power of two");
+
+ public:
+  SlotId Alloc() {
+    if (!free_.empty()) {
+      const SlotId slot = free_.back();
+      free_.pop_back();
+      return slot;
+    }
+    if (size_ == chunks_.size() * kChunkSize) {
+      chunks_.push_back(std::make_unique<T[]>(kChunkSize));
+    }
+    return static_cast<SlotId>(size_++);
+  }
+
+  void Free(SlotId slot) {
+    CASCACHE_DCHECK(slot < size_);
+    free_.push_back(slot);
+  }
+
+  T& at(SlotId slot) {
+    CASCACHE_DCHECK(slot < size_);
+    return chunks_[slot / kChunkSize][slot & (kChunkSize - 1)];
+  }
+  const T& at(SlotId slot) const {
+    CASCACHE_DCHECK(slot < size_);
+    return chunks_[slot / kChunkSize][slot & (kChunkSize - 1)];
+  }
+
+  /// Recycles all slots without releasing chunk memory.
+  void Clear() {
+    free_.clear();
+    size_ = 0;
+  }
+
+  /// High-water slot count (allocated, including freed slots).
+  size_t slot_span() const { return size_; }
+  size_t free_count() const { return free_.size(); }
+
+ private:
+  std::vector<std::unique_ptr<T[]>> chunks_;
+  std::vector<SlotId> free_;
+  size_t size_ = 0;
+};
+
+/// Flat id→value map over the dense ObjectId space: a SlotIndex plus
+/// vector-backed value slots with a free list. Pointers returned by Find
+/// are invalidated by later InsertOrAssign (vector growth); use
+/// ChunkedSlotPool-based storage where stability matters. Replaces
+/// incidental `unordered_map<ObjectId, T>` tables on the hot path (copy
+/// freshness stamps).
+template <typename T>
+class FlatIdMap {
+ public:
+  T* Find(trace::ObjectId id) {
+    const SlotId slot = index_.Get(id);
+    return slot == kNoSlot ? nullptr : &values_[slot];
+  }
+  const T* Find(trace::ObjectId id) const {
+    const SlotId slot = index_.Get(id);
+    return slot == kNoSlot ? nullptr : &values_[slot];
+  }
+
+  bool Contains(trace::ObjectId id) const { return index_.Contains(id); }
+
+  /// Returns the value slot for `id`, creating it if absent. The slot's
+  /// previous contents are unspecified when newly created; assign it.
+  T& InsertOrAssign(trace::ObjectId id) {
+    SlotId slot = index_.Get(id);
+    if (slot == kNoSlot) {
+      if (!free_.empty()) {
+        slot = free_.back();
+        free_.pop_back();
+      } else {
+        slot = static_cast<SlotId>(values_.size());
+        values_.emplace_back();
+      }
+      index_.Set(id, slot);
+      ++count_;
+    }
+    return values_[slot];
+  }
+
+  bool Erase(trace::ObjectId id) {
+    const SlotId slot = index_.Get(id);
+    if (slot == kNoSlot) return false;
+    index_.Erase(id);
+    free_.push_back(slot);
+    --count_;
+    return true;
+  }
+
+  void Clear() {
+    index_.Clear();
+    values_.clear();
+    free_.clear();
+    count_ = 0;
+  }
+
+  size_t size() const { return count_; }
+
+ private:
+  SlotIndex index_;
+  std::vector<T> values_;
+  std::vector<SlotId> free_;
+  size_t count_ = 0;
+};
+
+}  // namespace cascache::cache
+
+#endif  // CASCACHE_CACHE_FLAT_STORE_H_

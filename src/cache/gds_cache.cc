@@ -6,30 +6,42 @@ namespace cascache::cache {
 
 GdsCache::GdsCache(uint64_t capacity_bytes) : capacity_(capacity_bytes) {}
 
-double GdsCache::CreditOf(ObjectId id) const {
-  auto it = entries_.find(id);
-  CASCACHE_CHECK_MSG(it != entries_.end(), "object not cached");
-  return it->second.credit;
+SlotId GdsCache::AllocSlot() {
+  if (!free_.empty()) {
+    const SlotId slot = free_.back();
+    free_.pop_back();
+    return slot;
+  }
+  const SlotId slot = static_cast<SlotId>(sizes_.size());
+  sizes_.push_back(0);
+  credits_.push_back(0.0);
+  return slot;
 }
 
-void GdsCache::SetCredit(ObjectId id, Entry& entry, double credit) {
-  order_.erase({entry.credit, id});
-  entry.credit = credit;
+double GdsCache::CreditOf(ObjectId id) const {
+  const SlotId slot = index_.Get(id);
+  CASCACHE_CHECK_MSG(slot != kNoSlot, "object not cached");
+  return credits_[slot];
+}
+
+void GdsCache::SetCredit(ObjectId id, SlotId slot, double credit) {
+  order_.erase({credits_[slot], id});
+  credits_[slot] = credit;
   order_.emplace(credit, id);
 }
 
-std::vector<ObjectId> GdsCache::Insert(ObjectId id, uint64_t size,
-                                       double cost, bool* inserted) {
+const std::vector<ObjectId>& GdsCache::Insert(ObjectId id, uint64_t size,
+                                              double cost, bool* inserted) {
   if (inserted != nullptr) *inserted = false;
-  std::vector<ObjectId> evicted;
+  evicted_scratch_.clear();
   CASCACHE_CHECK(size > 0);
   CASCACHE_CHECK(cost >= 0.0);
-  if (auto it = entries_.find(id); it != entries_.end()) {
-    SetCredit(id, it->second,
-              inflation_ + cost / static_cast<double>(it->second.size));
-    return evicted;
+  if (const SlotId slot = index_.Get(id); slot != kNoSlot) {
+    SetCredit(id, slot,
+              inflation_ + cost / static_cast<double>(sizes_[slot]));
+    return evicted_scratch_;
   }
-  if (size > capacity_) return evicted;
+  if (size > capacity_) return evicted_scratch_;
 
   while (used_ + size > capacity_) {
     CASCACHE_CHECK(!order_.empty());
@@ -37,40 +49,57 @@ std::vector<ObjectId> GdsCache::Insert(ObjectId id, uint64_t size,
     // Advance the inflation value to the evicted credit (the GDS rule).
     inflation_ = credit;
     order_.erase(order_.begin());
-    used_ -= entries_.at(victim).size;
-    entries_.erase(victim);
-    evicted.push_back(victim);
+    const SlotId victim_slot = index_.Get(victim);
+    CASCACHE_DCHECK(victim_slot != kNoSlot);
+    used_ -= sizes_[victim_slot];
+    index_.Erase(victim);
+    free_.push_back(victim_slot);
+    --count_;
+    evicted_scratch_.push_back(victim);
   }
 
-  Entry entry{size, inflation_ + cost / static_cast<double>(size)};
-  entries_.emplace(id, entry);
-  order_.emplace(entry.credit, id);
+  const SlotId slot = AllocSlot();
+  sizes_[slot] = size;
+  credits_[slot] = inflation_ + cost / static_cast<double>(size);
+  order_.emplace(credits_[slot], id);
+  index_.Set(id, slot);
   used_ += size;
+  ++count_;
   if (inserted != nullptr) *inserted = true;
-  return evicted;
+  return evicted_scratch_;
 }
 
 bool GdsCache::OnHit(ObjectId id, double cost) {
-  auto it = entries_.find(id);
-  if (it == entries_.end()) return false;
-  SetCredit(id, it->second,
-            inflation_ + cost / static_cast<double>(it->second.size));
+  const SlotId slot = index_.Get(id);
+  if (slot == kNoSlot) return false;
+  SetCredit(id, slot, inflation_ + cost / static_cast<double>(sizes_[slot]));
   return true;
 }
 
 bool GdsCache::Erase(ObjectId id) {
-  auto it = entries_.find(id);
-  if (it == entries_.end()) return false;
-  order_.erase({it->second.credit, id});
-  used_ -= it->second.size;
-  entries_.erase(it);
+  const SlotId slot = index_.Get(id);
+  if (slot == kNoSlot) return false;
+  order_.erase({credits_[slot], id});
+  used_ -= sizes_[slot];
+  index_.Erase(id);
+  free_.push_back(slot);
+  --count_;
   return true;
 }
 
 void GdsCache::Clear() {
-  entries_.clear();
+  // Return every slot to the free list instead of shrinking the arrays
+  // (see FlatLru::Clear): a cleared store re-fills its old slots without
+  // regrowing.
+  free_.clear();
+  free_.reserve(sizes_.size());
+  for (SlotId slot = static_cast<SlotId>(sizes_.size()); slot-- > 0;) {
+    free_.push_back(slot);
+  }
+  index_.Clear();
   order_.clear();
   used_ = 0;
+  count_ = 0;
   inflation_ = 0.0;
 }
 

@@ -3,9 +3,10 @@
 
 #include <cstdint>
 #include <set>
-#include <unordered_map>
+#include <utility>
 #include <vector>
 
+#include "cache/flat_store.h"
 #include "trace/object_catalog.h"
 
 namespace cascache::cache {
@@ -20,18 +21,27 @@ using trace::ObjectId;
 /// classic single-cache cost-aware replacement baseline: like LNC-R it
 /// optimizes replacement only, so it serves as an extra comparator for
 /// the coordinated scheme.
+///
+/// Entry storage is flat (size/credit struct-of-arrays slots behind a
+/// direct-index id→slot table); the ascending (H, id) std::set is kept so
+/// victim order stays bit-identical to the historical map-based store.
 class GdsCache {
  public:
   explicit GdsCache(uint64_t capacity_bytes);
 
-  bool Contains(ObjectId id) const { return entries_.count(id) > 0; }
+  bool Contains(ObjectId id) const { return index_.Contains(id); }
+
+  /// Advisory cache-line prefetch of the Contains probe for `id` (see
+  /// SlotIndex::Prefetch); used by the replay loop one request ahead.
+  void PrefetchProbe(ObjectId id) const { index_.Prefetch(id); }
 
   /// Inserts with the given retrieval cost, evicting minimum-H objects as
   /// needed (advancing the inflation value L). `inserted` reports whether
   /// a write happened; objects above total capacity are rejected. If the
-  /// object is present this refreshes H like a hit.
-  std::vector<ObjectId> Insert(ObjectId id, uint64_t size, double cost,
-                               bool* inserted = nullptr);
+  /// object is present this refreshes H like a hit. The returned evicted
+  /// ids are a reused internal scratch, valid until the next Insert.
+  const std::vector<ObjectId>& Insert(ObjectId id, uint64_t size, double cost,
+                                      bool* inserted = nullptr);
 
   /// Refreshes an object's credit on a hit: H = L + cost/size. No-op if
   /// absent; returns presence.
@@ -42,7 +52,7 @@ class GdsCache {
 
   uint64_t capacity_bytes() const { return capacity_; }
   uint64_t used_bytes() const { return used_; }
-  size_t num_objects() const { return entries_.size(); }
+  size_t num_objects() const { return count_; }
 
   /// Current inflation value L (monotonically non-decreasing).
   double inflation() const { return inflation_; }
@@ -51,17 +61,21 @@ class GdsCache {
   double CreditOf(ObjectId id) const;
 
  private:
-  struct Entry {
-    uint64_t size;
-    double credit;  ///< H value.
-  };
-
-  void SetCredit(ObjectId id, Entry& entry, double credit);
+  SlotId AllocSlot();
+  void SetCredit(ObjectId id, SlotId slot, double credit);
 
   uint64_t capacity_;
   uint64_t used_ = 0;
+  size_t count_ = 0;
   double inflation_ = 0.0;  ///< L.
-  std::unordered_map<ObjectId, Entry> entries_;
+
+  // Struct-of-arrays entry slots + direct id→slot index.
+  std::vector<uint64_t> sizes_;
+  std::vector<double> credits_;  ///< H values.
+  std::vector<SlotId> free_;
+  SlotIndex index_;
+  std::vector<ObjectId> evicted_scratch_;
+
   std::set<std::pair<double, ObjectId>> order_;  ///< Ascending (H, id).
 };
 

@@ -6,59 +6,86 @@ namespace cascache::cache {
 
 LfuCache::LfuCache(uint64_t capacity_bytes) : capacity_(capacity_bytes) {}
 
+SlotId LfuCache::AllocSlot() {
+  if (!free_.empty()) {
+    const SlotId slot = free_.back();
+    free_.pop_back();
+    return slot;
+  }
+  const SlotId slot = static_cast<SlotId>(sizes_.size());
+  sizes_.push_back(0);
+  counts_.push_back(0);
+  return slot;
+}
+
 uint64_t LfuCache::CountOf(ObjectId id) const {
-  auto it = counts_.find(id);
-  CASCACHE_CHECK_MSG(it != counts_.end(), "object not cached");
-  return it->second;
+  const SlotId slot = index_.Get(id);
+  CASCACHE_CHECK_MSG(slot != kNoSlot, "object not cached");
+  return counts_[slot];
 }
 
 bool LfuCache::Touch(ObjectId id) {
-  auto it = counts_.find(id);
-  if (it == counts_.end()) return false;
-  ++it->second;
-  heap_.Update(id, static_cast<double>(it->second));
+  const SlotId slot = index_.Get(id);
+  if (slot == kNoSlot) return false;
+  ++counts_[slot];
+  heap_.Update(id, static_cast<double>(counts_[slot]));
   return true;
 }
 
-std::vector<ObjectId> LfuCache::Insert(ObjectId id, uint64_t size,
-                                       bool* inserted) {
+const std::vector<ObjectId>& LfuCache::Insert(ObjectId id, uint64_t size,
+                                              bool* inserted) {
   if (inserted != nullptr) *inserted = false;
-  std::vector<ObjectId> evicted;
-  if (Touch(id)) return evicted;
+  evicted_scratch_.clear();
+  if (Touch(id)) return evicted_scratch_;
   CASCACHE_CHECK(size > 0);
-  if (size > capacity_) return evicted;
+  if (size > capacity_) return evicted_scratch_;
 
   while (used_ + size > capacity_) {
     CASCACHE_CHECK(!heap_.empty());
     const ObjectId victim = heap_.Pop().first;
-    used_ -= sizes_.at(victim);
-    sizes_.erase(victim);
-    counts_.erase(victim);
-    evicted.push_back(victim);
+    const SlotId victim_slot = index_.Get(victim);
+    CASCACHE_DCHECK(victim_slot != kNoSlot);
+    used_ -= sizes_[victim_slot];
+    index_.Erase(victim);
+    free_.push_back(victim_slot);
+    --count_;
+    evicted_scratch_.push_back(victim);
   }
-  sizes_[id] = size;
-  counts_[id] = 1;
+  const SlotId slot = AllocSlot();
+  sizes_[slot] = size;
+  counts_[slot] = 1;
+  index_.Set(id, slot);
   heap_.Push(id, 1.0);
   used_ += size;
+  ++count_;
   if (inserted != nullptr) *inserted = true;
-  return evicted;
+  return evicted_scratch_;
 }
 
 bool LfuCache::Erase(ObjectId id) {
-  auto it = sizes_.find(id);
-  if (it == sizes_.end()) return false;
-  used_ -= it->second;
-  sizes_.erase(it);
-  counts_.erase(id);
+  const SlotId slot = index_.Get(id);
+  if (slot == kNoSlot) return false;
+  used_ -= sizes_[slot];
+  index_.Erase(id);
+  free_.push_back(slot);
+  --count_;
   CASCACHE_CHECK(heap_.Erase(id));
   return true;
 }
 
 void LfuCache::Clear() {
-  sizes_.clear();
-  counts_.clear();
+  // Return every slot to the free list instead of shrinking the arrays
+  // (see FlatLru::Clear): a cleared store re-fills its old slots without
+  // regrowing.
+  free_.clear();
+  free_.reserve(sizes_.size());
+  for (SlotId slot = static_cast<SlotId>(sizes_.size()); slot-- > 0;) {
+    free_.push_back(slot);
+  }
+  index_.Clear();
   heap_.Clear();
   used_ = 0;
+  count_ = 0;
 }
 
 }  // namespace cascache::cache

@@ -2,9 +2,9 @@
 #define CASCACHE_CACHE_LFU_CACHE_H_
 
 #include <cstdint>
-#include <unordered_map>
 #include <vector>
 
+#include "cache/flat_store.h"
 #include "trace/object_catalog.h"
 #include "util/indexed_heap.h"
 
@@ -17,37 +17,55 @@ using trace::ObjectId;
 /// broken arbitrarily). Counts reset when an object re-enters after
 /// eviction — the classic in-cache LFU the early web-caching studies
 /// (Williams et al., cited as [19]) evaluated against LRU.
+///
+/// Sizes and counts live in struct-of-arrays slots behind a direct-index
+/// id→slot table; the eviction heap uses the dense ObjectId position map.
 class LfuCache {
  public:
   explicit LfuCache(uint64_t capacity_bytes);
 
-  bool Contains(ObjectId id) const { return sizes_.count(id) > 0; }
+  bool Contains(ObjectId id) const { return index_.Contains(id); }
+
+  /// Advisory cache-line prefetch of the Contains probe for `id` (see
+  /// SlotIndex::Prefetch); used by the replay loop one request ahead.
+  void PrefetchProbe(ObjectId id) const { index_.Prefetch(id); }
 
   /// Increments the hit counter; returns presence.
   bool Touch(ObjectId id);
 
   /// Inserts with an initial count of 1, evicting LFU objects as needed.
   /// A present object is only touched. Oversized objects are rejected.
-  std::vector<ObjectId> Insert(ObjectId id, uint64_t size,
-                               bool* inserted = nullptr);
+  /// The returned evicted ids are a reused internal scratch, valid until
+  /// the next Insert.
+  const std::vector<ObjectId>& Insert(ObjectId id, uint64_t size,
+                                      bool* inserted = nullptr);
 
   bool Erase(ObjectId id);
   void Clear();
 
   uint64_t capacity_bytes() const { return capacity_; }
   uint64_t used_bytes() const { return used_; }
-  size_t num_objects() const { return sizes_.size(); }
+  size_t num_objects() const { return count_; }
 
   /// Current hit count of a resident object; must be present.
   uint64_t CountOf(ObjectId id) const;
 
  private:
+  SlotId AllocSlot();
+
   uint64_t capacity_;
   uint64_t used_ = 0;
-  std::unordered_map<ObjectId, uint64_t> sizes_;
-  std::unordered_map<ObjectId, uint64_t> counts_;
+  size_t count_ = 0;
+
+  // Struct-of-arrays entry slots + direct id→slot index.
+  std::vector<uint64_t> sizes_;
+  std::vector<uint64_t> counts_;
+  std::vector<SlotId> free_;
+  SlotIndex index_;
+  std::vector<ObjectId> evicted_scratch_;
+
   /// Min-heap on count: top is the LFU victim.
-  util::IndexedMinHeap<ObjectId> heap_;
+  util::DenseIndexedMinHeap<ObjectId> heap_;
 };
 
 }  // namespace cascache::cache

@@ -6,10 +6,23 @@ namespace cascache::cache {
 
 NclCache::NclCache(uint64_t capacity_bytes) : capacity_(capacity_bytes) {}
 
+SlotId NclCache::AllocSlot() {
+  if (!free_.empty()) {
+    const SlotId slot = free_.back();
+    free_.pop_back();
+    return slot;
+  }
+  const SlotId slot = static_cast<SlotId>(sizes_.size());
+  sizes_.push_back(0);
+  losses_.push_back(0.0);
+  ncls_.push_back(0.0);
+  return slot;
+}
+
 double NclCache::LossOf(ObjectId id) const {
-  auto it = entries_.find(id);
-  CASCACHE_CHECK_MSG(it != entries_.end(), "object not cached");
-  return it->second.loss;
+  const SlotId slot = index_.Get(id);
+  CASCACHE_CHECK_MSG(slot != kNoSlot, "object not cached");
+  return losses_[slot];
 }
 
 NclCache::EvictionPlan NclCache::PlanEviction(uint64_t need_bytes) const {
@@ -28,10 +41,11 @@ void NclCache::PlanEvictionInto(uint64_t need_bytes,
   }
   uint64_t to_free = need_bytes - free;
   for (const auto& [ncl, id] : order_) {
-    const Entry& e = entries_.at(id);
+    const SlotId slot = index_.Get(id);
+    CASCACHE_DCHECK(slot != kNoSlot);
     plan->victims.push_back(id);
-    plan->cost_loss += e.loss;
-    plan->freed_bytes += e.size;
+    plan->cost_loss += losses_[slot];
+    plan->freed_bytes += sizes_[slot];
     if (plan->freed_bytes >= to_free) {
       plan->feasible = true;
       return;
@@ -41,55 +55,69 @@ void NclCache::PlanEvictionInto(uint64_t need_bytes,
   plan->feasible = false;
 }
 
-std::vector<ObjectId> NclCache::Insert(ObjectId id, uint64_t size,
-                                       double loss, bool* inserted) {
+const std::vector<ObjectId>& NclCache::Insert(ObjectId id, uint64_t size,
+                                              double loss, bool* inserted) {
   if (inserted != nullptr) *inserted = false;
-  std::vector<ObjectId> evicted;
+  evicted_scratch_.clear();
   CASCACHE_CHECK(size > 0);
   if (Contains(id)) {
     UpdateLoss(id, loss);
-    return evicted;
+    return evicted_scratch_;
   }
-  if (size > capacity_) return evicted;
+  if (size > capacity_) return evicted_scratch_;
 
   PlanEvictionInto(size, &insert_plan_);
   CASCACHE_CHECK(insert_plan_.feasible);
   for (ObjectId victim : insert_plan_.victims) {
     CASCACHE_CHECK(Erase(victim));
-    evicted.push_back(victim);
+    evicted_scratch_.push_back(victim);
   }
-  Entry entry{size, loss, loss / static_cast<double>(size)};
-  order_.emplace(entry.ncl, id);
-  entries_.emplace(id, entry);
+  const SlotId slot = AllocSlot();
+  sizes_[slot] = size;
+  losses_[slot] = loss;
+  ncls_[slot] = loss / static_cast<double>(size);
+  order_.emplace(ncls_[slot], id);
+  index_.Set(id, slot);
   used_ += size;
+  ++count_;
   if (inserted != nullptr) *inserted = true;
-  return evicted;
+  return evicted_scratch_;
 }
 
 bool NclCache::UpdateLoss(ObjectId id, double loss) {
-  auto it = entries_.find(id);
-  if (it == entries_.end()) return false;
-  Entry& e = it->second;
-  order_.erase({e.ncl, id});
-  e.loss = loss;
-  e.ncl = loss / static_cast<double>(e.size);
-  order_.emplace(e.ncl, id);
+  const SlotId slot = index_.Get(id);
+  if (slot == kNoSlot) return false;
+  order_.erase({ncls_[slot], id});
+  losses_[slot] = loss;
+  ncls_[slot] = loss / static_cast<double>(sizes_[slot]);
+  order_.emplace(ncls_[slot], id);
   return true;
 }
 
 bool NclCache::Erase(ObjectId id) {
-  auto it = entries_.find(id);
-  if (it == entries_.end()) return false;
-  order_.erase({it->second.ncl, id});
-  used_ -= it->second.size;
-  entries_.erase(it);
+  const SlotId slot = index_.Get(id);
+  if (slot == kNoSlot) return false;
+  order_.erase({ncls_[slot], id});
+  used_ -= sizes_[slot];
+  index_.Erase(id);
+  free_.push_back(slot);
+  --count_;
   return true;
 }
 
 void NclCache::Clear() {
-  entries_.clear();
+  // Return every slot to the free list instead of shrinking the arrays
+  // (see FlatLru::Clear): a cleared store re-fills its old slots without
+  // regrowing.
+  free_.clear();
+  free_.reserve(sizes_.size());
+  for (SlotId slot = static_cast<SlotId>(sizes_.size()); slot-- > 0;) {
+    free_.push_back(slot);
+  }
+  index_.Clear();
   order_.clear();
   used_ = 0;
+  count_ = 0;
 }
 
 std::vector<ObjectId> NclCache::IdsByNcl() const {

@@ -3,9 +3,10 @@
 
 #include <cstdint>
 #include <set>
-#include <unordered_map>
+#include <utility>
 #include <vector>
 
+#include "cache/flat_store.h"
 #include "trace/object_catalog.h"
 
 namespace cascache::cache {
@@ -18,6 +19,13 @@ using trace::ObjectId;
 /// loss (NCL) is f(O)·m(O)/s(O) (paper §2.1). Victims are selected
 /// greedily in ascending NCL order until enough space is freed — the
 /// paper's knapsack heuristic.
+///
+/// Entry storage is flat: size/loss/NCL live in struct-of-arrays slots
+/// behind a direct-index id→slot table, so the greedy plan scan and the
+/// per-access loss refresh touch contiguous arrays instead of hash nodes.
+/// The ascending (NCL, id) order remains a std::set — the greedy scan
+/// needs non-destructive in-order traversal, and keeping the exact same
+/// comparator preserves bit-identical victim order.
 class NclCache {
  public:
   /// Greedy eviction preview: which objects would be purged to free
@@ -39,7 +47,11 @@ class NclCache {
 
   explicit NclCache(uint64_t capacity_bytes);
 
-  bool Contains(ObjectId id) const { return entries_.count(id) > 0; }
+  bool Contains(ObjectId id) const { return index_.Contains(id); }
+
+  /// Advisory cache-line prefetch of the Contains probe for `id` (see
+  /// SlotIndex::Prefetch); used by the replay loop one request ahead.
+  void PrefetchProbe(ObjectId id) const { index_.Prefetch(id); }
 
   /// Cost loss (f·m) currently recorded for a cached object.
   double LossOf(ObjectId id) const;
@@ -56,10 +68,11 @@ class NclCache {
   void PlanEvictionInto(uint64_t need_bytes, EvictionPlan* plan) const;
 
   /// Inserts an object, applying the greedy eviction as needed. Returns
-  /// the evicted ids; `inserted` reports whether the object was stored
-  /// (false if it exceeds total capacity or is already present).
-  std::vector<ObjectId> Insert(ObjectId id, uint64_t size, double loss,
-                               bool* inserted = nullptr);
+  /// the evicted ids (a reused internal scratch, valid until the next
+  /// Insert); `inserted` reports whether the object was stored (false if
+  /// it exceeds total capacity or is already present).
+  const std::vector<ObjectId>& Insert(ObjectId id, uint64_t size, double loss,
+                                      bool* inserted = nullptr);
 
   /// Updates the cost loss (and hence NCL priority) of a cached object.
   /// No-op if absent; returns presence.
@@ -71,24 +84,32 @@ class NclCache {
   uint64_t capacity_bytes() const { return capacity_; }
   uint64_t used_bytes() const { return used_; }
   uint64_t free_bytes() const { return capacity_ - used_; }
-  size_t num_objects() const { return entries_.size(); }
+  size_t num_objects() const { return count_; }
+
+  /// High-water slot count (test/debug helper).
+  size_t slot_span() const { return sizes_.size(); }
 
   /// Ids of all cached objects in ascending NCL order (test/debug helper).
   std::vector<ObjectId> IdsByNcl() const;
 
  private:
-  struct Entry {
-    uint64_t size;
-    double loss;  ///< f·m
-    double ncl;   ///< loss / size
-  };
+  SlotId AllocSlot();
 
   uint64_t capacity_;
   uint64_t used_ = 0;
+  size_t count_ = 0;
   /// Reused by Insert() so steady-state insertions do not allocate a
   /// fresh victims vector per call.
   EvictionPlan insert_plan_;
-  std::unordered_map<ObjectId, Entry> entries_;
+  std::vector<ObjectId> evicted_scratch_;
+
+  // Struct-of-arrays entry slots + direct id→slot index.
+  std::vector<uint64_t> sizes_;
+  std::vector<double> losses_;  ///< f·m
+  std::vector<double> ncls_;    ///< loss / size
+  std::vector<SlotId> free_;
+  SlotIndex index_;
+
   /// Ascending (NCL, id) order; supports the greedy in-order scan that the
   /// heap alternative cannot provide without destructive pops.
   std::set<std::pair<double, ObjectId>> order_;

@@ -44,6 +44,12 @@ struct PathInfo {
   /// windows); they are clamped upward from the client side so each
   /// upstream candidate reports at least its downstream successor's rate.
   PlacementInput ToPlacementInput(std::vector<int>* origin) const;
+
+  /// Allocation-free variant for the request hot path: clears and refills
+  /// caller-owned buffers instead of returning a fresh PlacementInput.
+  /// Identical contents to ToPlacementInput.
+  void FillPlacementInput(PlacementInput* input, std::vector<int>* origin)
+      const;
 };
 
 }  // namespace cascache::core

@@ -24,16 +24,28 @@ util::Status ValidatePlacementInput(const PlacementInput& input) {
 }
 
 PlacementResult SolvePlacementDP(const PlacementInput& input) {
-  const int n = static_cast<int>(input.n());
+  PlacementScratch scratch;
   PlacementResult result;
-  if (n == 0) return result;
+  SolvePlacementDPInto(input, &scratch, &result);
+  return result;
+}
+
+void SolvePlacementDPInto(const PlacementInput& input,
+                          PlacementScratch* scratch,
+                          PlacementResult* result) {
+  const int n = static_cast<int>(input.n());
+  result->gain = 0.0;
+  result->selected.clear();
+  if (n == 0) return;
 
   // opt[k] = OPT_k, the best Δcost restricted to indices {1..k} with the
   // boundary frequency f_{k+1}; last[k] = L_k, the largest index in that
   // optimum (-1 if empty). Indices here are 1-based as in the paper;
   // array slot i-1 holds the parameters of A_i.
-  std::vector<double> opt(static_cast<size_t>(n) + 1, 0.0);
-  std::vector<int> last(static_cast<size_t>(n) + 1, -1);
+  std::vector<double>& opt = scratch->opt;
+  std::vector<int>& last = scratch->last;
+  opt.assign(static_cast<size_t>(n) + 1, 0.0);
+  last.assign(static_cast<size_t>(n) + 1, -1);
 
   for (int k = 1; k <= n; ++k) {
     const double f_k1 = (k < n) ? input.f[static_cast<size_t>(k)] : 0.0;
@@ -54,15 +66,14 @@ PlacementResult SolvePlacementDP(const PlacementInput& input) {
     last[static_cast<size_t>(k)] = best_i;
   }
 
-  result.gain = opt[static_cast<size_t>(n)];
+  result->gain = opt[static_cast<size_t>(n)];
   // Backtrack: v_r = L_n, then v_{j-1} = L_{v_j - 1}.
   int v = last[static_cast<size_t>(n)];
   while (v > 0) {
-    result.selected.push_back(v - 1);  // Store 0-based.
+    result->selected.push_back(v - 1);  // Store 0-based.
     v = last[static_cast<size_t>(v - 1)];
   }
-  std::reverse(result.selected.begin(), result.selected.end());
-  return result;
+  std::reverse(result->selected.begin(), result->selected.end());
 }
 
 double EvaluatePlacement(const PlacementInput& input,

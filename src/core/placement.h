@@ -40,12 +40,25 @@ struct PlacementResult {
 /// non-increasing non-negative f.
 util::Status ValidatePlacementInput(const PlacementInput& input);
 
+/// Reusable DP working set for SolvePlacementDPInto: the opt/last tables
+/// grow to the largest path seen and are then reused allocation-free.
+struct PlacementScratch {
+  std::vector<double> opt;
+  std::vector<int> last;
+};
+
 /// Solves the n-optimization problem exactly with the paper's dynamic
 /// program (Theorem 1 recurrences) in O(n^2) time and O(n) space. The
 /// input is not validated (hot path); call ValidatePlacementInput at API
 /// boundaries. Correct for arbitrary (not necessarily monotone) f, since
 /// Theorem 1's cut-and-paste argument does not use monotonicity.
 PlacementResult SolvePlacementDP(const PlacementInput& input);
+
+/// Allocation-free variant for the request hot path: identical results,
+/// with the DP tables and the selection buffer reused across calls.
+/// `result->selected` is cleared and refilled; `result->gain` rewritten.
+void SolvePlacementDPInto(const PlacementInput& input,
+                          PlacementScratch* scratch, PlacementResult* result);
 
 /// Exhaustive O(2^n) reference solver for testing; requires n <= 24.
 /// Ties are broken toward the lexicographically smallest selection so

@@ -70,8 +70,8 @@ void CoordinatedScheme::OnServe(sim::MessageContext& ctx) {
   // origin-served request, every cache on the path including the attach
   // node is a candidate.
   const int highest_candidate = static_cast<int>(ascent_.size()) - 1;
-  core::PathInfo info;
-  std::vector<int> path_index_of;  // Parallel to info.nodes.
+  info_.nodes.clear();
+  path_index_of_.clear();
   // Cumulative cost from the serving node down to the current node: the
   // miss penalty m_i. Starts with the virtual server link when the origin
   // serves the request.
@@ -89,34 +89,33 @@ void CoordinatedScheme::OnServe(sim::MessageContext& ctx) {
     node_info.frequency = rec.frequency;
     node_info.feasible = rec.feasible;
     node_info.cost_loss = rec.cost_loss;
-    info.nodes.push_back(node_info);
-    path_index_of.push_back(i);
+    info_.nodes.push_back(node_info);
+    path_index_of_.push_back(i);
   }
 
   // --- Decision at the serving node: the dynamic program. ---------------
-  std::vector<int> origin;
-  const core::PlacementInput input = info.ToPlacementInput(&origin);
+  info_.FillPlacementInput(&input_, &origin_);
   selected_path_indices_.clear();
   // The response carries an 8-byte penalty counter plus a decision bitmap
   // (1 byte per traversed node); the ascent already accounted the
   // per-hop triples/tags.
-  ctx.response.payload_bytes += 8 + info.nodes.size() / 8 + 1;
+  ctx.response.payload_bytes += 8 + info_.nodes.size() / 8 + 1;
   stats_.piggyback_bytes +=
       ctx.request.payload_bytes + ctx.response.payload_bytes;
   {
     const size_t k =
-        std::min<size_t>(input.f.size(), Stats::kMaxTrackedCandidates - 1);
+        std::min<size_t>(input_.f.size(), Stats::kMaxTrackedCandidates - 1);
     ++stats_.k_histogram[k];
   }
-  if (!input.f.empty()) {
+  if (!input_.f.empty()) {
     ++stats_.dp_runs;
-    stats_.candidates += input.f.size();
-    const core::PlacementResult result = core::SolvePlacementDP(input);
-    stats_.total_gain += result.gain;
-    stats_.placements += result.selected.size();
-    for (int sel : result.selected) {
-      selected_path_indices_.insert(
-          path_index_of[static_cast<size_t>(origin[static_cast<size_t>(sel)])]);
+    stats_.candidates += input_.f.size();
+    core::SolvePlacementDPInto(input_, &dp_scratch_, &dp_result_);
+    stats_.total_gain += dp_result_.gain;
+    stats_.placements += dp_result_.selected.size();
+    for (int sel : dp_result_.selected) {
+      selected_path_indices_.push_back(path_index_of_[static_cast<size_t>(
+          origin_[static_cast<size_t>(sel)])]);
     }
   }
 
@@ -140,7 +139,8 @@ void CoordinatedScheme::OnDescend(sim::MessageContext& ctx, int hop) {
   // d-cache admission is idempotent).
   if (ctx.response.decision_lost) return;
   sim::CacheNode* node = ctx.node(hop);
-  if (selected_path_indices_.count(hop) > 0) {
+  if (std::find(selected_path_indices_.begin(), selected_path_indices_.end(),
+                hop) != selected_path_indices_.end()) {
     if (node->InsertCost(ctx.object, ctx.size, ctx.response.penalty,
                          ctx.now, &evicted_scratch_)) {
       ctx.RecordPlacement(hop, evicted_scratch_);

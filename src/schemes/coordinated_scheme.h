@@ -1,11 +1,11 @@
 #ifndef CASCACHE_SCHEMES_COORDINATED_SCHEME_H_
 #define CASCACHE_SCHEMES_COORDINATED_SCHEME_H_
 
-#include <unordered_set>
 #include <vector>
 
 #include "cache/ncl_cache.h"
 #include "core/path_info.h"
+#include "core/placement.h"
 #include "schemes/scheme.h"
 
 namespace cascache::schemes {
@@ -99,13 +99,22 @@ class CoordinatedScheme : public CachingScheme {
   std::vector<HopRecord> ascent_;
   /// Placement decision of the in-flight request (path indices selected
   /// by the DP), carried by the response message. Written by OnServe,
-  /// read by OnDescend.
-  std::unordered_set<int> selected_path_indices_;
+  /// scanned linearly by OnDescend — the DP selects at most a handful of
+  /// hops, so a flat vector beats any hashed set.
+  std::vector<int> selected_path_indices_;
   /// Reused across PlanEvictionInto calls (one per candidate per request)
   /// so the ascent never allocates a fresh victims vector.
   cache::NclCache::EvictionPlan scratch_plan_;
   /// Reused victim buffer for the descent's insertions.
   std::vector<ObjectId> evicted_scratch_;
+  /// Per-request decision scratch, reused across requests so OnServe's
+  /// path reconstruction + DP run allocate nothing in the steady state.
+  core::PathInfo info_;
+  std::vector<int> path_index_of_;  ///< Parallel to info_.nodes.
+  std::vector<int> origin_;
+  core::PlacementInput input_;
+  core::PlacementScratch dp_scratch_;
+  core::PlacementResult dp_result_;
 };
 
 }  // namespace cascache::schemes

@@ -14,7 +14,7 @@ void GdsScheme::OnDescend(sim::MessageContext& ctx, int hop) {
   // Lost decision (fault plane): skip the placement at this hop.
   if (ctx.response.decision_lost) return;
   bool inserted = false;
-  const std::vector<sim::ObjectId> evicted = ctx.node(hop)->gds()->Insert(
+  const std::vector<sim::ObjectId>& evicted = ctx.node(hop)->gds()->Insert(
       ctx.object, ctx.size, ctx.upstream_link_cost(hop), &inserted);
   if (inserted) {
     ctx.RecordPlacement(hop, evicted);
@@ -33,7 +33,7 @@ void LfuScheme::OnDescend(sim::MessageContext& ctx, int hop) {
   // Lost decision (fault plane): skip the placement at this hop.
   if (ctx.response.decision_lost) return;
   bool inserted = false;
-  const std::vector<sim::ObjectId> evicted =
+  const std::vector<sim::ObjectId>& evicted =
       ctx.node(hop)->lfu()->Insert(ctx.object, ctx.size, &inserted);
   if (inserted) {
     ctx.RecordPlacement(hop, evicted);

@@ -30,6 +30,7 @@ class LfuScheme : public CachingScheme {
  public:
   std::string name() const override { return "LFU"; }
   CacheMode cache_mode() const override { return CacheMode::kLfu; }
+  bool uses_link_costs() const override { return false; }
   bool uses_dcache() const override { return false; }
 
   void OnServe(sim::MessageContext& ctx) override;

@@ -15,7 +15,7 @@ void LruScheme::OnDescend(sim::MessageContext& ctx, int hop) {
   // skips the placement; the object passes this hop uncached.
   if (ctx.response.decision_lost) return;
   bool inserted = false;
-  const std::vector<sim::ObjectId> evicted =
+  const std::vector<sim::ObjectId>& evicted =
       ctx.node(hop)->lru()->Insert(ctx.object, ctx.size, &inserted);
   if (inserted) {
     ctx.RecordPlacement(hop, evicted);

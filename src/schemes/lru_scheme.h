@@ -13,7 +13,9 @@ class LruScheme : public CachingScheme {
  public:
   std::string name() const override { return "LRU"; }
   CacheMode cache_mode() const override { return CacheMode::kLru; }
+  bool uses_link_costs() const override { return false; }
   bool uses_dcache() const override { return false; }
+  bool plain_lru_replay() const override { return true; }
 
   void OnServe(sim::MessageContext& ctx) override;
   void OnDescend(sim::MessageContext& ctx, int hop) override;

@@ -34,7 +34,7 @@ void ModuloScheme::OnDescend(sim::MessageContext& ctx, int hop) {
   // Lost decision (fault plane): the selected hop misses its placement.
   if (ctx.response.decision_lost) return;
   bool inserted = false;
-  const std::vector<sim::ObjectId> evicted =
+  const std::vector<sim::ObjectId>& evicted =
       ctx.node(hop)->lru()->Insert(ctx.object, ctx.size, &inserted);
   if (inserted) {
     ctx.RecordPlacement(hop, evicted);

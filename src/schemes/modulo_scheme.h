@@ -18,6 +18,7 @@ class ModuloScheme : public CachingScheme {
 
   std::string name() const override;
   CacheMode cache_mode() const override { return CacheMode::kLru; }
+  bool uses_link_costs() const override { return false; }
   bool uses_dcache() const override { return false; }
   int radius() const { return radius_; }
 

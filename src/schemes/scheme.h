@@ -64,6 +64,23 @@ class CachingScheme {
   /// path. Schemes overriding OnAscend must override this to true.
   virtual bool observes_ascent() const { return false; }
 
+  /// Whether the scheme reads ctx.link_costs / upstream_link_cost /
+  /// server_link_cost. The simulator skips the per-request cost-model
+  /// evaluation entirely when this returns false (the cost-oblivious
+  /// schemes — LRU, MODULO, LFU, STATIC — never look at the costs, so
+  /// the replay output is unchanged). Schemes reading any cost field
+  /// must keep the default.
+  virtual bool uses_link_costs() const { return true; }
+
+  /// True only when the scheme's serve/descend behavior is exactly the
+  /// plain-LRU rule: touch the serving cache's LRU store on a hit, insert
+  /// the object into every node below the serving point, and nothing
+  /// else. The simulator then replaces the per-hop OnServe/OnDescend
+  /// virtual dispatch with an inlined equivalent on the unfaulted replay
+  /// path (results are bit-identical; the handlers must still implement
+  /// the rule — the fault plane and direct drivers keep calling them).
+  virtual bool plain_lru_replay() const { return false; }
+
   /// Request ascent: the message passes through the non-serving cache at
   /// path index `hop` (== ctx.request.hop). Only called when
   /// observes_ascent() is true. Default: no piggyback.

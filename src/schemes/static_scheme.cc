@@ -63,7 +63,7 @@ void StaticScheme::Freeze(sim::MessageContext& ctx) {
                 if (da != db) return da > db;
                 return a.first < b.first;  // Deterministic tie-break.
               });
-    cache::LruCache* cache = caches->node(v)->lru();
+    cache::FlatLru* cache = caches->node(v)->lru();
     for (const auto& [object, d] : ranked) {
       if (d.size > cache->capacity_bytes() - cache->used_bytes()) continue;
       bool inserted = false;

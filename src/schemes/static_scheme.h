@@ -33,6 +33,7 @@ class StaticScheme : public CachingScheme {
 
   std::string name() const override { return "STATIC"; }
   CacheMode cache_mode() const override { return CacheMode::kLru; }
+  bool uses_link_costs() const override { return false; }
   bool uses_dcache() const override { return false; }
   bool observes_ascent() const override { return true; }
 

@@ -34,6 +34,11 @@ class CacheSet {
 
   int num_nodes() const { return static_cast<int>(nodes_.size()); }
 
+  /// Raw node array for the replay hot loops (no per-access bounds
+  /// check): node ids taken from a resolved routing path are valid by
+  /// construction. Everything else should go through node().
+  CacheNode* nodes_data() { return nodes_.data(); }
+
   /// Re-initializes every cache with the given configuration (start of a
   /// simulation run).
   void Configure(const CacheNodeConfig& config);

@@ -40,13 +40,31 @@ util::StatusOr<std::unique_ptr<ExperimentRunner>> ExperimentRunner::Create(
 }
 
 int ResolveJobs(int requested) {
-  if (requested >= 1) return requested;
-  if (const char* env = std::getenv("CASCACHE_JOBS"); env != nullptr) {
-    const int jobs = std::atoi(env);
-    if (jobs >= 1) return jobs;
+  const unsigned hw_raw = std::thread::hardware_concurrency();
+  const int hw = hw_raw > 0 ? static_cast<int>(hw_raw) : 1;
+  int jobs = 0;
+  const char* source = nullptr;
+  if (requested >= 1) {
+    jobs = requested;
+    source = "jobs";
+  } else if (const char* env = std::getenv("CASCACHE_JOBS"); env != nullptr) {
+    const int env_jobs = std::atoi(env);
+    if (env_jobs >= 1) {
+      jobs = env_jobs;
+      source = "CASCACHE_JOBS";
+    }
   }
-  const unsigned hw = std::thread::hardware_concurrency();
-  return hw > 0 ? static_cast<int>(hw) : 1;
+  if (jobs == 0) return hw;  // Default: one worker per hardware thread.
+  // Oversubscribing replay workers only adds scheduler churn (each cell is
+  // CPU-bound); clamp forced values to the hardware and say so.
+  if (jobs > hw) {
+    std::fprintf(stderr,
+                 "cascache: %s=%d exceeds hardware_concurrency=%d; "
+                 "clamping to %d\n",
+                 source, jobs, hw, hw);
+    return hw;
+  }
+  return jobs;
 }
 
 util::StatusOr<RunResult> ExperimentRunner::RunOne(

@@ -34,7 +34,10 @@ struct ExperimentConfig {
 
 /// Number of workers RunAll would use for `requested` (the ExperimentConfig
 /// jobs field): `requested` itself if >= 1, else CASCACHE_JOBS, else
-/// hardware_concurrency. Exposed so benches can report the value.
+/// hardware_concurrency. Forced values above hardware_concurrency are
+/// clamped to it (replay workers are CPU-bound; oversubscription only
+/// churns the scheduler) with a stderr notice. Exposed so benches can
+/// report the value.
 int ResolveJobs(int requested);
 
 /// Per-node slice of one cell's replay (observability layer): the

@@ -123,9 +123,11 @@ struct MessageContext {
                            : response.hit_index - 1;
   }
 
-  /// Cache node at path index `i` of this exchange's cache plane.
+  /// Cache node at path index `i` of this exchange's cache plane. Raw
+  /// array access: path nodes come from a resolved route, so the id is in
+  /// range by construction (this is the scheme handlers' per-hop lookup).
   CacheNode* node(int i) const {
-    return caches->node((*path)[static_cast<size_t>(i)]);
+    return &caches->nodes_data()[(*path)[static_cast<size_t>(i)]];
   }
 
   /// Cost of the link immediately upstream of path index `i` (the local

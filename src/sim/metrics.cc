@@ -4,38 +4,6 @@
 
 namespace cascache::sim {
 
-namespace {
-constexpr double kBytesPerMb = 1024.0 * 1024.0;
-}  // namespace
-
-void MetricsCollector::Record(const RequestMetrics& metrics) {
-  ++requests_;
-  latency_.Add(metrics.latency);
-  response_ratio_.Add(metrics.latency /
-                      (static_cast<double>(metrics.size_bytes) / kBytesPerMb));
-  hops_.Add(static_cast<double>(metrics.hops));
-  traffic_.Add(static_cast<double>(metrics.size_bytes) *
-               static_cast<double>(metrics.hops));
-  total_bytes_ += metrics.size_bytes;
-  if (metrics.cache_hit) {
-    ++hits_;
-    hit_bytes_ += metrics.size_bytes;
-  }
-  read_bytes_ += metrics.read_bytes;
-  write_bytes_ += metrics.write_bytes;
-  if (metrics.stale_hit) ++stale_hits_;
-  copies_expired_ += static_cast<uint64_t>(metrics.copies_expired);
-  copies_invalidated_ += static_cast<uint64_t>(metrics.copies_invalidated);
-  request_msg_bytes_ += metrics.request_msg_bytes;
-  response_msg_bytes_ += metrics.response_msg_bytes;
-  insertions_ += static_cast<uint64_t>(metrics.insertions);
-  retries_ += static_cast<uint64_t>(metrics.retries);
-  if (metrics.failed) ++failed_requests_;
-  if (metrics.rerouted) ++reroutes_;
-  crashes_applied_ += static_cast<uint64_t>(metrics.crashes_applied);
-  degraded_decisions_ += static_cast<uint64_t>(metrics.degraded);
-}
-
 void MetricsCollector::Reset() { *this = MetricsCollector(); }
 
 NodeCounters& NodeCounters::operator+=(const NodeCounters& other) {

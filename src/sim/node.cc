@@ -4,24 +4,52 @@
 
 namespace cascache::sim {
 
+namespace {
+
+/// Reset() clears a store in place only when the replacement machinery it
+/// configures is unchanged; capacity or d-cache shape changes rebuild.
+bool SameStoreShape(const CacheNodeConfig& a, const CacheNodeConfig& b) {
+  return a.mode == b.mode && a.capacity_bytes == b.capacity_bytes &&
+         a.dcache_entries == b.dcache_entries &&
+         a.dcache_policy == b.dcache_policy;
+}
+
+}  // namespace
+
 CacheNode::CacheNode(topology::NodeId id, const CacheNodeConfig& config)
     : id_(id), estimator_(config.frequency) {
   Reset(config);
 }
 
 void CacheNode::Reset(const CacheNodeConfig& config) {
+  const bool reuse = SameStoreShape(config_, config);
   config_ = config;
   estimator_ = cache::FrequencyEstimator(config.frequency);
+  main_descriptors_.Clear();
+  copy_stamps_.Clear();
+  if (reuse) {
+    // Same store shape (the common case: crash cold-restarts re-apply the
+    // active config): recycle the pooled slots and index tables in place
+    // so the restarted cache re-fills warm memory.
+    if (lru_ != nullptr) lru_->Clear();
+    if (ncl_ != nullptr) ncl_->Clear();
+    if (gds_ != nullptr) gds_->Clear();
+    if (lfu_ != nullptr) lfu_->Clear();
+    if (dcache_ != nullptr) dcache_->Clear();
+    if (lru_ != nullptr || ncl_ != nullptr || gds_ != nullptr ||
+        lfu_ != nullptr) {
+      return;
+    }
+    // First Reset since construction: fall through and build the store.
+  }
   lru_.reset();
   ncl_.reset();
   gds_.reset();
   lfu_.reset();
   dcache_.reset();
-  main_descriptors_.clear();
-  copy_stamps_.clear();
   switch (config_.mode) {
     case CacheMode::kLru:
-      lru_ = std::make_unique<cache::LruCache>(config_.capacity_bytes);
+      lru_ = std::make_unique<cache::FlatLru>(config_.capacity_bytes);
       break;
     case CacheMode::kGds:
       gds_ = std::make_unique<cache::GdsCache>(config_.capacity_bytes);
@@ -39,13 +67,6 @@ void CacheNode::Reset(const CacheNodeConfig& config) {
   }
 }
 
-bool CacheNode::Contains(ObjectId id) const {
-  if (lru_ != nullptr) return lru_->Contains(id);
-  if (gds_ != nullptr) return gds_->Contains(id);
-  if (lfu_ != nullptr) return lfu_->Contains(id);
-  return ncl_->Contains(id);
-}
-
 uint64_t CacheNode::used_bytes() const {
   if (lru_ != nullptr) return lru_->used_bytes();
   if (gds_ != nullptr) return gds_->used_bytes();
@@ -61,68 +82,47 @@ size_t CacheNode::num_cached_objects() const {
 }
 
 bool CacheNode::EraseObject(ObjectId id) {
-  copy_stamps_.erase(id);
+  copy_stamps_.Erase(id);
   if (lru_ != nullptr) return lru_->Erase(id);
   if (gds_ != nullptr) return gds_->Erase(id);
   if (lfu_ != nullptr) return lfu_->Erase(id);
   if (!ncl_->Erase(id)) return false;
   // Demote the descriptor so the access history survives the drop.
-  auto it = main_descriptors_.find(id);
-  if (it != main_descriptors_.end()) {
-    if (dcache_ != nullptr) dcache_->Insert(id, it->second);
-    main_descriptors_.erase(it);
+  if (ObjectDescriptor* desc = main_descriptors_.Find(id); desc != nullptr) {
+    if (dcache_ != nullptr) dcache_->Insert(id, *desc);
+    main_descriptors_.Erase(id);
   }
   return true;
 }
 
 void CacheNode::StampCopy(ObjectId id, double fetch_time, uint32_t version) {
-  copy_stamps_[id] = CopyStamp{fetch_time, version};
+  copy_stamps_.InsertOrAssign(id) = CopyStamp{fetch_time, version};
 }
 
 const CacheNode::CopyStamp* CacheNode::FindCopy(ObjectId id) const {
-  auto it = copy_stamps_.find(id);
-  return it == copy_stamps_.end() ? nullptr : &it->second;
+  return copy_stamps_.Find(id);
 }
 
 bool CacheNode::CheckInvariants() const {
   if (used_bytes() > config_.capacity_bytes) return false;
   if (ncl_ == nullptr) {
-    return main_descriptors_.empty();
+    return main_descriptors_.size() == 0;
   }
   if (ncl_->num_objects() != main_descriptors_.size()) return false;
-  for (const auto& [id, desc] : main_descriptors_) {
-    if (!ncl_->Contains(id)) return false;
-    if (dcache_ != nullptr && dcache_->Contains(id)) return false;
-    if (desc.size == 0) return false;
-  }
-  return true;
+  bool ok = true;
+  main_descriptors_.ForEach(
+      [&](ObjectId id, const ObjectDescriptor& desc) {
+        if (!ncl_->Contains(id)) ok = false;
+        if (dcache_ != nullptr && dcache_->Contains(id)) ok = false;
+        if (desc.size == 0) ok = false;
+      });
+  return ok;
 }
-
-cache::LruCache* CacheNode::lru() {
-  CASCACHE_CHECK_MSG(lru_ != nullptr, "node is not in LRU mode");
-  return lru_.get();
-}
-
-cache::GdsCache* CacheNode::gds() {
-  CASCACHE_CHECK_MSG(gds_ != nullptr, "node is not in GDS mode");
-  return gds_.get();
-}
-
-cache::LfuCache* CacheNode::lfu() {
-  CASCACHE_CHECK_MSG(lfu_ != nullptr, "node is not in LFU mode");
-  return lfu_.get();
-}
-
-cache::NclCache* CacheNode::ncl() {
-  CASCACHE_CHECK_MSG(ncl_ != nullptr, "node is not in cost mode");
-  return ncl_.get();
-}
-
-cache::DCache* CacheNode::dcache() { return dcache_.get(); }
 
 ObjectDescriptor* CacheNode::FindDescriptor(ObjectId id) {
-  auto it = main_descriptors_.find(id);
-  if (it != main_descriptors_.end()) return &it->second;
+  if (ObjectDescriptor* desc = main_descriptors_.Find(id); desc != nullptr) {
+    return desc;
+  }
   if (dcache_ != nullptr) return dcache_->Find(id);
   return nullptr;
 }
@@ -199,31 +199,32 @@ bool CacheNode::InsertCost(ObjectId id, uint64_t size, double miss_penalty,
   const double loss = frequency * miss_penalty;
 
   bool inserted = false;
-  std::vector<ObjectId> evicted = ncl_->Insert(id, size, loss, &inserted);
+  const std::vector<ObjectId>& evicted = ncl_->Insert(id, size, loss,
+                                                      &inserted);
   CASCACHE_CHECK(inserted);
 
   // Demote evicted objects' descriptors to the d-cache (their history is
   // worth keeping; LFU admission may still reject cold ones).
   for (ObjectId victim : evicted) {
-    auto it = main_descriptors_.find(victim);
-    CASCACHE_CHECK(it != main_descriptors_.end());
+    ObjectDescriptor* victim_desc = main_descriptors_.Find(victim);
+    CASCACHE_CHECK(victim_desc != nullptr);
     if (dcache_ != nullptr) {
-      dcache_->Insert(victim, it->second);
+      dcache_->Insert(victim, *victim_desc);
     }
-    main_descriptors_.erase(it);
+    main_descriptors_.Erase(victim);
   }
-  main_descriptors_[id] = desc;
-  if (evicted_out != nullptr) *evicted_out = std::move(evicted);
+  main_descriptors_.Insert(id, desc);
+  if (evicted_out != nullptr) *evicted_out = evicted;
   return true;
 }
 
 void CacheNode::RefreshLoss(ObjectId id, double now) {
   CASCACHE_CHECK(ncl_ != nullptr);
-  auto it = main_descriptors_.find(id);
-  CASCACHE_CHECK_MSG(it != main_descriptors_.end(),
+  ObjectDescriptor* desc = main_descriptors_.Find(id);
+  CASCACHE_CHECK_MSG(desc != nullptr,
                      "RefreshLoss on object without main descriptor");
-  const double frequency = estimator_.Estimate(&it->second, now);
-  ncl_->UpdateLoss(id, frequency * it->second.miss_penalty);
+  const double frequency = estimator_.Estimate(desc, now);
+  ncl_->UpdateLoss(id, frequency * desc->miss_penalty);
 }
 
 }  // namespace cascache::sim

@@ -2,17 +2,19 @@
 #define CASCACHE_SIM_NODE_H_
 
 #include <memory>
-#include <unordered_map>
 #include <vector>
 
 #include "cache/dcache.h"
 #include "cache/descriptor.h"
+#include "cache/descriptor_table.h"
+#include "cache/flat_lru.h"
+#include "cache/flat_store.h"
 #include "cache/frequency.h"
 #include "cache/gds_cache.h"
 #include "cache/lfu_cache.h"
-#include "cache/lru_cache.h"
 #include "cache/ncl_cache.h"
 #include "topology/graph.h"
+#include "util/check.h"
 
 namespace cascache::sim {
 
@@ -40,6 +42,12 @@ struct CacheNodeConfig {
 /// descriptors of cached objects, and the d-cache holding descriptors of
 /// hot non-cached objects (paper §2.3-2.4). Schemes drive it through the
 /// mode-specific methods below; the simulator only queries Contains().
+///
+/// All stores are flat (struct-of-arrays slot pools + direct-index
+/// id→slot tables over the closed catalog); Reset() recycles pooled
+/// slots in place when the configuration is unchanged (crash cold
+/// restarts re-fill warm memory) and is required to leave no stale index
+/// entries behind.
 class CacheNode {
  public:
   CacheNode(topology::NodeId id, const CacheNodeConfig& config);
@@ -51,8 +59,36 @@ class CacheNode {
   uint64_t capacity_bytes() const { return config_.capacity_bytes; }
   const cache::FrequencyEstimator& estimator() const { return estimator_; }
 
-  /// Whether the object is stored in the main cache (any mode).
-  bool Contains(ObjectId id) const;
+  /// Whether the object is stored in the main cache (any mode). Inline:
+  /// this is the per-hop probe of the replay ascent, the hottest call in
+  /// the simulator.
+  bool Contains(ObjectId id) const {
+    if (lru_ != nullptr) return lru_->Contains(id);
+    if (gds_ != nullptr) return gds_->Contains(id);
+    if (lfu_ != nullptr) return lfu_->Contains(id);
+    return ncl_->Contains(id);
+  }
+
+  /// Advisory prefetch of the Contains() probe line for `id` (see
+  /// SlotIndex::Prefetch). The replay loop issues these for the next
+  /// request's path one request ahead; no state changes.
+  void PrefetchProbe(ObjectId id) const {
+    if (lru_ != nullptr) {
+      lru_->PrefetchProbe(id);
+    } else if (gds_ != nullptr) {
+      gds_->PrefetchProbe(id);
+    } else if (lfu_ != nullptr) {
+      lfu_->PrefetchProbe(id);
+    } else {
+      ncl_->PrefetchProbe(id);
+    }
+  }
+
+  /// Advisory prefetch of the LRU store's eviction-victim entries (see
+  /// FlatLru::PrefetchVictim); no-op outside LRU mode.
+  void PrefetchLruVictim() const {
+    if (lru_ != nullptr) lru_->PrefetchVictim();
+  }
 
   /// Removes an object from the main cache regardless of mode (coherency
   /// drops, test manipulation). In cost mode the descriptor is demoted to
@@ -82,21 +118,39 @@ class CacheNode {
   size_t num_cached_objects() const;
 
   /// Drops all cached objects and descriptors, applying a new config.
+  /// When the new config matches the current one the flat stores are
+  /// cleared in place (pooled slots recycled, index tables emptied);
+  /// otherwise they are rebuilt.
   void Reset(const CacheNodeConfig& config);
 
   // --- LRU mode -----------------------------------------------------------
 
-  cache::LruCache* lru();
+  // The mode accessors are inline: the scheme handlers call them for
+  // every placement/touch on the replay hot path.
+
+  cache::FlatLru* lru() {
+    CASCACHE_CHECK_MSG(lru_ != nullptr, "node is not in LRU mode");
+    return lru_.get();
+  }
 
   // --- GDS / LFU modes ------------------------------------------------------
 
-  cache::GdsCache* gds();
-  cache::LfuCache* lfu();
+  cache::GdsCache* gds() {
+    CASCACHE_CHECK_MSG(gds_ != nullptr, "node is not in GDS mode");
+    return gds_.get();
+  }
+  cache::LfuCache* lfu() {
+    CASCACHE_CHECK_MSG(lfu_ != nullptr, "node is not in LFU mode");
+    return lfu_.get();
+  }
 
   // --- Cost mode ----------------------------------------------------------
 
-  cache::NclCache* ncl();
-  cache::DCache* dcache();
+  cache::NclCache* ncl() {
+    CASCACHE_CHECK_MSG(ncl_ != nullptr, "node is not in cost mode");
+    return ncl_.get();
+  }
+  cache::DCache* dcache() { return dcache_.get(); }
 
   /// Descriptor of an object, whether cached (main table) or tracked in
   /// the d-cache; nullptr if unknown at this node.
@@ -105,7 +159,7 @@ class CacheNode {
   /// True if the object's descriptor lives in the main table (object is
   /// cached here).
   bool DescriptorInMain(ObjectId id) const {
-    return main_descriptors_.count(id) > 0;
+    return main_descriptors_.Contains(id);
   }
 
   /// Records an access on the object's descriptor if the node knows the
@@ -139,7 +193,7 @@ class CacheNode {
   /// created), the access history is preserved, evicted objects'
   /// descriptors are demoted to the d-cache. Returns whether the object
   /// was stored; `evicted_out`, when given, receives the victims the
-  /// insertion pushed out (empty on rejection).
+  /// insertion pushed out (empty on rejection), reusing its capacity.
   bool InsertCost(ObjectId id, uint64_t size, double miss_penalty,
                   double now, std::vector<ObjectId>* evicted_out = nullptr);
 
@@ -152,18 +206,19 @@ class CacheNode {
   CacheNodeConfig config_;
   cache::FrequencyEstimator estimator_;
 
-  std::unique_ptr<cache::LruCache> lru_;
+  std::unique_ptr<cache::FlatLru> lru_;
   std::unique_ptr<cache::NclCache> ncl_;
   std::unique_ptr<cache::GdsCache> gds_;
   std::unique_ptr<cache::LfuCache> lfu_;
   std::unique_ptr<cache::DCache> dcache_;
-  /// Descriptors of objects currently in the cost-mode main cache.
-  std::unordered_map<ObjectId, ObjectDescriptor> main_descriptors_;
+  /// Descriptors of objects currently in the cost-mode main cache
+  /// (chunked pool: stable pointers, no per-descriptor allocation).
+  cache::DescriptorTable main_descriptors_;
   /// Freshness stamps of cached copies (populated only when the simulator
   /// runs with coherency tracking). May contain leftover stamps for
   /// objects the store evicted internally; consumers must check
   /// Contains() first.
-  std::unordered_map<ObjectId, CopyStamp> copy_stamps_;
+  cache::FlatIdMap<CopyStamp> copy_stamps_;
 };
 
 }  // namespace cascache::sim

@@ -8,6 +8,14 @@ namespace cascache::sim {
 
 namespace {
 
+/// Above this node count the dense (from x attach) route table is not
+/// worth its n^2 memory; routes resolve per request instead.
+constexpr int kRouteCacheMaxNodes = 512;
+
+/// Requests decoded per block in ReplayRange: large enough to amortize
+/// the loop split, small enough to stay resident in L1/L2.
+constexpr size_t kDecodeBlock = 1024;
+
 /// Fills the exchange-invariant record fields and emits. `trace` must be
 /// non-null; callers keep the disabled path to one pointer test.
 void EmitEvent(EventTrace* trace, const MessageContext& ctx,
@@ -38,12 +46,15 @@ Simulator::Simulator(const Network* network, CacheSet* caches,
       mean_object_size_(network->mean_object_size()),
       server_link_delay_(network->server_link_delay()),
       server_link_hops_(network->server_link_hops()),
-      scheme_observes_ascent_(scheme != nullptr && scheme->observes_ascent()) {
+      scheme_observes_ascent_(scheme != nullptr && scheme->observes_ascent()),
+      scheme_uses_link_costs_(scheme == nullptr || scheme->uses_link_costs()),
+      scheme_plain_lru_(scheme != nullptr && scheme->plain_lru_replay()) {
   // The exchange context's invariant fields point at the simulator's
-  // reused per-request buffers; wire them once.
-  ctx_.path = &path_;
-  ctx_.link_delays = &link_delays_;
-  ctx_.link_costs = &link_costs_;
+  // reused per-request buffers; the path/delay pointers are repointed at
+  // the cached route by every StepDecoded.
+  ctx_.path = &arena_.path;
+  ctx_.link_delays = &arena_.link_delays;
+  ctx_.link_costs = &arena_.link_costs;
   ctx_.server_link_delay = server_link_delay_;
   ctx_.caches = caches_;
   // Null/mismatched wiring is a programming error, not a configuration
@@ -57,6 +68,10 @@ Simulator::Simulator(const Network* network, CacheSet* caches,
     node_levels_[static_cast<size_t>(v)] = network->NodeLevel(v);
   }
   ctx_.telemetry.node_levels = node_levels_.data();
+  if (network->num_nodes() <= kRouteCacheMaxNodes) {
+    route_cache_.resize(static_cast<size_t>(network->num_nodes()) *
+                        static_cast<size_t>(network->num_nodes()));
+  }
   if (options.trace.enabled) {
     trace_ = std::make_unique<EventTrace>(options.trace);
   }
@@ -158,6 +173,13 @@ util::Status Simulator::Run(const trace::Workload& workload,
     }
     caches_->ConfigureWithCapacities(config, capacities);
   }
+  // Memoize each object's size/mean ratio: identical operands to the
+  // per-request division, so latencies are bit-identical.
+  size_scale_table_.resize(catalog_->num_objects());
+  for (trace::ObjectId o = 0; o < catalog_->num_objects(); ++o) {
+    size_scale_table_[o] =
+        static_cast<double>(catalog_->size(o)) / mean_object_size_;
+  }
   metrics_.Reset();
   metrics_.ResetNodes(network_->num_nodes());
   if (trace_ != nullptr) trace_->Clear();
@@ -169,18 +191,132 @@ util::Status Simulator::Run(const trace::Workload& workload,
   const size_t warmup_count = static_cast<size_t>(
       options_.warmup_fraction * static_cast<double>(workload.requests.size()));
   const Clock::time_point t_configured = Clock::now();
-  for (size_t i = 0; i < warmup_count; ++i) {
-    Step(workload.requests[i], /*collect=*/false);
-  }
+  ReplayRange(workload.requests, 0, warmup_count, /*collect=*/false);
   const Clock::time_point t_warmed = Clock::now();
-  for (size_t i = warmup_count; i < workload.requests.size(); ++i) {
-    Step(workload.requests[i], /*collect=*/true);
-  }
+  ReplayRange(workload.requests, warmup_count, workload.requests.size(),
+              /*collect=*/true);
   const Clock::time_point t_done = Clock::now();
   phase_times_.configure_seconds = seconds_between(t_start, t_configured);
   phase_times_.warmup_seconds = seconds_between(t_configured, t_warmed);
   phase_times_.measure_seconds = seconds_between(t_warmed, t_done);
   return util::Status::Ok();
+}
+
+void Simulator::ReplayRange(const std::vector<trace::Request>& requests,
+                            size_t begin, size_t end, bool collect) {
+  // Decode-then-replay in blocks: the decode loop touches only the trace
+  // and the catalog's flat arrays (branch-free, prefetch-friendly), the
+  // replay loop only decoded integers. Ordering is exactly the trace
+  // order, so results are bit-identical to one-at-a-time Step() calls.
+  std::vector<DecodedRequest>& batch = arena_.batch;
+  for (size_t block = begin; block < end; block += kDecodeBlock) {
+    const size_t block_end = std::min(end, block + kDecodeBlock);
+    batch.clear();
+    for (size_t i = block; i < block_end; ++i) {
+      const trace::Request& request = requests[i];
+      DecodedRequest decoded;
+      decoded.object = request.object;
+      decoded.size = catalog_->size(request.object);
+      decoded.server = catalog_->server(request.object);
+      decoded.requester = RequesterFor(request.client);
+      decoded.attach = network_->ServerAttach(decoded.server);
+      decoded.time = request.time;
+      batch.push_back(decoded);
+    }
+    // Software-pipelined replay: resolve every request's route up front
+    // (RouteFor fills its dense cache slot lazily and is idempotent, so
+    // the early calls are invisible to results), then prefetch each
+    // request's per-hop probe entries a few requests ahead of its replay.
+    // The per-hop Contains chain is a string of dependent loads over ~MBs
+    // of node index tables; issuing them early overlaps the misses with
+    // the preceding requests' work. Skipped without the dense route table
+    // (fallback re-resolves every call) and under fault injection (routes
+    // may detour).
+    CacheNode* const nodes = caches_->nodes_data();
+    const bool pipeline = faults_ == nullptr && !route_cache_.empty();
+    if (pipeline) {
+      batch_routes_.clear();
+      for (const DecodedRequest& d : batch) {
+        batch_routes_.push_back(&RouteFor(d.requester, d.attach, d.server));
+      }
+    }
+    // Far enough ahead to cover a cache-miss round trip, near enough that
+    // the lines still sit in cache when the request replays.
+    constexpr size_t kPrefetchAhead = 16;
+    for (size_t j = 0; j < batch.size(); ++j) {
+      if (!pipeline) {
+        StepDecoded(batch[j], collect);
+        continue;
+      }
+      const size_t p = j + kPrefetchAhead;
+      if (p < batch.size()) {
+        const DecodedRequest& ahead = batch[p];
+        for (topology::NodeId v : batch_routes_[p]->nodes) {
+          nodes[v].PrefetchProbe(ahead.object);
+          // Under the plain-LRU rule a miss inserts (and usually evicts)
+          // at every path node, so warm the victim entries too.
+          if (scheme_plain_lru_) nodes[v].PrefetchLruVictim();
+        }
+      }
+      StepDecoded(batch[j], collect, batch_routes_[j]);
+    }
+  }
+}
+
+void Simulator::Step(const trace::Request& request, bool collect) {
+  DecodedRequest decoded;
+  decoded.object = request.object;
+  decoded.size = catalog_->size(request.object);
+  decoded.server = catalog_->server(request.object);
+  decoded.requester = RequesterFor(request.client);
+  decoded.attach = network_->ServerAttach(decoded.server);
+  decoded.time = request.time;
+  StepDecoded(decoded, collect);
+}
+
+topology::NodeId Simulator::RequesterFor(trace::ClientId client) {
+  if (static_cast<size_t>(client) >= requester_cache_.size()) {
+    requester_cache_.resize(static_cast<size_t>(client) + 1, -1);
+  }
+  topology::NodeId& slot = requester_cache_[static_cast<size_t>(client)];
+  if (slot < 0) slot = network_->RequesterNode(client);
+  return slot;
+}
+
+const Simulator::CachedRoute& Simulator::RouteFor(topology::NodeId from,
+                                                  topology::NodeId attach,
+                                                  trace::ServerId server) {
+  CachedRoute* route;
+  if (route_cache_.empty()) {
+    route = &fallback_route_;
+    route->filled = false;  // Always re-resolve without the dense table.
+  } else {
+    route = &route_cache_[static_cast<size_t>(from) *
+                              static_cast<size_t>(network_->num_nodes()) +
+                          static_cast<size_t>(attach)];
+  }
+  if (!route->filled) {
+    route->nodes = network_->PathToServer(from, server);
+    route->delays.clear();
+    route->delays.reserve(route->nodes.size());
+    for (size_t i = 0; i + 1 < route->nodes.size(); ++i) {
+      route->delays.push_back(
+          network_->LinkDelay(route->nodes[i], route->nodes[i + 1]));
+    }
+    // Left-to-right running sums: each entry extends the previous one by
+    // a single addition, the same sequence the per-request loop performed,
+    // so latencies computed from the prefix are bit-identical.
+    route->delay_prefix.clear();
+    route->delay_prefix.reserve(route->nodes.size());
+    double acc = 0.0;
+    route->delay_prefix.push_back(acc);
+    for (double d : route->delays) {
+      acc += d;
+      route->delay_prefix.push_back(acc);
+    }
+    route->filled = true;
+  }
+  return *route;
 }
 
 uint32_t Simulator::Ascend(MessageContext& ctx) {
@@ -198,14 +334,40 @@ uint32_t Simulator::Ascend(MessageContext& ctx) {
   // cannot serve, the scheme's ascent handler piggybacks its state. A
   // hop whose cache process is down (fault plane) is transparent: it can
   // serve nothing and its piggyback entry is lost.
+  const std::vector<topology::NodeId>& path = *ctx.path;
   NodeCounters* const counters = ctx.telemetry.node_counters;
   EventTrace* const trace = ctx.telemetry.trace;
+  CacheNode* const nodes = caches_->nodes_data();
   const bool faults_active = faults_ != nullptr;
-  for (size_t i = 0; i < path_.size(); ++i) {
-    const topology::NodeId node_id = path_[i];
-    CacheNode* node = caches_->node(node_id);
+
+  // Fast path: no coherency schedule, no fault plane, no event sink and a
+  // locally-deciding scheme — the per-hop work collapses to a cache probe
+  // plus counters, with served_version pinned at 0 (no update schedule).
+  // This is the exact subset of the general loop below those features
+  // would leave untaken, so results are bit-identical.
+  if (!faults_active && updates_ == nullptr && trace == nullptr &&
+      !scheme_observes_ascent_) {
+    for (size_t i = 0; i < path.size(); ++i) {
+      const topology::NodeId node_id = path[i];
+      if (nodes[node_id].Contains(ctx.object)) {
+        ctx.response.hit_index = static_cast<int>(i);
+        if (counters != nullptr) {
+          ++counters[node_id].hits;
+          counters[node_id].bytes_served += ctx.size;
+        }
+        return served_version;
+      }
+      if (counters != nullptr) ++counters[node_id].misses;
+    }
+    ctx.response.hit_index = -1;
+    return served_version;
+  }
+
+  for (size_t i = 0; i < path.size(); ++i) {
+    const topology::NodeId node_id = path[i];
+    CacheNode* node = &nodes[node_id];
     const int32_t level = node_levels_[static_cast<size_t>(node_id)];
-    const bool down = faults_active && node_down_[i] != 0;
+    const bool down = faults_active && arena_.node_down[i] != 0;
     bool servable = !down && node->Contains(ctx.object);
     if (servable && updates_ != nullptr) {
       const CacheNode::CopyStamp* stamp = node->FindCopy(ctx.object);
@@ -292,36 +454,127 @@ uint32_t Simulator::Ascend(MessageContext& ctx) {
   if (trace != nullptr) {
     // The origin serve is not node-scoped: node/level are -1.
     EmitEvent(trace, ctx, TraceEventType::kOrigin, -1, -1,
-              static_cast<double>(path_.size()) - 1.0 + server_link_hops_);
+              static_cast<double>(path.size()) - 1.0 + server_link_hops_);
   }
   return served_version;
 }
 
-void Simulator::Step(const trace::Request& request, bool collect) {
+void Simulator::StepDecoded(const DecodedRequest& request, bool collect,
+                            const CachedRoute* route_in) {
   const trace::ObjectId object = request.object;
-  const uint64_t size = catalog_->size(object);
-  const trace::ServerId server = catalog_->server(object);
+  const uint64_t size = request.size;
+  const topology::NodeId requester = request.requester;
 
-  const topology::NodeId requester = network_->RequesterNode(request.client);
+  if (scheme_plain_lru_ && faults_ == nullptr && updates_ == nullptr &&
+      trace_ == nullptr) {
+    // Fused plain-LRU exchange, entirely on local state: ascent probes,
+    // the serve decision and the descent placements in one pass over the
+    // path, skipping the MessageContext wiring the general pipeline
+    // needs for its scheme/coherency/trace hooks. The per-node order of
+    // operations, the latency arithmetic (prefix sums + memoized size
+    // scale) and the accounting (statement-for-statement the
+    // RecordPlacement/RecordPlacementRejected bodies with a null trace —
+    // see message.h) are exactly the general path's, so results are
+    // bit-identical; PipelineEquivalenceTest holds both paths to the
+    // same golden results.
+    const CachedRoute& route =
+        route_in != nullptr
+            ? *route_in
+            : RouteFor(requester, request.attach, request.server);
+    const std::vector<topology::NodeId>& path = route.nodes;
+    const double* const delay_prefix = route.delay_prefix.data();
+    ++step_index_;  // Keeps the trace-sampling key monotone.
+    NodeCounters* const counters =
+        collect ? metrics_.node_counters_data() : nullptr;
+    CacheNode* const nodes = caches_->nodes_data();
+
+    RequestMetrics rm;
+    rm.size_bytes = size;
+    const size_t path_len = path.size();
+    int hit = -1;
+    for (size_t i = 0; i < path_len; ++i) {
+      const topology::NodeId node_id = path[i];
+      if (nodes[node_id].Contains(object)) {
+        hit = static_cast<int>(i);
+        if (counters != nullptr) {
+          ++counters[node_id].hits;
+          counters[node_id].bytes_served += size;
+        }
+        break;
+      }
+      if (counters != nullptr) ++counters[node_id].misses;
+    }
+    double base_delay;
+    if (hit >= 0) {
+      base_delay = delay_prefix[hit];
+      rm.hops = hit;
+      rm.cache_hit = true;
+      rm.read_bytes = size;
+      nodes[path[static_cast<size_t>(hit)]].lru()->Touch(object);
+    } else {
+      base_delay = delay_prefix[path_len - 1] + server_link_delay_;
+      rm.hops = static_cast<int>(path_len) - 1 + server_link_hops_;
+    }
+    rm.latency =
+        base_delay * (object < size_scale_table_.size()
+                          ? size_scale_table_[object]
+                          : static_cast<double>(size) / mean_object_size_);
+    const int first_missing =
+        hit >= 0 ? hit - 1 : static_cast<int>(path_len) - 1;
+    for (int i = first_missing; i >= 0; --i) {
+      // InsertAbsent: every descent node's ascent probe just missed.
+      const topology::NodeId node_id = path[static_cast<size_t>(i)];
+      bool inserted = false;
+      const std::vector<trace::ObjectId>& evicted =
+          nodes[node_id].lru()->InsertAbsent(object, size, &inserted);
+      if (inserted) {
+        rm.write_bytes += size;
+        ++rm.insertions;
+        if (counters != nullptr) {
+          NodeCounters& c = counters[node_id];
+          ++c.placements;
+          c.evictions += evicted.size();
+          c.bytes_cached += size;
+        }
+      } else if (counters != nullptr) {
+        ++counters[node_id].placements_rejected;
+      }
+    }
+    if (collect) metrics_.Record(rm);
+    return;
+  }
 
   RequestMetrics request_metrics;
   request_metrics.size_bytes = size;
 
-  // Path resolution. Without a fault plane this is the historical direct
-  // lookup; with one, an unroutable attempt (link outage / crash cutting
-  // the path) times out and retries with deterministic exponential
-  // backoff, so the attempt time `now` may trail the request time.
+  MessageContext& ctx = ctx_;
+
+  // Path resolution. Without a fault plane the route comes from the dense
+  // (requester, attach) cache — resolved once, reused for every request
+  // on the pair; with one, an unroutable attempt (link outage / crash
+  // cutting the path) times out and retries with deterministic
+  // exponential backoff, so the attempt time `now` may trail the request
+  // time, and reroutes produce paths the cache must not serve.
   double now = request.time;
   bool reachable = true;
+  // Left-to-right running sums of the route's delays (CachedRoute); null
+  // on the fault-plane path, whose routes are per-attempt.
+  const double* delay_prefix = nullptr;
   if (faults_ == nullptr) {
-    path_ = network_->PathToServer(requester, server);
+    const CachedRoute& route =
+        route_in != nullptr
+            ? *route_in
+            : RouteFor(requester, request.attach, request.server);
+    ctx.path = &route.nodes;
+    ctx.link_delays = &route.delays;
+    delay_prefix = route.delay_prefix.data();
   } else {
     const FaultScheduleConfig& fc = faults_->config();
     int attempt = 0;
     for (;;) {
       bool rerouted = false;
-      reachable = faults_->ResolvePath(requester, server, now, &path_,
-                                       &rerouted);
+      reachable = faults_->ResolvePath(requester, request.server, now,
+                                       &arena_.path, &rerouted);
       if (reachable) {
         request_metrics.rerouted = rerouted;
         break;
@@ -331,20 +584,34 @@ void Simulator::Step(const trace::Request& request, bool collect) {
       ++attempt;
       ++request_metrics.retries;
     }
+    arena_.link_delays.clear();
+    arena_.link_delays.reserve(arena_.path.size());
+    for (size_t i = 0; i + 1 < arena_.path.size(); ++i) {
+      arena_.link_delays.push_back(
+          network_->LinkDelay(arena_.path[i], arena_.path[i + 1]));
+    }
+    ctx.path = &arena_.path;
+    ctx.link_delays = &arena_.link_delays;
   }
+  const std::vector<topology::NodeId>& path = *ctx.path;
+  const std::vector<double>& link_delays = *ctx.link_delays;
 
-  MessageContext& ctx = ctx_;
   ctx.object = object;
   ctx.size = size;
-  ctx.size_scale = static_cast<double>(size) / mean_object_size_;
+  ctx.size_scale = object < size_scale_table_.size()
+                       ? size_scale_table_[object]
+                       : static_cast<double>(size) / mean_object_size_;
   ctx.now = now;
   // No virtual server link under en-route (servers are co-located with
-  // their attach node), so its cost is 0 under every cost model.
-  ctx.server_link_cost =
-      server_link_hops_ == 0
-          ? 0.0
-          : cost_model_.LinkCost(server_link_delay_, size,
-                                 mean_object_size_);
+  // their attach node), so its cost is 0 under every cost model. Cost
+  // fields stay untouched for cost-oblivious schemes — nothing reads them.
+  if (scheme_uses_link_costs_) {
+    ctx.server_link_cost =
+        server_link_hops_ == 0
+            ? 0.0
+            : cost_model_.LinkCost(server_link_delay_, size,
+                                   mean_object_size_);
+  }
   ctx.metrics = &request_metrics;
   ctx.request = RequestMessage();
   ctx.response = ResponseMessage();
@@ -386,15 +653,18 @@ void Simulator::Step(const trace::Request& request, bool collect) {
     return;
   }
 
-  link_delays_.clear();
-  link_delays_.reserve(path_.size());
-  link_costs_.clear();
-  link_costs_.reserve(path_.size());
-  for (size_t i = 0; i + 1 < path_.size(); ++i) {
-    const double delay = network_->LinkDelay(path_[i], path_[i + 1]);
-    link_delays_.push_back(delay);
-    link_costs_.push_back(cost_model_.LinkCost(delay, size,
-                                               mean_object_size_));
+  // Link costs are size-dependent (latency / weighted models): computed
+  // per request from the cached delays, with the exact same cost-model
+  // calls as an uncached replay. Skipped outright for schemes that never
+  // read them (LRU, MODULO, LFU, STATIC).
+  if (scheme_uses_link_costs_) {
+    arena_.link_costs.clear();
+    arena_.link_costs.reserve(link_delays.size());
+    for (double delay : link_delays) {
+      arena_.link_costs.push_back(cost_model_.LinkCost(delay, size,
+                                                       mean_object_size_));
+    }
+    ctx.link_costs = &arena_.link_costs;
   }
 
   if (faults_ != nullptr) {
@@ -403,9 +673,9 @@ void Simulator::Step(const trace::Request& request, bool collect) {
     // charged to the crashed node; retries and reroutes to the
     // requester — the same localities NodeCounters reconciliation
     // asserts against the aggregates.
-    node_down_.assign(path_.size(), 0);
-    for (size_t i = 0; i < path_.size(); ++i) {
-      const topology::NodeId node_id = path_[i];
+    arena_.node_down.assign(path.size(), 0);
+    for (size_t i = 0; i < path.size(); ++i) {
+      const topology::NodeId node_id = path[i];
       const int applied =
           faults_->ApplyCrashRestarts(caches_->node(node_id), now);
       if (applied > 0) {
@@ -419,7 +689,7 @@ void Simulator::Step(const trace::Request& request, bool collect) {
                     static_cast<double>(applied));
         }
       }
-      if (faults_->NodeDown(node_id, now)) node_down_[i] = 1;
+      if (faults_->NodeDown(node_id, now)) arena_.node_down[i] = 1;
     }
     if (counters != nullptr) {
       counters[requester].retries +=
@@ -434,7 +704,7 @@ void Simulator::Step(const trace::Request& request, bool collect) {
       }
       if (request_metrics.rerouted) {
         EmitEvent(trace, ctx, TraceEventType::kReroute, requester, level,
-                  static_cast<double>(path_.size()));
+                  static_cast<double>(path.size()));
       }
     }
   }
@@ -442,7 +712,7 @@ void Simulator::Step(const trace::Request& request, bool collect) {
   if (trace != nullptr) {
     EmitEvent(trace, ctx, TraceEventType::kRequest, requester,
               node_levels_[static_cast<size_t>(requester)],
-              static_cast<double>(path_.size()));
+              static_cast<double>(path.size()));
   }
 
   // --- Phase 1: the request message ascends to its serving point. -------
@@ -454,34 +724,65 @@ void Simulator::Step(const trace::Request& request, bool collect) {
   double base_delay = 0.0;
   int hops = 0;
   if (hit_index >= 0) {
-    for (int i = 0; i < hit_index; ++i) {
-      base_delay += link_delays_[static_cast<size_t>(i)];
+    if (delay_prefix != nullptr) {
+      base_delay = delay_prefix[hit_index];
+    } else {
+      for (int i = 0; i < hit_index; ++i) {
+        base_delay += link_delays[static_cast<size_t>(i)];
+      }
     }
     hops = hit_index;
     request_metrics.cache_hit = true;
     request_metrics.read_bytes = size;
   } else {
-    for (double d : link_delays_) base_delay += d;
+    if (delay_prefix != nullptr) {
+      base_delay = delay_prefix[link_delays.size()];
+    } else {
+      for (double d : link_delays) base_delay += d;
+    }
     base_delay += server_link_delay_;
-    hops = static_cast<int>(link_delays_.size()) + server_link_hops_;
+    hops = static_cast<int>(link_delays.size()) + server_link_hops_;
   }
   request_metrics.latency = base_delay * ctx.size_scale;
   request_metrics.hops = hops;
 
   // --- Phase 2: the serving node decides, the response descends. --------
-  scheme_->OnServe(ctx);
-  if (faults_ == nullptr) {
+  if (scheme_plain_lru_ && faults_ == nullptr) {
+    // Inlined equivalent of LruScheme::OnServe/OnDescend (see
+    // CachingScheme::plain_lru_replay): touch the serving cache, insert
+    // at every hop below the serving point. Statement-for-statement the
+    // handlers' unfaulted behavior, minus ~4 virtual calls per request.
+    CacheNode* const nodes = caches_->nodes_data();
+    if (hit_index >= 0) {
+      nodes[path[static_cast<size_t>(hit_index)]].lru()->Touch(object);
+    }
+    for (int i = ctx.first_missing(); i >= 0; --i) {
+      // InsertAbsent is sound here: every descent node sits below the
+      // serving point, so its ascent probe just missed for this object.
+      bool inserted = false;
+      const std::vector<trace::ObjectId>& evicted =
+          nodes[path[static_cast<size_t>(i)]].lru()->InsertAbsent(
+              object, size, &inserted);
+      if (inserted) {
+        ctx.RecordPlacement(i, evicted);
+      } else {
+        ctx.RecordPlacementRejected(i);
+      }
+    }
+  } else if (faults_ == nullptr) {
+    scheme_->OnServe(ctx);
     for (int i = ctx.first_missing(); i >= 0; --i) {
       scheme_->OnDescend(ctx, i);
     }
   } else {
+    scheme_->OnServe(ctx);
     // A down hop cannot act on the descending decision, and an up hop's
     // decision entry may be lost in transit. The scheme still runs its
     // descent hook (penalty bookkeeping survives; see DESIGN.md §10) but
     // must not place or refresh under decision_lost.
     for (int i = ctx.first_missing(); i >= 0; --i) {
       const bool lost =
-          node_down_[static_cast<size_t>(i)] != 0 ||
+          arena_.node_down[static_cast<size_t>(i)] != 0 ||
           faults_->DescentLoss(request_index, i);
       if (lost) {
         ctx.response.decision_lost = true;
@@ -502,10 +803,11 @@ void Simulator::Step(const trace::Request& request, bool collect) {
     const int top = ctx.top_index();
     for (int i = 0; i <= top; ++i) {
       if (i == hit_index) continue;
-      if (faults_ != nullptr && node_down_[static_cast<size_t>(i)] != 0) {
+      if (faults_ != nullptr &&
+          arena_.node_down[static_cast<size_t>(i)] != 0) {
         continue;
       }
-      CacheNode* node = caches_->node(path_[static_cast<size_t>(i)]);
+      CacheNode* node = caches_->node(path[static_cast<size_t>(i)]);
       if (node->Contains(object)) {
         node->StampCopy(object, ctx.now, served_version);
       }

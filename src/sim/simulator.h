@@ -9,6 +9,7 @@
 #include "sim/message.h"
 #include "sim/metrics.h"
 #include "sim/network.h"
+#include "sim/request_arena.h"
 #include "trace/synthetic.h"
 
 namespace cascache::sim {
@@ -101,6 +102,13 @@ class Simulator {
   /// Step() drivers that want coherency must call EnableCoherency first.
   void Step(const trace::Request& request, bool collect);
 
+  /// Replays requests [begin, end) of the trace, decoding them in blocks
+  /// ahead of the replay loop (catalog sizes, origin servers, attach
+  /// points). Per-request ordering and results are identical to calling
+  /// Step() on each request in sequence; Run() uses this for both phases.
+  void ReplayRange(const std::vector<trace::Request>& requests, size_t begin,
+                   size_t end, bool collect);
+
   /// Installs the update schedule for direct Step() drivers (Run() does
   /// this automatically from the workload catalog).
   util::Status EnableCoherency(uint32_t num_objects);
@@ -121,12 +129,47 @@ class Simulator {
   const RunPhaseTimes& phase_times() const { return phase_times_; }
 
  private:
+  /// A precomputed client-path: the node sequence from a requester to a
+  /// server attach node plus its per-link delays, resolved once and
+  /// reused for every request on that (requester, attach) pair. Delays
+  /// are request-invariant; link *costs* are size-dependent and stay
+  /// per-request (RequestArena::link_costs).
+  struct CachedRoute {
+    std::vector<topology::NodeId> nodes;
+    std::vector<double> delays;  ///< nodes.size() - 1 entries.
+    /// Running sums of `delays`, accumulated left to right in the exact
+    /// addition order of the historical per-request latency loop (so the
+    /// precomputed sums are bit-identical to summing on every request):
+    /// delay_prefix[i] == delays[0] + ... + delays[i-1]; nodes.size()
+    /// entries, delay_prefix[0] == 0.
+    std::vector<double> delay_prefix;
+    bool filled = false;
+  };
+
   /// Drives the request message up the path: per-hop coherency admission
   /// then the scheme's ascent hook, stopping at the serving cache. All
   /// timing uses ctx.now (== the attempt time, which trails the request
   /// time after fault-plane retries). Returns the serving version for
   /// freshness stamping.
   uint32_t Ascend(MessageContext& ctx);
+
+  /// The decoded-request hot path shared by Step() and ReplayRange().
+  /// `route`, when non-null, is the request's already-resolved cached
+  /// route (ReplayRange's pipelined prefetch stage resolves it one
+  /// request ahead); null means resolve here. Only meaningful without a
+  /// fault plane.
+  void StepDecoded(const DecodedRequest& request, bool collect,
+                   const CachedRoute* route = nullptr);
+
+  /// Route (path + delays) for a requester/attach pair: the dense cache
+  /// entry when enabled (filled on first use), else a per-request
+  /// resolution into fallback_route_.
+  const CachedRoute& RouteFor(topology::NodeId from, topology::NodeId attach,
+                              trace::ServerId server);
+
+  /// Memoized Network::RequesterNode (same deterministic assignment,
+  /// computed once per client).
+  topology::NodeId RequesterFor(trace::ClientId client);
 
   const Network* network_;
   CacheSet* caches_;
@@ -146,6 +189,13 @@ class Simulator {
   /// Cached scheme->observes_ascent(): skips the per-hop ascent dispatch
   /// for the locally-deciding schemes.
   bool scheme_observes_ascent_;
+  /// Cached scheme->uses_link_costs(): the cost-oblivious schemes never
+  /// read ctx.link_costs, so the per-request cost-model evaluation is
+  /// skipped entirely for them.
+  bool scheme_uses_link_costs_;
+  /// Cached scheme->plain_lru_replay(): the unfaulted replay inlines the
+  /// plain-LRU serve/descend rule instead of the virtual dispatch.
+  bool scheme_plain_lru_;
   /// Present iff coherency tracking is active for this run.
   std::unique_ptr<UpdateSchedule> updates_;
   MetricsCollector metrics_;
@@ -157,21 +207,36 @@ class Simulator {
   /// Present iff options.faults.active(); nullptr keeps the unfaulted
   /// replay on the historical hot path (one pointer test per request).
   std::unique_ptr<FaultPlane> faults_;
-  /// Per-hop "cache process down" flags of the current request's path
-  /// (fault plane only; parallel to path_).
-  std::vector<uint8_t> node_down_;
   RunPhaseTimes phase_times_;
   /// Index of the next Step()'ed request: the trace position under Run()
   /// (reset there), a monotone counter for direct Step() drivers. Keys
   /// the deterministic trace sampler.
   uint64_t step_index_ = 0;
-  /// Reused across Step calls to avoid per-request allocation.
-  std::vector<topology::NodeId> path_;
-  std::vector<double> link_delays_;
-  std::vector<double> link_costs_;
-  /// Reused exchange context; the invariant fields (path/link buffers,
-  /// cache plane, server link delay) are wired in the constructor and
-  /// only the per-request fields are rewritten by Step.
+  /// Per-block route pointers for ReplayRange's pipelined prefetch
+  /// (parallel to RequestArena::batch; dense-table entries are stable).
+  std::vector<const CachedRoute*> batch_routes_;
+  /// Memoized size / mean-object-size ratio per ObjectId — the exact
+  /// division the per-request path performed, computed once per object
+  /// (Run() fills it from the catalog; empty for direct Step() drivers,
+  /// which fall back to dividing inline).
+  std::vector<double> size_scale_table_;
+  /// Dense (requester * num_nodes + attach) route cache, filled lazily
+  /// from the routing table. Empty (disabled) when num_nodes exceeds
+  /// kRouteCacheMaxNodes — the n^2 table would dominate memory — in which
+  /// case fallback_route_ is resolved per request.
+  std::vector<CachedRoute> route_cache_;
+  CachedRoute fallback_route_;
+  /// Memoized Network::RequesterNode keyed by client id (-1 = unfilled):
+  /// the hash assignment is deterministic per client, so the decode loop
+  /// pays it once per client instead of once per request.
+  std::vector<topology::NodeId> requester_cache_;
+  /// Per-request scratch (link costs, fault flags, decode blocks); reset,
+  /// never reallocated, between requests.
+  RequestArena arena_;
+  /// Reused exchange context; the invariant fields (cache plane, server
+  /// link delay) are wired in the constructor. The path/delay pointers are
+  /// repointed per request at the cached route (or the arena's resolved
+  /// path under the fault plane).
   MessageContext ctx_;
 };
 

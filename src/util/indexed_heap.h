@@ -1,7 +1,9 @@
 #ifndef CASCACHE_UTIL_INDEXED_HEAP_H_
 #define CASCACHE_UTIL_INDEXED_HEAP_H_
 
+#include <algorithm>
 #include <cstddef>
+#include <cstdint>
 #include <unordered_map>
 #include <utility>
 #include <vector>
@@ -10,34 +12,91 @@
 
 namespace cascache::util {
 
+inline constexpr size_t kHeapNpos = static_cast<size_t>(-1);
+
+/// Default key→heap-position map: a hash table. Works for any hashable
+/// key type.
+template <typename Key, typename Hash = std::hash<Key>>
+class HashPosMap {
+ public:
+  size_t Lookup(const Key& key) const {
+    auto it = pos_.find(key);
+    return it == pos_.end() ? kHeapNpos : it->second;
+  }
+  void Set(const Key& key, size_t pos) { pos_[key] = pos; }
+  void Erase(const Key& key) { pos_.erase(key); }
+  void Clear() { pos_.clear(); }
+  size_t size() const { return pos_.size(); }
+
+ private:
+  std::unordered_map<Key, size_t, Hash> pos_;
+};
+
+/// Direct-index key→heap-position map for keys that are dense unsigned
+/// integers (the closed ObjectId catalog): one array load per lookup
+/// instead of a hash probe. Grows lazily to the largest key seen; Clear
+/// is O(1) (the table re-grows on demand, retaining capacity).
+class DensePosMap {
+ public:
+  size_t Lookup(uint32_t key) const {
+    return key < pos_.size() ? pos_[key] : kHeapNpos;
+  }
+  void Set(uint32_t key, size_t pos) {
+    if (key >= pos_.size()) {
+      const size_t target =
+          std::max<size_t>(static_cast<size_t>(key) + 1, pos_.size() * 2);
+      pos_.resize(target, kHeapNpos);
+    }
+    pos_[key] = pos;
+  }
+  void Erase(uint32_t key) {
+    if (key < pos_.size()) pos_[key] = kHeapNpos;
+    --count_;  // Callers only erase present keys (heap invariant).
+  }
+  void Clear() {
+    pos_.clear();
+    count_ = 0;
+  }
+  size_t size() const { return count_; }
+
+ private:
+  std::vector<size_t> pos_;
+  size_t count_ = 0;
+};
+
 /// Binary min-heap over (key, priority) pairs with O(log n) priority update
 /// and erase by key. This backs the NCL-ordered cache store (descriptors
 /// keyed by normalized cost loss, §2.4 of the paper: "descriptors of cached
 /// objects can be organized as a heap based on their normalized cost
 /// losses") and the LFU d-cache.
 ///
-/// Keys must be unique and hashable. Priorities are doubles; ties are
-/// broken arbitrarily.
-template <typename Key, typename Hash = std::hash<Key>>
+/// Keys must be unique. Priorities are doubles; ties are broken
+/// arbitrarily (but deterministically: the sift order depends only on the
+/// operation sequence, so the PosMap policy never changes victims).
+/// The PosMap parameter selects the key→position index: HashPosMap for
+/// arbitrary keys, DensePosMap for dense uint32 keys (ObjectId stores).
+template <typename Key, typename PosMap = HashPosMap<Key>>
 class IndexedMinHeap {
  public:
   bool empty() const { return entries_.empty(); }
   size_t size() const { return entries_.size(); }
 
-  bool Contains(const Key& key) const { return pos_.count(key) > 0; }
+  bool Contains(const Key& key) const {
+    return pos_.Lookup(key) != kHeapNpos;
+  }
 
   /// Priority of an existing key. The key must be present.
   double PriorityOf(const Key& key) const {
-    auto it = pos_.find(key);
-    CASCACHE_CHECK(it != pos_.end());
-    return entries_[it->second].second;
+    const size_t i = pos_.Lookup(key);
+    CASCACHE_CHECK(i != kHeapNpos);
+    return entries_[i].second;
   }
 
   /// Inserts a new key. The key must not already be present.
   void Push(const Key& key, double priority) {
     CASCACHE_CHECK_MSG(!Contains(key), "duplicate key in IndexedMinHeap");
     entries_.emplace_back(key, priority);
-    pos_[key] = entries_.size() - 1;
+    pos_.Set(key, entries_.size() - 1);
     SiftUp(entries_.size() - 1);
   }
 
@@ -57,9 +116,8 @@ class IndexedMinHeap {
 
   /// Changes the priority of an existing key.
   void Update(const Key& key, double priority) {
-    auto it = pos_.find(key);
-    CASCACHE_CHECK(it != pos_.end());
-    const size_t i = it->second;
+    const size_t i = pos_.Lookup(key);
+    CASCACHE_CHECK(i != kHeapNpos);
     const double old = entries_[i].second;
     entries_[i].second = priority;
     if (priority < old) {
@@ -80,15 +138,15 @@ class IndexedMinHeap {
 
   /// Removes a key; returns false if it was not present.
   bool Erase(const Key& key) {
-    auto it = pos_.find(key);
-    if (it == pos_.end()) return false;
-    RemoveAt(it->second);
+    const size_t i = pos_.Lookup(key);
+    if (i == kHeapNpos) return false;
+    RemoveAt(i);
     return true;
   }
 
   void Clear() {
     entries_.clear();
-    pos_.clear();
+    pos_.Clear();
   }
 
   /// Unordered view of all entries (heap order, not priority order).
@@ -100,8 +158,7 @@ class IndexedMinHeap {
   bool CheckInvariants() const {
     if (pos_.size() != entries_.size()) return false;
     for (size_t i = 0; i < entries_.size(); ++i) {
-      auto it = pos_.find(entries_[i].first);
-      if (it == pos_.end() || it->second != i) return false;
+      if (pos_.Lookup(entries_[i].first) != i) return false;
       const size_t l = 2 * i + 1, r = 2 * i + 2;
       if (l < entries_.size() && entries_[l].second < entries_[i].second)
         return false;
@@ -138,16 +195,16 @@ class IndexedMinHeap {
 
   void SwapEntries(size_t a, size_t b) {
     std::swap(entries_[a], entries_[b]);
-    pos_[entries_[a].first] = a;
-    pos_[entries_[b].first] = b;
+    pos_.Set(entries_[a].first, a);
+    pos_.Set(entries_[b].first, b);
   }
 
   void RemoveAt(size_t i) {
     const size_t last = entries_.size() - 1;
-    pos_.erase(entries_[i].first);
+    pos_.Erase(entries_[i].first);
     if (i != last) {
       entries_[i] = entries_[last];
-      pos_[entries_[i].first] = i;
+      pos_.Set(entries_[i].first, i);
       entries_.pop_back();
       // The moved element may need to go either direction.
       SiftDown(i);
@@ -158,8 +215,12 @@ class IndexedMinHeap {
   }
 
   std::vector<std::pair<Key, double>> entries_;
-  std::unordered_map<Key, size_t, Hash> pos_;
+  PosMap pos_;
 };
+
+/// Heap over the dense ObjectId space: direct-index position map.
+template <typename Key>
+using DenseIndexedMinHeap = IndexedMinHeap<Key, DensePosMap>;
 
 }  // namespace cascache::util
 

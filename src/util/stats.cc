@@ -8,16 +8,6 @@
 
 namespace cascache::util {
 
-void RunningStat::Add(double x) {
-  ++count_;
-  sum_ += x;
-  const double delta = x - mean_;
-  mean_ += delta / static_cast<double>(count_);
-  m2_ += delta * (x - mean_);
-  min_ = std::min(min_, x);
-  max_ = std::max(max_, x);
-}
-
 void RunningStat::Merge(const RunningStat& other) {
   if (other.count_ == 0) return;
   if (count_ == 0) {

@@ -1,6 +1,7 @@
 #ifndef CASCACHE_UTIL_STATS_H_
 #define CASCACHE_UTIL_STATS_H_
 
+#include <algorithm>
 #include <cstdint>
 #include <limits>
 #include <string>
@@ -12,7 +13,17 @@ namespace cascache::util {
 /// min, max, count and sum in O(1) memory.
 class RunningStat {
  public:
-  void Add(double x);
+  /// Welford's update; inline because the metrics collector calls it
+  /// several times per replayed request.
+  void Add(double x) {
+    ++count_;
+    sum_ += x;
+    const double delta = x - mean_;
+    mean_ += delta / static_cast<double>(count_);
+    m2_ += delta * (x - mean_);
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+  }
 
   /// Merges another accumulator into this one (parallel-combine form of
   /// Welford's update).

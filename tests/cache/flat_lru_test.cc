@@ -1,4 +1,4 @@
-#include "cache/lru_cache.h"
+#include "cache/flat_lru.h"
 
 #include <gtest/gtest.h>
 
@@ -7,8 +7,8 @@
 namespace cascache::cache {
 namespace {
 
-TEST(LruCacheTest, InsertAndContains) {
-  LruCache cache(100);
+TEST(FlatLruTest, InsertAndContains) {
+  FlatLru cache(100);
   bool inserted = false;
   EXPECT_TRUE(cache.Insert(1, 40, &inserted).empty());
   EXPECT_TRUE(inserted);
@@ -17,8 +17,8 @@ TEST(LruCacheTest, InsertAndContains) {
   EXPECT_EQ(cache.num_objects(), 1u);
 }
 
-TEST(LruCacheTest, EvictsLeastRecentlyUsed) {
-  LruCache cache(100);
+TEST(FlatLruTest, EvictsLeastRecentlyUsed) {
+  FlatLru cache(100);
   cache.Insert(1, 40);
   cache.Insert(2, 40);
   const auto evicted = cache.Insert(3, 40);  // Must evict object 1.
@@ -29,8 +29,8 @@ TEST(LruCacheTest, EvictsLeastRecentlyUsed) {
   EXPECT_TRUE(cache.Contains(3));
 }
 
-TEST(LruCacheTest, TouchPreventsEviction) {
-  LruCache cache(100);
+TEST(FlatLruTest, TouchPreventsEviction) {
+  FlatLru cache(100);
   cache.Insert(1, 40);
   cache.Insert(2, 40);
   EXPECT_TRUE(cache.Touch(1));  // 2 becomes LRU.
@@ -40,13 +40,13 @@ TEST(LruCacheTest, TouchPreventsEviction) {
   EXPECT_TRUE(cache.Contains(1));
 }
 
-TEST(LruCacheTest, TouchMissingReturnsFalse) {
-  LruCache cache(100);
+TEST(FlatLruTest, TouchMissingReturnsFalse) {
+  FlatLru cache(100);
   EXPECT_FALSE(cache.Touch(42));
 }
 
-TEST(LruCacheTest, ReinsertOnlyTouches) {
-  LruCache cache(100);
+TEST(FlatLruTest, ReinsertOnlyTouches) {
+  FlatLru cache(100);
   cache.Insert(1, 40);
   cache.Insert(2, 40);
   bool inserted = true;
@@ -59,8 +59,8 @@ TEST(LruCacheTest, ReinsertOnlyTouches) {
   EXPECT_EQ(evicted[0], 2u);
 }
 
-TEST(LruCacheTest, ObjectLargerThanCapacityRejected) {
-  LruCache cache(100);
+TEST(FlatLruTest, ObjectLargerThanCapacityRejected) {
+  FlatLru cache(100);
   cache.Insert(1, 50);
   bool inserted = true;
   EXPECT_TRUE(cache.Insert(2, 101, &inserted).empty());
@@ -69,8 +69,8 @@ TEST(LruCacheTest, ObjectLargerThanCapacityRejected) {
   EXPECT_TRUE(cache.Contains(1));  // Nothing evicted for it.
 }
 
-TEST(LruCacheTest, MultiEviction) {
-  LruCache cache(100);
+TEST(FlatLruTest, MultiEviction) {
+  FlatLru cache(100);
   cache.Insert(1, 30);
   cache.Insert(2, 30);
   cache.Insert(3, 30);
@@ -82,8 +82,8 @@ TEST(LruCacheTest, MultiEviction) {
   EXPECT_TRUE(cache.Contains(4));
 }
 
-TEST(LruCacheTest, EraseFreesSpace) {
-  LruCache cache(100);
+TEST(FlatLruTest, EraseFreesSpace) {
+  FlatLru cache(100);
   cache.Insert(1, 60);
   EXPECT_TRUE(cache.Erase(1));
   EXPECT_FALSE(cache.Erase(1));
@@ -93,8 +93,8 @@ TEST(LruCacheTest, EraseFreesSpace) {
   EXPECT_TRUE(inserted);
 }
 
-TEST(LruCacheTest, ClearResets) {
-  LruCache cache(100);
+TEST(FlatLruTest, ClearResets) {
+  FlatLru cache(100);
   cache.Insert(1, 60);
   cache.Clear();
   EXPECT_EQ(cache.used_bytes(), 0u);
@@ -102,8 +102,8 @@ TEST(LruCacheTest, ClearResets) {
   EXPECT_FALSE(cache.Contains(1));
 }
 
-TEST(LruCacheTest, LruVictimIsOldestUntouched) {
-  LruCache cache(1000);
+TEST(FlatLruTest, LruVictimIsOldestUntouched) {
+  FlatLru cache(1000);
   cache.Insert(1, 10);
   cache.Insert(2, 10);
   cache.Insert(3, 10);
@@ -114,9 +114,9 @@ TEST(LruCacheTest, LruVictimIsOldestUntouched) {
 
 // Property test: used_bytes always equals the sum of resident object
 // sizes, and never exceeds capacity.
-TEST(LruCacheTest, RandomOpsPreserveByteAccounting) {
+TEST(FlatLruTest, RandomOpsPreserveByteAccounting) {
   util::Rng rng(77);
-  LruCache cache(500);
+  FlatLru cache(500);
   std::unordered_map<ObjectId, uint64_t> resident;
   for (int step = 0; step < 20000; ++step) {
     const ObjectId id = static_cast<ObjectId>(rng.NextUint64(60));
@@ -137,7 +137,11 @@ TEST(LruCacheTest, RandomOpsPreserveByteAccounting) {
     ASSERT_EQ(cache.used_bytes(), sum);
     ASSERT_LE(cache.used_bytes(), cache.capacity_bytes());
     ASSERT_EQ(cache.num_objects(), resident.size());
+    if (step % 997 == 0) {
+      ASSERT_TRUE(cache.CheckInvariants());
+    }
   }
+  ASSERT_TRUE(cache.CheckInvariants());
 }
 
 }  // namespace

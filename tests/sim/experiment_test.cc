@@ -1,7 +1,9 @@
 #include "sim/experiment.h"
 
+#include <algorithm>
 #include <cstdio>
 #include <fstream>
+#include <thread>
 
 #include <gtest/gtest.h>
 
@@ -194,10 +196,21 @@ TEST(ExperimentTest, ParallelRunAllMatchesSequentialEnRoute) {
 }
 
 TEST(ExperimentTest, ResolveJobsHonorsExplicitRequest) {
+  const int hw = static_cast<int>(
+      std::max(1u, std::thread::hardware_concurrency()));
   EXPECT_EQ(ResolveJobs(1), 1);
-  EXPECT_EQ(ResolveJobs(7), 7);
+  EXPECT_EQ(ResolveJobs(7), std::min(7, hw));
   // 0 resolves from the environment / hardware; it is always >= 1.
   EXPECT_GE(ResolveJobs(0), 1);
+}
+
+TEST(ExperimentTest, ResolveJobsClampsToHardwareConcurrency) {
+  const int hw = static_cast<int>(
+      std::max(1u, std::thread::hardware_concurrency()));
+  // A forced value beyond the machine is clamped, never honored.
+  EXPECT_EQ(ResolveJobs(hw), hw);
+  EXPECT_EQ(ResolveJobs(hw + 13), hw);
+  EXPECT_EQ(ResolveJobs(100000), hw);
 }
 
 TEST(ExperimentTest, DeterministicAcrossRunners) {

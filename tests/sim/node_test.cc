@@ -231,5 +231,70 @@ TEST(CacheNodeTest, ResetClearsEverything) {
   EXPECT_EQ(node.capacity_bytes(), 500u);
 }
 
+// Reset with an unchanged store shape (mode, capacity, d-cache config)
+// must recycle the pooled slots in place: same store objects, same slot
+// span, no stale index entries left behind — the path fault-plane crash
+// restarts and repeated Run() calls exercise per node.
+TEST(CacheNodeTest, ResetReusesLruSlotsInPlace) {
+  CacheNode node(0, LruConfig());
+  for (ObjectId id = 0; id < 8; ++id) node.lru()->Insert(id, 100);
+  cache::FlatLru* store_before = node.lru();
+  const size_t span_before = node.lru()->slot_span();
+  ASSERT_GT(span_before, 0u);
+
+  node.Reset(LruConfig());
+  EXPECT_EQ(node.lru(), store_before);  // In-place clear, not a rebuild.
+  EXPECT_EQ(node.lru()->slot_span(), span_before);
+  EXPECT_EQ(node.used_bytes(), 0u);
+  EXPECT_EQ(node.num_cached_objects(), 0u);
+  for (ObjectId id = 0; id < 8; ++id) {
+    EXPECT_FALSE(node.Contains(id)) << "stale index entry for " << id;
+    EXPECT_FALSE(node.lru()->Touch(id)) << "stale list entry for " << id;
+  }
+
+  // Refill: recycled slots, no pool growth, clean invariants.
+  for (ObjectId id = 100; id < 108; ++id) node.lru()->Insert(id, 100);
+  EXPECT_EQ(node.lru()->slot_span(), span_before);
+  EXPECT_TRUE(node.lru()->CheckInvariants());
+  EXPECT_TRUE(node.CheckInvariants());
+}
+
+TEST(CacheNodeTest, ResetReusesCostStoresInPlace) {
+  CacheNode node(0, CostConfig());
+  for (ObjectId id = 0; id < 5; ++id) {
+    ASSERT_TRUE(node.InsertCost(id, 100, 2.0, 1.0));
+  }
+  node.AdmitDescriptor(50, 10, 1.0);
+  cache::NclCache* ncl_before = node.ncl();
+  cache::DCache* dcache_before = node.dcache();
+
+  node.Reset(CostConfig());
+  EXPECT_EQ(node.ncl(), ncl_before);
+  EXPECT_EQ(node.dcache(), dcache_before);
+  EXPECT_EQ(node.used_bytes(), 0u);
+  for (ObjectId id = 0; id < 5; ++id) {
+    EXPECT_FALSE(node.Contains(id)) << "stale entry for " << id;
+    EXPECT_FALSE(node.DescriptorInMain(id));
+  }
+  EXPECT_EQ(node.FindDescriptor(50), nullptr);
+
+  // The plane is immediately usable again.
+  ASSERT_TRUE(node.InsertCost(7, 100, 2.0, 1.0));
+  EXPECT_TRUE(node.Contains(7));
+  EXPECT_TRUE(node.CheckInvariants());
+}
+
+TEST(CacheNodeTest, ResetRebuildsWhenShapeChanges) {
+  CacheNode node(0, LruConfig(1000));
+  node.lru()->Insert(1, 100);
+  node.Reset(LruConfig(2000));  // Different capacity: full rebuild.
+  EXPECT_EQ(node.capacity_bytes(), 2000u);
+  EXPECT_FALSE(node.Contains(1));
+  node.Reset(CostConfig());  // Different mode: full rebuild.
+  EXPECT_EQ(node.mode(), CacheMode::kCost);
+  EXPECT_NE(node.dcache(), nullptr);
+  EXPECT_TRUE(node.CheckInvariants());
+}
+
 }  // namespace
 }  // namespace cascache::sim

@@ -1,0 +1,169 @@
+#ifndef CASCACHE_TESTS_TESTING_REF_CACHES_H_
+#define CASCACHE_TESTS_TESTING_REF_CACHES_H_
+
+#include <cstdint>
+#include <list>
+#include <unordered_map>
+#include <vector>
+
+#include "cache/descriptor.h"
+#include "cache/dcache.h"
+#include "trace/object_catalog.h"
+#include "util/check.h"
+#include "util/indexed_heap.h"
+
+namespace cascache::testing {
+
+using trace::ObjectId;
+
+/// Reference LRU oracle: the historical `std::list` + `std::unordered_map`
+/// LruCache implementation, verbatim, kept in the tests only. The flat
+/// production store (cache::FlatLru) must stay behaviorally identical to
+/// this — the differential test drives both through long random op
+/// sequences and compares every observable.
+class RefLruCache {
+ public:
+  explicit RefLruCache(uint64_t capacity_bytes) : capacity_(capacity_bytes) {}
+
+  bool Contains(ObjectId id) const { return index_.count(id) > 0; }
+
+  bool Touch(ObjectId id) {
+    auto it = index_.find(id);
+    if (it == index_.end()) return false;
+    order_.splice(order_.begin(), order_, it->second);
+    return true;
+  }
+
+  std::vector<ObjectId> Insert(ObjectId id, uint64_t size,
+                               bool* inserted = nullptr) {
+    if (inserted != nullptr) *inserted = false;
+    std::vector<ObjectId> evicted;
+    if (Touch(id)) return evicted;  // Already present.
+    CASCACHE_CHECK(size > 0);
+    if (size > capacity_) return evicted;  // Cannot ever fit.
+
+    while (used_ + size > capacity_) {
+      CASCACHE_CHECK(!order_.empty());
+      const Entry victim = order_.back();
+      order_.pop_back();
+      index_.erase(victim.id);
+      used_ -= victim.size;
+      evicted.push_back(victim.id);
+    }
+    order_.push_front({id, size});
+    index_[id] = order_.begin();
+    used_ += size;
+    if (inserted != nullptr) *inserted = true;
+    return evicted;
+  }
+
+  bool Erase(ObjectId id) {
+    auto it = index_.find(id);
+    if (it == index_.end()) return false;
+    used_ -= it->second->size;
+    order_.erase(it->second);
+    index_.erase(it);
+    return true;
+  }
+
+  void Clear() {
+    order_.clear();
+    index_.clear();
+    used_ = 0;
+  }
+
+  uint64_t capacity_bytes() const { return capacity_; }
+  uint64_t used_bytes() const { return used_; }
+  size_t num_objects() const { return index_.size(); }
+
+  ObjectId LruVictim() const {
+    CASCACHE_CHECK(!order_.empty());
+    return order_.back().id;
+  }
+
+ private:
+  struct Entry {
+    ObjectId id;
+    uint64_t size;
+  };
+
+  uint64_t capacity_;
+  uint64_t used_ = 0;
+  /// Front = most recently used, back = least recently used.
+  std::list<Entry> order_;
+  std::unordered_map<ObjectId, std::list<Entry>::iterator> index_;
+};
+
+/// Reference d-cache oracle: the historical `unordered_map` descriptor
+/// store + hash-indexed eviction heap, verbatim. The pooled production
+/// DCache must match it observably under both policies.
+class RefDCache {
+ public:
+  explicit RefDCache(size_t max_descriptors,
+                     cache::DCachePolicy policy = cache::DCachePolicy::kLfu)
+      : capacity_(max_descriptors), policy_(policy) {}
+
+  cache::DCachePolicy policy() const { return policy_; }
+
+  bool Contains(ObjectId id) const { return descriptors_.count(id) > 0; }
+
+  cache::ObjectDescriptor* Find(ObjectId id) {
+    auto it = descriptors_.find(id);
+    return it == descriptors_.end() ? nullptr : &it->second;
+  }
+
+  cache::ObjectDescriptor* Insert(ObjectId id,
+                                  const cache::ObjectDescriptor& desc) {
+    if (capacity_ == 0) return nullptr;
+    auto it = descriptors_.find(id);
+    if (it != descriptors_.end()) {
+      it->second = desc;
+      heap_.Update(id, PriorityOf(desc));
+      return &it->second;
+    }
+    if (descriptors_.size() >= capacity_) {
+      // Admission: do not displace a higher-priority descriptor.
+      if (PriorityOf(desc) < heap_.Top().second) return nullptr;
+      const ObjectId victim = heap_.Pop().first;
+      descriptors_.erase(victim);
+    }
+    auto [new_it, ok] = descriptors_.emplace(id, desc);
+    CASCACHE_CHECK(ok);
+    heap_.Push(id, PriorityOf(desc));
+    return &new_it->second;
+  }
+
+  void Refresh(ObjectId id, const cache::ObjectDescriptor& desc) {
+    if (!heap_.Contains(id)) return;
+    heap_.Update(id, PriorityOf(desc));
+  }
+
+  bool Erase(ObjectId id) {
+    if (descriptors_.erase(id) == 0) return false;
+    CASCACHE_CHECK(heap_.Erase(id));
+    return true;
+  }
+
+  void Clear() {
+    descriptors_.clear();
+    heap_.Clear();
+  }
+
+  size_t size() const { return descriptors_.size(); }
+  size_t capacity() const { return capacity_; }
+
+ private:
+  double PriorityOf(const cache::ObjectDescriptor& desc) const {
+    if (policy_ == cache::DCachePolicy::kLfu) return desc.frequency;
+    return desc.num_accesses == 0 ? 0.0 : desc.KthMostRecentAccess(1);
+  }
+
+  size_t capacity_;
+  cache::DCachePolicy policy_;
+  std::unordered_map<ObjectId, cache::ObjectDescriptor> descriptors_;
+  util::IndexedMinHeap<ObjectId> heap_;
+};
+
+}  // namespace cascache::testing
+
+#endif  // CASCACHE_TESTS_TESTING_REF_CACHES_H_
