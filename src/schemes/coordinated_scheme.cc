@@ -126,6 +126,13 @@ void CoordinatedScheme::OnServe(sim::MessageContext& ctx) {
   ascent_.clear();
 }
 
+void CoordinatedScheme::OnAbort() {
+  // Shed mid-ascent: the hop records below the refusal never reach a
+  // serving node. Without this, the next request's OnServe would
+  // reassemble them against its own (differently sized) path.
+  ascent_.clear();
+}
+
 void CoordinatedScheme::OnDescend(sim::MessageContext& ctx, int hop) {
   // --- Response descent: miss-penalty refresh + placements. -------------
   const std::vector<double>& costs = *ctx.link_costs;

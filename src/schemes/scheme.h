@@ -38,13 +38,17 @@ using trace::ObjectId;
 ///    (recency/frequency touch) belongs.
 ///  - OnDescend(ctx, hop) for hop = first_missing .. 0, descending, at
 ///    every node below the serving point.
+///  - OnAbort(): instead of OnServe when the exchange dies mid-ascent
+///    (an overloaded node queue refused the request). OnAscend may
+///    already have run at the hops below the refusal; any per-request
+///    scratch they accumulated must be discarded here.
 ///
 /// Schemes attach piggyback state by mutating ctx.request /
 /// ctx.response (payload bytes, penalty counter) and their own members;
 /// per-hop scratch carried across hooks of one request must be cleared
-/// before OnServe returns. A scheme instance is used by exactly one
-/// simulation run, so it needs no internal synchronization even when
-/// sweeps run cells in parallel.
+/// before OnServe (or OnAbort) returns. A scheme instance is used by
+/// exactly one simulation run, so it needs no internal synchronization
+/// even when sweeps run cells in parallel.
 class CachingScheme {
  public:
   virtual ~CachingScheme() = default;
@@ -92,6 +96,13 @@ class CachingScheme {
   /// The request reached its serving point (cache hit at
   /// ctx.hit_index(), or the origin when ctx.origin_served()).
   virtual void OnServe(sim::MessageContext& ctx) = 0;
+
+  /// The exchange ended before a serving point was reached (shed by an
+  /// overloaded queue): OnServe and OnDescend will not run for this
+  /// request. Schemes that accumulate per-request ascent scratch must
+  /// drop it here; node state mutated by OnAscend stands (those hops
+  /// really processed the message).
+  virtual void OnAbort() {}
 
   /// Response descent: the object passes through the node at path index
   /// `hop` on its way to the requester. Default: no placement.

@@ -32,16 +32,26 @@ double CostModel::LinkCost(double link_delay, uint64_t size_bytes,
                            double mean_object_size) const {
   const double size_scale =
       static_cast<double>(size_bytes) / mean_object_size;
+  // Under the event-driven replay a finite link also charges the
+  // transmission time; with infinite bandwidth (analytic mode) the term
+  // vanishes and the historical costs are returned bit-identically.
+  const double transfer =
+      params_.link_transfer_bandwidth > 0.0
+          ? static_cast<double>(size_bytes) / params_.link_transfer_bandwidth
+          : 0.0;
   switch (params_.kind) {
     case CostModelKind::kLatency:
-      return link_delay * size_scale;
+      return link_delay * size_scale + transfer;
     case CostModelKind::kBandwidth:
       return size_scale;
     case CostModelKind::kHops:
       return 1.0;
     case CostModelKind::kWeighted:
+      // Grouping matters: the historical term alpha*delay*scale is kept
+      // as-is (adding a zero transfer term is exact) so analytic-mode
+      // weighted costs do not move by a rounding step.
       return params_.alpha * link_delay * size_scale +
-             params_.beta * size_scale;
+             params_.alpha * transfer + params_.beta * size_scale;
   }
   return 0.0;
 }

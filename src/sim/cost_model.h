@@ -36,6 +36,12 @@ struct CostModelParams {
   /// Weights for kWeighted (ignored otherwise).
   double alpha = 1.0;
   double beta = 1.0;
+  /// Link bandwidth in bytes/second under the event-driven (contention)
+  /// replay; the Simulator fills it from ContentionParams. When > 0 the
+  /// latency-flavored costs include the transmission time
+  /// size/bandwidth, so cost-aware schemes optimize what a loaded link
+  /// actually charges. 0 (analytic mode) leaves costs untouched.
+  double link_transfer_bandwidth = 0.0;
 };
 
 /// Maps a link traversal to the generic cost the schemes optimize.

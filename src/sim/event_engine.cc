@@ -1,0 +1,33 @@
+#include "sim/event_engine.h"
+
+namespace cascache::sim {
+
+void EventEngine::Schedule(EventKind kind, double time, uint64_t payload) {
+  // An event before the clock would have to be processed in a past the
+  // replay already committed; the two schedulers (trace arrivals, which
+  // are monotonized, and completions, which start from the current
+  // attempt time) cannot produce one.
+  CASCACHE_CHECK(time >= clock_.now());
+  Event event;
+  event.time = time;
+  event.kind = kind;
+  event.seq = next_seq_++;
+  event.payload = payload;
+  heap_.push(event);
+}
+
+bool EventEngine::Pop(Event* out) {
+  if (heap_.empty()) return false;
+  *out = heap_.top();
+  heap_.pop();
+  clock_.Set(out->time);
+  return true;
+}
+
+void EventEngine::Reset() {
+  heap_ = std::priority_queue<Event, std::vector<Event>, Later>();
+  clock_.Reset();
+  next_seq_ = 0;
+}
+
+}  // namespace cascache::sim

@@ -1,0 +1,101 @@
+#ifndef CASCACHE_SIM_EVENT_ENGINE_H_
+#define CASCACHE_SIM_EVENT_ENGINE_H_
+
+#include <cstdint>
+#include <queue>
+#include <vector>
+
+#include "util/check.h"
+
+namespace cascache::sim {
+
+/// The one simulated-time source of the replay core. Both scheduling
+/// policies of the simulator advance it and read request start times off
+/// it:
+///
+///  - analytic (default): the replay loop Set()s the clock to each trace
+///    request's timestamp — time is carried by the trace, latency is a
+///    closed-form sum, and the event heap stays empty;
+///  - event-driven (contention): EventEngine::Pop() advances the clock to
+///    the popped event's time — time is carried by the heap.
+///
+/// Everything downstream (coherency TTL checks, fault-schedule
+/// evaluation, retry backoff) derives its `ctx.now` from this clock: the
+/// simulator initializes the attempt time from now() and extends it with
+/// the request's own waits (retries, queueing), so one request's stalls
+/// never advance global time.
+class VirtualClock {
+ public:
+  double now() const { return now_; }
+  /// Re-anchors the clock at an arrival's timestamp (analytic replay and
+  /// direct Step() drivers; monotone for a sorted trace).
+  void Set(double t) { now_ = t; }
+  void Advance(double dt) { now_ += dt; }
+  void Reset() { now_ = 0.0; }
+
+ private:
+  double now_ = 0.0;
+};
+
+/// Event kinds on the engine's heap. The numeric order is the tie-break
+/// order at equal timestamps: completions drain before the next arrival
+/// is admitted, so a zero-contention event-driven replay records requests
+/// in exact trace order (the property the analytic-equivalence tests pin).
+enum class EventKind : uint8_t {
+  kCompletion = 0,  ///< A request's response reached its requester.
+  kArrival = 1,     ///< A request enters the hierarchy.
+};
+
+struct Event {
+  double time = 0.0;
+  EventKind kind = EventKind::kArrival;
+  /// Scheduling sequence number: the final tie-break, so identical
+  /// (time, kind) pairs pop in the order they were scheduled and the
+  /// whole replay is deterministic.
+  uint64_t seq = 0;
+  /// Caller-defined: the request's trace index for arrivals, the pending
+  /// completion slot for completions.
+  uint64_t payload = 0;
+};
+
+/// Time-ordered event heap + the VirtualClock it drives. Events pop in
+/// (time, kind, seq) order; Pop() advances the clock to the popped
+/// event's time, which is the only way time moves in the event-driven
+/// replay. Scheduling into the past is a programming error (it would
+/// re-order an already-processed prefix) and aborts.
+class EventEngine {
+ public:
+  VirtualClock& clock() { return clock_; }
+  const VirtualClock& clock() const { return clock_; }
+
+  void Schedule(EventKind kind, double time, uint64_t payload);
+
+  /// Pops the earliest event into `*out` and advances the clock to its
+  /// time; returns false when the heap is empty (clock unchanged).
+  bool Pop(Event* out);
+
+  size_t pending() const { return heap_.size(); }
+
+  /// Drops all pending events and resets the clock and the sequence
+  /// counter (a fresh Run()).
+  void Reset();
+
+ private:
+  /// Min-heap order: `a` pops later than `b` iff (time, kind, seq)
+  /// compares greater.
+  struct Later {
+    bool operator()(const Event& a, const Event& b) const {
+      if (a.time != b.time) return a.time > b.time;
+      if (a.kind != b.kind) return a.kind > b.kind;
+      return a.seq > b.seq;
+    }
+  };
+
+  std::priority_queue<Event, std::vector<Event>, Later> heap_;
+  VirtualClock clock_;
+  uint64_t next_seq_ = 0;
+};
+
+}  // namespace cascache::sim
+
+#endif  // CASCACHE_SIM_EVENT_ENGINE_H_

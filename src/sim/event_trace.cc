@@ -58,6 +58,10 @@ const char* TraceEventTypeName(TraceEventType type) {
       return "request_failed";
     case TraceEventType::kFaultDegraded:
       return "fault_degraded";
+    case TraceEventType::kQueueDepth:
+      return "queue_depth";
+    case TraceEventType::kShed:
+      return "shed";
   }
   return "unknown";
 }

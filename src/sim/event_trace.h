@@ -46,6 +46,9 @@ enum class TraceEventType : uint8_t {
   kRetry,                 ///< A timed-out request was retried.
   kRequestFailed,         ///< A request exhausted its retries.
   kFaultDegraded,         ///< A scheme fell back to no-state behavior.
+  // Contention records (emitted only by the event-driven replay).
+  kQueueDepth,            ///< Ops ahead of an admitted op at a node queue.
+  kShed,                  ///< A node queue refused an op (request/store).
 };
 
 /// Stable wire name of a record type (the JSONL "type" field).

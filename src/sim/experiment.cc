@@ -194,14 +194,24 @@ util::Status WriteResultsCsv(const std::vector<RunResult>& results,
       "avg_request_msg_bytes,avg_response_msg_bytes,avg_message_bytes,"
       "wall_seconds,requests_per_sec,warmup_seconds,measure_seconds,"
       "retries,failed_requests,reroutes,crashes_applied,"
-      "degraded_decisions");
+      "degraded_decisions,served_requests,shed_requests,shed_placements,"
+      "avg_queue_wait,max_queue_depth");
   for (const RunResult& r : results) {
     const MetricsSummary& m = r.metrics;
-    char buf[640];
+    // Peak queue depth is a gauge, reported as the max over the per-node
+    // gauges (0 under the analytic policy: no queues).
+    unsigned long long max_queue_depth = 0;
+    for (const NodeUsage& u : r.per_node) {
+      max_queue_depth = std::max(
+          max_queue_depth,
+          static_cast<unsigned long long>(u.counters.max_queue_depth));
+    }
+    char buf[768];
     std::snprintf(
         buf, sizeof(buf),
         "%s,%.6g,%llu,%llu,%.8g,%.8g,%.8g,%.8g,%.8g,%.8g,%.8g,%.8g,"
-        "%.8g,%.8g,%.8g,%.8g,%.6g,%.6g,%.6g,%.6g,%llu,%llu,%llu,%llu,%llu",
+        "%.8g,%.8g,%.8g,%.8g,%.6g,%.6g,%.6g,%.6g,%llu,%llu,%llu,%llu,%llu,"
+        "%llu,%llu,%llu,%.8g,%llu",
         util::CsvEscape(r.scheme).c_str(), r.cache_fraction,
         static_cast<unsigned long long>(r.capacity_bytes),
         static_cast<unsigned long long>(m.requests), m.avg_latency,
@@ -214,7 +224,11 @@ util::Status WriteResultsCsv(const std::vector<RunResult>& results,
         static_cast<unsigned long long>(m.failed_requests),
         static_cast<unsigned long long>(m.reroutes),
         static_cast<unsigned long long>(m.crashes_applied),
-        static_cast<unsigned long long>(m.degraded_decisions));
+        static_cast<unsigned long long>(m.degraded_decisions),
+        static_cast<unsigned long long>(m.served_requests),
+        static_cast<unsigned long long>(m.shed_requests),
+        static_cast<unsigned long long>(m.shed_placements),
+        m.avg_queue_wait, max_queue_depth);
     csv.WriteLine(buf);
   }
   return csv.Close();
@@ -226,11 +240,11 @@ namespace {
 void WriteCountersRow(util::CsvWriter* csv, const RunResult& r,
                       const char* scope, int node, int level,
                       const NodeCounters& c) {
-  char buf[512];
+  char buf[640];
   std::snprintf(
       buf, sizeof(buf),
       "%s,%.6g,%s,%d,%d,%llu,%llu,%llu,%llu,%llu,%llu,%llu,%llu,%llu,%llu,"
-      "%llu,%llu,%llu,%llu,%llu,%llu",
+      "%llu,%llu,%llu,%llu,%llu,%llu,%llu,%llu,%llu,%llu",
       util::CsvEscape(r.scheme).c_str(), r.cache_fraction, scope, node, level,
       static_cast<unsigned long long>(c.requests_seen()),
       static_cast<unsigned long long>(c.hits),
@@ -247,7 +261,12 @@ void WriteCountersRow(util::CsvWriter* csv, const RunResult& r,
       static_cast<unsigned long long>(c.crashes),
       static_cast<unsigned long long>(c.retries),
       static_cast<unsigned long long>(c.reroutes),
-      static_cast<unsigned long long>(c.degraded));
+      static_cast<unsigned long long>(c.degraded),
+      static_cast<unsigned long long>(c.sheds),
+      static_cast<unsigned long long>(c.store_sheds),
+      static_cast<unsigned long long>(c.max_queue_depth),
+      // Total byte load the node handled: reads served + writes stored.
+      static_cast<unsigned long long>(c.bytes_served + c.bytes_cached));
   csv->WriteLine(buf);
 }
 
@@ -260,7 +279,7 @@ util::Status WritePerNodeCsv(const std::vector<RunResult>& results,
       "scheme,cache_fraction,scope,node,level,requests,hits,misses,"
       "evictions,placements,placements_rejected,expirations,invalidations,"
       "stale_serves,dcache_hits,bytes_served,bytes_cached,crashes,retries,"
-      "reroutes,degraded");
+      "reroutes,degraded,sheds,store_sheds,max_queue_depth,load_bytes");
   for (const RunResult& r : results) {
     int max_level = 0;
     for (const NodeUsage& u : r.per_node) {

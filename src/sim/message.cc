@@ -59,6 +59,30 @@ void MessageContext::EmitDegradedTrace(topology::NodeId node_id,
                 static_cast<double>(hop));
 }
 
+void MessageContext::EmitShedTrace(topology::NodeId node_id,
+                                   uint32_t depth) const {
+  EmitNodeEvent(TraceEventType::kShed, node_id, static_cast<double>(depth));
+}
+
+void MessageContext::CommitStoreService(topology::NodeId node_id) {
+  const double cost = contention->store_cost;
+  if (cost <= 0.0) return;
+  const QueueingPlane::Admission adm =
+      queueing->AdmitOp(node_id, now, cost, contention->node_queue_capacity);
+  // The descent pre-checks WouldShed before letting the scheme place, so
+  // this admission cannot refuse: the op only waits and serves.
+  metrics->queue_wait += adm.wait;
+  now += adm.wait + cost;
+  if (telemetry.node_counters != nullptr) {
+    NodeCounters& c = telemetry.node_counters[node_id];
+    if (adm.depth > c.max_queue_depth) c.max_queue_depth = adm.depth;
+  }
+  if (telemetry.trace != nullptr) {
+    EmitNodeEvent(TraceEventType::kQueueDepth, node_id,
+                  static_cast<double>(adm.depth));
+  }
+}
+
 std::string MessageContext::DebugString() const {
   char buf[256];
   std::snprintf(

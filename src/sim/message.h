@@ -7,6 +7,7 @@
 
 #include "sim/cache_set.h"
 #include "sim/metrics.h"
+#include "sim/queueing.h"
 #include "trace/object_catalog.h"
 
 namespace cascache::sim {
@@ -69,6 +70,10 @@ struct ResponseMessage {
   /// Set by the simulator for that hop only; schemes skip placement and
   /// penalty refresh there.
   bool decision_lost = false;
+  /// Event-driven replay: a full node queue refused the request on the
+  /// ascent. The exchange ends where it was refused — no serve, no
+  /// descent, no placements.
+  bool shed = false;
 };
 
 /// Everything one request/response exchange knows, shared by the
@@ -104,6 +109,12 @@ struct MessageContext {
   ExchangeTelemetry telemetry;
   RequestMessage request;
   ResponseMessage response;
+  /// Event-driven replay only: the queueing plane and the contention
+  /// knobs, so placement commits charge their store service where they
+  /// happen (RecordPlacement). Both null under the analytic policy, which
+  /// then pays one null check per accepted placement.
+  QueueingPlane* queueing = nullptr;
+  const ContentionParams* contention = nullptr;
 
   bool origin_served() const { return response.hit_index < 0; }
   int hit_index() const { return response.hit_index; }
@@ -151,7 +162,9 @@ struct MessageContext {
   void RecordPlacement(int hop, const std::vector<trace::ObjectId>& evicted);
 
   /// Same, for a node off the request path caching `object_id`
-  /// (STATIC's freeze fills every cache at once).
+  /// (STATIC's freeze fills every cache at once). Freeze fills are bulk
+  /// provisioning, not request-driven stores, so they charge no store
+  /// service under the event-driven replay.
   void RecordPlacementAt(topology::NodeId node_id, trace::ObjectId object_id,
                          uint64_t bytes,
                          const std::vector<trace::ObjectId>& evicted);
@@ -169,6 +182,12 @@ struct MessageContext {
   /// back to its no-state behavior there because the node was down or
   /// the message block it needed was lost (fault plane).
   void RecordDegraded(int hop);
+
+  /// Records a store-queue shed at path index `hop` (event-driven replay):
+  /// the node's queue was full, so the descending placement decision was
+  /// dropped there (the simulator also raises decision_lost for the hop).
+  /// `depth` is the backlog depth that caused the refusal.
+  void RecordStoreShed(int hop, uint32_t depth);
 
   /// Tree depth of a node for trace records (0 when levels are unknown).
   int32_t NodeLevel(topology::NodeId node_id) const {
@@ -191,6 +210,13 @@ struct MessageContext {
   void EmitPlacementRejectedTrace(topology::NodeId node_id) const;
   void EmitDCacheHitTrace(topology::NodeId node_id) const;
   void EmitDegradedTrace(topology::NodeId node_id, int hop) const;
+  void EmitShedTrace(topology::NodeId node_id, uint32_t depth) const;
+
+  /// Event-driven replay: charges an accepted placement's store service
+  /// at `node_id` — FIFO wait behind the node's backlog plus the store
+  /// cost — advancing the exchange's `now` and the request's queue-wait
+  /// total. Out of line: runs only when a placement actually happens.
+  void CommitStoreService(topology::NodeId node_id);
 };
 
 inline void MessageContext::RecordPlacement(
@@ -207,6 +233,7 @@ inline void MessageContext::RecordPlacement(
   if (telemetry.trace != nullptr) {
     EmitPlacementTrace(node_id, object, size, evicted);
   }
+  if (queueing != nullptr) CommitStoreService(node_id);
 }
 
 inline void MessageContext::RecordPlacementAt(
@@ -253,6 +280,17 @@ inline void MessageContext::RecordDegraded(int hop) {
   }
   if (telemetry.trace != nullptr) {
     EmitDegradedTrace(node_id, hop);
+  }
+}
+
+inline void MessageContext::RecordStoreShed(int hop, uint32_t depth) {
+  ++metrics->placements_shed;
+  const topology::NodeId node_id = (*path)[static_cast<size_t>(hop)];
+  if (telemetry.node_counters != nullptr) {
+    ++telemetry.node_counters[node_id].store_sheds;
+  }
+  if (telemetry.trace != nullptr) {
+    EmitShedTrace(node_id, depth);
   }
 }
 

@@ -22,6 +22,12 @@ NodeCounters& NodeCounters::operator+=(const NodeCounters& other) {
   retries += other.retries;
   reroutes += other.reroutes;
   degraded += other.degraded;
+  sheds += other.sheds;
+  store_sheds += other.store_sheds;
+  // Gauge, not a count: a rollup reports the deepest queue in the set.
+  if (other.max_queue_depth > max_queue_depth) {
+    max_queue_depth = other.max_queue_depth;
+  }
   return *this;
 }
 
@@ -33,6 +39,34 @@ NodeCounters MetricsCollector::NodeTotals() const {
   NodeCounters total;
   for (const NodeCounters& c : node_counters_) total += c;
   return total;
+}
+
+void MetricsCollector::FlushBlock(const BlockStats& acc) {
+  requests_ += acc.requests;
+  hits_ += acc.hits;
+  total_bytes_ += acc.total_bytes;
+  hit_bytes_ += acc.hit_bytes;
+  read_bytes_ += acc.read_bytes;
+  write_bytes_ += acc.write_bytes;
+  stale_hits_ += acc.stale_hits;
+  copies_expired_ += acc.copies_expired;
+  copies_invalidated_ += acc.copies_invalidated;
+  request_msg_bytes_ += acc.request_msg_bytes;
+  response_msg_bytes_ += acc.response_msg_bytes;
+  insertions_ += acc.insertions;
+  retries_ += acc.retries;
+  failed_requests_ += acc.failed;
+  reroutes_ += acc.reroutes;
+  crashes_applied_ += acc.crashes;
+  degraded_decisions_ += acc.degraded;
+  shed_requests_ += acc.shed_requests;
+  shed_placements_ += acc.shed_placements;
+}
+
+void MetricsCollector::RecordBlock(const RequestMetrics* batch, size_t count) {
+  BlockStats acc;
+  for (size_t i = 0; i < count; ++i) RecordInBlock(batch[i], &acc);
+  FlushBlock(acc);
 }
 
 MetricsSummary MetricsCollector::Summary() const {
@@ -76,6 +110,11 @@ MetricsSummary MetricsCollector::Summary() const {
   s.reroutes = reroutes_;
   s.crashes_applied = crashes_applied_;
   s.degraded_decisions = degraded_decisions_;
+  s.shed_requests = shed_requests_;
+  s.shed_placements = shed_placements_;
+  s.served_requests = requests_ - failed_requests_ - shed_requests_;
+  s.bytes_read = read_bytes_;
+  s.avg_queue_wait = queue_wait_sum_ / static_cast<double>(requests_);
   return s;
 }
 

@@ -53,6 +53,16 @@ struct RequestMetrics {
   /// Hops where the scheme fell back to its no-state behavior because a
   /// node was down or a message block was lost.
   int degraded = 0;
+  // --- Contention (all zero under the analytic scheduling policy). --------
+  /// The request was refused by an overloaded node queue and never
+  /// served; its latency is the time it spent queueing up to the refusal.
+  bool shed = false;
+  /// Placement decisions dropped on the descent because a node's store
+  /// queue was full (the request itself was still served).
+  int placements_shed = 0;
+  /// Seconds this request spent waiting in node and link queues (service
+  /// and transmission time excluded).
+  double queue_wait = 0.0;
 };
 
 /// Counters one cache node accumulates over the measured phase of a run
@@ -76,6 +86,13 @@ struct NodeCounters {
   uint64_t retries = 0;       ///< Retries of requests entering here.
   uint64_t reroutes = 0;      ///< Detoured requests entering here.
   uint64_t degraded = 0;      ///< Degraded scheme decisions at this node.
+  // --- Contention (all zero under the analytic scheduling policy). --------
+  uint64_t sheds = 0;         ///< Requests refused by this node's queue.
+  uint64_t store_sheds = 0;   ///< Placement decisions its queue dropped.
+  /// Peak operations-ahead observed at an admission here. A gauge, not a
+  /// count: operator+= takes the max, so rollups report the deepest
+  /// queue seen anywhere in the rolled-up set.
+  uint64_t max_queue_depth = 0;
 
   /// Requests that consulted this node (every hop either hits or misses).
   uint64_t requests_seen() const { return hits + misses; }
@@ -123,6 +140,19 @@ struct MetricsSummary {
   uint64_t reroutes = 0;
   uint64_t crashes_applied = 0;
   uint64_t degraded_decisions = 0;
+  /// Contention totals (all zero under the analytic policy). Each
+  /// reconciles integer-exactly with the per-node counters: a shed
+  /// request is counted at the refusing node, a shed placement at the
+  /// node whose store queue dropped it, and bytes_read — the read side of
+  /// the cache load — equals the per-node bytes_served total (the write
+  /// side, bytes_written, was already exact).
+  uint64_t shed_requests = 0;
+  uint64_t shed_placements = 0;
+  /// requests - failed_requests - shed_requests: requests that actually
+  /// received their object.
+  uint64_t served_requests = 0;
+  uint64_t bytes_read = 0;
+  double avg_queue_wait = 0.0;
 
   std::string ToString() const;
 };
@@ -161,7 +191,87 @@ class MetricsCollector {
     if (metrics.rerouted) ++reroutes_;
     crashes_applied_ += static_cast<uint64_t>(metrics.crashes_applied);
     degraded_decisions_ += static_cast<uint64_t>(metrics.degraded);
+    if (metrics.shed) ++shed_requests_;
+    shed_placements_ += static_cast<uint64_t>(metrics.placements_shed);
+    queue_wait_sum_ += metrics.queue_wait;
   }
+
+  /// Block-accumulation state for the batched replay (ROADMAP item 1:
+  /// the per-request Record() call left ~18 read-modify-write member
+  /// updates per request as the remaining metrics cost). Integer-only by
+  /// design: integer addition is associative, so deferring these to one
+  /// FlushBlock() is bit-identical, while every order-sensitive float
+  /// (the Welford stats, the queue-wait sum) must keep hitting the
+  /// collector per request in trace order. The Welford divisions
+  /// themselves cannot be batched without changing results — the golden
+  /// CSV pins their per-request rounding — so batching recovers the
+  /// bookkeeping around them, not the divisions.
+  struct BlockStats {
+    uint64_t requests = 0;
+    uint64_t hits = 0;
+    uint64_t total_bytes = 0;
+    uint64_t hit_bytes = 0;
+    uint64_t read_bytes = 0;
+    uint64_t write_bytes = 0;
+    uint64_t stale_hits = 0;
+    uint64_t copies_expired = 0;
+    uint64_t copies_invalidated = 0;
+    uint64_t request_msg_bytes = 0;
+    uint64_t response_msg_bytes = 0;
+    uint64_t insertions = 0;
+    uint64_t retries = 0;
+    uint64_t failed = 0;
+    uint64_t reroutes = 0;
+    uint64_t crashes = 0;
+    uint64_t degraded = 0;
+    uint64_t shed_requests = 0;
+    uint64_t shed_placements = 0;
+  };
+
+  /// Streams one request into an open block: the order-sensitive stats
+  /// update the collector directly (same operation sequence as Record()),
+  /// the integer counters accumulate in `acc` for a later FlushBlock().
+  /// RecordInBlock(m, &acc) ... FlushBlock(acc) == Record(m) ... exactly,
+  /// to the bit. Inline for the same reason Record() is.
+  void RecordInBlock(const RequestMetrics& metrics, BlockStats* acc) {
+    ++acc->requests;
+    latency_.Add(metrics.latency);
+    response_ratio_.Add(metrics.latency /
+                        (static_cast<double>(metrics.size_bytes) /
+                         kBytesPerMb));
+    hops_.Add(static_cast<double>(metrics.hops));
+    traffic_.Add(static_cast<double>(metrics.size_bytes) *
+                 static_cast<double>(metrics.hops));
+    queue_wait_sum_ += metrics.queue_wait;
+    acc->total_bytes += metrics.size_bytes;
+    if (metrics.cache_hit) {
+      ++acc->hits;
+      acc->hit_bytes += metrics.size_bytes;
+    }
+    acc->read_bytes += metrics.read_bytes;
+    acc->write_bytes += metrics.write_bytes;
+    if (metrics.stale_hit) ++acc->stale_hits;
+    acc->copies_expired += static_cast<uint64_t>(metrics.copies_expired);
+    acc->copies_invalidated +=
+        static_cast<uint64_t>(metrics.copies_invalidated);
+    acc->request_msg_bytes += metrics.request_msg_bytes;
+    acc->response_msg_bytes += metrics.response_msg_bytes;
+    acc->insertions += static_cast<uint64_t>(metrics.insertions);
+    acc->retries += static_cast<uint64_t>(metrics.retries);
+    if (metrics.failed) ++acc->failed;
+    if (metrics.rerouted) ++acc->reroutes;
+    acc->crashes += static_cast<uint64_t>(metrics.crashes_applied);
+    acc->degraded += static_cast<uint64_t>(metrics.degraded);
+    if (metrics.shed) ++acc->shed_requests;
+    acc->shed_placements += static_cast<uint64_t>(metrics.placements_shed);
+  }
+
+  /// Folds an accumulated block's integer totals into the aggregates.
+  void FlushBlock(const BlockStats& acc);
+
+  /// Folds a contiguous block of requests at once: RecordInBlock over the
+  /// batch plus one FlushBlock. Bit-identical to `count` Record() calls.
+  void RecordBlock(const RequestMetrics* batch, size_t count);
 
   void Reset();
 
@@ -213,6 +323,9 @@ class MetricsCollector {
   uint64_t reroutes_ = 0;
   uint64_t crashes_applied_ = 0;
   uint64_t degraded_decisions_ = 0;
+  uint64_t shed_requests_ = 0;
+  uint64_t shed_placements_ = 0;
+  double queue_wait_sum_ = 0.0;
   std::vector<NodeCounters> node_counters_;
 };
 

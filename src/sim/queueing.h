@@ -1,0 +1,129 @@
+#ifndef CASCACHE_SIM_QUEUEING_H_
+#define CASCACHE_SIM_QUEUEING_H_
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "topology/graph.h"
+#include "util/status.h"
+
+namespace cascache::sim {
+
+/// Contention knobs of the event-driven replay (DESIGN.md "Event engine &
+/// contention"). All zero by default, which keeps the simulator on the
+/// analytic scheduling policy: latency is the closed-form sum of link
+/// delays and the event heap is never consulted. Setting any knob (or
+/// `enabled`) switches Run() to the event-driven policy, where nodes have
+/// per-operation service costs and bounded FIFO queues, links have finite
+/// bandwidth with FIFO transmission, and arrivals can be replayed
+/// open-loop on a rate ramp instead of at their trace timestamps.
+struct ContentionParams {
+  /// Forces the event-driven replay even with all costs at zero (used by
+  /// the analytic-equivalence tests; a zero-cost event-driven run must
+  /// reproduce the analytic results exactly).
+  bool enabled = false;
+  /// Node service seconds per ascent cache lookup.
+  double lookup_cost = 0.0;
+  /// Node service seconds per accepted placement (store write).
+  double store_cost = 0.0;
+  /// Node service seconds per d-cache probe, charged with the lookup at
+  /// every ascent hop of a scheme that runs a d-cache.
+  double dcache_cost = 0.0;
+  /// Bounded node queue: maximum operations waiting ahead of a new one
+  /// before the node sheds it. 0 = unbounded (no shedding).
+  uint32_t node_queue_capacity = 0;
+  /// Link bandwidth in bytes/second; the descending object body occupies
+  /// each link for size/bandwidth seconds (FIFO). 0 = infinite.
+  double link_bandwidth = 0.0;
+  /// Open-loop arrival process: requests arrive at this rate (requests
+  /// per second) regardless of completion, replacing trace timestamps.
+  /// 0 = arrive at trace timestamps.
+  double arrival_rate = 0.0;
+  /// Fractional growth of the arrival rate per simulated second:
+  /// rate(t) = arrival_rate * (1 + arrival_ramp * t). Lets one run sweep
+  /// through an overload transition. Requires arrival_rate > 0.
+  double arrival_ramp = 0.0;
+
+  /// Whether Run() should use the event-driven scheduling policy.
+  bool active() const {
+    return enabled || lookup_cost > 0.0 || store_cost > 0.0 ||
+           dcache_cost > 0.0 || node_queue_capacity > 0 ||
+           link_bandwidth > 0.0 || arrival_rate > 0.0;
+  }
+
+  util::Status Validate() const;
+};
+
+/// Busy-until resource timelines for the event-driven replay: one FIFO
+/// service queue per cache node and one per directed link. The model is
+/// deliberately timeline-based rather than per-operation events — each
+/// resource remembers only the time it drains (`busy_until`), an admitted
+/// operation waits `busy_until - now`, and the backlog *depth* is the
+/// wait divided by this operation's service cost. That keeps the queueing
+/// state O(nodes) and the per-operation cost O(1) while reproducing FIFO
+/// waiting times exactly for uniform service costs (M/D/1-style queues).
+///
+/// Single-threaded like the Simulator that owns it; parallel sweep
+/// workers each own their plane.
+class QueueingPlane {
+ public:
+  explicit QueueingPlane(int num_nodes);
+
+  /// Forgets all backlog (a fresh Run()).
+  void Reset();
+
+  struct Admission {
+    /// Seconds the operation waits behind the node's backlog (0 when
+    /// shed: a refused operation does not wait).
+    double wait = 0.0;
+    /// Operations ahead of this one at admission time.
+    uint32_t depth = 0;
+    /// The queue was at capacity and the operation was refused.
+    bool shed = false;
+  };
+
+  /// Admits an operation of service cost `cost` seconds at node `v`, or
+  /// sheds it when `capacity` > 0 and the backlog is at least `capacity`
+  /// operations deep. Zero-cost operations are free: no wait, no state.
+  Admission AdmitOp(topology::NodeId v, double now, double cost,
+                    uint32_t capacity);
+
+  /// Backlog depth AdmitOp(v, now, cost, ...) would observe, without
+  /// committing any state: the operations ahead of a new cost-`cost` op
+  /// at node `v`. The descent pre-checks store admission with this
+  /// (depth >= capacity would shed) so the scheme can be told the
+  /// decision was dropped before it acts.
+  uint32_t BacklogDepth(topology::NodeId v, double now, double cost) const;
+
+  /// Whether AdmitOp(v, now, cost, capacity) would shed, without
+  /// committing any state.
+  bool WouldShed(topology::NodeId v, double now, double cost,
+                 uint32_t capacity) const;
+
+  struct Transfer {
+    double wait = 0.0;  ///< Seconds queued behind earlier transmissions.
+    double tx = 0.0;    ///< Transmission seconds (bytes / bandwidth).
+  };
+
+  /// Occupies the directed link from->to with a `bytes` transmission at
+  /// `bandwidth` bytes/second, FIFO behind earlier transmissions. A
+  /// non-positive bandwidth means an infinite link: free, no state.
+  Transfer TransferOn(topology::NodeId from, topology::NodeId to, double now,
+                      uint64_t bytes, double bandwidth);
+
+  double node_busy_until(topology::NodeId v) const {
+    return node_busy_[static_cast<size_t>(v)];
+  }
+
+ private:
+  std::vector<double> node_busy_;
+  /// Directed-link timelines, keyed from * num_nodes + to. Sparse: only
+  /// links that carried a transmission have an entry.
+  std::unordered_map<uint64_t, double> link_busy_;
+  uint64_t num_nodes_;
+};
+
+}  // namespace cascache::sim
+
+#endif  // CASCACHE_SIM_QUEUEING_H_

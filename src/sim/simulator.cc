@@ -83,7 +83,24 @@ Simulator::Simulator(const Network* network, CacheSet* caches,
         "warmup_fraction must be in [0, 1)");
     return;
   }
-  auto model_or = CostModel::Create(options.cost_model);
+  if (options_.contention.active()) {
+    if (util::Status status = options_.contention.Validate(); !status.ok()) {
+      init_status_ = status;
+      return;
+    }
+    queueing_ = std::make_unique<QueueingPlane>(network->num_nodes());
+    ctx_.queueing = queueing_.get();
+    ctx_.contention = &options_.contention;
+    ascent_op_cost_ =
+        options_.contention.lookup_cost +
+        (scheme->uses_dcache() ? options_.contention.dcache_cost : 0.0);
+    // A finite link also charges transmission time, and the cost-aware
+    // schemes should optimize what a loaded link actually costs — feed
+    // the bandwidth into the cost model before it is built.
+    options_.cost_model.link_transfer_bandwidth =
+        options_.contention.link_bandwidth;
+  }
+  auto model_or = CostModel::Create(options_.cost_model);
   if (!model_or.ok()) {
     init_status_ = model_or.status();
     return;
@@ -186,20 +203,105 @@ util::Status Simulator::Run(const trace::Workload& workload,
   // Forget fault streams and applied crash epochs so a repeated Run
   // replays the same chaotic schedule bit-identically.
   if (faults_ != nullptr) faults_->Reset();
+  engine_.Reset();
+  if (queueing_ != nullptr) queueing_->Reset();
   step_index_ = 0;
 
   const size_t warmup_count = static_cast<size_t>(
       options_.warmup_fraction * static_cast<double>(workload.requests.size()));
   const Clock::time_point t_configured = Clock::now();
-  ReplayRange(workload.requests, 0, warmup_count, /*collect=*/false);
-  const Clock::time_point t_warmed = Clock::now();
-  ReplayRange(workload.requests, warmup_count, workload.requests.size(),
-              /*collect=*/true);
+  Clock::time_point t_warmed;
+  if (queueing_ != nullptr) {
+    // Event-driven policy: one heap-ordered loop spans warm-up and
+    // measurement (warm-up completions may land inside the measured
+    // window), so the phase split is not separately timed.
+    t_warmed = t_configured;
+    ReplayContended(workload.requests, warmup_count);
+  } else {
+    ReplayRange(workload.requests, 0, warmup_count, /*collect=*/false);
+    t_warmed = Clock::now();
+    ReplayRange(workload.requests, warmup_count, workload.requests.size(),
+                /*collect=*/true);
+  }
   const Clock::time_point t_done = Clock::now();
   phase_times_.configure_seconds = seconds_between(t_start, t_configured);
   phase_times_.warmup_seconds = seconds_between(t_configured, t_warmed);
   phase_times_.measure_seconds = seconds_between(t_warmed, t_done);
   return util::Status::Ok();
+}
+
+void Simulator::ReplayContended(const std::vector<trace::Request>& requests,
+                                size_t warmup_count) {
+  // Keep a bounded window of future arrivals on the heap: enough that
+  // completions interleave with every arrival that could precede them,
+  // without materializing the whole trace as events up front.
+  constexpr size_t kArrivalWindow = 1024;
+  const size_t total = requests.size();
+  size_t next = 0;
+  size_t arrivals_pending = 0;
+  arrival_clock_ = 0.0;
+  pending_.clear();
+  pending_free_.clear();
+  const auto schedule_arrivals = [&] {
+    while (next < total && arrivals_pending < kArrivalWindow) {
+      engine_.Schedule(EventKind::kArrival,
+                       NextArrivalTime(requests[next].time), next);
+      ++next;
+      ++arrivals_pending;
+    }
+  };
+  schedule_arrivals();
+  Event ev;
+  while (engine_.Pop(&ev)) {
+    if (ev.kind == EventKind::kArrival) {
+      --arrivals_pending;
+      const trace::Request& request = requests[ev.payload];
+      DecodedRequest decoded;
+      decoded.object = request.object;
+      decoded.size = catalog_->size(request.object);
+      decoded.server = catalog_->server(request.object);
+      decoded.requester = RequesterFor(request.client);
+      decoded.attach = network_->ServerAttach(decoded.server);
+      decoded.time = ev.time;  // The clock's (possibly ramped) arrival time.
+      const bool collect = ev.payload >= warmup_count;
+      StepOutcome out;
+      StepDecoded(decoded, collect, nullptr, &out);
+      uint64_t slot;
+      if (!pending_free_.empty()) {
+        slot = pending_free_.back();
+        pending_free_.pop_back();
+      } else {
+        slot = pending_.size();
+        pending_.emplace_back();
+      }
+      pending_[slot].metrics = out.metrics;
+      pending_[slot].collect = collect;
+      engine_.Schedule(EventKind::kCompletion, out.completion_time, slot);
+      schedule_arrivals();
+    } else {
+      // Completion: the response reached the requester — record in
+      // delivery order, which is where contended runs differ from the
+      // analytic scan.
+      PendingCompletion& done = pending_[ev.payload];
+      if (done.collect) metrics_.Record(done.metrics);
+      pending_free_.push_back(ev.payload);
+    }
+  }
+}
+
+double Simulator::NextArrivalTime(double trace_time) {
+  const ContentionParams& cp = options_.contention;
+  if (cp.arrival_rate <= 0.0) {
+    // Trace-timed arrivals, monotonized so an unsorted trace cannot
+    // schedule into the committed past.
+    if (trace_time > arrival_clock_) arrival_clock_ = trace_time;
+    return arrival_clock_;
+  }
+  // Open-loop ramp: rate(t) = arrival_rate * (1 + arrival_ramp * t),
+  // stepped per arrival. Validate() guarantees a positive rate.
+  const double rate = cp.arrival_rate * (1.0 + cp.arrival_ramp * arrival_clock_);
+  arrival_clock_ += 1.0 / rate;
+  return arrival_clock_;
 }
 
 void Simulator::ReplayRange(const std::vector<trace::Request>& requests,
@@ -209,6 +311,12 @@ void Simulator::ReplayRange(const std::vector<trace::Request>& requests,
   // replay loop only decoded integers. Ordering is exactly the trace
   // order, so results are bit-identical to one-at-a-time Step() calls.
   std::vector<DecodedRequest>& batch = arena_.batch;
+  // Collected exchanges stream into the open block: the order-sensitive
+  // per-request arithmetic (Welford stats, queue-wait sum) hits the
+  // collector exactly as Record() would — bit-identical — while the
+  // integer counters accumulate in block_stats_ and write back once per
+  // range (MetricsCollector::FlushBlock) instead of once per request.
+  if (collect) block_stats_ = {};
   for (size_t block = begin; block < end; block += kDecodeBlock) {
     const size_t block_end = std::min(end, block + kDecodeBlock);
     batch.clear();
@@ -261,6 +369,7 @@ void Simulator::ReplayRange(const std::vector<trace::Request>& requests,
       StepDecoded(batch[j], collect, batch_routes_[j]);
     }
   }
+  if (collect) metrics_.FlushBlock(block_stats_);
 }
 
 void Simulator::Step(const trace::Request& request, bool collect) {
@@ -271,7 +380,11 @@ void Simulator::Step(const trace::Request& request, bool collect) {
   decoded.requester = RequesterFor(request.client);
   decoded.attach = network_->ServerAttach(decoded.server);
   decoded.time = request.time;
+  // One-shot block: FinishRequest's analytic exit records through the
+  // open block, so a direct Step() opens one around the single exchange.
+  block_stats_ = {};
   StepDecoded(decoded, collect);
+  metrics_.FlushBlock(block_stats_);
 }
 
 topology::NodeId Simulator::RequesterFor(trace::ClientId client) {
@@ -346,7 +459,7 @@ uint32_t Simulator::Ascend(MessageContext& ctx) {
   // This is the exact subset of the general loop below those features
   // would leave untaken, so results are bit-identical.
   if (!faults_active && updates_ == nullptr && trace == nullptr &&
-      !scheme_observes_ascent_) {
+      !scheme_observes_ascent_ && queueing_ == nullptr) {
     for (size_t i = 0; i < path.size(); ++i) {
       const topology::NodeId node_id = path[i];
       if (nodes[node_id].Contains(ctx.object)) {
@@ -368,6 +481,41 @@ uint32_t Simulator::Ascend(MessageContext& ctx) {
     CacheNode* node = &nodes[node_id];
     const int32_t level = node_levels_[static_cast<size_t>(node_id)];
     const bool down = faults_active && arena_.node_down[i] != 0;
+    // Event-driven replay: the hop's lookup (+ d-cache probe) is service
+    // demand on the node's bounded queue. A full queue refuses the whole
+    // request — it ends here, at the refusing hop. A down hop serves
+    // nothing and charges nothing (its queue is not running).
+    if (queueing_ != nullptr && !down && ascent_op_cost_ > 0.0) {
+      const QueueingPlane::Admission adm =
+          queueing_->AdmitOp(node_id, ctx.now, ascent_op_cost_,
+                             options_.contention.node_queue_capacity);
+      if (adm.shed) {
+        ctx.response.shed = true;
+        ctx.response.hit_index = -1;
+        ctx.metrics->hops = static_cast<int>(i);
+        if (counters != nullptr) {
+          ++counters[node_id].sheds;
+          if (adm.depth > counters[node_id].max_queue_depth) {
+            counters[node_id].max_queue_depth = adm.depth;
+          }
+        }
+        if (trace != nullptr) {
+          EmitEvent(trace, ctx, TraceEventType::kShed, node_id, level,
+                    static_cast<double>(adm.depth));
+        }
+        return served_version;
+      }
+      ctx.metrics->queue_wait += adm.wait;
+      ctx.now += adm.wait + ascent_op_cost_;
+      if (counters != nullptr &&
+          adm.depth > counters[node_id].max_queue_depth) {
+        counters[node_id].max_queue_depth = adm.depth;
+      }
+      if (trace != nullptr) {
+        EmitEvent(trace, ctx, TraceEventType::kQueueDepth, node_id, level,
+                  static_cast<double>(adm.depth));
+      }
+    }
     bool servable = !down && node->Contains(ctx.object);
     if (servable && updates_ != nullptr) {
       const CacheNode::CopyStamp* stamp = node->FindCopy(ctx.object);
@@ -460,13 +608,14 @@ uint32_t Simulator::Ascend(MessageContext& ctx) {
 }
 
 void Simulator::StepDecoded(const DecodedRequest& request, bool collect,
-                            const CachedRoute* route_in) {
+                            const CachedRoute* route_in,
+                            StepOutcome* outcome) {
   const trace::ObjectId object = request.object;
   const uint64_t size = request.size;
   const topology::NodeId requester = request.requester;
 
   if (scheme_plain_lru_ && faults_ == nullptr && updates_ == nullptr &&
-      trace_ == nullptr) {
+      trace_ == nullptr && queueing_ == nullptr) {
     // Fused plain-LRU exchange, entirely on local state: ascent probes,
     // the serve decision and the descent placements in one pass over the
     // path, skipping the MessageContext wiring the general pipeline
@@ -540,7 +689,7 @@ void Simulator::StepDecoded(const DecodedRequest& request, bool collect,
         ++counters[node_id].placements_rejected;
       }
     }
-    if (collect) metrics_.Record(rm);
+    FinishRequest(rm, collect, request.time + rm.latency, outcome);
     return;
   }
 
@@ -549,13 +698,20 @@ void Simulator::StepDecoded(const DecodedRequest& request, bool collect,
 
   MessageContext& ctx = ctx_;
 
+  // Anchor the run's clock at this request's arrival. Under the analytic
+  // policy this is the trace timestamp; under the event-driven one the
+  // heap already advanced the clock to the arrival event, so the Set is
+  // an identity. Every time consumer below — TTL expiry, retry backoff,
+  // fault-schedule evaluation, queueing — derives from this one source.
+  engine_.clock().Set(request.time);
+
   // Path resolution. Without a fault plane the route comes from the dense
   // (requester, attach) cache — resolved once, reused for every request
   // on the pair; with one, an unroutable attempt (link outage / crash
   // cutting the path) times out and retries with deterministic
   // exponential backoff, so the attempt time `now` may trail the request
   // time, and reroutes produce paths the cache must not serve.
-  double now = request.time;
+  double now = engine_.clock().now();
   bool reachable = true;
   // Left-to-right running sums of the route's delays (CachedRoute); null
   // on the fault-plane path, whose routes are per-attempt.
@@ -649,7 +805,8 @@ void Simulator::StepDecoded(const DecodedRequest& request, bool collect,
       EmitEvent(trace, ctx, TraceEventType::kRequestFailed, requester, level,
                 static_cast<double>(request_metrics.retries));
     }
-    if (collect) metrics_.Record(request_metrics);
+    FinishRequest(request_metrics, collect,
+                  request.time + request_metrics.latency, outcome);
     return;
   }
 
@@ -716,7 +873,22 @@ void Simulator::StepDecoded(const DecodedRequest& request, bool collect,
   }
 
   // --- Phase 1: the request message ascends to its serving point. -------
+  // The attempt starts here: under contention ctx.now accrues queue waits
+  // and service from this instant on.
+  const double attempt_start = ctx.now;
   const uint32_t served_version = Ascend(ctx);
+  if (ctx.response.shed) {
+    // Refused by a full node queue on the ascent: the exchange ends at
+    // the refusing hop — no serve, no descent, no placements. Its latency
+    // is the time it spent getting there (queue waits and service so far,
+    // plus any fault-plane retries); Ascend set rm.hops to the refusal
+    // hop and charged the refusing node's shed counter.
+    request_metrics.shed = true;
+    request_metrics.latency = ctx.now - request.time;
+    if (scheme_observes_ascent_) scheme_->OnAbort();
+    FinishRequest(request_metrics, collect, ctx.now, outcome);
+    return;
+  }
   const int hit_index = ctx.response.hit_index;
 
   // Access latency and hops (paper cost model: link delay scaled by object
@@ -747,7 +919,7 @@ void Simulator::StepDecoded(const DecodedRequest& request, bool collect,
   request_metrics.hops = hops;
 
   // --- Phase 2: the serving node decides, the response descends. --------
-  if (scheme_plain_lru_ && faults_ == nullptr) {
+  if (scheme_plain_lru_ && faults_ == nullptr && queueing_ == nullptr) {
     // Inlined equivalent of LruScheme::OnServe/OnDescend (see
     // CachingScheme::plain_lru_replay): touch the serving cache, insert
     // at every hop below the serving point. Statement-for-statement the
@@ -769,7 +941,7 @@ void Simulator::StepDecoded(const DecodedRequest& request, bool collect,
         ctx.RecordPlacementRejected(i);
       }
     }
-  } else if (faults_ == nullptr) {
+  } else if (faults_ == nullptr && queueing_ == nullptr) {
     scheme_->OnServe(ctx);
     for (int i = ctx.first_missing(); i >= 0; --i) {
       scheme_->OnDescend(ctx, i);
@@ -779,18 +951,31 @@ void Simulator::StepDecoded(const DecodedRequest& request, bool collect,
     // A down hop cannot act on the descending decision, and an up hop's
     // decision entry may be lost in transit. The scheme still runs its
     // descent hook (penalty bookkeeping survives; see DESIGN.md §10) but
-    // must not place or refresh under decision_lost.
+    // must not place or refresh under decision_lost. Under contention a
+    // hop additionally charges the object body's link transfer, and a
+    // full store queue drops the decision there the same way
+    // (DescendContention).
+    const bool faulted = faults_ != nullptr;
     for (int i = ctx.first_missing(); i >= 0; --i) {
-      const bool lost =
-          arena_.node_down[static_cast<size_t>(i)] != 0 ||
-          faults_->DescentLoss(request_index, i);
-      if (lost) {
-        ctx.response.decision_lost = true;
-        ctx.RecordDegraded(i);
+      if (faulted) {
+        const bool lost =
+            arena_.node_down[static_cast<size_t>(i)] != 0 ||
+            faults_->DescentLoss(request_index, i);
+        if (lost) {
+          ctx.response.decision_lost = true;
+          ctx.RecordDegraded(i);
+        }
       }
+      if (queueing_ != nullptr) DescendContention(i);
       scheme_->OnDescend(ctx, i);
       ctx.response.decision_lost = false;
     }
+  }
+  // Contended exchanges pay their accrued waits on top of the analytic
+  // propagation latency (zero when every service knob is zero, so the
+  // equivalence with the analytic policy is exact).
+  if (queueing_ != nullptr) {
+    request_metrics.latency += ctx.now - attempt_start;
   }
   request_metrics.request_msg_bytes = ctx.request.payload_bytes;
   request_metrics.response_msg_bytes = ctx.response.payload_bytes;
@@ -814,7 +999,45 @@ void Simulator::StepDecoded(const DecodedRequest& request, bool collect,
     }
   }
 
-  if (collect) metrics_.Record(request_metrics);
+  FinishRequest(request_metrics, collect,
+                attempt_start + request_metrics.latency, outcome);
+}
+
+void Simulator::DescendContention(int i) {
+  MessageContext& ctx = ctx_;
+  const ContentionParams& cp = options_.contention;
+  const std::vector<topology::NodeId>& path = *ctx.path;
+  const int top = static_cast<int>(path.size()) - 1;
+  // The object body crosses the link above hop i before the hop acts.
+  // The topmost descent hop of an origin-served request receives it over
+  // the virtual server link: transmission time only, uncontended (the
+  // origin is not a node of the queueing plane).
+  QueueingPlane::Transfer t;
+  if (ctx.origin_served() && i == top) {
+    if (cp.link_bandwidth > 0.0) {
+      t.tx = static_cast<double>(ctx.size) / cp.link_bandwidth;
+    }
+  } else {
+    t = queueing_->TransferOn(path[static_cast<size_t>(i) + 1],
+                              path[static_cast<size_t>(i)], ctx.now,
+                              ctx.size, cp.link_bandwidth);
+  }
+  ctx.metrics->queue_wait += t.wait;
+  ctx.now += t.wait + t.tx;
+  // Store-queue pre-check: a full queue refuses the placement decision at
+  // this hop — the scheme sees decision_lost and must not place, so the
+  // later RecordPlacement commit can never itself refuse. Skipped when
+  // the decision is already lost (fault plane): nothing left to drop.
+  if (!ctx.response.decision_lost && cp.store_cost > 0.0 &&
+      cp.node_queue_capacity > 0) {
+    const topology::NodeId node_id = path[static_cast<size_t>(i)];
+    const uint32_t depth =
+        queueing_->BacklogDepth(node_id, ctx.now, cp.store_cost);
+    if (depth >= cp.node_queue_capacity) {
+      ctx.response.decision_lost = true;
+      ctx.RecordStoreShed(i, depth);
+    }
+  }
 }
 
 }  // namespace cascache::sim

@@ -4,11 +4,13 @@
 #include "schemes/scheme.h"
 #include "sim/coherency.h"
 #include "sim/cost_model.h"
+#include "sim/event_engine.h"
 #include "sim/event_trace.h"
 #include "sim/fault_plane.h"
 #include "sim/message.h"
 #include "sim/metrics.h"
 #include "sim/network.h"
+#include "sim/queueing.h"
 #include "sim/request_arena.h"
 #include "trace/synthetic.h"
 
@@ -47,6 +49,12 @@ struct SimOptions {
   /// inactive schedule leaves the replay bit-identical to a build without
   /// the fault plane, at the cost of one null check per request.
   FaultScheduleConfig faults;
+  /// Contention model (sim/queueing.h): node service costs + bounded
+  /// queues, link bandwidth, open-loop arrivals. Inactive by default,
+  /// which keeps Run() on the analytic scheduling policy and the replay
+  /// bit-identical to a build without the event engine; any nonzero knob
+  /// switches Run() to the event-driven policy.
+  ContentionParams contention;
 };
 
 /// Wall-clock breakdown of the last Run(): cache (re)configuration +
@@ -59,9 +67,25 @@ struct RunPhaseTimes {
 };
 
 /// Trace-driven simulator: replays a request stream through the network
-/// under one caching scheme, computing the paper's metrics. The paper's
-/// simulation is sequential and analytic (latency is derived from link
-/// delays, not queueing), so no event queue is needed.
+/// under one caching scheme, computing the paper's metrics. Time is owned
+/// by one VirtualClock (sim/event_engine.h), driven by either of two
+/// scheduling policies:
+///
+///  - analytic (default, the paper's setting): the trace loop anchors the
+///    clock at each request's timestamp and latency is the closed-form
+///    sum of size-scaled link delays — requests never interact, so the
+///    event heap stays empty and the replay is a tight linear scan;
+///  - event-driven (any ContentionParams knob set): arrivals and request
+///    completions interleave on the EventEngine's time-ordered heap,
+///    nodes charge per-operation service through bounded FIFO queues that
+///    shed on overload (QueueingPlane), links serialize the descending
+///    object bodies at finite bandwidth, and arrivals can be generated
+///    open-loop on a rate ramp instead of read from the trace.
+///
+/// Both policies run the same exchange core below; the analytic policy is
+/// the event-driven one with zero service demand everywhere, and a
+/// zero-cost event-driven run reproduces the analytic results (the
+/// equivalence tests pin this).
 ///
 /// Each request is processed as an explicit two-phase message exchange
 /// (see sim/message.h): a RequestMessage ascends the distribution path
@@ -128,7 +152,25 @@ class Simulator {
   /// Phase breakdown of the last Run() (zeros before the first).
   const RunPhaseTimes& phase_times() const { return phase_times_; }
 
+  /// The run's time source. Both scheduling policies derive ctx.now —
+  /// and through it every TTL check, retry backoff and fault-schedule
+  /// evaluation — from this clock.
+  const VirtualClock& virtual_clock() const { return engine_.clock(); }
+
  private:
+  /// StepDecoded result when the event-driven replay needs the exchange
+  /// back instead of recording it: the metrics travel to the request's
+  /// completion event, where they are recorded in completion order.
+  struct StepOutcome {
+    RequestMetrics metrics;
+    double completion_time = 0.0;
+  };
+
+  /// An in-flight request between its arrival and completion events.
+  struct PendingCompletion {
+    RequestMetrics metrics;
+    bool collect = false;
+  };
   /// A precomputed client-path: the node sequence from a requester to a
   /// server attach node plus its per-link delays, resolved once and
   /// reused for every request on that (requester, attach) pair. Delays
@@ -153,13 +195,51 @@ class Simulator {
   /// freshness stamping.
   uint32_t Ascend(MessageContext& ctx);
 
-  /// The decoded-request hot path shared by Step() and ReplayRange().
-  /// `route`, when non-null, is the request's already-resolved cached
-  /// route (ReplayRange's pipelined prefetch stage resolves it one
-  /// request ahead); null means resolve here. Only meaningful without a
-  /// fault plane.
+  /// The decoded-request hot path shared by Step(), ReplayRange() and
+  /// ReplayContended(). `route`, when non-null, is the request's
+  /// already-resolved cached route (ReplayRange's pipelined prefetch
+  /// stage resolves it one request ahead); null means resolve here. Only
+  /// meaningful without a fault plane. `outcome`, when non-null, receives
+  /// the exchange instead of the metrics collector (event-driven replay).
   void StepDecoded(const DecodedRequest& request, bool collect,
-                   const CachedRoute* route = nullptr);
+                   const CachedRoute* route = nullptr,
+                   StepOutcome* outcome = nullptr);
+
+  /// Terminal of every StepDecoded exit: hands the exchange to `outcome`
+  /// (event-driven replay) or streams it into the open block accumulator.
+  /// Every analytic driver (ReplayRange, Step) opens a block before
+  /// collecting, so the collecting exit is a single inline RecordInBlock
+  /// — in the class body because an out-of-line call (or a second,
+  /// fallback record body) here costs a measurable fraction of the fused
+  /// plain-LRU request budget.
+  void FinishRequest(const RequestMetrics& rm, bool collect,
+                     double completion_time, StepOutcome* outcome) {
+    if (outcome != nullptr) {
+      outcome->metrics = rm;
+      outcome->completion_time = completion_time;
+      return;
+    }
+    if (collect) metrics_.RecordInBlock(rm, &block_stats_);
+  }
+
+  /// Event-driven replay of the whole trace (Run() dispatches here when
+  /// contention is active): arrivals and completions interleave on the
+  /// engine's heap; requests before `warmup_count` replay with collection
+  /// off. One loop spans both phases so warm-up completions that land
+  /// inside the measured window drain in time order instead of being
+  /// force-drained at the phase boundary.
+  void ReplayContended(const std::vector<trace::Request>& requests,
+                       size_t warmup_count);
+
+  /// Arrival time of the next open-loop request: the (monotonized) trace
+  /// timestamp by default, or the ramp process
+  /// rate(t) = arrival_rate * (1 + arrival_ramp * t) when a rate is set.
+  double NextArrivalTime(double trace_time);
+
+  /// Event-driven descent charges for hop `i`: the object body's link
+  /// transfer into the hop, then the store-queue pre-check — a full queue
+  /// drops the placement decision there (decision_lost + RecordStoreShed).
+  void DescendContention(int i);
 
   /// Route (path + delays) for a requester/attach pair: the dense cache
   /// entry when enabled (filled on first use), else a per-request
@@ -207,6 +287,15 @@ class Simulator {
   /// Present iff options.faults.active(); nullptr keeps the unfaulted
   /// replay on the historical hot path (one pointer test per request).
   std::unique_ptr<FaultPlane> faults_;
+  /// Present iff options.contention.active(); nullptr keeps the analytic
+  /// replay on the historical hot path (one pointer test per request).
+  std::unique_ptr<QueueingPlane> queueing_;
+  /// The open block FinishRequest streams collected exchanges into: the
+  /// order-sensitive stats still land on the collector per request, the
+  /// integer counters accumulate here and flush once per replayed range.
+  /// The analytic drivers (ReplayRange, Step) zero it before collecting
+  /// and FlushBlock it after.
+  MetricsCollector::BlockStats block_stats_;
   RunPhaseTimes phase_times_;
   /// Index of the next Step()'ed request: the trace position under Run()
   /// (reset there), a monotone counter for direct Step() drivers. Keys
@@ -238,6 +327,24 @@ class Simulator {
   /// repointed per request at the cached route (or the arena's resolved
   /// path under the fault plane).
   MessageContext ctx_;
+  // --- Event-driven replay state, declared last: the analytic hot path
+  // --- never touches it (beyond the queueing_ gate above), so keeping it
+  // --- out of the middle of the object leaves the hot members' cache-line
+  // --- packing as it was before the event engine landed.
+  /// The run's clock plus the event heap the contended replay schedules
+  /// on. Always present; under the analytic policy the heap stays empty
+  /// and only the clock is used.
+  EventEngine engine_;
+  /// Ascent service demand per visited node: lookup cost plus the d-cache
+  /// probe cost for schemes that keep one (cached at construction).
+  double ascent_op_cost_ = 0.0;
+  /// Open-loop arrival process state (ReplayContended / NextArrivalTime):
+  /// the last scheduled arrival time.
+  double arrival_clock_ = 0.0;
+  /// In-flight exchanges keyed by completion-event payload (slot index),
+  /// with a free list so the pool stops growing at the peak concurrency.
+  std::vector<PendingCompletion> pending_;
+  std::vector<uint64_t> pending_free_;
 };
 
 }  // namespace cascache::sim

@@ -187,11 +187,11 @@ TEST(ChaosTest, AllSchemesSurviveTheFaultMatrix) {
 /// %.17g round-trips doubles exactly, so string equality on the full
 /// summary is bit-level replay equality.
 std::string SummaryKey(const MetricsSummary& m) {
-  char buf[768];
+  char buf[1024];
   std::snprintf(
       buf, sizeof(buf),
       "%llu|%.17g|%.17g|%.17g|%.17g|%.17g|%.17g|%.17g|%.17g|%llu|%llu|"
-      "%.17g|%llu|%llu|%llu|%llu|%llu|%llu|%llu",
+      "%.17g|%llu|%llu|%llu|%llu|%llu|%llu|%llu|%llu|%llu|%llu|%.17g",
       static_cast<unsigned long long>(m.requests), m.avg_latency,
       m.avg_response_ratio, m.byte_hit_ratio, m.hit_ratio,
       m.avg_traffic_byte_hops, m.avg_hops, m.avg_load_bytes,
@@ -204,7 +204,25 @@ std::string SummaryKey(const MetricsSummary& m) {
       static_cast<unsigned long long>(m.reroutes),
       static_cast<unsigned long long>(m.crashes_applied),
       static_cast<unsigned long long>(m.degraded_decisions),
-      static_cast<unsigned long long>(m.cache_hits));
+      static_cast<unsigned long long>(m.cache_hits),
+      static_cast<unsigned long long>(m.served_requests),
+      static_cast<unsigned long long>(m.shed_requests),
+      static_cast<unsigned long long>(m.shed_placements), m.avg_queue_wait);
+  return buf;
+}
+
+std::string NodeKey(const NodeUsage& u) {
+  char buf[320];
+  std::snprintf(buf, sizeof(buf),
+                "%d|%llu|%llu|%llu|%llu|%llu|%llu|%llu|%llu", u.node,
+                static_cast<unsigned long long>(u.counters.hits),
+                static_cast<unsigned long long>(u.counters.crashes),
+                static_cast<unsigned long long>(u.counters.retries),
+                static_cast<unsigned long long>(u.counters.reroutes),
+                static_cast<unsigned long long>(u.counters.degraded),
+                static_cast<unsigned long long>(u.counters.sheds),
+                static_cast<unsigned long long>(u.counters.store_sheds),
+                static_cast<unsigned long long>(u.counters.max_queue_depth));
   return buf;
 }
 
@@ -227,15 +245,7 @@ TEST(ChaosTest, SameScheduleReplaysBitIdentically) {
     for (const RunResult& r : *results_or) {
       rows.push_back(r.scheme + "|" + SummaryKey(r.metrics));
       for (const NodeUsage& u : r.per_node) {
-        char buf[256];
-        std::snprintf(buf, sizeof(buf), "%d|%llu|%llu|%llu|%llu|%llu",
-                      u.node,
-                      static_cast<unsigned long long>(u.counters.hits),
-                      static_cast<unsigned long long>(u.counters.crashes),
-                      static_cast<unsigned long long>(u.counters.retries),
-                      static_cast<unsigned long long>(u.counters.reroutes),
-                      static_cast<unsigned long long>(u.counters.degraded));
-        rows.push_back(buf);
+        rows.push_back(NodeKey(u));
       }
     }
   }
@@ -274,6 +284,63 @@ TEST(ChaosTest, ParallelRunAllWithFaultsMatchesSequential) {
     EXPECT_EQ(SummaryKey((*seq)[i].metrics), SummaryKey((*par)[i].metrics))
         << (*seq)[i].scheme << " diverged between jobs=1 and jobs=4";
   }
+}
+
+/// Event-driven replay determinism under an *active* fault schedule:
+/// contention reorders completions relative to the trace, and faults key
+/// off ctx.now, so any drift between the event clock and the fault plane
+/// would show up here. Two jobs=1 runs must be bit-identical, and jobs=4
+/// (parallelism across cells, never within a replay) must match them.
+TEST(ChaosTest, EventModeReplaysBitIdenticallyAcrossRunsAndJobs) {
+  ExperimentConfig cfg;
+  cfg.network.architecture = Architecture::kHierarchical;
+  cfg.workload = ChaosWorkload();
+  cfg.cache_fractions = {0.01, 0.03};
+  cfg.schemes.resize(3);
+  cfg.schemes[0].kind = schemes::SchemeKind::kLru;
+  cfg.schemes[1].kind = schemes::SchemeKind::kCoordinated;
+  cfg.schemes[2].kind = schemes::SchemeKind::kGds;
+  cfg.sim.faults = Schedules().back().config;  // "everything"
+  cfg.sim.contention.lookup_cost = 0.002;
+  cfg.sim.contention.store_cost = 0.001;
+  cfg.sim.contention.node_queue_capacity = 32;
+  cfg.sim.contention.link_bandwidth = 5e6;
+
+  double total_queue_wait = 0.0;
+  uint64_t fault_events = 0;
+  auto run = [&cfg, &total_queue_wait, &fault_events](int jobs) {
+    ExperimentConfig c = cfg;
+    c.jobs = jobs;
+    std::vector<std::string> rows;
+    auto runner_or = ExperimentRunner::Create(c);
+    EXPECT_TRUE(runner_or.ok()) << runner_or.status().ToString();
+    auto results_or = (*runner_or)->RunAll();
+    EXPECT_TRUE(results_or.ok()) << results_or.status().ToString();
+    for (const RunResult& r : *results_or) {
+      rows.push_back(r.scheme + "|" + SummaryKey(r.metrics));
+      for (const NodeUsage& u : r.per_node) rows.push_back(NodeKey(u));
+      total_queue_wait += r.metrics.avg_queue_wait;
+      fault_events += r.metrics.crashes_applied + r.metrics.retries +
+                      r.metrics.degraded_decisions;
+    }
+    return rows;
+  };
+
+  const std::vector<std::string> first = run(1);
+  const std::vector<std::string> second = run(1);
+  const std::vector<std::string> parallel = run(4);
+  ASSERT_FALSE(first.empty());
+  ASSERT_EQ(first.size(), second.size());
+  ASSERT_EQ(first.size(), parallel.size());
+  for (size_t i = 0; i < first.size(); ++i) {
+    EXPECT_EQ(first[i], second[i]) << "event replay diverged at row " << i;
+    EXPECT_EQ(first[i], parallel[i])
+        << "jobs=4 diverged from jobs=1 at row " << i;
+  }
+  // Neither knob was a no-op: queues actually charged waits, and the
+  // fault schedule actually fired inside the event-driven replay.
+  EXPECT_GT(total_queue_wait, 0.0);
+  EXPECT_GT(fault_events, 0u);
 }
 
 /// Degradation shape (the paper's coordination argument under churn):

@@ -1,0 +1,101 @@
+#include "sim/event_engine.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace cascache::sim {
+namespace {
+
+TEST(VirtualClockTest, SetAdvanceReset) {
+  VirtualClock clock;
+  EXPECT_EQ(clock.now(), 0.0);
+  clock.Set(3.5);
+  EXPECT_EQ(clock.now(), 3.5);
+  clock.Advance(1.25);
+  EXPECT_EQ(clock.now(), 4.75);
+  clock.Reset();
+  EXPECT_EQ(clock.now(), 0.0);
+}
+
+TEST(EventEngineTest, PopsInTimeOrderAndAdvancesClock) {
+  EventEngine engine;
+  engine.Schedule(EventKind::kArrival, 2.0, 20);
+  engine.Schedule(EventKind::kArrival, 1.0, 10);
+  engine.Schedule(EventKind::kArrival, 3.0, 30);
+  EXPECT_EQ(engine.pending(), 3u);
+
+  Event ev;
+  ASSERT_TRUE(engine.Pop(&ev));
+  EXPECT_EQ(ev.payload, 10u);
+  EXPECT_EQ(engine.clock().now(), 1.0);
+  ASSERT_TRUE(engine.Pop(&ev));
+  EXPECT_EQ(ev.payload, 20u);
+  EXPECT_EQ(engine.clock().now(), 2.0);
+  ASSERT_TRUE(engine.Pop(&ev));
+  EXPECT_EQ(ev.payload, 30u);
+  EXPECT_EQ(engine.clock().now(), 3.0);
+  EXPECT_FALSE(engine.Pop(&ev));
+  // An empty pop leaves the clock where it was.
+  EXPECT_EQ(engine.clock().now(), 3.0);
+}
+
+TEST(EventEngineTest, CompletionsDrainBeforeEqualTimeArrivals) {
+  // The tie-break that makes a zero-contention event-driven replay record
+  // requests in trace order: at equal times, completions pop first.
+  EventEngine engine;
+  engine.Schedule(EventKind::kArrival, 5.0, 1);
+  engine.Schedule(EventKind::kCompletion, 5.0, 2);
+  engine.Schedule(EventKind::kArrival, 5.0, 3);
+  engine.Schedule(EventKind::kCompletion, 5.0, 4);
+
+  std::vector<uint64_t> order;
+  Event ev;
+  while (engine.Pop(&ev)) order.push_back(ev.payload);
+  ASSERT_EQ(order.size(), 4u);
+  // Both completions first (in schedule order), then both arrivals.
+  EXPECT_EQ(order[0], 2u);
+  EXPECT_EQ(order[1], 4u);
+  EXPECT_EQ(order[2], 1u);
+  EXPECT_EQ(order[3], 3u);
+}
+
+TEST(EventEngineTest, EqualKeysPopInScheduleOrder) {
+  EventEngine engine;
+  for (uint64_t i = 0; i < 16; ++i) {
+    engine.Schedule(EventKind::kArrival, 1.0, i);
+  }
+  Event ev;
+  for (uint64_t i = 0; i < 16; ++i) {
+    ASSERT_TRUE(engine.Pop(&ev));
+    EXPECT_EQ(ev.payload, i);
+  }
+}
+
+TEST(EventEngineTest, ResetForgetsEventsAndClock) {
+  EventEngine engine;
+  engine.Schedule(EventKind::kArrival, 7.0, 1);
+  Event ev;
+  ASSERT_TRUE(engine.Pop(&ev));
+  EXPECT_EQ(engine.clock().now(), 7.0);
+  engine.Schedule(EventKind::kArrival, 9.0, 2);
+  engine.Reset();
+  EXPECT_EQ(engine.pending(), 0u);
+  EXPECT_EQ(engine.clock().now(), 0.0);
+  EXPECT_FALSE(engine.Pop(&ev));
+  // Scheduling at time 0 is legal again after the reset.
+  engine.Schedule(EventKind::kArrival, 0.0, 3);
+  ASSERT_TRUE(engine.Pop(&ev));
+  EXPECT_EQ(ev.payload, 3u);
+}
+
+TEST(EventEngineDeathTest, SchedulingIntoThePastAborts) {
+  EventEngine engine;
+  engine.Schedule(EventKind::kArrival, 5.0, 1);
+  Event ev;
+  ASSERT_TRUE(engine.Pop(&ev));
+  EXPECT_DEATH(engine.Schedule(EventKind::kArrival, 4.0, 2), "");
+}
+
+}  // namespace
+}  // namespace cascache::sim

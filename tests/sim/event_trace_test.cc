@@ -108,6 +108,9 @@ TEST(EventTraceTest, TypeNamesAreStable) {
                "request_failed");
   EXPECT_STREQ(TraceEventTypeName(TraceEventType::kFaultDegraded),
                "fault_degraded");
+  EXPECT_STREQ(TraceEventTypeName(TraceEventType::kQueueDepth),
+               "queue_depth");
+  EXPECT_STREQ(TraceEventTypeName(TraceEventType::kShed), "shed");
 }
 
 TEST(EventTraceTest, JsonLineGoldenShape) {

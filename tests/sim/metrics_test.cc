@@ -1,5 +1,7 @@
 #include "sim/metrics.h"
 
+#include <vector>
+
 #include <gtest/gtest.h>
 
 namespace cascache::sim {
@@ -162,6 +164,51 @@ TEST(MetricsTest, ResetDropsNodeCounters) {
   EXPECT_EQ(collector.node_counters_data(), nullptr);
   collector.ResetNodes(2);
   EXPECT_EQ(collector.node_counters()[1].hits, 0u);
+}
+
+TEST(MetricsTest, RecordBlockMatchesSequentialRecordsBitExactly) {
+  // The hot-path batching in Simulator::ReplayRange flushes decoded
+  // blocks through RecordBlock; it must be indistinguishable — including
+  // in floating-point summation order — from per-request Record calls.
+  std::vector<RequestMetrics> batch;
+  for (int i = 0; i < 257; ++i) {
+    RequestMetrics m = (i % 3 == 0)
+                           ? Hit(1000 + i * 7, 0.01 * i, 1 + i % 5)
+                           : Miss(500 + i * 13, 0.02 * i, 2 + i % 4,
+                                  (i % 2) * 4096);
+    m.retries = i % 3;
+    m.queue_wait = 0.001 * (i % 11);
+    m.shed = i % 17 == 0;
+    m.placements_shed = i % 5 == 0 ? 1 : 0;
+    if (i % 29 == 0) m.failed = true;
+    batch.push_back(m);
+  }
+
+  MetricsCollector sequential;
+  for (const RequestMetrics& m : batch) sequential.Record(m);
+  MetricsCollector blocked;
+  blocked.RecordBlock(batch.data(), batch.size());
+
+  const MetricsSummary a = sequential.Summary();
+  const MetricsSummary b = blocked.Summary();
+  EXPECT_EQ(a.requests, b.requests);
+  EXPECT_EQ(a.cache_hits, b.cache_hits);
+  EXPECT_EQ(a.failed_requests, b.failed_requests);
+  EXPECT_EQ(a.retries, b.retries);
+  EXPECT_EQ(a.shed_requests, b.shed_requests);
+  EXPECT_EQ(a.shed_placements, b.shed_placements);
+  EXPECT_EQ(a.served_requests, b.served_requests);
+  EXPECT_EQ(a.total_bytes_requested, b.total_bytes_requested);
+  EXPECT_EQ(a.bytes_from_caches, b.bytes_from_caches);
+  EXPECT_EQ(a.bytes_written, b.bytes_written);
+  // Bit-exact, not merely close: the block path must keep the Welford
+  // update order of the sequential path.
+  EXPECT_EQ(a.avg_latency, b.avg_latency);
+  EXPECT_EQ(a.avg_hops, b.avg_hops);
+  EXPECT_EQ(a.avg_response_ratio, b.avg_response_ratio);
+  EXPECT_EQ(a.avg_traffic_byte_hops, b.avg_traffic_byte_hops);
+  EXPECT_EQ(a.avg_load_bytes, b.avg_load_bytes);
+  EXPECT_EQ(a.avg_queue_wait, b.avg_queue_wait);
 }
 
 TEST(MetricsTest, ToStringMentionsKeyFields) {

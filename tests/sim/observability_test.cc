@@ -247,7 +247,8 @@ TEST(ObservabilityTest, PerNodeCsvRollsUpLevels) {
             "scheme,cache_fraction,scope,node,level,requests,hits,misses,"
             "evictions,placements,placements_rejected,expirations,"
             "invalidations,stale_serves,dcache_hits,bytes_served,"
-            "bytes_cached,crashes,retries,reroutes,degraded");
+            "bytes_cached,crashes,retries,reroutes,degraded,sheds,"
+            "store_sheds,max_queue_depth,load_bytes");
 
   size_t node_rows = 0;
   uint64_t node_hits = 0, level_hits = 0;

@@ -169,6 +169,32 @@ util::Status RunMain(int argc, char** argv) {
   flags.AddDouble("fault-backoff", 1.0,
                   "retry k backs off fault-backoff * 2^k seconds",
                   &fault_backoff);
+  // Contention model (sim/queueing.h). Any nonzero knob switches the
+  // replay to the event-driven scheduling policy.
+  double service_lookup, service_store, service_dcache, link_bandwidth,
+      arrival_rate, arrival_ramp;
+  int64_t service_queue_cap;
+  flags.AddDouble("service-lookup", 0.0,
+                  "node service seconds per cache lookup (0 = analytic)",
+                  &service_lookup);
+  flags.AddDouble("service-store", 0.0,
+                  "node service seconds per accepted placement",
+                  &service_store);
+  flags.AddDouble("service-dcache", 0.0,
+                  "node service seconds per d-cache probe",
+                  &service_dcache);
+  flags.AddInt64("service-queue-cap", 0,
+                 "node queue capacity in ops before shedding (0 = unbounded)",
+                 &service_queue_cap);
+  flags.AddDouble("link-bandwidth", 0.0,
+                  "link bandwidth in bytes/second (0 = infinite)",
+                  &link_bandwidth);
+  flags.AddDouble("arrival-rate", 0.0,
+                  "open-loop arrivals per second (0 = trace timestamps)",
+                  &arrival_rate);
+  flags.AddDouble("arrival-ramp", 0.0,
+                  "arrival rate grows by this fraction per simulated second",
+                  &arrival_ramp);
 
   CASCACHE_RETURN_IF_ERROR(flags.Parse(argc - 1, argv + 1));
   if (help) {
@@ -286,6 +312,19 @@ util::Status RunMain(int argc, char** argv) {
     fault_config.retry_backoff = fault_backoff;
   }
   CASCACHE_RETURN_IF_ERROR(fault_config.Validate());
+
+  config.sim.contention.lookup_cost = service_lookup;
+  config.sim.contention.store_cost = service_store;
+  config.sim.contention.dcache_cost = service_dcache;
+  if (service_queue_cap < 0) {
+    return util::Status::InvalidArgument("--service-queue-cap must be >= 0");
+  }
+  config.sim.contention.node_queue_capacity =
+      static_cast<uint32_t>(service_queue_cap);
+  config.sim.contention.link_bandwidth = link_bandwidth;
+  config.sim.contention.arrival_rate = arrival_rate;
+  config.sim.contention.arrival_ramp = arrival_ramp;
+  CASCACHE_RETURN_IF_ERROR(config.sim.contention.Validate());
 
   CASCACHE_ASSIGN_OR_RETURN(std::unique_ptr<sim::ExperimentRunner> runner,
                             sim::ExperimentRunner::Create(config));
