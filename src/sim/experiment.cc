@@ -8,6 +8,7 @@
 #include <map>
 #include <thread>
 
+#include "trace/trace_io.h"
 #include "util/csv.h"
 #include "util/table.h"
 #include "util/thread_pool.h"
@@ -17,8 +18,9 @@ namespace cascache::sim {
 ExperimentRunner::ExperimentRunner(ExperimentConfig config)
     : config_(std::move(config)) {}
 
-util::StatusOr<std::unique_ptr<ExperimentRunner>> ExperimentRunner::Create(
-    const ExperimentConfig& config) {
+namespace {
+
+util::Status ValidateSweepConfig(const ExperimentConfig& config) {
   if (config.schemes.empty()) {
     return util::Status::InvalidArgument("no schemes configured");
   }
@@ -30,6 +32,14 @@ util::StatusOr<std::unique_ptr<ExperimentRunner>> ExperimentRunner::Create(
       return util::Status::InvalidArgument("cache fraction out of (0, 1]");
     }
   }
+  return util::Status::Ok();
+}
+
+}  // namespace
+
+util::StatusOr<std::unique_ptr<ExperimentRunner>> ExperimentRunner::Create(
+    const ExperimentConfig& config) {
+  CASCACHE_RETURN_IF_ERROR(ValidateSweepConfig(config));
   std::unique_ptr<ExperimentRunner> runner(new ExperimentRunner(config));
   CASCACHE_ASSIGN_OR_RETURN(runner->workload_,
                             trace::GenerateWorkload(config.workload));
@@ -37,6 +47,41 @@ util::StatusOr<std::unique_ptr<ExperimentRunner>> ExperimentRunner::Create(
       runner->network_,
       Network::Build(config.network, &runner->workload_.catalog));
   return runner;
+}
+
+util::StatusOr<std::unique_ptr<ExperimentRunner>>
+ExperimentRunner::CreateFromTrace(const ExperimentConfig& config,
+                                  const std::string& trace_path) {
+  CASCACHE_RETURN_IF_ERROR(ValidateSweepConfig(config));
+  std::unique_ptr<ExperimentRunner> runner(new ExperimentRunner(config));
+  // Probe the format version through the streaming reader (it validates
+  // the header and catalog without touching the request region).
+  CASCACHE_ASSIGN_OR_RETURN(std::unique_ptr<trace::TraceReader> probe,
+                            trace::TraceReader::Open(trace_path));
+  const uint32_t version = probe->version();
+  probe.reset();
+  const trace::ObjectCatalog* catalog = nullptr;
+  if (version == trace::kTraceVersion2) {
+    CASCACHE_ASSIGN_OR_RETURN(runner->mapped_,
+                              trace::MappedTrace::Open(trace_path));
+    catalog = &runner->mapped_->catalog();
+  } else {
+    // v1 request regions are unaligned, hence not mmap-able: load them
+    // the historical way.
+    CASCACHE_ASSIGN_OR_RETURN(runner->workload_,
+                              trace::ReadTrace(trace_path));
+    catalog = &runner->workload_.catalog;
+  }
+  CASCACHE_ASSIGN_OR_RETURN(runner->network_,
+                            Network::Build(config.network, catalog));
+  return runner;
+}
+
+trace::WorkloadView ExperimentRunner::ReplayView() {
+  if (mapped_ != nullptr && config_.release_trace_pages) {
+    return mapped_->StreamingView();
+  }
+  return view();
 }
 
 int ResolveJobs(int requested) {
@@ -75,6 +120,7 @@ util::StatusOr<RunResult> ExperimentRunner::RunOne(
 util::StatusOr<RunResult> ExperimentRunner::RunCell(
     const schemes::SchemeSpec& spec, double cache_fraction,
     CacheSet* caches) {
+  const trace::WorkloadView replay = ReplayView();
   schemes::SchemeSpec effective = spec;
   if (effective.kind == schemes::SchemeKind::kStatic &&
       effective.static_freeze_requests == 0) {
@@ -83,17 +129,17 @@ util::StatusOr<RunResult> ExperimentRunner::RunCell(
     effective.static_freeze_requests = std::max<uint64_t>(
         1, static_cast<uint64_t>(config_.sim.warmup_fraction *
                                  static_cast<double>(
-                                     workload_.requests.size())));
+                                     replay.requests.size())));
   }
   CASCACHE_ASSIGN_OR_RETURN(std::unique_ptr<schemes::CachingScheme> scheme,
                             schemes::MakeScheme(effective));
   const uint64_t capacity = std::max<uint64_t>(
       1, static_cast<uint64_t>(cache_fraction *
                                static_cast<double>(
-                                   workload_.catalog.total_bytes())));
+                                   replay.catalog->total_bytes())));
   Simulator simulator(network_.get(), caches, scheme.get(), config_.sim);
   const auto start = std::chrono::steady_clock::now();
-  CASCACHE_RETURN_IF_ERROR(simulator.Run(workload_, capacity));
+  CASCACHE_RETURN_IF_ERROR(simulator.Run(replay, capacity));
   const double wall =
       std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
           .count();
@@ -105,7 +151,7 @@ util::StatusOr<RunResult> ExperimentRunner::RunCell(
   result.metrics = simulator.metrics().Summary();
   result.wall_seconds = wall;
   result.requests_per_sec =
-      wall > 0.0 ? static_cast<double>(workload_.requests.size()) / wall : 0.0;
+      wall > 0.0 ? static_cast<double>(replay.requests.size()) / wall : 0.0;
   result.warmup_seconds = simulator.phase_times().warmup_seconds;
   result.measure_seconds = simulator.phase_times().measure_seconds;
   const std::vector<NodeCounters>& counters =
@@ -139,9 +185,18 @@ util::StatusOr<std::vector<RunResult>> ExperimentRunner::RunAll() {
     }
   }
 
-  const int jobs =
+  int jobs =
       std::min<int>(ResolveJobs(config_.jobs),
                     static_cast<int>(std::max<size_t>(1, cells.size())));
+  if (mapped_ != nullptr && config_.release_trace_pages && jobs > 1) {
+    // Page release assumes one sequential consumer of the mapping;
+    // concurrent cells at different offsets would refault each other's
+    // dropped pages.
+    std::fprintf(stderr,
+                 "cascache: release_trace_pages forces jobs=1 (was %d)\n",
+                 jobs);
+    jobs = 1;
+  }
   if (jobs <= 1) {
     // Exact legacy path: sequential, on the network's default cache set
     // (post-run state stays inspectable through Network::node()).

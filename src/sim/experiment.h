@@ -6,6 +6,7 @@
 
 #include "schemes/scheme.h"
 #include "sim/simulator.h"
+#include "trace/mapped_trace.h"
 #include "trace/synthetic.h"
 #include "util/status.h"
 
@@ -30,6 +31,12 @@ struct ExperimentConfig {
   /// CASCACHE_JOBS environment variable, falling back to
   /// hardware_concurrency. Results are bit-identical for every value.
   int jobs = 0;
+  /// Only meaningful with CreateFromTrace over a mapped (v2) trace:
+  /// advise-release consumed request pages during replay so resident
+  /// memory stays O(1) in trace length. Forces sequential cells (jobs
+  /// = 1) — concurrent cells at different trace offsets would refault
+  /// each other's dropped pages. Results are bit-identical either way.
+  bool release_trace_pages = false;
 };
 
 /// Number of workers RunAll would use for `requested` (the ExperimentConfig
@@ -80,6 +87,15 @@ class ExperimentRunner {
   static util::StatusOr<std::unique_ptr<ExperimentRunner>> Create(
       const ExperimentConfig& config);
 
+  /// Builds the runner over a saved binary trace instead of generating
+  /// the synthetic workload (config.workload is ignored except as
+  /// provenance). A v2 trace is memory-mapped — one shared read-only
+  /// mapping replayed in place by every parallel cell; a legacy v1
+  /// trace falls back to an in-RAM load (its request region is not
+  /// mmap-able).
+  static util::StatusOr<std::unique_ptr<ExperimentRunner>> CreateFromTrace(
+      const ExperimentConfig& config, const std::string& trace_path);
+
   ExperimentRunner(const ExperimentRunner&) = delete;
   ExperimentRunner& operator=(const ExperimentRunner&) = delete;
 
@@ -95,7 +111,17 @@ class ExperimentRunner {
   util::StatusOr<RunResult> RunOne(const schemes::SchemeSpec& spec,
                                    double cache_fraction);
 
+  /// The generated workload. Empty under CreateFromTrace with a mapped
+  /// trace (requests stay on disk); use view() for replay-agnostic
+  /// access.
   const trace::Workload& workload() const { return workload_; }
+  /// Borrowed catalog + request span, regardless of backing storage
+  /// (generated vector, in-RAM v1 load, or shared v2 mapping).
+  trace::WorkloadView view() const {
+    return mapped_ != nullptr ? mapped_->View() : workload_.View();
+  }
+  /// Non-null iff this runner replays a mapped v2 trace.
+  const trace::MappedTrace* mapped_trace() const { return mapped_.get(); }
   Network* network() { return network_.get(); }
   const ExperimentConfig& config() const { return config_; }
 
@@ -107,8 +133,13 @@ class ExperimentRunner {
   util::StatusOr<RunResult> RunCell(const schemes::SchemeSpec& spec,
                                     double cache_fraction, CacheSet* caches);
 
+  /// The view RunCell hands to Simulator::Run: view(), plus the page-
+  /// release hook when config_.release_trace_pages applies.
+  trace::WorkloadView ReplayView();
+
   ExperimentConfig config_;
   trace::Workload workload_;
+  std::unique_ptr<trace::MappedTrace> mapped_;
   std::unique_ptr<Network> network_;
 };
 

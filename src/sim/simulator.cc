@@ -134,6 +134,11 @@ util::Status Simulator::EnableCoherency(uint32_t num_objects) {
 
 util::Status Simulator::Run(const trace::Workload& workload,
                             uint64_t capacity_bytes_per_node) {
+  return Run(workload.View(), capacity_bytes_per_node);
+}
+
+util::Status Simulator::Run(const trace::WorkloadView& view,
+                            uint64_t capacity_bytes_per_node) {
   using Clock = std::chrono::steady_clock;
   const auto seconds_between = [](Clock::time_point from,
                                   Clock::time_point to) {
@@ -144,11 +149,13 @@ util::Status Simulator::Run(const trace::Workload& workload,
   if (capacity_bytes_per_node == 0) {
     return util::Status::InvalidArgument("cache capacity must be > 0");
   }
-  if (workload.requests.empty()) {
+  if (view.requests.empty()) {
     return util::Status::InvalidArgument("empty workload");
   }
-  CASCACHE_RETURN_IF_ERROR(
-      EnableCoherency(workload.catalog.num_objects()));
+  if (view.catalog == nullptr) {
+    return util::Status::InvalidArgument("workload view without catalog");
+  }
+  CASCACHE_RETURN_IF_ERROR(EnableCoherency(view.catalog->num_objects()));
 
   CacheNodeConfig config;
   config.mode = scheme_->cache_mode();
@@ -208,20 +215,35 @@ util::Status Simulator::Run(const trace::Workload& workload,
   step_index_ = 0;
 
   const size_t warmup_count = static_cast<size_t>(
-      options_.warmup_fraction * static_cast<double>(workload.requests.size()));
+      options_.warmup_fraction * static_cast<double>(view.requests.size()));
   const Clock::time_point t_configured = Clock::now();
   Clock::time_point t_warmed;
   if (queueing_ != nullptr) {
     // Event-driven policy: one heap-ordered loop spans warm-up and
     // measurement (warm-up completions may land inside the measured
-    // window), so the phase split is not separately timed.
+    // window), so the phase split is not separately timed. The bounded
+    // lookahead window revisits arrivals out of order, so on_consumed
+    // page release does not apply here.
     t_warmed = t_configured;
-    ReplayContended(workload.requests, warmup_count);
+    ReplayContended(view.requests, warmup_count);
   } else {
-    ReplayRange(workload.requests, 0, warmup_count, /*collect=*/false);
+    // Analytic replay proceeds in bounded chunks so mapped sources can
+    // drop consumed pages (WorkloadView::on_consumed). Chunk bounds are
+    // multiples of the decode block and the block accumulator's integer
+    // counters flush associatively, so chunked results are bit-identical
+    // to one whole-range ReplayRange per phase.
+    constexpr size_t kReplayChunk = 2 * 1024 * 1024;
+    static_assert(kReplayChunk % kDecodeBlock == 0);
+    const auto replay_phase = [&](size_t begin, size_t end, bool collect) {
+      for (size_t c = begin; c < end; c += kReplayChunk) {
+        const size_t chunk_end = std::min(end, c + kReplayChunk);
+        ReplayRange(view.requests, c, chunk_end, collect);
+        if (view.on_consumed) view.on_consumed(chunk_end);
+      }
+    };
+    replay_phase(0, warmup_count, /*collect=*/false);
     t_warmed = Clock::now();
-    ReplayRange(workload.requests, warmup_count, workload.requests.size(),
-                /*collect=*/true);
+    replay_phase(warmup_count, view.requests.size(), /*collect=*/true);
   }
   const Clock::time_point t_done = Clock::now();
   phase_times_.configure_seconds = seconds_between(t_start, t_configured);
@@ -230,7 +252,7 @@ util::Status Simulator::Run(const trace::Workload& workload,
   return util::Status::Ok();
 }
 
-void Simulator::ReplayContended(const std::vector<trace::Request>& requests,
+void Simulator::ReplayContended(trace::RequestSpan requests,
                                 size_t warmup_count) {
   // Keep a bounded window of future arrivals on the heap: enough that
   // completions interleave with every arrival that could precede them,
@@ -304,8 +326,8 @@ double Simulator::NextArrivalTime(double trace_time) {
   return arrival_clock_;
 }
 
-void Simulator::ReplayRange(const std::vector<trace::Request>& requests,
-                            size_t begin, size_t end, bool collect) {
+void Simulator::ReplayRange(trace::RequestSpan requests, size_t begin,
+                            size_t end, bool collect) {
   // Decode-then-replay in blocks: the decode loop touches only the trace
   // and the catalog's flat arrays (branch-free, prefetch-friendly), the
   // replay loop only decoded integers. Ordering is exactly the trace

@@ -119,6 +119,16 @@ class Simulator {
   util::Status Run(const trace::Workload& workload,
                    uint64_t capacity_bytes_per_node);
 
+  /// Span-based core of Run(): replays a borrowed request stream —
+  /// in-RAM vector or read-only file mapping (trace/mapped_trace.h) —
+  /// without copying it. `view.catalog` must be the catalog this
+  /// simulator's Network was built over. The analytic replay proceeds
+  /// in bounded chunks and invokes view.on_consumed (if set) after
+  /// each, so mapped sources can release consumed pages; results are
+  /// bit-identical to the unchunked replay.
+  util::Status Run(const trace::WorkloadView& view,
+                   uint64_t capacity_bytes_per_node);
+
   /// Processes a single request against the current cache state;
   /// `collect` controls whether metrics are recorded. Exposed for tests
   /// and custom drivers; Run() is the normal entry point. NOTE: coherency
@@ -128,10 +138,12 @@ class Simulator {
 
   /// Replays requests [begin, end) of the trace, decoding them in blocks
   /// ahead of the replay loop (catalog sizes, origin servers, attach
-  /// points). Per-request ordering and results are identical to calling
-  /// Step() on each request in sequence; Run() uses this for both phases.
-  void ReplayRange(const std::vector<trace::Request>& requests, size_t begin,
-                   size_t end, bool collect);
+  /// points). The span is seekable storage-agnostic — a heap vector and
+  /// an mmap'd request region replay through the same loop. Per-request
+  /// ordering and results are identical to calling Step() on each
+  /// request in sequence; Run() uses this for both phases.
+  void ReplayRange(trace::RequestSpan requests, size_t begin, size_t end,
+                   bool collect);
 
   /// Installs the update schedule for direct Step() drivers (Run() does
   /// this automatically from the workload catalog).
@@ -228,8 +240,7 @@ class Simulator {
   /// off. One loop spans both phases so warm-up completions that land
   /// inside the measured window drain in time order instead of being
   /// force-drained at the phase boundary.
-  void ReplayContended(const std::vector<trace::Request>& requests,
-                       size_t warmup_count);
+  void ReplayContended(trace::RequestSpan requests, size_t warmup_count);
 
   /// Arrival time of the next open-loop request: the (monotonized) trace
   /// timestamp by default, or the ramp process

@@ -1,0 +1,95 @@
+#ifndef CASCACHE_TRACE_MAPPED_TRACE_H_
+#define CASCACHE_TRACE_MAPPED_TRACE_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+
+#include "trace/object_catalog.h"
+#include "util/status.h"
+
+namespace cascache::trace {
+
+/// Read-only memory-mapped view of a v2 binary trace (trace_io.h). The
+/// page-aligned request region is overlaid directly as a Request array
+/// — no per-request copies, no decode pass — and the single mapping is
+/// shared read-only by every parallel sweep cell. The kernel is advised
+/// of the sequential access pattern (MADV_SEQUENTIAL + MADV_WILLNEED),
+/// and consumed pages can be advised away (ReleaseUpTo) so a replay's
+/// resident set stays O(1) in trace length.
+///
+/// v1 traces are not mmap-able: their request region starts at
+/// 24 + 12*num_objects, which is not 8-byte aligned in general, so
+/// overlaying doubles would be undefined behavior. Open() rejects them
+/// with InvalidArgument; load v1 via ReadTrace (or rewrite it as v2
+/// with ReadTrace + WriteTrace).
+class MappedTrace {
+ public:
+  static util::StatusOr<std::unique_ptr<MappedTrace>> Open(
+      const std::string& path);
+
+  MappedTrace(const MappedTrace&) = delete;
+  MappedTrace& operator=(const MappedTrace&) = delete;
+  ~MappedTrace();
+
+  const ObjectCatalog& catalog() const { return catalog_; }
+  uint64_t num_requests() const { return num_requests_; }
+  const std::string& path() const { return path_; }
+
+  /// The whole request stream, straight out of the mapping. Seekable by
+  /// construction: subspans address warm-up/measure splits and sweep
+  /// cells by offset.
+  RequestSpan requests() const {
+    return RequestSpan(requests_, static_cast<size_t>(num_requests_));
+  }
+
+  /// Borrowed view for Simulator::Run. The view must not outlive this
+  /// MappedTrace.
+  WorkloadView View() const {
+    return WorkloadView{&catalog_, requests(), {}};
+  }
+
+  /// Like View(), but wires WorkloadView::on_consumed to ReleaseUpTo so
+  /// a sequential analytic replay keeps resident memory O(1) in trace
+  /// length. Each call starts a new pass: the release high-water resets
+  /// to 0, so consecutive sweep cells replaying the same mapping each
+  /// release as they go. Released pages refault (from page cache or
+  /// disk) if touched again, so don't interleave passes.
+  WorkloadView StreamingView();
+
+  /// Advises the kernel (MADV_DONTNEED) that all request pages below
+  /// `request_index` are no longer needed, in multiples of
+  /// kReleaseGranularityBytes. Thread-safe; purely advisory.
+  void ReleaseUpTo(size_t request_index);
+
+  /// One full streaming validation pass over the request region (object
+  /// ids in range, timestamps monotonically non-decreasing) — the check
+  /// ReadTrace performs eagerly. Releases pages as it scans so the pass
+  /// itself stays O(1) resident. Intended for ingest-time checking;
+  /// replay paths trust the mapping.
+  util::Status Validate();
+
+  /// Release granularity: consumed pages are dropped in 16 MiB steps so
+  /// the advisory syscall stays rare.
+  static constexpr size_t kReleaseGranularityBytes = 16 << 20;
+
+ private:
+  MappedTrace() = default;
+
+  std::string path_;
+  ObjectCatalog catalog_;
+  void* map_ = nullptr;
+  size_t map_bytes_ = 0;
+  uint64_t request_offset_ = 0;
+  uint64_t num_requests_ = 0;
+  const Request* requests_ = nullptr;
+
+  std::mutex release_mu_;
+  size_t released_bytes_ = 0;  // Bytes of the request region already dropped.
+};
+
+}  // namespace cascache::trace
+
+#endif  // CASCACHE_TRACE_MAPPED_TRACE_H_

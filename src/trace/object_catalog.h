@@ -1,7 +1,11 @@
 #ifndef CASCACHE_TRACE_OBJECT_CATALOG_H_
 #define CASCACHE_TRACE_OBJECT_CATALOG_H_
 
+#include <cstddef>
 #include <cstdint>
+#include <functional>
+#include <span>
+#include <type_traits>
 #include <vector>
 
 #include "util/check.h"
@@ -65,6 +69,40 @@ struct Request {
   double time = 0.0;  ///< Seconds since trace start.
   ClientId client = 0;
   ObjectId object = 0;
+};
+
+// Request doubles as the on-disk record of the v2 binary trace format
+// (trace_io.h): MappedTrace reinterprets the mmap'd request region as a
+// Request array, so the in-memory layout is part of the file format.
+static_assert(sizeof(Request) == 16, "v2 trace records are 16 bytes");
+static_assert(std::is_trivially_copyable_v<Request>,
+              "v2 trace records are raw memory");
+static_assert(offsetof(Request, time) == 0 &&
+                  offsetof(Request, client) == 8 &&
+                  offsetof(Request, object) == 12,
+              "v2 trace record field layout is part of the file format");
+
+/// A borrowed, seekable view of a time-ordered request stream. Backed
+/// either by an in-RAM std::vector (Workload) or by a read-only file
+/// mapping (MappedTrace); the simulator replays spans without copying.
+using RequestSpan = std::span<const Request>;
+
+/// A borrowed workload: catalog plus request span. This is what the
+/// replay core consumes; Workload::View() and MappedTrace::View() both
+/// produce one, so the simulator is agnostic to where requests live.
+struct WorkloadView {
+  const ObjectCatalog* catalog = nullptr;
+  RequestSpan requests;
+  /// Optional: invoked by the analytic replay loop after each consumed
+  /// chunk with the index one past the last replayed request. Mapped
+  /// sources use it to advise-release consumed pages so resident memory
+  /// stays O(1) in trace length. Not invoked by the contention replay
+  /// (its lookahead window revisits arrivals out of order).
+  std::function<void(size_t)> on_consumed;
+
+  double Duration() const {
+    return requests.empty() ? 0.0 : requests.back().time;
+  }
 };
 
 }  // namespace cascache::trace

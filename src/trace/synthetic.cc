@@ -4,6 +4,7 @@
 #include <cmath>
 #include <limits>
 
+#include "trace/trace_io.h"
 #include "util/random.h"
 #include "util/zipf.h"
 
@@ -23,9 +24,7 @@ uint64_t SampleObjectSize(const WorkloadParams& p, util::Rng* rng) {
   return static_cast<uint64_t>(size);
 }
 
-}  // namespace
-
-util::StatusOr<Workload> GenerateWorkload(const WorkloadParams& params) {
+util::Status ValidateParams(const WorkloadParams& params) {
   if (params.num_objects == 0) {
     return util::Status::InvalidArgument("num_objects must be > 0");
   }
@@ -52,20 +51,29 @@ util::StatusOr<Workload> GenerateWorkload(const WorkloadParams& params) {
   if (params.churn_swaps_per_hour < 0.0) {
     return util::Status::InvalidArgument("churn_swaps_per_hour must be >= 0");
   }
+  return util::Status::Ok();
+}
 
-  util::Rng rng(params.seed);
-  Workload workload;
-
-  // Objects: id == popularity rank; size and origin server independent of
-  // rank (no popularity-size correlation, consistent with measurement
-  // studies).
+// Objects: id == popularity rank; size and origin server independent of
+// rank (no popularity-size correlation, consistent with measurement
+// studies). Must be the first consumer of `rng` so that the in-RAM and
+// streamed generators stay bit-identical.
+void BuildCatalog(const WorkloadParams& params, util::Rng* rng,
+                  ObjectCatalog* catalog) {
   for (uint32_t i = 0; i < params.num_objects; ++i) {
-    const uint64_t size = SampleObjectSize(params, &rng);
+    const uint64_t size = SampleObjectSize(params, rng);
     const ServerId server =
-        static_cast<ServerId>(rng.NextUint64(params.num_servers));
-    workload.catalog.Add(size, server);
+        static_cast<ServerId>(rng->NextUint64(params.num_servers));
+    catalog->Add(size, server);
   }
+}
 
+// Generates the request stream, calling emit(req) once per request in
+// time order. The generator keeps only bounded state (temporal-locality
+// ring, churn rank table), so the caller chooses between materializing
+// the stream and writing it through.
+template <typename Emit>
+void EmitRequests(const WorkloadParams& params, util::Rng* rng, Emit&& emit) {
   const util::ZipfDistribution object_pop(params.num_objects,
                                           params.zipf_theta);
   const util::ZipfDistribution client_pop(params.num_clients,
@@ -75,7 +83,7 @@ util::StatusOr<Workload> GenerateWorkload(const WorkloadParams& params) {
   // over the id space (and hence over network attach points).
   std::vector<ClientId> client_of_rank(params.num_clients);
   for (uint32_t i = 0; i < params.num_clients; ++i) client_of_rank[i] = i;
-  rng.Shuffle(&client_of_rank);
+  rng->Shuffle(&client_of_rank);
 
   // Popularity churn: rank r maps to object rank_to_object[r]; swap
   // events exchange two entries at Poisson times.
@@ -86,38 +94,37 @@ util::StatusOr<Workload> GenerateWorkload(const WorkloadParams& params) {
   if (churning) {
     rank_to_object.resize(params.num_objects);
     for (uint32_t i = 0; i < params.num_objects; ++i) rank_to_object[i] = i;
-    next_churn = rng.NextExponential(churn_rate);
+    next_churn = rng->NextExponential(churn_rate);
   }
 
   // Temporal locality: ring buffer of the most recent object ids.
   const bool temporal = params.temporal_locality > 0.0;
   std::vector<ObjectId> recent;
   size_t recent_head = 0;
-  const double recency_p =
-      temporal ? 1.0 / params.temporal_mean_depth : 0.0;
+  const double recency_p = temporal ? 1.0 / params.temporal_mean_depth : 0.0;
 
-  workload.requests.reserve(params.num_requests);
   double now = 0.0;
   for (uint64_t r = 0; r < params.num_requests; ++r) {
-    now += rng.NextExponential(params.request_rate);
+    now += rng->NextExponential(params.request_rate);
     while (churning && next_churn <= now) {
       const uint32_t a =
-          static_cast<uint32_t>(rng.NextUint64(params.num_objects));
+          static_cast<uint32_t>(rng->NextUint64(params.num_objects));
       const uint32_t b =
-          static_cast<uint32_t>(rng.NextUint64(params.num_objects));
+          static_cast<uint32_t>(rng->NextUint64(params.num_objects));
       std::swap(rank_to_object[a], rank_to_object[b]);
-      next_churn += rng.NextExponential(churn_rate);
+      next_churn += rng->NextExponential(churn_rate);
     }
 
     Request req;
     req.time = now;
-    req.client = client_of_rank[client_pop.Sample(&rng)];
+    req.client = client_of_rank[client_pop.Sample(rng)];
 
     bool picked = false;
-    if (temporal && !recent.empty() && rng.NextBool(params.temporal_locality)) {
+    if (temporal && !recent.empty() &&
+        rng->NextBool(params.temporal_locality)) {
       // Geometric stack depth, clamped to the filled window.
       uint64_t depth = 0;
-      while (depth + 1 < recent.size() && !rng.NextBool(recency_p)) ++depth;
+      while (depth + 1 < recent.size() && !rng->NextBool(recency_p)) ++depth;
       const size_t idx =
           (recent_head + recent.size() - 1 - static_cast<size_t>(depth)) %
           recent.size();
@@ -125,9 +132,9 @@ util::StatusOr<Workload> GenerateWorkload(const WorkloadParams& params) {
       picked = true;
     }
     if (!picked) {
-      const size_t rank = object_pop.Sample(&rng);
-      req.object = churning ? rank_to_object[rank]
-                            : static_cast<ObjectId>(rank);
+      const size_t rank = object_pop.Sample(rng);
+      req.object =
+          churning ? rank_to_object[rank] : static_cast<ObjectId>(rank);
     }
 
     if (temporal) {
@@ -139,9 +146,53 @@ util::StatusOr<Workload> GenerateWorkload(const WorkloadParams& params) {
         recent_head = (recent_head + 1) % recent.size();
       }
     }
-    workload.requests.push_back(req);
+    emit(req);
   }
+}
+
+}  // namespace
+
+util::StatusOr<Workload> GenerateWorkload(const WorkloadParams& params) {
+  CASCACHE_RETURN_IF_ERROR(ValidateParams(params));
+  util::Rng rng(params.seed);
+  Workload workload;
+  BuildCatalog(params, &rng, &workload.catalog);
+  workload.requests.reserve(params.num_requests);
+  EmitRequests(params, &rng,
+               [&](const Request& req) { workload.requests.push_back(req); });
   return workload;
+}
+
+util::Status GenerateWorkloadToFile(const WorkloadParams& params,
+                                    const std::string& path) {
+  CASCACHE_RETURN_IF_ERROR(ValidateParams(params));
+  util::Rng rng(params.seed);
+  ObjectCatalog catalog;
+  BuildCatalog(params, &rng, &catalog);
+
+  CASCACHE_ASSIGN_OR_RETURN(
+      std::unique_ptr<TraceWriter> writer,
+      TraceWriter::Create(path, catalog, params.num_requests));
+
+  // Buffer a bounded block of requests between Append calls; 64Ki
+  // records = 1 MiB regardless of trace length.
+  constexpr size_t kBlock = 64 * 1024;
+  std::vector<Request> block;
+  block.reserve(kBlock);
+  util::Status write_status = util::Status::Ok();
+  EmitRequests(params, &rng, [&](const Request& req) {
+    if (!write_status.ok()) return;
+    block.push_back(req);
+    if (block.size() == kBlock) {
+      write_status = writer->Append(block.data(), block.size());
+      block.clear();
+    }
+  });
+  CASCACHE_RETURN_IF_ERROR(write_status);
+  if (!block.empty()) {
+    CASCACHE_RETURN_IF_ERROR(writer->Append(block.data(), block.size()));
+  }
+  return writer->Close();
 }
 
 std::vector<uint64_t> CountAccesses(const Workload& workload) {

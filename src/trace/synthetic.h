@@ -2,6 +2,7 @@
 #define CASCACHE_TRACE_SYNTHETIC_H_
 
 #include <cstdint>
+#include <string>
 #include <vector>
 
 #include "trace/object_catalog.h"
@@ -74,12 +75,24 @@ struct Workload {
   double Duration() const {
     return requests.empty() ? 0.0 : requests.back().time;
   }
+
+  /// Borrowed view over this workload for the span-based replay core.
+  /// The view must not outlive the Workload.
+  WorkloadView View() const { return WorkloadView{&catalog, requests, {}}; }
 };
 
 /// Generates a workload; deterministic in `params.seed`. Object ids are
 /// assigned in popularity-rank order (object 0 is the hottest), while
 /// sizes and server assignments are independent of rank.
 util::StatusOr<Workload> GenerateWorkload(const WorkloadParams& params);
+
+/// Streams the same workload straight to a v2 binary trace file
+/// (trace_io.h) without materializing the request vector: requests are
+/// generated and written in bounded blocks, so a 100M-request trace is
+/// produced in O(1) resident memory. Bit-identical to WriteTrace(
+/// GenerateWorkload(params)) — both consume the same RNG stream.
+util::Status GenerateWorkloadToFile(const WorkloadParams& params,
+                                    const std::string& path);
 
 /// Per-object request counts of a trace (index = ObjectId); used by tests
 /// and trace statistics.

@@ -4,37 +4,128 @@
 #include <cstdio>
 #include <memory>
 #include <string>
+#include <vector>
 
 #include "trace/synthetic.h"
 #include "util/status.h"
 
 namespace cascache::trace {
 
-/// Binary trace file IO. Layout (little-endian):
-///   magic "CCTR" | uint32 version | uint32 num_objects |
+/// Binary trace file IO (little-endian throughout). Two format versions:
+///
+/// v1 (legacy, still readable):
+///   magic "CCTR" | uint32 version=1 | uint32 num_objects |
 ///   uint32 num_servers | uint64 num_requests |
 ///   per object: uint64 size, uint32 server |
 ///   per request: double time, uint32 client, uint32 object
+///
+/// v2 (current, mmap-able):
+///   fixed 32-byte header:
+///     magic "CCTR" | uint32 version=2 | uint32 num_objects |
+///     uint32 num_servers | uint64 num_requests | uint64 request_offset
+///   catalog at byte 32: per object uint64 size, uint32 server
+///   zero padding up to request_offset (a multiple of 4096, so the
+///   request region starts page-aligned)
+///   request region: num_requests fixed-width 16-byte records, each the
+///   in-memory layout of trace::Request (double time, uint32 client,
+///   uint32 object) — MappedTrace (mapped_trace.h) overlays this region
+///   directly as a Request array.
+///
 /// The format exists so users can substitute a real proxy trace (e.g. a
-/// Boeing-style log converted offline) for the synthetic workload.
+/// Boeing-style log converted offline via ConvertCsvTrace) for the
+/// synthetic workload, and so paper-scale (22M+) traces replay without
+/// being materialized in RAM.
+constexpr uint32_t kTraceVersion1 = 1;
+constexpr uint32_t kTraceVersion2 = 2;
+/// Alignment of the v2 request region within the file.
+constexpr uint64_t kTraceRequestAlign = 4096;
+/// Byte size of the fixed v2 header.
+constexpr uint64_t kTraceV2HeaderBytes = 32;
+
+/// Writes `workload` in the current (v2) format.
 util::Status WriteTrace(const Workload& workload, const std::string& path);
 
-/// Reads a trace written by WriteTrace. Validates magic, version, bounds
-/// of every record (object/client ids, monotonically non-decreasing
-/// timestamps) and truncation.
+/// Writes `workload` in the legacy v1 format. Kept so compatibility
+/// tests and tooling can produce v1 inputs; new traces should be v2.
+util::Status WriteTraceV1(const Workload& workload, const std::string& path);
+
+/// Reads a trace written by WriteTrace/WriteTraceV1 (either version).
+/// Validates magic, version, bounds of every record (object/client ids,
+/// monotonically non-decreasing timestamps) and truncation.
 util::StatusOr<Workload> ReadTrace(const std::string& path);
 
 /// Writes the request stream as CSV ("time,client,object,size,server")
-/// for external analysis; the catalog is embedded per-row.
+/// for external analysis; the catalog is embedded per-row. Timestamps
+/// are rounded to microseconds, so CSV is an interchange format, not a
+/// bit-exact round-trip of the binary trace.
 util::Status WriteTraceCsv(const Workload& workload, const std::string& path);
 
-/// Streaming reader for WriteTrace files: loads the catalog eagerly (it
-/// is small) and yields requests one at a time, so multi-gigabyte traces
-/// replay in constant memory. Performs the same validation as ReadTrace.
+/// Converts a CSV request log in the WriteTraceCsv column layout
+/// ("time,client,object,size,server", optional header row) into a v2
+/// binary trace. Two streaming passes: the first derives the catalog,
+/// renumbering log object ids densely by first appearance (real logs
+/// are sparse; size/server must be consistent across rows of the same
+/// object), the second writes the request region. Memory is
+/// O(num_objects), independent of request count.
+util::Status ConvertCsvTrace(const std::string& csv_path,
+                             const std::string& out_path);
+
+/// Streaming writer for v2 traces: the catalog is written up front and
+/// requests are appended in bounded blocks, so arbitrarily long traces
+/// are produced in O(1) resident memory. If the final request count
+/// differs from `expected_requests`, Close() patches the header.
+class TraceWriter {
+ public:
+  /// `expected_requests` is a hint written into the header immediately;
+  /// pass 0 when unknown (Close() fixes it up either way).
+  static util::StatusOr<std::unique_ptr<TraceWriter>> Create(
+      const std::string& path, const ObjectCatalog& catalog,
+      uint64_t expected_requests = 0);
+
+  TraceWriter(const TraceWriter&) = delete;
+  TraceWriter& operator=(const TraceWriter&) = delete;
+  ~TraceWriter();
+
+  /// Appends `count` records. Validates object-id range and monotone
+  /// timestamps (same invariants the readers enforce).
+  util::Status Append(const Request* batch, size_t count);
+  util::Status Append(const Request& request) { return Append(&request, 1); }
+
+  uint64_t requests_written() const { return requests_written_; }
+
+  /// Flushes, patches the header request count if needed and closes the
+  /// file. Idempotent; also invoked (errors ignored) by the destructor.
+  util::Status Close();
+
+ private:
+  TraceWriter() = default;
+
+  std::FILE* file_ = nullptr;
+  std::string path_;
+  std::vector<char> iobuf_;
+  uint32_t num_objects_ = 0;
+  uint64_t expected_requests_ = 0;
+  uint64_t requests_written_ = 0;
+  double prev_time_ = -1.0;
+  bool closed_ = false;
+};
+
+/// Streaming reader for trace files (v1 and v2): loads the catalog
+/// eagerly (it is small) and yields requests one at a time, so
+/// multi-gigabyte traces replay in constant memory. Performs the same
+/// validation as ReadTrace. Reads the request region through an
+/// internal block buffer; Options::buffer_bytes = 0 selects the legacy
+/// one-fread-per-field path (kept for the buffering micro-bench).
 class TraceReader {
  public:
+  struct Options {
+    size_t buffer_bytes = 256 * 1024;
+  };
+
   static util::StatusOr<std::unique_ptr<TraceReader>> Open(
       const std::string& path);
+  static util::StatusOr<std::unique_ptr<TraceReader>> Open(
+      const std::string& path, const Options& options);
 
   TraceReader(const TraceReader&) = delete;
   TraceReader& operator=(const TraceReader&) = delete;
@@ -43,6 +134,7 @@ class TraceReader {
   const ObjectCatalog& catalog() const { return catalog_; }
   uint64_t num_requests() const { return num_requests_; }
   uint64_t requests_read() const { return requests_read_; }
+  uint32_t version() const { return version_; }
 
   /// Reads the next request into `request`. Returns true on success,
   /// false at end of stream, or an error Status on corruption.
@@ -51,11 +143,17 @@ class TraceReader {
  private:
   TraceReader() = default;
 
+  util::Status Refill();
+
   std::FILE* file_ = nullptr;
   ObjectCatalog catalog_;
+  uint32_t version_ = 0;
   uint64_t num_requests_ = 0;
   uint64_t requests_read_ = 0;
   double prev_time_ = -1.0;
+  std::vector<unsigned char> buf_;
+  size_t buf_pos_ = 0;
+  size_t buf_len_ = 0;
 };
 
 /// Summary statistics of a workload, for trace inspection tools.
@@ -74,6 +172,24 @@ struct TraceStats {
 };
 
 TraceStats ComputeTraceStats(const Workload& workload);
+
+/// Extended, logstats-style summary of an on-disk trace, computed in
+/// one streaming pass (O(num_objects) memory).
+struct TraceSummary {
+  TraceStats stats;
+  uint32_t format_version = 0;
+  uint64_t file_bytes = 0;
+  /// Object size percentiles over the catalog (bytes, nearest-rank).
+  uint64_t size_p50 = 0, size_p90 = 0, size_p99 = 0, size_max = 0;
+  /// Request-weighted size percentiles (each request contributes its
+  /// object's size).
+  uint64_t req_size_p50 = 0, req_size_p90 = 0, req_size_p99 = 0;
+  /// Inter-arrival gap statistics (seconds, over num_requests-1 gaps).
+  double interarrival_mean = 0.0, interarrival_stddev = 0.0;
+  double interarrival_min = 0.0, interarrival_max = 0.0;
+};
+
+util::StatusOr<TraceSummary> SummarizeTrace(const std::string& path);
 
 }  // namespace cascache::trace
 

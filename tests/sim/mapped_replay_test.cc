@@ -1,0 +1,187 @@
+// Mapped-replay equivalence: replaying a workload through the v2
+// mmap path (WriteTrace -> MappedTrace -> ExperimentRunner::
+// CreateFromTrace) must be bit-identical to generating and replaying
+// it in RAM. Anchored against tests/data/pipeline_golden.csv — the
+// same golden file the pipeline-equivalence test pins — by re-deriving
+// its `enroute_all` case through the mapping, so any divergence in the
+// zero-copy span plumbing (chunked replay, warm-up splits, page
+// release) shows up as a golden mismatch, not just an internal
+// inconsistency.
+
+#include <cstdio>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "sim/experiment.h"
+#include "trace/trace_io.h"
+
+namespace cascache {
+namespace {
+
+std::string FmtDouble(double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.17g", v);
+  return buf;
+}
+
+/// The golden matrix's workload (must match pipeline_equivalence_test).
+trace::WorkloadParams GoldenWorkloadParams() {
+  trace::WorkloadParams w;
+  w.num_objects = 1500;
+  w.num_requests = 12'000;
+  w.num_clients = 200;
+  w.num_servers = 40;
+  return w;
+}
+
+std::vector<schemes::SchemeSpec> AllSchemes() {
+  std::vector<schemes::SchemeSpec> specs(7);
+  specs[0].kind = schemes::SchemeKind::kLru;
+  specs[1].kind = schemes::SchemeKind::kModulo;
+  specs[2].kind = schemes::SchemeKind::kLncr;
+  specs[3].kind = schemes::SchemeKind::kCoordinated;
+  specs[4].kind = schemes::SchemeKind::kGds;
+  specs[5].kind = schemes::SchemeKind::kLfu;
+  specs[6].kind = schemes::SchemeKind::kStatic;
+  return specs;
+}
+
+sim::ExperimentConfig EnrouteAllConfig() {
+  sim::ExperimentConfig cfg;
+  cfg.network.architecture = sim::Architecture::kEnRoute;
+  cfg.workload = GoldenWorkloadParams();
+  cfg.cache_fractions = {0.01, 0.03};
+  cfg.schemes = AllSchemes();
+  cfg.jobs = 1;
+  return cfg;
+}
+
+/// Serializes one cell the way the golden file does
+/// (`case,label,field,value` with %.17g doubles), restricted to the
+/// fields AddSummaryRows emits.
+void AddSummaryRows(std::vector<std::string>* rows, const std::string& label,
+                    const sim::MetricsSummary& m) {
+  const auto add = [&](const std::string& field, const std::string& value) {
+    rows->push_back("enroute_all," + label + "," + field + "," + value);
+  };
+  add("requests", std::to_string(m.requests));
+  add("avg_latency", FmtDouble(m.avg_latency));
+  add("avg_response_ratio", FmtDouble(m.avg_response_ratio));
+  add("byte_hit_ratio", FmtDouble(m.byte_hit_ratio));
+  add("hit_ratio", FmtDouble(m.hit_ratio));
+  add("avg_traffic_byte_hops", FmtDouble(m.avg_traffic_byte_hops));
+  add("avg_hops", FmtDouble(m.avg_hops));
+  add("avg_load_bytes", FmtDouble(m.avg_load_bytes));
+  add("read_load_share", FmtDouble(m.read_load_share));
+  add("avg_write_bytes", FmtDouble(m.avg_write_bytes));
+  add("total_bytes_requested", std::to_string(m.total_bytes_requested));
+  add("bytes_from_caches", std::to_string(m.bytes_from_caches));
+  add("stale_hit_ratio", FmtDouble(m.stale_hit_ratio));
+  add("copies_expired", std::to_string(m.copies_expired));
+  add("copies_invalidated", std::to_string(m.copies_invalidated));
+}
+
+std::vector<std::string> GoldenEnrouteRows() {
+  std::ifstream in(std::string(CASCACHE_TEST_DATA_DIR) +
+                   "/pipeline_golden.csv");
+  std::vector<std::string> rows;
+  for (std::string line; std::getline(in, line);) {
+    if (line.rfind("enroute_all,", 0) == 0) rows.push_back(line);
+  }
+  return rows;
+}
+
+std::vector<std::string> RowsFromResults(
+    const std::vector<sim::RunResult>& results) {
+  std::vector<std::string> rows;
+  for (const sim::RunResult& r : results) {
+    char label[64];
+    std::snprintf(label, sizeof(label), "%s@%g", r.scheme.c_str(),
+                  r.cache_fraction);
+    AddSummaryRows(&rows, label, r.metrics);
+  }
+  return rows;
+}
+
+class MappedReplayTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    // One file per test: ctest runs tests in parallel processes, and
+    // truncating a trace another process has mapped raises SIGBUS.
+    trace_path_ =
+        ::testing::TempDir() + "/mapped_replay_" +
+        ::testing::UnitTest::GetInstance()->current_test_info()->name() +
+        ".cctr";
+    auto workload_or = trace::GenerateWorkload(GoldenWorkloadParams());
+    ASSERT_TRUE(workload_or.ok()) << workload_or.status();
+    ASSERT_TRUE(trace::WriteTrace(*workload_or, trace_path_).ok());
+    golden_ = GoldenEnrouteRows();
+    ASSERT_FALSE(golden_.empty()) << "missing enroute_all golden rows";
+  }
+
+  void TearDown() override { std::remove(trace_path_.c_str()); }
+
+  void ExpectMatchesGolden(const std::vector<sim::RunResult>& results) {
+    const std::vector<std::string> rows = RowsFromResults(results);
+    ASSERT_EQ(rows.size(), golden_.size());
+    for (size_t i = 0; i < rows.size(); ++i) {
+      EXPECT_EQ(rows[i], golden_[i]) << "mapped replay diverged at row " << i;
+    }
+  }
+
+  std::string trace_path_;
+  std::vector<std::string> golden_;
+};
+
+TEST_F(MappedReplayTest, MmapReplayReproducesGoldenBitForBit) {
+  auto runner_or =
+      sim::ExperimentRunner::CreateFromTrace(EnrouteAllConfig(), trace_path_);
+  ASSERT_TRUE(runner_or.ok()) << runner_or.status();
+  ASSERT_NE((*runner_or)->mapped_trace(), nullptr)
+      << "a v2 trace must take the mmap path";
+  auto results_or = (*runner_or)->RunAll();
+  ASSERT_TRUE(results_or.ok()) << results_or.status();
+  ExpectMatchesGolden(*results_or);
+}
+
+TEST_F(MappedReplayTest, PageReleaseReplayIsStillBitIdentical) {
+  sim::ExperimentConfig cfg = EnrouteAllConfig();
+  cfg.release_trace_pages = true;
+  auto runner_or = sim::ExperimentRunner::CreateFromTrace(cfg, trace_path_);
+  ASSERT_TRUE(runner_or.ok()) << runner_or.status();
+  auto results_or = (*runner_or)->RunAll();
+  ASSERT_TRUE(results_or.ok()) << results_or.status();
+  ExpectMatchesGolden(*results_or);
+}
+
+TEST_F(MappedReplayTest, ParallelCellsShareOneMappingDeterministically) {
+  sim::ExperimentConfig cfg = EnrouteAllConfig();
+  cfg.jobs = 4;
+  auto runner_or = sim::ExperimentRunner::CreateFromTrace(cfg, trace_path_);
+  ASSERT_TRUE(runner_or.ok()) << runner_or.status();
+  auto results_or = (*runner_or)->RunAll();
+  ASSERT_TRUE(results_or.ok()) << results_or.status();
+  ExpectMatchesGolden(*results_or);
+}
+
+TEST_F(MappedReplayTest, V1TraceFallsBackToInRamLoad) {
+  const std::string v1_path = ::testing::TempDir() + "/mapped_replay_v1.cctr";
+  auto workload_or = trace::GenerateWorkload(GoldenWorkloadParams());
+  ASSERT_TRUE(workload_or.ok());
+  ASSERT_TRUE(trace::WriteTraceV1(*workload_or, v1_path).ok());
+
+  auto runner_or =
+      sim::ExperimentRunner::CreateFromTrace(EnrouteAllConfig(), v1_path);
+  ASSERT_TRUE(runner_or.ok()) << runner_or.status();
+  EXPECT_EQ((*runner_or)->mapped_trace(), nullptr);
+  auto results_or = (*runner_or)->RunAll();
+  ASSERT_TRUE(results_or.ok()) << results_or.status();
+  ExpectMatchesGolden(*results_or);
+  std::remove(v1_path.c_str());
+}
+
+}  // namespace
+}  // namespace cascache

@@ -1,6 +1,7 @@
 #include "trace/trace_io.h"
 
 #include <cstdio>
+#include <cstring>
 #include <fstream>
 
 #include <gtest/gtest.h>
@@ -178,6 +179,255 @@ TEST_F(TraceIoTest, StreamingReaderDetectsTruncation) {
 
 TEST_F(TraceIoTest, StreamingReaderRejectsMissingFile) {
   EXPECT_FALSE(TraceReader::Open(TempPath("nope.cctr")).ok());
+}
+
+TEST_F(TraceIoTest, WritesVersion2WithAlignedRequestRegion) {
+  const Workload original = SmallWorkload();
+  const std::string path = TempPath("v2_layout.cctr");
+  ASSERT_TRUE(WriteTrace(original, path).ok());
+
+  std::ifstream in(path, std::ios::binary);
+  std::string bytes((std::istreambuf_iterator<char>(in)),
+                    std::istreambuf_iterator<char>());
+  ASSERT_GE(bytes.size(), kTraceV2HeaderBytes);
+  EXPECT_EQ(bytes.substr(0, 4), "CCTR");
+  uint32_t version = 0;
+  std::memcpy(&version, bytes.data() + 4, sizeof(version));
+  EXPECT_EQ(version, kTraceVersion2);
+  uint64_t request_offset = 0;
+  std::memcpy(&request_offset, bytes.data() + 24, sizeof(request_offset));
+  EXPECT_EQ(request_offset % kTraceRequestAlign, 0u);
+  EXPECT_EQ(bytes.size(),
+            request_offset + original.requests.size() * sizeof(Request));
+  std::remove(path.c_str());
+}
+
+TEST_F(TraceIoTest, V1TraceStillReadable) {
+  const Workload original = SmallWorkload();
+  const std::string path = TempPath("legacy.cctr");
+  ASSERT_TRUE(WriteTraceV1(original, path).ok());
+
+  auto reader_or = TraceReader::Open(path);
+  ASSERT_TRUE(reader_or.ok()) << reader_or.status();
+  EXPECT_EQ((*reader_or)->version(), kTraceVersion1);
+
+  auto read_or = ReadTrace(path);
+  ASSERT_TRUE(read_or.ok()) << read_or.status();
+  ASSERT_EQ(read_or->requests.size(), original.requests.size());
+  ASSERT_EQ(read_or->catalog.num_objects(), original.catalog.num_objects());
+  for (size_t i = 0; i < original.requests.size(); ++i) {
+    EXPECT_DOUBLE_EQ(read_or->requests[i].time, original.requests[i].time);
+    EXPECT_EQ(read_or->requests[i].client, original.requests[i].client);
+    EXPECT_EQ(read_or->requests[i].object, original.requests[i].object);
+  }
+  std::remove(path.c_str());
+}
+
+TEST_F(TraceIoTest, TraceWriterPatchesRequestCount) {
+  const Workload original = SmallWorkload();
+  const std::string path = TempPath("patched.cctr");
+  {
+    // Declare a wrong expected count; Close() must fix the header.
+    auto writer_or = TraceWriter::Create(path, original.catalog,
+                                         /*expected_requests=*/9999999);
+    ASSERT_TRUE(writer_or.ok()) << writer_or.status();
+    TraceWriter& writer = **writer_or;
+    ASSERT_TRUE(
+        writer.Append(original.requests.data(), original.requests.size())
+            .ok());
+    EXPECT_EQ(writer.requests_written(), original.requests.size());
+    ASSERT_TRUE(writer.Close().ok());
+    EXPECT_TRUE(writer.Close().ok()) << "Close must be idempotent";
+  }
+  auto read_or = ReadTrace(path);
+  ASSERT_TRUE(read_or.ok()) << read_or.status();
+  EXPECT_EQ(read_or->requests.size(), original.requests.size());
+  std::remove(path.c_str());
+}
+
+TEST_F(TraceIoTest, TraceWriterRejectsBadRecords) {
+  const Workload original = SmallWorkload();
+  const std::string path = TempPath("writer_reject.cctr");
+  auto writer_or = TraceWriter::Create(path, original.catalog);
+  ASSERT_TRUE(writer_or.ok());
+  TraceWriter& writer = **writer_or;
+
+  Request out_of_range{0.0, 0, original.catalog.num_objects()};
+  EXPECT_FALSE(writer.Append(out_of_range).ok());
+
+  ASSERT_TRUE(writer.Append(Request{5.0, 0, 0}).ok());
+  Request backwards{4.0, 0, 0};
+  EXPECT_FALSE(writer.Append(backwards).ok()) << "time must be monotone";
+  std::remove(path.c_str());
+}
+
+TEST_F(TraceIoTest, UnbufferedReaderMatchesBuffered) {
+  const Workload original = SmallWorkload();
+  const std::string path = TempPath("unbuffered.cctr");
+  ASSERT_TRUE(WriteTrace(original, path).ok());
+
+  TraceReader::Options legacy;
+  legacy.buffer_bytes = 0;  // one fread per field, the pre-buffering path
+  auto reader_or = TraceReader::Open(path, legacy);
+  ASSERT_TRUE(reader_or.ok()) << reader_or.status();
+  Request req;
+  size_t i = 0;
+  for (;;) {
+    auto more_or = (*reader_or)->Next(&req);
+    ASSERT_TRUE(more_or.ok());
+    if (!*more_or) break;
+    ASSERT_LT(i, original.requests.size());
+    EXPECT_DOUBLE_EQ(req.time, original.requests[i].time);
+    EXPECT_EQ(req.client, original.requests[i].client);
+    EXPECT_EQ(req.object, original.requests[i].object);
+    ++i;
+  }
+  EXPECT_EQ(i, original.requests.size());
+  std::remove(path.c_str());
+}
+
+TEST_F(TraceIoTest, StreamingGenerationMatchesInMemory) {
+  WorkloadParams params;
+  params.num_objects = 300;
+  params.num_requests = 20000;
+  params.num_clients = 40;
+  params.num_servers = 8;
+  params.seed = 11;
+  params.temporal_locality = 0.3;
+  params.churn_swaps_per_hour = 50.0;
+
+  auto in_ram_or = GenerateWorkload(params);
+  ASSERT_TRUE(in_ram_or.ok());
+  const Workload& in_ram = *in_ram_or;
+
+  const std::string path = TempPath("streamed.cctr");
+  ASSERT_TRUE(GenerateWorkloadToFile(params, path).ok());
+  auto streamed_or = ReadTrace(path);
+  ASSERT_TRUE(streamed_or.ok()) << streamed_or.status();
+  const Workload& streamed = *streamed_or;
+
+  ASSERT_EQ(streamed.catalog.num_objects(), in_ram.catalog.num_objects());
+  for (ObjectId id = 0; id < in_ram.catalog.num_objects(); ++id) {
+    ASSERT_EQ(streamed.catalog.size(id), in_ram.catalog.size(id));
+    ASSERT_EQ(streamed.catalog.server(id), in_ram.catalog.server(id));
+  }
+  ASSERT_EQ(streamed.requests.size(), in_ram.requests.size());
+  for (size_t i = 0; i < in_ram.requests.size(); ++i) {
+    ASSERT_EQ(std::memcmp(&streamed.requests[i], &in_ram.requests[i],
+                          sizeof(Request)),
+              0)
+        << "record " << i << " differs: streaming generation must be "
+        << "bit-identical to GenerateWorkload";
+  }
+  std::remove(path.c_str());
+}
+
+TEST_F(TraceIoTest, CsvConvertRoundTrip) {
+  const Workload original = SmallWorkload();
+  const std::string csv = TempPath("convert_in.csv");
+  const std::string cctr = TempPath("convert_out.cctr");
+  ASSERT_TRUE(WriteTraceCsv(original, csv).ok());
+  ASSERT_TRUE(ConvertCsvTrace(csv, cctr).ok());
+
+  auto read_or = ReadTrace(cctr);
+  ASSERT_TRUE(read_or.ok()) << read_or.status();
+  const Workload& converted = *read_or;
+  ASSERT_EQ(converted.requests.size(), original.requests.size());
+  // Only referenced objects survive conversion (dense renumbering), and
+  // each request must keep its client and its object's size/server.
+  const TraceStats stats = ComputeTraceStats(original);
+  EXPECT_EQ(converted.catalog.num_objects(), stats.num_objects_referenced);
+  for (size_t i = 0; i < original.requests.size(); ++i) {
+    EXPECT_EQ(converted.requests[i].client, original.requests[i].client);
+    EXPECT_EQ(converted.catalog.size(converted.requests[i].object),
+              original.catalog.size(original.requests[i].object));
+    EXPECT_EQ(converted.catalog.server(converted.requests[i].object),
+              original.catalog.server(original.requests[i].object));
+  }
+  std::remove(csv.c_str());
+  std::remove(cctr.c_str());
+}
+
+TEST_F(TraceIoTest, CsvConvertRemapsSparseIds) {
+  const std::string csv = TempPath("sparse.csv");
+  {
+    std::ofstream out(csv);
+    out << "time,client,object,size,server\n"
+        << "0.5,3,900,1000,2\n"
+        << "1.0,1,17,500,0\n"
+        << "1.5,3,900,1000,2\n";
+  }
+  const std::string cctr = TempPath("sparse.cctr");
+  ASSERT_TRUE(ConvertCsvTrace(csv, cctr).ok());
+  auto read_or = ReadTrace(cctr);
+  ASSERT_TRUE(read_or.ok()) << read_or.status();
+  ASSERT_EQ(read_or->catalog.num_objects(), 2u);
+  ASSERT_EQ(read_or->requests.size(), 3u);
+  EXPECT_EQ(read_or->requests[0].object, 0u);  // 900 seen first
+  EXPECT_EQ(read_or->requests[1].object, 1u);  // then 17
+  EXPECT_EQ(read_or->requests[2].object, 0u);
+  EXPECT_EQ(read_or->catalog.size(0), 1000u);
+  EXPECT_EQ(read_or->catalog.server(0), 2u);
+  EXPECT_EQ(read_or->catalog.size(1), 500u);
+  std::remove(csv.c_str());
+  std::remove(cctr.c_str());
+}
+
+TEST_F(TraceIoTest, CsvConvertRejectsConflictsAndGarbage) {
+  const std::string cctr = TempPath("bad.cctr");
+  {
+    const std::string csv = TempPath("conflict.csv");
+    std::ofstream(csv) << "0.5,1,7,100,0\n0.6,1,7,200,0\n";
+    const util::Status status = ConvertCsvTrace(csv, cctr);
+    EXPECT_FALSE(status.ok());
+    EXPECT_NE(status.message().find("conflicting size/server"),
+              std::string::npos)
+        << status;
+    std::remove(csv.c_str());
+  }
+  {
+    const std::string csv = TempPath("garbage.csv");
+    std::ofstream(csv) << "0.5,1,7,100,0\nnot,a,valid,row,!\n";
+    EXPECT_FALSE(ConvertCsvTrace(csv, cctr).ok());
+    std::remove(csv.c_str());
+  }
+  {
+    const std::string csv = TempPath("empty.csv");
+    std::ofstream(csv) << "time,client,object,size,server\n";
+    EXPECT_FALSE(ConvertCsvTrace(csv, cctr).ok());
+    std::remove(csv.c_str());
+  }
+  std::remove(cctr.c_str());
+}
+
+TEST_F(TraceIoTest, SummarizeTraceMatchesInMemoryStats) {
+  const Workload original = SmallWorkload();
+  const std::string path = TempPath("summary.cctr");
+  ASSERT_TRUE(WriteTrace(original, path).ok());
+
+  auto summary_or = SummarizeTrace(path);
+  ASSERT_TRUE(summary_or.ok()) << summary_or.status();
+  const TraceSummary& s = *summary_or;
+  const TraceStats expected = ComputeTraceStats(original);
+
+  EXPECT_EQ(s.format_version, kTraceVersion2);
+  EXPECT_GT(s.file_bytes, 0u);
+  EXPECT_EQ(s.stats.num_requests, expected.num_requests);
+  EXPECT_EQ(s.stats.num_objects, expected.num_objects);
+  EXPECT_EQ(s.stats.num_objects_referenced, expected.num_objects_referenced);
+  EXPECT_EQ(s.stats.num_clients_active, expected.num_clients_active);
+  EXPECT_EQ(s.stats.total_bytes_requested, expected.total_bytes_requested);
+  EXPECT_DOUBLE_EQ(s.stats.duration_seconds, expected.duration_seconds);
+  EXPECT_NEAR(s.stats.estimated_zipf_theta, expected.estimated_zipf_theta,
+              1e-9);
+
+  EXPECT_GE(s.size_p90, s.size_p50);
+  EXPECT_GE(s.size_p99, s.size_p90);
+  EXPECT_GE(s.size_max, s.size_p99);
+  EXPECT_GE(s.req_size_p99, s.req_size_p50);
+  EXPECT_GT(s.interarrival_mean, 0.0);
+  EXPECT_GE(s.interarrival_max, s.interarrival_min);
+  std::remove(path.c_str());
 }
 
 TEST_F(TraceIoTest, EmptyWorkloadRoundTrip) {

@@ -6,12 +6,16 @@
 // Examples:
 //   cascache_sim                                   # paper defaults, small
 //   cascache_sim --arch=hier --schemes=lru,coordinated --cache=0.01,0.1
-//   cascache_sim --trace=boeing.cctr --schemes=coordinated --cache=0.03
+//   cascache_sim --trace-out=boeing.cctr --requests=22000000  # generate once
+//   cascache_sim --trace-in=boeing.cctr --schemes=coordinated --cache=0.03
 //   cascache_sim --coherency=ttl --ttl=600 --mutable=0.2
 //   cascache_sim --cost=bandwidth --schemes=coordinated,lncr
 
+#include <sys/resource.h>
+
 #include <cstdio>
 #include <cstdlib>
+#include <cstring>
 
 #include "sim/experiment.h"
 #include "sim/fault_plane.h"
@@ -22,6 +26,25 @@
 namespace {
 
 using namespace cascache;
+
+/// Process peak resident set in KiB: VmHWM from /proc/self/status, with
+/// ru_maxrss as the portable fallback. Printed when CASCACHE_PRINT_RSS
+/// is set so the CI scale-smoke job can assert a ceiling without
+/// depending on GNU time.
+long PeakRssKb() {
+  if (std::FILE* f = std::fopen("/proc/self/status", "r"); f != nullptr) {
+    char line[256];
+    long kb = -1;
+    while (std::fgets(line, sizeof(line), f) != nullptr) {
+      if (std::sscanf(line, "VmHWM: %ld kB", &kb) == 1) break;
+    }
+    std::fclose(f);
+    if (kb >= 0) return kb;
+  }
+  struct rusage usage;
+  if (getrusage(RUSAGE_SELF, &usage) == 0) return usage.ru_maxrss;
+  return -1;
+}
 
 util::StatusOr<schemes::SchemeSpec> ParseScheme(const std::string& name,
                                                 int radius) {
@@ -75,10 +98,27 @@ util::Status RunMain(int argc, char** argv) {
   flags.AddDouble("theta", 0.8, "Zipf exponent of object popularity", &theta);
   flags.AddUint64("seed", 42, "workload seed", &seed);
   flags.AddString("trace", "",
-                  "load a .cctr trace instead of generating one",
+                  "deprecated alias of --trace-in",
                   &trace_path);
+  std::string trace_in, trace_out;
+  bool trace_stream_release;
+  flags.AddString("trace-in", "",
+                  "replay a saved .cctr binary trace instead of generating "
+                  "one (v2 is mmap'd and shared across sweep cells; v1 "
+                  "loads in RAM; env: CASCACHE_TRACE_IN)",
+                  &trace_in);
+  flags.AddString("trace-out", "",
+                  "stream-generate the synthetic workload to this v2 trace "
+                  "file in O(1) memory and exit without simulating "
+                  "(env: CASCACHE_TRACE_OUT)",
+                  &trace_out);
+  flags.AddBool("trace-stream-release", false,
+                "advise-release consumed pages of the mapped --trace-in "
+                "while replaying, keeping resident memory O(1) in trace "
+                "length (forces --jobs=1)",
+                &trace_stream_release);
   flags.AddString("save-trace", "",
-                  "write the (possibly generated) trace to this path",
+                  "write the generated trace to this path (v2 format)",
                   &save_trace);
   flags.AddDouble("dcache-ratio", 3.0,
                   "d-cache descriptors per avg cached object", &dcache_ratio);
@@ -326,76 +366,70 @@ util::Status RunMain(int argc, char** argv) {
   config.sim.contention.arrival_ramp = arrival_ramp;
   CASCACHE_RETURN_IF_ERROR(config.sim.contention.Validate());
 
-  CASCACHE_ASSIGN_OR_RETURN(std::unique_ptr<sim::ExperimentRunner> runner,
-                            sim::ExperimentRunner::Create(config));
+  // Trace in/out resolution: explicit flags beat the deprecated --trace
+  // alias beat the environment.
+  if (trace_in.empty()) trace_in = trace_path;
+  if (trace_in.empty()) {
+    if (const char* env = std::getenv("CASCACHE_TRACE_IN");
+        env != nullptr && env[0] != '\0') {
+      trace_in = env;
+    }
+  }
+  if (trace_out.empty()) {
+    if (const char* env = std::getenv("CASCACHE_TRACE_OUT");
+        env != nullptr && env[0] != '\0') {
+      trace_out = env;
+    }
+  }
 
-  // Optional external trace handling.
-  const trace::Workload* workload = &runner->workload();
-  trace::Workload loaded;
-  std::unique_ptr<sim::Network> loaded_network;
-  if (!trace_path.empty()) {
-    CASCACHE_ASSIGN_OR_RETURN(loaded, trace::ReadTrace(trace_path));
+  // Generate-once mode: stream the synthetic workload to disk (bounded
+  // blocks, O(1) resident memory) and exit; replay it later — and many
+  // times — via --trace-in.
+  if (!trace_out.empty()) {
+    if (!trace_in.empty()) {
+      return util::Status::InvalidArgument(
+          "--trace-out is incompatible with --trace-in");
+    }
+    CASCACHE_RETURN_IF_ERROR(
+        trace::GenerateWorkloadToFile(config.workload, trace_out));
+    std::fprintf(stderr, "wrote %llu-request trace to %s\n",
+                 static_cast<unsigned long long>(config.workload.num_requests),
+                 trace_out.c_str());
+    if (std::getenv("CASCACHE_PRINT_RSS") != nullptr) {
+      std::fprintf(stderr, "peak_rss_kb=%ld\n", PeakRssKb());
+    }
+    return util::Status::Ok();
+  }
+
+  config.release_trace_pages = trace_stream_release;
+  std::unique_ptr<sim::ExperimentRunner> runner;
+  if (trace_in.empty()) {
+    CASCACHE_ASSIGN_OR_RETURN(runner, sim::ExperimentRunner::Create(config));
+  } else {
     CASCACHE_ASSIGN_OR_RETURN(
-        loaded_network, sim::Network::Build(config.network, &loaded.catalog));
-    workload = &loaded;
-    std::fprintf(stderr, "loaded trace %s: %zu requests, %u objects\n",
-                 trace_path.c_str(), loaded.requests.size(),
-                 loaded.catalog.num_objects());
+        runner, sim::ExperimentRunner::CreateFromTrace(config, trace_in));
+    const trace::WorkloadView loaded = runner->view();
+    std::fprintf(stderr, "loaded trace %s: %zu requests, %u objects (%s)\n",
+                 trace_in.c_str(), loaded.requests.size(),
+                 loaded.catalog->num_objects(),
+                 runner->mapped_trace() != nullptr ? "v2, mmap"
+                                                   : "v1, in RAM");
   }
   if (!save_trace.empty()) {
-    CASCACHE_RETURN_IF_ERROR(trace::WriteTrace(*workload, save_trace));
+    if (!trace_in.empty()) {
+      return util::Status::InvalidArgument(
+          "--save-trace requires a generated workload (drop --trace-in)");
+    }
+    CASCACHE_RETURN_IF_ERROR(
+        trace::WriteTrace(runner->workload(), save_trace));
     std::fprintf(stderr, "wrote trace to %s\n", save_trace.c_str());
   }
 
-  // Generated traces go through the sweep engine, which runs the cells
-  // concurrently (--jobs); loaded traces replay cell by cell below. Both
-  // paths produce the same RunResult rows, so the table and the CSV/JSONL
-  // writers need no per-path handling.
+  // Generated and replayed traces both go through the sweep engine,
+  // which runs the cells concurrently (--jobs); a mapped trace is one
+  // shared read-only mapping replayed in place by every cell.
   std::vector<sim::RunResult> sweep_results;
-  if (trace_path.empty()) {
-    CASCACHE_ASSIGN_OR_RETURN(sweep_results, runner->RunAll());
-  } else {
-    for (double fraction : config.cache_fractions) {
-      for (const schemes::SchemeSpec& spec : config.schemes) {
-        schemes::SchemeSpec effective = spec;
-        if (effective.kind == schemes::SchemeKind::kStatic &&
-            effective.static_freeze_requests == 0) {
-          effective.static_freeze_requests = std::max<uint64_t>(
-              1, static_cast<uint64_t>(
-                     warmup *
-                     static_cast<double>(workload->requests.size())));
-        }
-        CASCACHE_ASSIGN_OR_RETURN(
-            std::unique_ptr<schemes::CachingScheme> scheme,
-            schemes::MakeScheme(effective));
-        sim::Simulator simulator(loaded_network.get(), scheme.get(),
-                                 config.sim);
-        const uint64_t capacity = std::max<uint64_t>(
-            1, static_cast<uint64_t>(
-                   fraction *
-                   static_cast<double>(workload->catalog.total_bytes())));
-        CASCACHE_RETURN_IF_ERROR(simulator.Run(*workload, capacity));
-
-        sim::RunResult result;
-        result.scheme = spec.Label();
-        result.cache_fraction = fraction;
-        result.capacity_bytes = capacity;
-        result.metrics = simulator.metrics().Summary();
-        result.warmup_seconds = simulator.phase_times().warmup_seconds;
-        result.measure_seconds = simulator.phase_times().measure_seconds;
-        const auto& counters = simulator.metrics().node_counters();
-        for (topology::NodeId v = 0; v < loaded_network->num_nodes(); ++v) {
-          result.per_node.push_back({v, loaded_network->NodeLevel(v),
-                                     counters[static_cast<size_t>(v)]});
-        }
-        if (const sim::EventTrace* trace = simulator.event_trace();
-            trace != nullptr) {
-          result.trace_events = trace->Records();
-        }
-        sweep_results.push_back(std::move(result));
-      }
-    }
-  }
+  CASCACHE_ASSIGN_OR_RETURN(sweep_results, runner->RunAll());
 
   util::TablePrinter table({"cache", "scheme", "latency(s)", "resp(s/MB)",
                             "byte hit", "hops", "traffic(B*hop)",
@@ -428,6 +462,9 @@ util::Status RunMain(int argc, char** argv) {
   if (!trace_jsonl.empty()) {
     CASCACHE_RETURN_IF_ERROR(sim::WriteTraceJsonl(sweep_results, trace_jsonl));
     std::fprintf(stderr, "wrote event trace to %s\n", trace_jsonl.c_str());
+  }
+  if (std::getenv("CASCACHE_PRINT_RSS") != nullptr) {
+    std::fprintf(stderr, "peak_rss_kb=%ld\n", PeakRssKb());
   }
   return util::Status::Ok();
 }

@@ -1,0 +1,73 @@
+# End-to-end trace tooling test, run via `cmake -P` so it works on any
+# CI runner without a shell:
+#   1. cascache_sim --trace-out streams a v2 trace to disk
+#   2. cascache_trace summarize reports its counts
+#   3. cascache_trace export-csv dumps it as text
+#   4. cascache_trace convert rebuilds a v2 trace from that text
+#   5. the two summaries must agree on requests / objects / bytes
+#   6. cascache_sim --trace-in replays the converted trace
+#
+# Expects -DSIM=, -DTRACE=, -DWORK_DIR=.
+
+foreach(var SIM TRACE WORK_DIR)
+  if(NOT DEFINED ${var})
+    message(FATAL_ERROR "missing -D${var}=")
+  endif()
+endforeach()
+
+file(MAKE_DIRECTORY "${WORK_DIR}")
+set(generated "${WORK_DIR}/generated.cctr")
+set(csv "${WORK_DIR}/generated.csv")
+set(converted "${WORK_DIR}/converted.cctr")
+
+function(run_checked)
+  execute_process(COMMAND ${ARGN}
+                  RESULT_VARIABLE rc
+                  OUTPUT_VARIABLE out
+                  ERROR_VARIABLE err)
+  if(NOT rc EQUAL 0)
+    message(FATAL_ERROR "command failed (${rc}): ${ARGN}\n${out}\n${err}")
+  endif()
+  set(last_output "${out}" PARENT_SCOPE)
+endfunction()
+
+# Pull "requests: N / objects referenced: N / bytes requested: N" out
+# of a summarize report so the two traces can be compared field by
+# field. The converted catalog keeps only referenced objects (dense
+# renumbering), so the referenced count is the invariant to compare.
+function(summarize_counts trace_file prefix)
+  run_checked("${TRACE}" summarize "${trace_file}")
+  foreach(pair "requests;requests:" "objects;objects referenced:"
+               "bytes;bytes requested:")
+    list(GET pair 0 name)
+    list(GET pair 1 label)
+    string(REGEX MATCH "${label} *([0-9]+)" _ "${last_output}")
+    if("${CMAKE_MATCH_1}" STREQUAL "")
+      message(FATAL_ERROR "no '${label}' line in summary of ${trace_file}:"
+                          "\n${last_output}")
+    endif()
+    set(${prefix}_${name} "${CMAKE_MATCH_1}" PARENT_SCOPE)
+  endforeach()
+endfunction()
+
+run_checked("${SIM}" --requests=20000 --objects=2000 --clients=100
+            --servers=20 "--trace-out=${generated}")
+summarize_counts("${generated}" gen)
+if(NOT gen_requests EQUAL 20000)
+  message(FATAL_ERROR "generated trace has ${gen_requests} requests, "
+                      "expected 20000")
+endif()
+
+run_checked("${TRACE}" export-csv "${generated}" "${csv}")
+run_checked("${TRACE}" convert "${csv}" "${converted}")
+summarize_counts("${converted}" conv)
+
+foreach(field requests objects bytes)
+  if(NOT gen_${field} EQUAL conv_${field})
+    message(FATAL_ERROR "convert changed ${field}: "
+                        "${gen_${field}} -> ${conv_${field}}")
+  endif()
+endforeach()
+
+run_checked("${SIM}" "--trace-in=${converted}" --schemes=lru --cache=0.01)
+message(STATUS "trace roundtrip OK: ${gen_requests} requests preserved")
