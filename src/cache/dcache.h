@@ -58,6 +58,13 @@ class DCache {
   bool Erase(ObjectId id);
   void Clear();
 
+  /// Selects sparse id-index/heap storage for huge sparse catalogs (see
+  /// SlotIndex::SetSparse); the d-cache must be empty.
+  void SetSparse(bool sparse) {
+    index_.SetSparse(sparse);
+    heap_.SetSparse(sparse);
+  }
+
   size_t size() const { return count_; }
   size_t capacity() const { return capacity_; }
 

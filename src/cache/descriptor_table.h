@@ -68,6 +68,13 @@ class DescriptorTable {
 
   size_t size() const { return count_; }
 
+  /// Selects the id-index storage mode (SlotIndex::SetSparse); the table
+  /// must be empty.
+  void SetSparse(bool sparse) {
+    CASCACHE_CHECK(count_ == 0);
+    index_.SetSparse(sparse);
+  }
+
   /// High-water pool slot count (test/debug helper).
   size_t slot_span() const { return pool_.slot_span(); }
 

@@ -148,6 +148,10 @@ class FlatLru {
 
   void Clear();
 
+  /// Selects the id-index storage mode (SlotIndex::SetSparse, for huge
+  /// sparse catalogs); the cache must be empty.
+  void SetSparse(bool sparse) { index_.SetSparse(sparse); }
+
   uint64_t capacity_bytes() const { return capacity_; }
   uint64_t used_bytes() const { return used_; }
   size_t num_objects() const { return count_; }

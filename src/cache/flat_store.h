@@ -22,15 +22,31 @@ inline constexpr SlotId kNoSlot = UINT32_MAX;
 /// one array load instead of a hash, a probe chain and a pointer chase.
 /// The table grows lazily to the largest id seen, so stores never need
 /// the catalog size up front.
+///
+/// Sparse mode (SetSparse): above ~2^24 catalog objects the direct table
+/// stops being an optimization — it grows to the largest id *referenced*,
+/// and with hundreds of store instances across the cache plane the dense
+/// waste alone would blow the scale-smoke RSS budget at 10^8 objects. In
+/// sparse mode the same API runs over an open-addressing table of packed
+/// (id, slot) entries (Fibonacci hashing, linear probing, backward-shift
+/// deletion), sized by *resident* objects instead of the id space. The
+/// dense fast path keeps exactly one predictable branch; the mode is
+/// fixed while the index is empty, so a store's stream of operations is
+/// wholly one mode or the other.
 class SlotIndex {
  public:
   SlotId Get(trace::ObjectId id) const {
-    return id < slots_.size() ? slots_[id] : kNoSlot;
+    if (!sparse_) return id < slots_.size() ? slots_[id] : kNoSlot;
+    return SparseGet(id);
   }
 
   bool Contains(trace::ObjectId id) const { return Get(id) != kNoSlot; }
 
   void Set(trace::ObjectId id, SlotId slot) {
+    if (sparse_) {
+      SparseSet(id, slot);
+      return;
+    }
     if (id >= slots_.size()) {
       // Geometric growth keeps amortized cost O(1) for ids arriving in
       // ascending order; new entries start empty.
@@ -42,6 +58,10 @@ class SlotIndex {
   }
 
   void Erase(trace::ObjectId id) {
+    if (sparse_) {
+      SparseErase(id);
+      return;
+    }
     if (id < slots_.size()) slots_[id] = kNoSlot;
   }
 
@@ -49,21 +69,140 @@ class SlotIndex {
   /// low temporal locality). The replay loop issues this for the next
   /// request's probes one request ahead, hiding the dependent-load
   /// latency of the per-hop Contains chain. Purely advisory: no state
-  /// changes, no effect on results.
+  /// changes, no effect on results. In sparse mode the id's home bucket
+  /// is prefetched (linear probing keeps the chain on following lines).
   void Prefetch(trace::ObjectId id) const {
-    if (id < slots_.size()) __builtin_prefetch(&slots_[id], 0, 1);
+    if (!sparse_) {
+      if (id < slots_.size()) __builtin_prefetch(&slots_[id], 0, 1);
+    } else if (!buckets_.empty()) {
+      __builtin_prefetch(&buckets_[Home(id)], 0, 1);
+    }
   }
 
-  /// Drops every mapping in O(1): the backing vector's size is reset and
-  /// later Sets re-grow it (capacity is retained, so no reallocation in
-  /// steady state).
-  void Clear() { slots_.clear(); }
+  /// Drops every mapping in O(1) (dense: the backing vector's size
+  /// resets; capacity is retained so steady-state resets do not
+  /// reallocate) or O(buckets) (sparse: refill with the empty sentinel,
+  /// keeping capacity). The mode survives Clear.
+  void Clear() {
+    slots_.clear();
+    if (sparse_) {
+      std::fill(buckets_.begin(), buckets_.end(), kEmptyBucket);
+      sparse_count_ = 0;
+    }
+  }
 
-  /// Number of id slots the table currently spans (test/debug helper).
-  size_t span() const { return slots_.size(); }
+  /// Selects dense (default) or sparse storage. Only legal while the
+  /// index holds no mappings — stores wire it through right after
+  /// construction or Clear(), before any Set.
+  void SetSparse(bool sparse) {
+    CASCACHE_CHECK(slots_.empty() && sparse_count_ == 0);
+    if (sparse_ == sparse) return;
+    sparse_ = sparse;
+    buckets_.clear();
+    sparse_shift_ = 0;
+  }
+
+  bool sparse() const { return sparse_; }
+
+  /// Number of id slots (dense) or hash buckets (sparse) the table
+  /// currently spans (test/debug helper).
+  size_t span() const { return sparse_ ? buckets_.size() : slots_.size(); }
 
  private:
+  /// Packed bucket: id in the high 32 bits, slot in the low 32. A stored
+  /// slot is never kNoSlot, so the all-ones sentinel cannot collide with
+  /// a real entry (and id 0 / slot 0 packs to 0, distinct from it).
+  static constexpr uint64_t kEmptyBucket = ~uint64_t{0};
+  static constexpr size_t kInitialBuckets = 1024;
+
+  /// Fibonacci hashing: multiply by 2^64/phi and keep the top bits — a
+  /// strong-enough mix for sequential ids at one multiply.
+  size_t Home(trace::ObjectId id) const {
+    return static_cast<size_t>(
+        (uint64_t{id} * 0x9E3779B97F4A7C15ULL) >> sparse_shift_);
+  }
+
+  SlotId SparseGet(trace::ObjectId id) const {
+    if (buckets_.empty()) return kNoSlot;
+    const size_t mask = buckets_.size() - 1;
+    for (size_t i = Home(id);; i = (i + 1) & mask) {
+      const uint64_t b = buckets_[i];
+      if (b == kEmptyBucket) return kNoSlot;
+      if ((b >> 32) == id) return static_cast<SlotId>(b);
+    }
+  }
+
+  void SparseSet(trace::ObjectId id, SlotId slot) {
+    CASCACHE_DCHECK(slot != kNoSlot);
+    // Grow at ~0.7 load, before probing, so insertion always terminates.
+    if (buckets_.empty() ||
+        (sparse_count_ + 1) * 10 >= buckets_.size() * 7) {
+      GrowSparse(buckets_.empty() ? kInitialBuckets : buckets_.size() * 2);
+    }
+    const size_t mask = buckets_.size() - 1;
+    for (size_t i = Home(id);; i = (i + 1) & mask) {
+      const uint64_t b = buckets_[i];
+      if (b == kEmptyBucket) {
+        buckets_[i] = (uint64_t{id} << 32) | slot;
+        ++sparse_count_;
+        return;
+      }
+      if ((b >> 32) == id) {
+        buckets_[i] = (uint64_t{id} << 32) | slot;
+        return;
+      }
+    }
+  }
+
+  void SparseErase(trace::ObjectId id) {
+    if (buckets_.empty()) return;
+    const size_t mask = buckets_.size() - 1;
+    size_t i = Home(id);
+    while (true) {
+      const uint64_t b = buckets_[i];
+      if (b == kEmptyBucket) return;  // Absent; nothing to erase.
+      if ((b >> 32) == id) break;
+      i = (i + 1) & mask;
+    }
+    // Backward-shift deletion: pull displaced entries over the hole so
+    // probe chains never need tombstones. An entry at j may move into
+    // the hole at i iff its home precedes or equals i along the probe
+    // order, i.e. its displacement reaches past the hole.
+    size_t j = i;
+    while (true) {
+      j = (j + 1) & mask;
+      const uint64_t b = buckets_[j];
+      if (b == kEmptyBucket) break;
+      const size_t home = Home(static_cast<trace::ObjectId>(b >> 32));
+      if (((j - home) & mask) >= ((j - i) & mask)) {
+        buckets_[i] = b;
+        i = j;
+      }
+    }
+    buckets_[i] = kEmptyBucket;
+    --sparse_count_;
+  }
+
+  void GrowSparse(size_t new_buckets) {
+    std::vector<uint64_t> old = std::move(buckets_);
+    buckets_.assign(new_buckets, kEmptyBucket);
+    sparse_shift_ = 64;
+    for (size_t b = new_buckets; b > 1; b >>= 1) --sparse_shift_;
+    const size_t mask = new_buckets - 1;
+    for (const uint64_t entry : old) {
+      if (entry == kEmptyBucket) continue;
+      size_t i = Home(static_cast<trace::ObjectId>(entry >> 32));
+      while (buckets_[i] != kEmptyBucket) i = (i + 1) & mask;
+      buckets_[i] = entry;
+    }
+  }
+
   std::vector<SlotId> slots_;
+
+  bool sparse_ = false;
+  std::vector<uint64_t> buckets_;  ///< Power-of-two size; kEmptyBucket = free.
+  size_t sparse_count_ = 0;
+  unsigned sparse_shift_ = 0;  ///< 64 - log2(buckets_.size()).
 };
 
 /// Fixed-chunk slot pool with a free list. Objects live in contiguous
@@ -175,6 +314,13 @@ class FlatIdMap {
     values_.clear();
     free_.clear();
     count_ = 0;
+  }
+
+  /// Forwards the id-index storage mode (see SlotIndex::SetSparse); the
+  /// map must be empty.
+  void SetSparse(bool sparse) {
+    CASCACHE_CHECK(count_ == 0);
+    index_.SetSparse(sparse);
   }
 
   size_t size() const { return count_; }

@@ -50,6 +50,10 @@ class GdsCache {
   bool Erase(ObjectId id);
   void Clear();
 
+  /// Selects the id-index storage mode (SlotIndex::SetSparse); the cache
+  /// must be empty.
+  void SetSparse(bool sparse) { index_.SetSparse(sparse); }
+
   uint64_t capacity_bytes() const { return capacity_; }
   uint64_t used_bytes() const { return used_; }
   size_t num_objects() const { return count_; }

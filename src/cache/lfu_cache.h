@@ -43,6 +43,13 @@ class LfuCache {
   bool Erase(ObjectId id);
   void Clear();
 
+  /// Selects sparse id-index/heap storage for huge sparse catalogs (see
+  /// SlotIndex::SetSparse); the cache must be empty.
+  void SetSparse(bool sparse) {
+    index_.SetSparse(sparse);
+    heap_.SetSparse(sparse);
+  }
+
   uint64_t capacity_bytes() const { return capacity_; }
   uint64_t used_bytes() const { return used_; }
   size_t num_objects() const { return count_; }

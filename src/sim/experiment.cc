@@ -61,7 +61,7 @@ ExperimentRunner::CreateFromTrace(const ExperimentConfig& config,
   const uint32_t version = probe->version();
   probe.reset();
   const trace::ObjectCatalog* catalog = nullptr;
-  if (version == trace::kTraceVersion2) {
+  if (version == trace::kTraceVersion2 || version == trace::kTraceVersion3) {
     CASCACHE_ASSIGN_OR_RETURN(runner->mapped_,
                               trace::MappedTrace::Open(trace_path));
     catalog = &runner->mapped_->catalog();

@@ -11,7 +11,7 @@ namespace {
 bool SameStoreShape(const CacheNodeConfig& a, const CacheNodeConfig& b) {
   return a.mode == b.mode && a.capacity_bytes == b.capacity_bytes &&
          a.dcache_entries == b.dcache_entries &&
-         a.dcache_policy == b.dcache_policy;
+         a.dcache_policy == b.dcache_policy && a.sparse_ids == b.sparse_ids;
 }
 
 }  // namespace
@@ -27,6 +27,8 @@ void CacheNode::Reset(const CacheNodeConfig& config) {
   estimator_ = cache::FrequencyEstimator(config.frequency);
   main_descriptors_.Clear();
   copy_stamps_.Clear();
+  main_descriptors_.SetSparse(config_.sparse_ids);
+  copy_stamps_.SetSparse(config_.sparse_ids);
   if (reuse) {
     // Same store shape (the common case: crash cold-restarts re-apply the
     // active config): recycle the pooled slots and index tables in place
@@ -50,18 +52,23 @@ void CacheNode::Reset(const CacheNodeConfig& config) {
   switch (config_.mode) {
     case CacheMode::kLru:
       lru_ = std::make_unique<cache::FlatLru>(config_.capacity_bytes);
+      lru_->SetSparse(config_.sparse_ids);
       break;
     case CacheMode::kGds:
       gds_ = std::make_unique<cache::GdsCache>(config_.capacity_bytes);
+      gds_->SetSparse(config_.sparse_ids);
       break;
     case CacheMode::kLfu:
       lfu_ = std::make_unique<cache::LfuCache>(config_.capacity_bytes);
+      lfu_->SetSparse(config_.sparse_ids);
       break;
     case CacheMode::kCost:
       ncl_ = std::make_unique<cache::NclCache>(config_.capacity_bytes);
+      ncl_->SetSparse(config_.sparse_ids);
       if (config_.dcache_entries > 0) {
         dcache_ = std::make_unique<cache::DCache>(config_.dcache_entries,
                                                   config_.dcache_policy);
+        dcache_->SetSparse(config_.sparse_ids);
       }
       break;
   }

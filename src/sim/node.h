@@ -35,6 +35,11 @@ struct CacheNodeConfig {
   size_t dcache_entries = 0;
   /// d-cache replacement (paper §2.4 default: LFU).
   cache::DCachePolicy dcache_policy = cache::DCachePolicy::kLfu;
+  /// Use hashed (sparse) id→slot index tables instead of direct-index
+  /// arrays. Required for huge procedural catalogs (e.g. 10^8 objects)
+  /// where a dense table per store would dwarf the cached data; the
+  /// simulator sets this from the catalog size.
+  bool sparse_ids = false;
   cache::FrequencyEstimatorParams frequency;
 };
 

@@ -20,6 +20,20 @@ util::Status ContentionParams::Validate() const {
   if (arrival_ramp < 0.0) {
     return util::Status::InvalidArgument("arrival ramp must be >= 0");
   }
+  if (arrival_diurnal_amplitude < 0.0 || arrival_diurnal_amplitude >= 1.0) {
+    return util::Status::InvalidArgument(
+        "arrival diurnal amplitude must be in [0,1)");
+  }
+  if (arrival_diurnal_amplitude > 0.0) {
+    if (arrival_rate <= 0.0) {
+      return util::Status::InvalidArgument(
+          "arrival diurnal cycle requires an open-loop arrival rate > 0");
+    }
+    if (arrival_diurnal_period <= 0.0) {
+      return util::Status::InvalidArgument(
+          "arrival diurnal period must be > 0");
+    }
+  }
   return util::Status::Ok();
 }
 

@@ -44,6 +44,14 @@ struct ContentionParams {
   /// rate(t) = arrival_rate * (1 + arrival_ramp * t). Lets one run sweep
   /// through an overload transition. Requires arrival_rate > 0.
   double arrival_ramp = 0.0;
+  /// Diurnal modulation of the open-loop arrival rate: the instantaneous
+  /// rate is further multiplied by
+  /// (1 + arrival_diurnal_amplitude * sin(2 pi t / arrival_diurnal_period)),
+  /// so a day-night load cycle drives the contention plane. Amplitude in
+  /// [0, 1); requires arrival_rate > 0. Composes with arrival_ramp.
+  double arrival_diurnal_amplitude = 0.0;
+  /// Period of the diurnal cycle in simulated seconds (default one day).
+  double arrival_diurnal_period = 86400.0;
 
   /// Whether Run() should use the event-driven scheduling policy.
   bool active() const {

@@ -16,6 +16,12 @@ constexpr int kRouteCacheMaxNodes = 512;
 /// the loop split, small enough to stay resident in L1/L2.
 constexpr size_t kDecodeBlock = 1024;
 
+/// Above this catalog size the per-store dense id→slot arrays (and the
+/// memoized size-scale table) are replaced with residency-sized hashed
+/// structures; 2^24 objects keeps the dense path for every historical
+/// configuration.
+constexpr uint32_t kDenseIdLimit = 1u << 24;
+
 /// Fills the exchange-invariant record fields and emits. `trace` must be
 /// non-null; callers keep the disabled path to one pointer test.
 void EmitEvent(EventTrace* trace, const MessageContext& ctx,
@@ -161,6 +167,11 @@ util::Status Simulator::Run(const trace::WorkloadView& view,
   config.mode = scheme_->cache_mode();
   config.capacity_bytes = capacity_bytes_per_node;
   config.frequency = options_.frequency;
+  // Huge (procedural) catalogs: dense per-store id→slot arrays would cost
+  // 4 bytes x num_objects x num_stores; switch every store to hashed
+  // indexes sized by residency instead.
+  const bool huge_catalog = catalog_->num_objects() > kDenseIdLimit;
+  config.sparse_ids = huge_catalog;
   if (scheme_->uses_dcache()) {
     const double avg_objects =
         static_cast<double>(capacity_bytes_per_node) / mean_object_size_;
@@ -198,11 +209,18 @@ util::Status Simulator::Run(const trace::WorkloadView& view,
     caches_->ConfigureWithCapacities(config, capacities);
   }
   // Memoize each object's size/mean ratio: identical operands to the
-  // per-request division, so latencies are bit-identical.
-  size_scale_table_.resize(catalog_->num_objects());
-  for (trace::ObjectId o = 0; o < catalog_->num_objects(); ++o) {
-    size_scale_table_[o] =
-        static_cast<double>(catalog_->size(o)) / mean_object_size_;
+  // per-request division, so latencies are bit-identical. Skipped for
+  // huge catalogs (the table would be 8 bytes x num_objects); the replay
+  // fallback divides inline with the same operands.
+  if (!huge_catalog) {
+    size_scale_table_.resize(catalog_->num_objects());
+    for (trace::ObjectId o = 0; o < catalog_->num_objects(); ++o) {
+      size_scale_table_[o] =
+          static_cast<double>(catalog_->size(o)) / mean_object_size_;
+    }
+  } else {
+    size_scale_table_.clear();
+    size_scale_table_.shrink_to_fit();
   }
   metrics_.Reset();
   metrics_.ResetNodes(network_->num_nodes());
@@ -320,8 +338,15 @@ double Simulator::NextArrivalTime(double trace_time) {
     return arrival_clock_;
   }
   // Open-loop ramp: rate(t) = arrival_rate * (1 + arrival_ramp * t),
-  // stepped per arrival. Validate() guarantees a positive rate.
-  const double rate = cp.arrival_rate * (1.0 + cp.arrival_ramp * arrival_clock_);
+  // stepped per arrival, optionally modulated by the diurnal sinusoid.
+  // Validate() guarantees a positive rate (amplitude < 1).
+  double rate = cp.arrival_rate * (1.0 + cp.arrival_ramp * arrival_clock_);
+  if (cp.arrival_diurnal_amplitude > 0.0) {
+    constexpr double kTwoPi = 6.283185307179586476925286766559;
+    rate *= 1.0 + cp.arrival_diurnal_amplitude *
+                      std::sin(kTwoPi * arrival_clock_ /
+                               cp.arrival_diurnal_period);
+  }
   arrival_clock_ += 1.0 / rate;
   return arrival_clock_;
 }

@@ -75,7 +75,7 @@ util::StatusOr<std::unique_ptr<MappedTrace>> MappedTrace::Open(
         "trace is v1, which is not mmap-able (request region unaligned); "
         "load it with ReadTrace or rewrite it as v2: " + path);
   }
-  if (version != kTraceVersion2) {
+  if (version != kTraceVersion2 && version != kTraceVersion3) {
     return util::Status::InvalidArgument("unsupported trace version");
   }
   const uint32_t num_objects = LoadUnaligned<uint32_t>(base + 8);
@@ -83,18 +83,20 @@ util::StatusOr<std::unique_ptr<MappedTrace>> MappedTrace::Open(
   const uint64_t num_requests = LoadUnaligned<uint64_t>(base + 16);
   const uint64_t request_offset = LoadUnaligned<uint64_t>(base + 24);
 
-  const uint64_t catalog_end =
-      kTraceV2HeaderBytes + kCatalogEntryBytes * uint64_t{num_objects};
+  const uint64_t catalog_bytes =
+      version == kTraceVersion3 ? sizeof(CatalogModel)
+                                : kCatalogEntryBytes * uint64_t{num_objects};
+  const uint64_t catalog_end = kTraceV2HeaderBytes + catalog_bytes;
   if (file_bytes < catalog_end) {
     return util::Status::IoError("truncated catalog: " + path);
   }
   if (request_offset % kTraceRequestAlign != 0) {
     return util::Status::InvalidArgument(
-        "v2 request region not page-aligned: " + path);
+        "request region not page-aligned: " + path);
   }
   if (request_offset < catalog_end) {
     return util::Status::InvalidArgument(
-        "v2 request region overlaps catalog: " + path);
+        "request region overlaps catalog: " + path);
   }
   if (file_bytes < request_offset + sizeof(Request) * num_requests) {
     return util::Status::IoError(
@@ -102,17 +104,29 @@ util::StatusOr<std::unique_ptr<MappedTrace>> MappedTrace::Open(
         path);
   }
 
-  const unsigned char* entry = base + kTraceV2HeaderBytes;
-  for (uint32_t i = 0; i < num_objects; ++i, entry += kCatalogEntryBytes) {
-    const uint64_t size = LoadUnaligned<uint64_t>(entry);
-    const uint32_t server = LoadUnaligned<uint32_t>(entry + 8);
-    if (size == 0) {
-      return util::Status::InvalidArgument("zero-size object in trace");
+  if (version == kTraceVersion3) {
+    // Procedural catalog: regenerate from the 64-byte model block.
+    const CatalogModel model =
+        LoadUnaligned<CatalogModel>(base + kTraceV2HeaderBytes);
+    CASCACHE_RETURN_IF_ERROR(ValidateCatalogModel(model));
+    if (num_objects == 0 || num_servers == 0) {
+      return util::Status::InvalidArgument(
+          "v3 trace needs objects and servers: " + path);
     }
-    if (server >= num_servers) {
-      return util::Status::InvalidArgument("server id out of range");
+    trace->catalog_.BuildProcedural(model, num_objects, num_servers);
+  } else {
+    const unsigned char* entry = base + kTraceV2HeaderBytes;
+    for (uint32_t i = 0; i < num_objects; ++i, entry += kCatalogEntryBytes) {
+      const uint64_t size = LoadUnaligned<uint64_t>(entry);
+      const uint32_t server = LoadUnaligned<uint32_t>(entry + 8);
+      if (size == 0) {
+        return util::Status::InvalidArgument("zero-size object in trace");
+      }
+      if (server >= num_servers) {
+        return util::Status::InvalidArgument("server id out of range");
+      }
+      trace->catalog_.Add(size, server);
     }
-    trace->catalog_.Add(size, server);
   }
 
   trace->request_offset_ = request_offset;

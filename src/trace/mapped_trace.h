@@ -12,7 +12,9 @@
 
 namespace cascache::trace {
 
-/// Read-only memory-mapped view of a v2 binary trace (trace_io.h). The
+/// Read-only memory-mapped view of a v2 or v3 binary trace (trace_io.h);
+/// a v3 file's procedural catalog is regenerated from its 64-byte model
+/// block at open. The
 /// page-aligned request region is overlaid directly as a Request array
 /// — no per-request copies, no decode pass — and the single mapping is
 /// shared read-only by every parallel sweep cell. The kernel is advised

@@ -51,7 +51,39 @@ util::Status ValidateParams(const WorkloadParams& params) {
   if (params.churn_swaps_per_hour < 0.0) {
     return util::Status::InvalidArgument("churn_swaps_per_hour must be >= 0");
   }
+  CASCACHE_RETURN_IF_ERROR(ValidateWorkloadModel(params.model));
+  if (params.model.enabled() && params.churn_swaps_per_hour > 0.0) {
+    return util::Status::InvalidArgument(
+        "churn_swaps_per_hour cannot combine with workload model "
+        "components; use drift_mode instead");
+  }
+  if (params.model.drift_mode == DriftMode::kShuffle &&
+      params.num_objects > kDriftShuffleMaxObjects) {
+    return util::Status::InvalidArgument(
+        "drift_mode=shuffle materializes a rank permutation and is "
+        "limited to 2^24 objects; use drift_mode=rotate");
+  }
+  if (params.model.regions > params.num_objects && params.model.regional_bias > 0.0) {
+    return util::Status::InvalidArgument("regions must be <= num_objects");
+  }
   return util::Status::Ok();
+}
+
+/// Builds the procedural (hashed) catalog from the size-model fields.
+/// Consumes no rng: the catalog is a pure function of the model block,
+/// which is what trace format v3 persists.
+void BuildProceduralCatalog(const WorkloadParams& params,
+                            ObjectCatalog* catalog) {
+  CatalogModel model;
+  model.seed = params.seed;
+  model.lognormal_mu = params.size_lognormal_mu;
+  model.lognormal_sigma = params.size_lognormal_sigma;
+  model.pareto_tail_prob = params.size_pareto_tail_prob;
+  model.pareto_scale = params.size_pareto_scale;
+  model.pareto_alpha = params.size_pareto_alpha;
+  model.min_size = params.min_object_size;
+  model.max_size = params.max_object_size;
+  catalog->BuildProcedural(model, params.num_objects, params.num_servers);
 }
 
 // Objects: id == popularity rank; size and origin server independent of
@@ -156,10 +188,21 @@ util::StatusOr<Workload> GenerateWorkload(const WorkloadParams& params) {
   CASCACHE_RETURN_IF_ERROR(ValidateParams(params));
   util::Rng rng(params.seed);
   Workload workload;
-  BuildCatalog(params, &rng, &workload.catalog);
+  if (params.procedural_catalog) {
+    BuildProceduralCatalog(params, &workload.catalog);
+  } else {
+    BuildCatalog(params, &rng, &workload.catalog);
+  }
   workload.requests.reserve(params.num_requests);
-  EmitRequests(params, &rng,
-               [&](const Request& req) { workload.requests.push_back(req); });
+  if (params.model.enabled()) {
+    EmitModelRequests(params, &rng, [&](const Request& req) {
+      workload.requests.push_back(req);
+    });
+  } else {
+    EmitRequests(params, &rng, [&](const Request& req) {
+      workload.requests.push_back(req);
+    });
+  }
   return workload;
 }
 
@@ -168,7 +211,11 @@ util::Status GenerateWorkloadToFile(const WorkloadParams& params,
   CASCACHE_RETURN_IF_ERROR(ValidateParams(params));
   util::Rng rng(params.seed);
   ObjectCatalog catalog;
-  BuildCatalog(params, &rng, &catalog);
+  if (params.procedural_catalog) {
+    BuildProceduralCatalog(params, &catalog);
+  } else {
+    BuildCatalog(params, &rng, &catalog);
+  }
 
   CASCACHE_ASSIGN_OR_RETURN(
       std::unique_ptr<TraceWriter> writer,
@@ -180,14 +227,19 @@ util::Status GenerateWorkloadToFile(const WorkloadParams& params,
   std::vector<Request> block;
   block.reserve(kBlock);
   util::Status write_status = util::Status::Ok();
-  EmitRequests(params, &rng, [&](const Request& req) {
+  const auto sink = [&](const Request& req) {
     if (!write_status.ok()) return;
     block.push_back(req);
     if (block.size() == kBlock) {
       write_status = writer->Append(block.data(), block.size());
       block.clear();
     }
-  });
+  };
+  if (params.model.enabled()) {
+    EmitModelRequests(params, &rng, sink);
+  } else {
+    EmitRequests(params, &rng, sink);
+  }
   CASCACHE_RETURN_IF_ERROR(write_status);
   if (!block.empty()) {
     CASCACHE_RETURN_IF_ERROR(writer->Append(block.data(), block.size()));

@@ -6,6 +6,7 @@
 #include <vector>
 
 #include "trace/object_catalog.h"
+#include "trace/workload_model.h"
 #include "util/status.h"
 
 namespace cascache::trace {
@@ -59,8 +60,22 @@ struct WorkloadParams {
   /// Popularity churn: expected number of rank-swap events per simulated
   /// hour. Each event exchanges the popularity ranks of two random
   /// objects, so hot sets drift over long traces. 0 = stationary
-  /// popularity (the default).
+  /// popularity (the default). Superseded by `model.drift_mode`
+  /// (workload_model.h); combining both is rejected.
   double churn_swaps_per_hour = 0.0;
+
+  /// Non-stationary workload components (popularity drift, flash crowds,
+  /// diurnal cycles, sessions, regional skew). All off by default, which
+  /// keeps the historical static-Zipf request stream bit-for-bit.
+  WorkloadModelParams model;
+
+  /// Generate the catalog procedurally (ObjectCatalog::BuildProcedural):
+  /// sizes/servers are hashed from the id instead of stored, so 10^8
+  /// objects cost a 64 KiB quantile table instead of ~1.2 GB of arrays,
+  /// and the trace file stores a 64-byte model block (format v3). Changes
+  /// object sizes relative to the default materialized catalog, so it is
+  /// opt-in.
+  bool procedural_catalog = false;
 
   uint64_t seed = 42;
 };

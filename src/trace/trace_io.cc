@@ -65,67 +65,99 @@ util::Status ReadHeaderAndCatalog(std::FILE* f, const std::string& path,
       !ReadOne(f, &h->num_servers) || !ReadOne(f, &h->num_requests)) {
     return util::Status::IoError("truncated header: " + path);
   }
-  if (h->version != kTraceVersion1 && h->version != kTraceVersion2) {
+  if (h->version != kTraceVersion1 && h->version != kTraceVersion2 &&
+      h->version != kTraceVersion3) {
     return util::Status::InvalidArgument("unsupported trace version");
   }
+  // v3 stores a 64-byte catalog model instead of per-object entries.
+  const uint64_t catalog_bytes =
+      h->version == kTraceVersion3
+          ? sizeof(CatalogModel)
+          : kCatalogEntryBytes * static_cast<uint64_t>(h->num_objects);
   const uint64_t catalog_end =
-      (h->version == kTraceVersion2 ? kTraceV2HeaderBytes
-                                    : kTraceV1HeaderBytes) +
-      kCatalogEntryBytes * static_cast<uint64_t>(h->num_objects);
-  if (h->version == kTraceVersion2) {
+      (h->version == kTraceVersion1 ? kTraceV1HeaderBytes
+                                    : kTraceV2HeaderBytes) +
+      catalog_bytes;
+  if (h->version != kTraceVersion1) {
     if (!ReadOne(f, &h->request_offset)) {
       return util::Status::IoError("truncated header: " + path);
     }
     if (h->request_offset % kTraceRequestAlign != 0) {
       return util::Status::InvalidArgument(
-          "v2 request region not page-aligned: " + path);
+          "request region not page-aligned: " + path);
     }
     if (h->request_offset < catalog_end) {
       return util::Status::InvalidArgument(
-          "v2 request region overlaps catalog: " + path);
+          "request region overlaps catalog: " + path);
     }
   } else {
     h->request_offset = catalog_end;
   }
 
-  for (uint32_t i = 0; i < h->num_objects; ++i) {
-    uint64_t size = 0;
-    uint32_t server = 0;
-    if (!ReadOne(f, &size) || !ReadOne(f, &server)) {
-      return util::Status::IoError("truncated catalog: " + path);
+  if (h->version == kTraceVersion3) {
+    CatalogModel model;
+    if (!ReadOne(f, &model)) {
+      return util::Status::IoError("truncated catalog model: " + path);
     }
-    if (size == 0) {
-      return util::Status::InvalidArgument("zero-size object in trace");
+    CASCACHE_RETURN_IF_ERROR(ValidateCatalogModel(model));
+    if (h->num_objects == 0 || h->num_servers == 0) {
+      return util::Status::InvalidArgument(
+          "v3 trace needs objects and servers: " + path);
     }
-    if (server >= h->num_servers) {
-      return util::Status::InvalidArgument("server id out of range");
+    catalog->BuildProcedural(model, h->num_objects, h->num_servers);
+  } else {
+    for (uint32_t i = 0; i < h->num_objects; ++i) {
+      uint64_t size = 0;
+      uint32_t server = 0;
+      if (!ReadOne(f, &size) || !ReadOne(f, &server)) {
+        return util::Status::IoError("truncated catalog: " + path);
+      }
+      if (size == 0) {
+        return util::Status::InvalidArgument("zero-size object in trace");
+      }
+      if (server >= h->num_servers) {
+        return util::Status::InvalidArgument("server id out of range");
+      }
+      catalog->Add(size, server);
     }
-    catalog->Add(size, server);
   }
-  if (h->version == kTraceVersion2 &&
+  if (h->version != kTraceVersion1 &&
       fseeko(f, static_cast<off_t>(h->request_offset), SEEK_SET) != 0) {
     return util::Status::IoError("seek to request region failed: " + path);
   }
   return util::Status::Ok();
 }
 
-/// Writes the v2 header + catalog + zero padding; on return the stream
-/// is positioned at the (page-aligned) request region.
+/// Writes the v2/v3 header + catalog (or model block) + zero padding; on
+/// return the stream is positioned at the (page-aligned) request region.
+/// A procedural catalog selects v3 (64-byte model block), a materialized
+/// one v2 (per-object entries).
 util::Status WriteV2Preamble(std::FILE* f, const ObjectCatalog& catalog,
                              uint64_t num_requests, const std::string& path) {
+  const uint32_t version =
+      catalog.procedural() ? kTraceVersion3 : kTraceVersion2;
   const uint32_t num_objects = catalog.num_objects();
   const uint32_t num_servers = catalog.num_servers();
-  const uint64_t catalog_end =
-      kTraceV2HeaderBytes + kCatalogEntryBytes * uint64_t{num_objects};
+  const uint64_t catalog_bytes =
+      catalog.procedural() ? sizeof(CatalogModel)
+                           : kCatalogEntryBytes * uint64_t{num_objects};
+  const uint64_t catalog_end = kTraceV2HeaderBytes + catalog_bytes;
   const uint64_t request_offset = AlignUp(catalog_end, kTraceRequestAlign);
-  if (std::fwrite(kMagic, 1, 4, f) != 4 || !WriteOne(f, kTraceVersion2) ||
+  if (std::fwrite(kMagic, 1, 4, f) != 4 || !WriteOne(f, version) ||
       !WriteOne(f, num_objects) || !WriteOne(f, num_servers) ||
       !WriteOne(f, num_requests) || !WriteOne(f, request_offset)) {
     return util::Status::IoError("short write: " + path);
   }
-  for (ObjectId id = 0; id < num_objects; ++id) {
-    if (!WriteOne(f, catalog.size(id)) || !WriteOne(f, catalog.server(id))) {
+  if (catalog.procedural()) {
+    if (!WriteOne(f, catalog.model())) {
       return util::Status::IoError("short write: " + path);
+    }
+  } else {
+    for (ObjectId id = 0; id < num_objects; ++id) {
+      if (!WriteOne(f, catalog.size(id)) ||
+          !WriteOne(f, catalog.server(id))) {
+        return util::Status::IoError("short write: " + path);
+      }
     }
   }
   const uint64_t pad = request_offset - catalog_end;
@@ -578,12 +610,45 @@ TraceStats ComputeTraceStats(const Workload& workload) {
 }
 
 util::StatusOr<TraceSummary> SummarizeTrace(const std::string& path) {
+  return SummarizeTrace(path, SummarizeOptions{});
+}
+
+util::StatusOr<TraceSummary> SummarizeTrace(const std::string& path,
+                                            const SummarizeOptions& options) {
   CASCACHE_ASSIGN_OR_RETURN(std::unique_ptr<TraceReader> reader,
                             TraceReader::Open(path));
   TraceSummary summary;
   summary.format_version = reader->version();
+  const ObjectCatalog& catalog = reader->catalog();
 
-  std::vector<uint64_t> counts(reader->catalog().num_objects(), 0);
+  // Per-object access counts: dense vector up to 2^26 objects, hash map
+  // over the referenced ids above (a 10^8-object dense vector would be
+  // 800 MB; a 10M-request trace touches far fewer distinct objects).
+  constexpr uint32_t kDenseCountLimit = 1u << 26;
+  const bool dense_counts = catalog.num_objects() <= kDenseCountLimit;
+  std::vector<uint64_t> counts;
+  if (dense_counts) counts.resize(catalog.num_objects(), 0);
+  std::unordered_map<ObjectId, uint64_t> sparse_counts;
+
+  // Per-epoch Zipf slope: requests are split into `epochs` equal-count
+  // windows; each window's counts are accumulated separately (bounded by
+  // the window's request count) and reduced to a slope at the boundary.
+  const uint64_t declared_requests = reader->num_requests();
+  const uint32_t epochs =
+      declared_requests > 0 ? options.epochs : 0;
+  std::unordered_map<ObjectId, uint64_t> window_counts;
+  uint32_t current_epoch = 0;
+  const auto flush_epoch = [&]() {
+    std::vector<double> window_sorted;
+    window_sorted.reserve(window_counts.size());
+    for (const auto& [id, c] : window_counts) {
+      window_sorted.push_back(static_cast<double>(c));
+    }
+    std::sort(window_sorted.rbegin(), window_sorted.rend());
+    summary.epoch_zipf_theta.push_back(util::EstimateZipfTheta(window_sorted));
+    window_counts.clear();
+  };
+
   std::vector<bool> client_seen;
   uint64_t total_bytes = 0;
   double duration = 0.0;
@@ -595,11 +660,25 @@ util::StatusOr<TraceSummary> SummarizeTrace(const std::string& path) {
   bool first = true;
 
   Request req;
+  uint64_t r = 0;
   while (true) {
     CASCACHE_ASSIGN_OR_RETURN(const bool more, reader->Next(&req));
     if (!more) break;
-    ++counts[req.object];
-    total_bytes += reader->catalog().size(req.object);
+    if (dense_counts) {
+      ++counts[req.object];
+    } else {
+      ++sparse_counts[req.object];
+    }
+    if (epochs > 0) {
+      const uint32_t epoch = static_cast<uint32_t>(std::min<uint64_t>(
+          epochs - 1, r * epochs / declared_requests));
+      if (epoch != current_epoch) {
+        flush_epoch();
+        current_epoch = epoch;
+      }
+      ++window_counts[req.object];
+    }
+    total_bytes += catalog.size(req.object);
     if (req.client >= client_seen.size()) {
       client_seen.resize(req.client + 1, false);
     }
@@ -616,36 +695,82 @@ util::StatusOr<TraceSummary> SummarizeTrace(const std::string& path) {
     }
     prev_time = req.time;
     first = false;
+    ++r;
   }
+  if (epochs > 0 && r > 0) flush_epoch();
 
   const uint32_t clients_active = static_cast<uint32_t>(
       std::count(client_seen.begin(), client_seen.end(), true));
-  summary.stats =
-      StatsFromCounts(reader->catalog(), counts, reader->requests_read(),
-                      duration, total_bytes, clients_active);
+  if (dense_counts) {
+    summary.stats =
+        StatsFromCounts(catalog, counts, reader->requests_read(), duration,
+                        total_bytes, clients_active);
+  } else {
+    // Sparse reduction: only referenced objects carry counts.
+    TraceStats stats;
+    stats.num_requests = reader->requests_read();
+    stats.num_objects = catalog.num_objects();
+    stats.duration_seconds = duration;
+    stats.mean_object_size = catalog.mean_size();
+    stats.total_bytes_requested = total_bytes;
+    stats.num_clients_active = clients_active;
+    stats.num_objects_referenced =
+        static_cast<uint32_t>(sparse_counts.size());
+    std::vector<double> sorted_counts;
+    sorted_counts.reserve(sparse_counts.size());
+    for (const auto& [id, c] : sparse_counts) {
+      sorted_counts.push_back(static_cast<double>(c));
+    }
+    std::sort(sorted_counts.rbegin(), sorted_counts.rend());
+    stats.estimated_zipf_theta = util::EstimateZipfTheta(sorted_counts);
+    if (!sorted_counts.empty() && stats.num_requests > 0) {
+      const size_t top = std::max<size_t>(1, sorted_counts.size() / 10);
+      double top_sum = 0.0;
+      for (size_t i = 0; i < top; ++i) top_sum += sorted_counts[i];
+      stats.top10pct_request_share =
+          top_sum / static_cast<double>(stats.num_requests);
+    }
+    summary.stats = stats;
+  }
   summary.interarrival_mean = gap_mean;
   summary.interarrival_stddev =
       gaps > 0 ? std::sqrt(gap_m2 / static_cast<double>(gaps)) : 0.0;
   summary.interarrival_min = gap_min;
   summary.interarrival_max = gap_max;
 
-  // Catalog size percentiles.
-  const ObjectCatalog& catalog = reader->catalog();
-  std::vector<uint64_t> sizes(catalog.num_objects());
-  for (ObjectId id = 0; id < catalog.num_objects(); ++id) {
-    sizes[id] = catalog.size(id);
+  // Catalog size percentiles. A procedural catalog's sorted quantile
+  // table *is* its size distribution, so percentiles read straight off
+  // it instead of materializing (and sorting) 10^8 sizes.
+  if (catalog.procedural()) {
+    const std::vector<uint64_t>& q = catalog.size_quantiles();
+    summary.size_p50 = PercentileSorted(q, 50.0);
+    summary.size_p90 = PercentileSorted(q, 90.0);
+    summary.size_p99 = PercentileSorted(q, 99.0);
+    summary.size_max = q.empty() ? 0 : q.back();
+  } else {
+    std::vector<uint64_t> sizes(catalog.num_objects());
+    for (ObjectId id = 0; id < catalog.num_objects(); ++id) {
+      sizes[id] = catalog.size(id);
+    }
+    std::sort(sizes.begin(), sizes.end());
+    summary.size_p50 = PercentileSorted(sizes, 50.0);
+    summary.size_p90 = PercentileSorted(sizes, 90.0);
+    summary.size_p99 = PercentileSorted(sizes, 99.0);
+    summary.size_max = sizes.empty() ? 0 : sizes.back();
   }
-  std::sort(sizes.begin(), sizes.end());
-  summary.size_p50 = PercentileSorted(sizes, 50.0);
-  summary.size_p90 = PercentileSorted(sizes, 90.0);
-  summary.size_p99 = PercentileSorted(sizes, 99.0);
-  summary.size_max = sizes.empty() ? 0 : sizes.back();
 
   // Request-weighted size percentiles: walk (size, count) pairs in
   // ascending size order accumulating request mass.
   std::vector<std::pair<uint64_t, uint64_t>> weighted;  // (size, count)
-  for (ObjectId id = 0; id < catalog.num_objects(); ++id) {
-    if (counts[id] > 0) weighted.emplace_back(catalog.size(id), counts[id]);
+  if (dense_counts) {
+    for (ObjectId id = 0; id < catalog.num_objects(); ++id) {
+      if (counts[id] > 0) weighted.emplace_back(catalog.size(id), counts[id]);
+    }
+  } else {
+    weighted.reserve(sparse_counts.size());
+    for (const auto& [id, c] : sparse_counts) {
+      weighted.emplace_back(catalog.size(id), c);
+    }
   }
   std::sort(weighted.begin(), weighted.end());
   const uint64_t total_requests = reader->requests_read();

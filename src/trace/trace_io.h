@@ -31,18 +31,28 @@ namespace cascache::trace {
 ///   uint32 object) — MappedTrace (mapped_trace.h) overlays this region
 ///   directly as a Request array.
 ///
+/// v3 (procedural catalog, mmap-able):
+///   same 32-byte header as v2 with version=3, followed at byte 32 by a
+///   64-byte CatalogModel block (object_catalog.h) instead of per-object
+///   entries: the catalog is regenerated from the model on load
+///   (ObjectCatalog::BuildProcedural), so a 10^8-object trace costs 64
+///   bytes of catalog on disk and a 64 KiB quantile table in RAM. Zero
+///   padding and the page-aligned request region are identical to v2.
+///
 /// The format exists so users can substitute a real proxy trace (e.g. a
 /// Boeing-style log converted offline via ConvertCsvTrace) for the
 /// synthetic workload, and so paper-scale (22M+) traces replay without
 /// being materialized in RAM.
 constexpr uint32_t kTraceVersion1 = 1;
 constexpr uint32_t kTraceVersion2 = 2;
+constexpr uint32_t kTraceVersion3 = 3;
 /// Alignment of the v2 request region within the file.
 constexpr uint64_t kTraceRequestAlign = 4096;
 /// Byte size of the fixed v2 header.
 constexpr uint64_t kTraceV2HeaderBytes = 32;
 
-/// Writes `workload` in the current (v2) format.
+/// Writes `workload` in the current format: v2, or v3 when the catalog
+/// is procedural (catalog.procedural()).
 util::Status WriteTrace(const Workload& workload, const std::string& path);
 
 /// Writes `workload` in the legacy v1 format. Kept so compatibility
@@ -174,7 +184,10 @@ struct TraceStats {
 TraceStats ComputeTraceStats(const Workload& workload);
 
 /// Extended, logstats-style summary of an on-disk trace, computed in
-/// one streaming pass (O(num_objects) memory).
+/// one streaming pass. Memory is bounded: above 2^26 catalog objects the
+/// per-object access counts switch from a dense vector to a hash map
+/// keyed by the referenced ids only, so 10^8-object (v3) traces
+/// summarize within the scale-smoke RSS budget.
 struct TraceSummary {
   TraceStats stats;
   uint32_t format_version = 0;
@@ -187,9 +200,23 @@ struct TraceSummary {
   /// Inter-arrival gap statistics (seconds, over num_requests-1 gaps).
   double interarrival_mean = 0.0, interarrival_stddev = 0.0;
   double interarrival_min = 0.0, interarrival_max = 0.0;
+  /// Least-squares Zipf slope of each request-count window (epoch): the
+  /// trace is split into SummarizeOptions::epochs equal-count windows and
+  /// the slope is estimated per window. A static trace shows a flat
+  /// profile; drifting popularity shows up as windowed slopes well below
+  /// the whole-trace estimate (rank mixing flattens the aggregate law).
+  std::vector<double> epoch_zipf_theta;
+};
+
+struct SummarizeOptions {
+  /// Number of equal-request-count windows for epoch_zipf_theta;
+  /// 0 disables the per-epoch pass.
+  uint32_t epochs = 4;
 };
 
 util::StatusOr<TraceSummary> SummarizeTrace(const std::string& path);
+util::StatusOr<TraceSummary> SummarizeTrace(const std::string& path,
+                                            const SummarizeOptions& options);
 
 }  // namespace cascache::trace
 

@@ -26,6 +26,8 @@ class HashPosMap {
   void Set(const Key& key, size_t pos) { pos_[key] = pos; }
   void Erase(const Key& key) { pos_.erase(key); }
   void Clear() { pos_.clear(); }
+  /// Storage-mode hint; a no-op here (hashing is already id-sparse).
+  void SetSparse(bool) {}
   size_t size() const { return pos_.size(); }
 
  private:
@@ -36,12 +38,24 @@ class HashPosMap {
 /// integers (the closed ObjectId catalog): one array load per lookup
 /// instead of a hash probe. Grows lazily to the largest key seen; Clear
 /// is O(1) (the table re-grows on demand, retaining capacity).
+///
+/// SetSparse switches to a hash table internally: at huge catalogs
+/// (10^8 ids) the dense array would cost 8 bytes per id *per heap*
+/// (~800 MB each in the LFU store and every d-cache), while heap
+/// operations run only on misses — hashing there is cheap relative to
+/// what it saves. The dense fast path keeps one predictable branch.
 class DensePosMap {
  public:
   size_t Lookup(uint32_t key) const {
-    return key < pos_.size() ? pos_[key] : kHeapNpos;
+    if (!sparse_) return key < pos_.size() ? pos_[key] : kHeapNpos;
+    auto it = sparse_pos_.find(key);
+    return it == sparse_pos_.end() ? kHeapNpos : it->second;
   }
   void Set(uint32_t key, size_t pos) {
+    if (sparse_) {
+      sparse_pos_[key] = pos;
+      return;
+    }
     if (key >= pos_.size()) {
       const size_t target =
           std::max<size_t>(static_cast<size_t>(key) + 1, pos_.size() * 2);
@@ -50,18 +64,30 @@ class DensePosMap {
     pos_[key] = pos;
   }
   void Erase(uint32_t key) {
+    if (sparse_) {
+      sparse_pos_.erase(key);
+      return;
+    }
     if (key < pos_.size()) pos_[key] = kHeapNpos;
     --count_;  // Callers only erase present keys (heap invariant).
   }
   void Clear() {
     pos_.clear();
+    sparse_pos_.clear();
     count_ = 0;
   }
-  size_t size() const { return count_; }
+  /// Selects dense (default) or hash storage; the map must be empty.
+  void SetSparse(bool sparse) {
+    CASCACHE_CHECK(count_ == 0 && sparse_pos_.empty());
+    sparse_ = sparse;
+  }
+  size_t size() const { return sparse_ ? sparse_pos_.size() : count_; }
 
  private:
   std::vector<size_t> pos_;
   size_t count_ = 0;
+  bool sparse_ = false;
+  std::unordered_map<uint32_t, size_t> sparse_pos_;
 };
 
 /// Binary min-heap over (key, priority) pairs with O(log n) priority update
@@ -147,6 +173,14 @@ class IndexedMinHeap {
   void Clear() {
     entries_.clear();
     pos_.Clear();
+  }
+
+  /// Forwards the position-map storage mode (DensePosMap switches to
+  /// hashing for huge sparse key spaces; HashPosMap ignores it). The
+  /// heap must be empty.
+  void SetSparse(bool sparse) {
+    CASCACHE_CHECK(entries_.empty());
+    pos_.SetSparse(sparse);
   }
 
   /// Unordered view of all entries (heap order, not priority order).

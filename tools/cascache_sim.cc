@@ -104,12 +104,13 @@ util::Status RunMain(int argc, char** argv) {
   bool trace_stream_release;
   flags.AddString("trace-in", "",
                   "replay a saved .cctr binary trace instead of generating "
-                  "one (v2 is mmap'd and shared across sweep cells; v1 "
+                  "one (v2/v3 are mmap'd and shared across sweep cells; v1 "
                   "loads in RAM; env: CASCACHE_TRACE_IN)",
                   &trace_in);
   flags.AddString("trace-out", "",
-                  "stream-generate the synthetic workload to this v2 trace "
-                  "file in O(1) memory and exit without simulating "
+                  "stream-generate the synthetic workload to this binary "
+                  "trace file (v2; v3 with --catalog=procedural) in O(1) "
+                  "memory and exit without simulating "
                   "(env: CASCACHE_TRACE_OUT)",
                   &trace_out);
   flags.AddBool("trace-stream-release", false,
@@ -139,6 +140,63 @@ util::Status RunMain(int argc, char** argv) {
                   "temporal-locality re-reference probability",
                   &temporal);
   flags.AddDouble("churn", 0.0, "popularity rank swaps per hour", &churn);
+  // Non-stationary workload model (trace/workload_model.h). --workload
+  // names the enabled components; the per-component knobs below only
+  // take effect for components that are named.
+  std::string workload_text, drift_mode_text, catalog_mode;
+  double drift_half_life, flash_per_hour, flash_peak_share, flash_ramp,
+      flash_decay, wl_diurnal_amplitude, wl_diurnal_period, session_prob,
+      session_run, regional_bias;
+  uint64_t flash_objects, regions;
+  flags.AddString("workload", "static",
+                  "workload model: static, or comma list of "
+                  "drift|flash|diurnal|sessions|regional "
+                  "(env: CASCACHE_WORKLOAD)",
+                  &workload_text);
+  flags.AddString("workload-drift-mode", "rotate",
+                  "popularity drift mode: rotate | shuffle (shuffle is "
+                  "limited to 2^24 objects)",
+                  &drift_mode_text);
+  flags.AddDouble("workload-drift-half-life", 3600.0,
+                  "seconds for half the popularity mass to move",
+                  &drift_half_life);
+  flags.AddDouble("workload-flash-per-hour", 2.0,
+                  "flash-crowd events per simulated hour",
+                  &flash_per_hour);
+  flags.AddUint64("workload-flash-objects", 64,
+                  "objects in each flash crowd's hot set", &flash_objects);
+  flags.AddDouble("workload-flash-peak-share", 0.3,
+                  "peak fraction of traffic one flash event captures",
+                  &flash_peak_share);
+  flags.AddDouble("workload-flash-ramp", 300.0,
+                  "flash ramp-up seconds to the peak", &flash_ramp);
+  flags.AddDouble("workload-flash-decay", 1200.0,
+                  "flash exponential decay constant in seconds",
+                  &flash_decay);
+  flags.AddDouble("workload-diurnal-amplitude", 0.5,
+                  "workload arrival-rate sinusoid amplitude in [0,1)",
+                  &wl_diurnal_amplitude);
+  flags.AddDouble("workload-diurnal-period", 86400.0,
+                  "workload diurnal cycle period in seconds",
+                  &wl_diurnal_period);
+  flags.AddDouble("workload-session-prob", 0.3,
+                  "probability a fresh draw opens a sequential session",
+                  &session_prob);
+  flags.AddDouble("workload-session-run", 20.0,
+                  "mean session length in requests (geometric)",
+                  &session_run);
+  flags.AddUint64("workload-regions", 8,
+                  "client regions for regional skew (region = client mod "
+                  "regions)",
+                  &regions);
+  flags.AddDouble("workload-regional-bias", 0.7,
+                  "probability a request prefers its region's hot set",
+                  &regional_bias);
+  flags.AddString("catalog", "materialized",
+                  "catalog storage: materialized | procedural (procedural "
+                  "hashes sizes/servers from the id — O(1) memory at 10^8 "
+                  "objects, v3 trace files; env: CASCACHE_CATALOG)",
+                  &catalog_mode);
   flags.AddDouble("level-growth", 1.0,
                   "hierarchical per-level capacity growth (1 = uniform)",
                   &level_growth);
@@ -235,6 +293,14 @@ util::Status RunMain(int argc, char** argv) {
   flags.AddDouble("arrival-ramp", 0.0,
                   "arrival rate grows by this fraction per simulated second",
                   &arrival_ramp);
+  double arrival_diurnal_amplitude, arrival_diurnal_period;
+  flags.AddDouble("arrival-diurnal-amplitude", 0.0,
+                  "open-loop arrival rate diurnal sinusoid amplitude in "
+                  "[0,1) (requires --arrival-rate)",
+                  &arrival_diurnal_amplitude);
+  flags.AddDouble("arrival-diurnal-period", 86400.0,
+                  "open-loop diurnal cycle period in simulated seconds",
+                  &arrival_diurnal_period);
 
   CASCACHE_RETURN_IF_ERROR(flags.Parse(argc - 1, argv + 1));
   if (help) {
@@ -274,6 +340,64 @@ util::Status RunMain(int argc, char** argv) {
   config.workload.seed = seed;
   config.workload.temporal_locality = temporal;
   config.workload.churn_swaps_per_hour = churn;
+
+  // Workload model and catalog mode: explicit flag beats environment.
+  if (!flags.WasSet("workload")) {
+    if (const char* env = std::getenv("CASCACHE_WORKLOAD");
+        env != nullptr && env[0] != '\0') {
+      workload_text = env;
+    }
+  }
+  if (!flags.WasSet("catalog")) {
+    if (const char* env = std::getenv("CASCACHE_CATALOG");
+        env != nullptr && env[0] != '\0') {
+      catalog_mode = env;
+    }
+  }
+  trace::WorkloadModelParams& model = config.workload.model;
+  if (workload_text != "static" && !workload_text.empty()) {
+    for (const std::string& part : util::SplitCommaList(workload_text)) {
+      if (part == "drift") {
+        if (drift_mode_text == "rotate") {
+          model.drift_mode = trace::DriftMode::kRotate;
+        } else if (drift_mode_text == "shuffle") {
+          model.drift_mode = trace::DriftMode::kShuffle;
+        } else {
+          return util::Status::InvalidArgument(
+              "unknown --workload-drift-mode: " + drift_mode_text +
+              " (expected rotate|shuffle)");
+        }
+        model.drift_half_life_s = drift_half_life;
+      } else if (part == "flash") {
+        model.flash_rate_per_hour = flash_per_hour;
+        model.flash_objects = static_cast<uint32_t>(flash_objects);
+        model.flash_peak_share = flash_peak_share;
+        model.flash_ramp_s = flash_ramp;
+        model.flash_decay_s = flash_decay;
+      } else if (part == "diurnal") {
+        model.diurnal_amplitude = wl_diurnal_amplitude;
+        model.diurnal_period_s = wl_diurnal_period;
+      } else if (part == "sessions") {
+        model.session_prob = session_prob;
+        model.session_mean_run = session_run;
+      } else if (part == "regional") {
+        model.regions = static_cast<uint32_t>(regions);
+        model.regional_bias = regional_bias;
+      } else {
+        return util::Status::InvalidArgument(
+            "unknown --workload component '" + part +
+            "' (expected static or a comma list of "
+            "drift|flash|diurnal|sessions|regional)");
+      }
+    }
+  }
+  if (catalog_mode == "procedural") {
+    config.workload.procedural_catalog = true;
+  } else if (catalog_mode != "materialized") {
+    return util::Status::InvalidArgument(
+        "unknown --catalog: " + catalog_mode +
+        " (expected materialized|procedural)");
+  }
   config.sim.dcache_ratio = dcache_ratio;
   config.sim.warmup_fraction = warmup;
   config.sim.level_capacity_growth = level_growth;
@@ -364,6 +488,8 @@ util::Status RunMain(int argc, char** argv) {
   config.sim.contention.link_bandwidth = link_bandwidth;
   config.sim.contention.arrival_rate = arrival_rate;
   config.sim.contention.arrival_ramp = arrival_ramp;
+  config.sim.contention.arrival_diurnal_amplitude = arrival_diurnal_amplitude;
+  config.sim.contention.arrival_diurnal_period = arrival_diurnal_period;
   CASCACHE_RETURN_IF_ERROR(config.sim.contention.Validate());
 
   // Trace in/out resolution: explicit flags beat the deprecated --trace
@@ -409,11 +535,13 @@ util::Status RunMain(int argc, char** argv) {
     CASCACHE_ASSIGN_OR_RETURN(
         runner, sim::ExperimentRunner::CreateFromTrace(config, trace_in));
     const trace::WorkloadView loaded = runner->view();
+    const char* provenance =
+        runner->mapped_trace() == nullptr ? "v1, in RAM"
+        : loaded.catalog->procedural()    ? "v3, mmap, procedural catalog"
+                                          : "v2, mmap";
     std::fprintf(stderr, "loaded trace %s: %zu requests, %u objects (%s)\n",
                  trace_in.c_str(), loaded.requests.size(),
-                 loaded.catalog->num_objects(),
-                 runner->mapped_trace() != nullptr ? "v2, mmap"
-                                                   : "v1, in RAM");
+                 loaded.catalog->num_objects(), provenance);
   }
   if (!save_trace.empty()) {
     if (!trace_in.empty()) {

@@ -1,19 +1,22 @@
 // cascache_trace: offline trace utilities for the .cctr binary format.
 //
 //   cascache_trace convert <log.csv> <out.cctr>   # CSV request log -> v2
-//   cascache_trace summarize <trace.cctr>         # logstats-style report
+//   cascache_trace summarize <trace.cctr> [--epochs=N]  # logstats report
 //   cascache_trace export-csv <trace.cctr> <out.csv>  # binary -> text
 //
 // `convert` ingests the WriteTraceCsv column layout
 // (time,client,object,size,server — the shape a Boeing-style proxy log
 // reduces to) and writes a v2 trace that cascache_sim --trace-in can
-// memory-map. `summarize` streams the trace once (O(num_objects)
-// memory) and prints cardinalities, the fitted Zipf slope, size
+// memory-map. `summarize` streams the trace (any version, including
+// procedural-catalog v3) once in bounded memory and prints
+// cardinalities, the fitted Zipf slope — whole-trace and per epoch, so
+// popularity drift is visible as a windowed-vs-aggregate gap — size
 // percentiles and inter-arrival statistics, so a multi-gigabyte trace
 // can be sanity-checked without loading it.
 
 #include <cinttypes>
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <string>
 
@@ -28,15 +31,19 @@ int Usage(std::FILE* out) {
   std::fprintf(out,
                "usage:\n"
                "  cascache_trace convert <log.csv> <out.cctr>\n"
-               "  cascache_trace summarize <trace.cctr>\n"
+               "  cascache_trace summarize <trace.cctr> [--epochs=N]\n"
                "  cascache_trace export-csv <trace.cctr> <out.csv>\n"
                "\n"
                "convert     rewrite a CSV request log "
                "(time,client,object,size,server;\n"
                "            header row optional) as a v2 binary trace\n"
                "summarize   one-pass report: counts, cardinalities, Zipf "
-               "slope,\n"
-               "            size percentiles, inter-arrival statistics\n"
+               "slope\n"
+               "            (whole-trace and per-epoch over N "
+               "equal-request\n"
+               "            windows; default 4, 0 disables), size "
+               "percentiles,\n"
+               "            inter-arrival statistics\n"
                "export-csv  dump a binary trace as text for external "
                "tooling\n"
                "            (timestamps rounded to microseconds)\n");
@@ -57,9 +64,11 @@ util::Status RunConvert(const std::string& csv_path,
   return util::Status::Ok();
 }
 
-util::Status RunSummarize(const std::string& path) {
+util::Status RunSummarize(const std::string& path, uint32_t epochs) {
+  trace::SummarizeOptions options;
+  options.epochs = epochs;
   CASCACHE_ASSIGN_OR_RETURN(const trace::TraceSummary s,
-                            trace::SummarizeTrace(path));
+                            trace::SummarizeTrace(path, options));
   const trace::TraceStats& st = s.stats;
   std::printf("trace:                 %s\n", path.c_str());
   std::printf("format version:        v%u\n", s.format_version);
@@ -73,6 +82,13 @@ util::Status RunSummarize(const std::string& path) {
               st.total_bytes_requested);
   std::printf("mean object size:      %.1f B\n", st.mean_object_size);
   std::printf("zipf slope (fit):      %.4f\n", st.estimated_zipf_theta);
+  if (!s.epoch_zipf_theta.empty()) {
+    std::printf("zipf slope per epoch: ");
+    for (const double theta : s.epoch_zipf_theta) {
+      std::printf(" %.4f", theta);
+    }
+    std::printf("\n");
+  }
   std::printf("top-10%% request share: %.4f\n", st.top10pct_request_share);
   std::printf("object size p50/p90/p99/max: %" PRIu64 " / %" PRIu64
               " / %" PRIu64 " / %" PRIu64 " B\n",
@@ -108,8 +124,18 @@ int main(int argc, char** argv) {
   util::Status status;
   if (argc == 4 && std::strcmp(argv[1], "convert") == 0) {
     status = RunConvert(argv[2], argv[3]);
-  } else if (argc == 3 && std::strcmp(argv[1], "summarize") == 0) {
-    status = RunSummarize(argv[2]);
+  } else if ((argc == 3 || argc == 4) &&
+             std::strcmp(argv[1], "summarize") == 0) {
+    uint32_t epochs = 4;
+    if (argc == 4) {
+      const char* arg = argv[3];
+      if (std::strncmp(arg, "--epochs=", 9) != 0) return Usage(stderr);
+      char* end = nullptr;
+      const unsigned long value = std::strtoul(arg + 9, &end, 10);
+      if (end == arg + 9 || *end != '\0' || value > 1024) return Usage(stderr);
+      epochs = static_cast<uint32_t>(value);
+    }
+    status = RunSummarize(argv[2], epochs);
   } else if (argc == 4 && std::strcmp(argv[1], "export-csv") == 0) {
     status = RunExportCsv(argv[2], argv[3]);
   } else {
