@@ -163,6 +163,16 @@ class FlatLru {
   /// for pool-reuse assertions.
   size_t slot_span() const { return ids_.size(); }
 
+  /// Visits every resident object MRU-first: fn(id, size_bytes). Used by
+  /// the tiered-node invariant check (RAM ⊆ disk) and the differential
+  /// tests; O(n), not for the replay hot path.
+  template <typename Fn>
+  void ForEach(Fn&& fn) const {
+    for (SlotId slot = head_; slot != kNoSlot; slot = next_[slot]) {
+      fn(ids_[slot], sizes_[slot]);
+    }
+  }
+
   /// Structural self-check: list links, index entries and byte accounting
   /// agree. Test/debug helper (O(n)).
   bool CheckInvariants() const;

@@ -56,8 +56,10 @@ void CoordinatedScheme::OnServe(sim::MessageContext& ctx) {
   ++stats_.requests;
 
   // Record the access at the serving cache (refreshes its NCL priority).
+  // On a sibling serve, serving_node() is the sibling — the copy that
+  // actually answered — not the probing hop.
   if (!ctx.origin_served()) {
-    ctx.node(ctx.hit_index())->RecordAccess(ctx.object, ctx.now);
+    ctx.serving_node()->RecordAccess(ctx.object, ctx.now);
   }
 
   // Reassemble the piggybacked path information, ordered A_1 (adjacent
@@ -124,6 +126,15 @@ void CoordinatedScheme::OnServe(sim::MessageContext& ctx) {
   // origin served).
   ctx.response.penalty = ctx.origin_served() ? ctx.server_link_cost : 0.0;
   ascent_.clear();
+}
+
+void CoordinatedScheme::OnSiblingServe(sim::MessageContext& ctx) {
+  // Proxy-only sibling serve. The probing hop (hit_index) contributed no
+  // ascent record — exactly like a local serving point — so OnServe's
+  // path reassembly walks hops hit_index-1 .. 0 unchanged and the DP's
+  // hop alignment carries over; only the recency touch retargets to the
+  // sibling's store (serving_node()).
+  OnServe(ctx);
 }
 
 void CoordinatedScheme::OnAbort() {

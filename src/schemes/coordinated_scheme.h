@@ -75,6 +75,7 @@ class CoordinatedScheme : public CachingScheme {
   void OnAscend(sim::MessageContext& ctx, int hop) override;
   void OnServe(sim::MessageContext& ctx) override;
   void OnDescend(sim::MessageContext& ctx, int hop) override;
+  void OnSiblingServe(sim::MessageContext& ctx) override;
   void OnAbort() override;
 
   const Stats& stats() const { return stats_; }

@@ -10,6 +10,14 @@ void GdsScheme::OnServe(sim::MessageContext& ctx) {
   }
 }
 
+void GdsScheme::OnSiblingServe(sim::MessageContext& ctx) {
+  // Proxy-only sibling serve: the GDS credit refreshes at the sibling's
+  // store. The retrieval cost stays the probing hop's local upstream
+  // view — the sibling leg carries no cost metadata.
+  ctx.serving_node()->gds()->OnHit(ctx.object,
+                                   ctx.upstream_link_cost(ctx.hit_index()));
+}
+
 void GdsScheme::OnDescend(sim::MessageContext& ctx, int hop) {
   // Lost decision (fault plane): skip the placement at this hop.
   if (ctx.response.decision_lost) return;
@@ -27,6 +35,11 @@ void LfuScheme::OnServe(sim::MessageContext& ctx) {
   if (!ctx.origin_served()) {
     ctx.node(ctx.hit_index())->lfu()->Touch(ctx.object);
   }
+}
+
+void LfuScheme::OnSiblingServe(sim::MessageContext& ctx) {
+  // Proxy-only sibling serve: frequency accrues at the sibling's store.
+  ctx.serving_node()->lfu()->Touch(ctx.object);
 }
 
 void LfuScheme::OnDescend(sim::MessageContext& ctx, int hop) {

@@ -21,6 +21,7 @@ class GdsScheme : public CachingScheme {
 
   void OnServe(sim::MessageContext& ctx) override;
   void OnDescend(sim::MessageContext& ctx, int hop) override;
+  void OnSiblingServe(sim::MessageContext& ctx) override;
 };
 
 /// Perfect in-cache LFU baseline (the classic frequency-based policy the
@@ -35,6 +36,7 @@ class LfuScheme : public CachingScheme {
 
   void OnServe(sim::MessageContext& ctx) override;
   void OnDescend(sim::MessageContext& ctx, int hop) override;
+  void OnSiblingServe(sim::MessageContext& ctx) override;
 };
 
 }  // namespace cascache::schemes

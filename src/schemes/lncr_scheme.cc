@@ -37,6 +37,21 @@ void LncrScheme::OnServe(sim::MessageContext& ctx) {
   if (!ctx.origin_served()) RecordAt(ctx, ctx.hit_index());
 }
 
+void LncrScheme::OnSiblingServe(sim::MessageContext& ctx) {
+  // Proxy-only sibling serve: the access counts at the *sibling* (it
+  // refreshes the NCL priority of the copy that actually served). The
+  // probing hop records nothing — exactly as if it had served locally
+  // (OnAscend never runs at a serving point), keeping hop alignment
+  // identical to a local hit. The d-cache fallback mirrors RecordAt for
+  // uniformity; it cannot fire here because the sibling holds the copy.
+  sim::CacheNode* sibling =
+      &ctx.caches->nodes_data()[ctx.response.sibling];
+  if (sibling->RecordAccess(ctx.object, ctx.now) == nullptr &&
+      !sibling->Contains(ctx.object)) {
+    sibling->AdmitDescriptor(ctx.object, ctx.size, ctx.now);
+  }
+}
+
 void LncrScheme::OnDescend(sim::MessageContext& ctx, int hop) {
   // Cache everywhere below the serving point. The per-node miss penalty
   // is the cost of the immediate upstream link (the virtual server link

@@ -25,6 +25,7 @@ class LncrScheme : public CachingScheme {
   void OnAscend(sim::MessageContext& ctx, int hop) override;
   void OnServe(sim::MessageContext& ctx) override;
   void OnDescend(sim::MessageContext& ctx, int hop) override;
+  void OnSiblingServe(sim::MessageContext& ctx) override;
 
  private:
   /// Reused victim buffer for the descent's insertions.

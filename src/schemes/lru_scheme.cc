@@ -9,6 +9,12 @@ void LruScheme::OnServe(sim::MessageContext& ctx) {
   }
 }
 
+void LruScheme::OnSiblingServe(sim::MessageContext& ctx) {
+  // Proxy-only sibling serve: recency refreshes at the sibling's store
+  // (the probing node keeps nothing).
+  ctx.serving_node()->lru()->Touch(ctx.object);
+}
+
 void LruScheme::OnDescend(sim::MessageContext& ctx, int hop) {
   // Cache everywhere below the serving point (and at the attach node too
   // when the origin served the request). A lost decision (fault plane)

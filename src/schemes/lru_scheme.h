@@ -19,6 +19,7 @@ class LruScheme : public CachingScheme {
 
   void OnServe(sim::MessageContext& ctx) override;
   void OnDescend(sim::MessageContext& ctx, int hop) override;
+  void OnSiblingServe(sim::MessageContext& ctx) override;
 };
 
 }  // namespace cascache::schemes

@@ -18,6 +18,11 @@ void ModuloScheme::OnServe(sim::MessageContext& ctx) {
   }
 }
 
+void ModuloScheme::OnSiblingServe(sim::MessageContext& ctx) {
+  // Proxy-only sibling serve: recency refreshes at the sibling's store.
+  ctx.serving_node()->lru()->Touch(ctx.object);
+}
+
 void ModuloScheme::OnDescend(sim::MessageContext& ctx, int hop) {
   // Hop distance of node path[hop] from the serving point. When the
   // origin serves the request, the serving point sits one virtual hop

@@ -24,6 +24,7 @@ class ModuloScheme : public CachingScheme {
 
   void OnServe(sim::MessageContext& ctx) override;
   void OnDescend(sim::MessageContext& ctx, int hop) override;
+  void OnSiblingServe(sim::MessageContext& ctx) override;
 
  private:
   int radius_;

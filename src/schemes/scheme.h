@@ -110,6 +110,30 @@ class CachingScheme {
     (void)ctx;
     (void)hop;
   }
+
+  /// Sibling cooperation (simulator's SiblingParams): the node at path
+  /// index `hop` missed locally and sends an ICP-style probe to
+  /// `sibling`. Observational only — probes must not mutate cache state
+  /// or attach piggyback payload (the simulator accounts probe bytes).
+  /// Default: ignore.
+  virtual void OnSiblingProbe(sim::MessageContext& ctx, int hop,
+                              topology::NodeId sibling) {
+    (void)ctx;
+    (void)hop;
+    (void)sibling;
+  }
+
+  /// Called INSTEAD of OnServe when a sibling of the node at
+  /// ctx.hit_index() serves the request (ctx.response.served_by_sibling;
+  /// the sibling's id is ctx.response.sibling). The serve is proxy-only:
+  /// the probing node keeps no copy, the descent below ctx.hit_index()
+  /// runs exactly as for a local hit there (OnDescend hop alignment is
+  /// unchanged), and serving-cache bookkeeping (recency/frequency touch)
+  /// belongs to the *sibling's* store. The default delegates to OnServe,
+  /// which is correct only for schemes whose OnServe ignores the serving
+  /// node's identity; every built-in scheme overrides this to touch the
+  /// sibling's store instead of path[hit_index]'s.
+  virtual void OnSiblingServe(sim::MessageContext& ctx) { OnServe(ctx); }
 };
 
 /// Identifiers for the built-in schemes: the paper's four (§3.3) plus the

@@ -42,6 +42,23 @@ void StaticScheme::OnServe(sim::MessageContext& ctx) {
   if (requests_seen_ >= freeze_after_) Freeze(ctx);
 }
 
+void StaticScheme::OnSiblingServe(sim::MessageContext& ctx) {
+  if (frozen_) return;
+  // The *sibling* is the serving cache, so demand accrues there. The
+  // probing hop counts nothing — exactly as a local serving point would
+  // not have been counted on the ascent — keeping the learned demand
+  // hop-aligned with the dynamic schemes' visibility.
+  if (demand_.empty()) {
+    demand_.resize(static_cast<size_t>(ctx.caches->num_nodes()));
+  }
+  Demand& d =
+      demand_[static_cast<size_t>(ctx.response.sibling)][ctx.object];
+  ++d.count;
+  d.size = ctx.size;
+  ++requests_seen_;
+  if (requests_seen_ >= freeze_after_) Freeze(ctx);
+}
+
 void StaticScheme::Freeze(sim::MessageContext& ctx) {
   CacheSet* caches = ctx.caches;
   frozen_ = true;

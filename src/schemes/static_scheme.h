@@ -39,6 +39,7 @@ class StaticScheme : public CachingScheme {
 
   void OnAscend(sim::MessageContext& ctx, int hop) override;
   void OnServe(sim::MessageContext& ctx) override;
+  void OnSiblingServe(sim::MessageContext& ctx) override;
 
   bool frozen() const { return frozen_; }
   uint64_t requests_seen() const { return requests_seen_; }

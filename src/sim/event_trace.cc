@@ -62,6 +62,16 @@ const char* TraceEventTypeName(TraceEventType type) {
       return "queue_depth";
     case TraceEventType::kShed:
       return "shed";
+    case TraceEventType::kSiblingProbe:
+      return "sibling_probe";
+    case TraceEventType::kSiblingServe:
+      return "sibling_serve";
+    case TraceEventType::kDiskDegraded:
+      return "disk_degraded";
+    case TraceEventType::kPromotion:
+      return "promotion";
+    case TraceEventType::kDemotion:
+      return "demotion";
   }
   return "unknown";
 }

@@ -49,6 +49,13 @@ enum class TraceEventType : uint8_t {
   // Contention records (emitted only by the event-driven replay).
   kQueueDepth,            ///< Ops ahead of an admitted op at a node queue.
   kShed,                  ///< A node queue refused an op (request/store).
+  // Tiered-node and sibling-cooperation records (appended: wire names of
+  // the earlier types are stable).
+  kSiblingProbe,          ///< A node probed a sibling for the object.
+  kSiblingServe,          ///< A sibling held a fresh copy and served it.
+  kDiskDegraded,          ///< A disk outage prevented a serve/placement.
+  kPromotion,             ///< A disk serve copied the object into RAM.
+  kDemotion,              ///< RAM copies dropped (eviction or inclusion).
 };
 
 /// Stable wire name of a record type (the JSONL "type" field).

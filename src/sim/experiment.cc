@@ -250,7 +250,11 @@ util::Status WriteResultsCsv(const std::vector<RunResult>& results,
       "wall_seconds,requests_per_sec,warmup_seconds,measure_seconds,"
       "retries,failed_requests,reroutes,crashes_applied,"
       "degraded_decisions,served_requests,shed_requests,shed_placements,"
-      "avg_queue_wait,max_queue_depth");
+      "avg_queue_wait,max_queue_depth,"
+      // Two-tier / sibling / degraded-node columns (appended at the end
+      // so downstream parsers keyed on column position stay valid).
+      "ram_hits,disk_hits,promotions,demotions,sibling_probes,"
+      "sibling_hits,disk_degraded");
   for (const RunResult& r : results) {
     const MetricsSummary& m = r.metrics;
     // Peak queue depth is a gauge, reported as the max over the per-node
@@ -261,12 +265,12 @@ util::Status WriteResultsCsv(const std::vector<RunResult>& results,
           max_queue_depth,
           static_cast<unsigned long long>(u.counters.max_queue_depth));
     }
-    char buf[768];
+    char buf[1024];
     std::snprintf(
         buf, sizeof(buf),
         "%s,%.6g,%llu,%llu,%.8g,%.8g,%.8g,%.8g,%.8g,%.8g,%.8g,%.8g,"
         "%.8g,%.8g,%.8g,%.8g,%.6g,%.6g,%.6g,%.6g,%llu,%llu,%llu,%llu,%llu,"
-        "%llu,%llu,%llu,%.8g,%llu",
+        "%llu,%llu,%llu,%.8g,%llu,%llu,%llu,%llu,%llu,%llu,%llu,%llu",
         util::CsvEscape(r.scheme).c_str(), r.cache_fraction,
         static_cast<unsigned long long>(r.capacity_bytes),
         static_cast<unsigned long long>(m.requests), m.avg_latency,
@@ -283,7 +287,14 @@ util::Status WriteResultsCsv(const std::vector<RunResult>& results,
         static_cast<unsigned long long>(m.served_requests),
         static_cast<unsigned long long>(m.shed_requests),
         static_cast<unsigned long long>(m.shed_placements),
-        m.avg_queue_wait, max_queue_depth);
+        m.avg_queue_wait, max_queue_depth,
+        static_cast<unsigned long long>(m.ram_hits),
+        static_cast<unsigned long long>(m.disk_hits),
+        static_cast<unsigned long long>(m.promotions),
+        static_cast<unsigned long long>(m.demotions),
+        static_cast<unsigned long long>(m.sibling_probes),
+        static_cast<unsigned long long>(m.sibling_hits),
+        static_cast<unsigned long long>(m.disk_degraded));
     csv.WriteLine(buf);
   }
   return csv.Close();
@@ -295,11 +306,12 @@ namespace {
 void WriteCountersRow(util::CsvWriter* csv, const RunResult& r,
                       const char* scope, int node, int level,
                       const NodeCounters& c) {
-  char buf[640];
+  char buf[896];
   std::snprintf(
       buf, sizeof(buf),
       "%s,%.6g,%s,%d,%d,%llu,%llu,%llu,%llu,%llu,%llu,%llu,%llu,%llu,%llu,"
-      "%llu,%llu,%llu,%llu,%llu,%llu,%llu,%llu,%llu,%llu",
+      "%llu,%llu,%llu,%llu,%llu,%llu,%llu,%llu,%llu,%llu,%llu,%llu,%llu,"
+      "%llu,%llu,%llu,%llu",
       util::CsvEscape(r.scheme).c_str(), r.cache_fraction, scope, node, level,
       static_cast<unsigned long long>(c.requests_seen()),
       static_cast<unsigned long long>(c.hits),
@@ -321,7 +333,14 @@ void WriteCountersRow(util::CsvWriter* csv, const RunResult& r,
       static_cast<unsigned long long>(c.store_sheds),
       static_cast<unsigned long long>(c.max_queue_depth),
       // Total byte load the node handled: reads served + writes stored.
-      static_cast<unsigned long long>(c.bytes_served + c.bytes_cached));
+      static_cast<unsigned long long>(c.bytes_served + c.bytes_cached),
+      static_cast<unsigned long long>(c.ram_hits),
+      static_cast<unsigned long long>(c.disk_hits),
+      static_cast<unsigned long long>(c.promotions),
+      static_cast<unsigned long long>(c.demotions),
+      static_cast<unsigned long long>(c.sibling_probes),
+      static_cast<unsigned long long>(c.sibling_serves),
+      static_cast<unsigned long long>(c.disk_degraded));
   csv->WriteLine(buf);
 }
 
@@ -334,7 +353,10 @@ util::Status WritePerNodeCsv(const std::vector<RunResult>& results,
       "scheme,cache_fraction,scope,node,level,requests,hits,misses,"
       "evictions,placements,placements_rejected,expirations,invalidations,"
       "stale_serves,dcache_hits,bytes_served,bytes_cached,crashes,retries,"
-      "reroutes,degraded,sheds,store_sheds,max_queue_depth,load_bytes");
+      "reroutes,degraded,sheds,store_sheds,max_queue_depth,load_bytes,"
+      // Two-tier / sibling / degraded-node columns (appended at the end).
+      "ram_hits,disk_hits,promotions,demotions,sibling_probes,"
+      "sibling_serves,disk_degraded");
   for (const RunResult& r : results) {
     int max_level = 0;
     for (const NodeUsage& u : r.per_node) {

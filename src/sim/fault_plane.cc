@@ -40,6 +40,8 @@ constexpr uint64_t kNodeTag = 0x4e;     // 'N'
 constexpr uint64_t kEdgeTag = 0x45;     // 'E'
 constexpr uint64_t kAscentTag = 0x41;   // 'A'
 constexpr uint64_t kDescentTag = 0x44;  // 'D'
+constexpr uint64_t kDiskTag = 0x4b;     // 'K' (disK; 'D' is taken)
+constexpr uint64_t kSiblingTag = 0x53;  // 'S'
 
 }  // namespace
 
@@ -56,9 +58,17 @@ util::Status FaultScheduleConfig::Validate() const {
         "link_downtime must be > 0 when outages are enabled");
   }
   if (ascent_loss_prob < 0.0 || ascent_loss_prob > 1.0 ||
-      decision_loss_prob < 0.0 || decision_loss_prob > 1.0) {
+      decision_loss_prob < 0.0 || decision_loss_prob > 1.0 ||
+      sibling_loss_prob < 0.0 || sibling_loss_prob > 1.0) {
     return util::Status::InvalidArgument(
         "fault loss probabilities must be in [0, 1]");
+  }
+  if (disk_fail_mtbf < 0.0) {
+    return util::Status::InvalidArgument("disk_mtbf must be >= 0");
+  }
+  if (disk_fail_mtbf > 0.0 && disk_fail_downtime <= 0.0) {
+    return util::Status::InvalidArgument(
+        "disk_downtime must be > 0 when disk failures are enabled");
   }
   if (request_timeout <= 0.0) {
     return util::Status::InvalidArgument("request_timeout must be > 0");
@@ -122,6 +132,9 @@ util::Status ApplyFaultSetting(const std::string& key,
     return util::Status::Ok();
   }
   if (key == "backoff") return parse_double(&config->retry_backoff);
+  if (key == "disk_mtbf") return parse_double(&config->disk_fail_mtbf);
+  if (key == "disk_downtime") return parse_double(&config->disk_fail_downtime);
+  if (key == "sibling_loss") return parse_double(&config->sibling_loss_prob);
   return util::Status::InvalidArgument("unknown fault setting: " + key);
 }
 
@@ -170,7 +183,8 @@ util::Status ApplyFaultEnvOverrides(FaultScheduleConfig* config) {
   static constexpr const char* kKeys[] = {
       "seed",        "node_mtbf",   "node_downtime",      "link_mtbf",
       "link_downtime", "crash_cuts_routing", "ascent_loss", "decision_loss",
-      "timeout",     "max_retries", "backoff"};
+      "timeout",     "max_retries", "backoff",            "disk_mtbf",
+      "disk_downtime", "sibling_loss"};
   for (const char* key : kKeys) {
     std::string env_name = "CASCACHE_FAULT_";
     for (const char* p = key; *p != '\0'; ++p) {
@@ -237,6 +251,8 @@ void FaultPlane::Reset() {
   const size_t n = static_cast<size_t>(network_->num_nodes());
   node_tracks_.assign(n, OutageTrack());
   node_track_ready_.assign(n, false);
+  disk_tracks_.assign(n, OutageTrack());
+  disk_track_ready_.assign(n, false);
   edge_tracks_.clear();
   applied_crash_epoch_.assign(n, 0);
 }
@@ -250,6 +266,17 @@ FaultPlane::OutageTrack& FaultPlane::NodeTrack(topology::NodeId v) {
     node_track_ready_[i] = true;
   }
   return node_tracks_[i];
+}
+
+FaultPlane::OutageTrack& FaultPlane::DiskTrack(topology::NodeId v) {
+  const size_t i = static_cast<size_t>(v);
+  if (!disk_track_ready_[i]) {
+    disk_tracks_[i] =
+        OutageTrack(MixSeed(config_.seed, kDiskTag, static_cast<uint64_t>(v)),
+                    config_.disk_fail_mtbf, config_.disk_fail_downtime);
+    disk_track_ready_[i] = true;
+  }
+  return disk_tracks_[i];
 }
 
 FaultPlane::OutageTrack& FaultPlane::EdgeTrack(topology::NodeId u,
@@ -269,6 +296,18 @@ FaultPlane::OutageTrack& FaultPlane::EdgeTrack(topology::NodeId u,
 bool FaultPlane::NodeDown(topology::NodeId v, double t) {
   if (config_.node_crash_mtbf <= 0.0) return false;
   return NodeTrack(v).IsDown(t);
+}
+
+bool FaultPlane::DiskDown(topology::NodeId v, double t) {
+  if (config_.disk_fail_mtbf <= 0.0) return false;
+  return DiskTrack(v).IsDown(t);
+}
+
+bool FaultPlane::SiblingLoss(uint64_t request_index, int probe) const {
+  if (config_.sibling_loss_prob <= 0.0) return false;
+  const uint64_t h = Mix(MixSeed(config_.seed, kSiblingTag, request_index) +
+                         static_cast<uint64_t>(probe));
+  return HashToUnit(h) < config_.sibling_loss_prob;
 }
 
 bool FaultPlane::LinkDown(topology::NodeId u, topology::NodeId v, double t) {

@@ -64,11 +64,26 @@ struct FaultScheduleConfig {
   int max_retries = 3;
   /// Backoff before retry k (0-based) is retry_backoff * 2^k seconds.
   double retry_backoff = 1.0;
+  /// Mean seconds between disk-failure onsets per node; 0 disables the
+  /// degraded-node fault class. While a node's disk is down, a tiered
+  /// node degrades to RAM-only service (its RAM tier keeps serving;
+  /// promotions and disk placements stop) and an untiered node to
+  /// proxy-only (it forwards but can neither serve nor store). Disk
+  /// contents are preserved across the outage — availability is lost,
+  /// not data — so recovery resumes with the pre-outage store (no cold
+  /// restart; that is the node-crash fault class).
+  double disk_fail_mtbf = 0.0;
+  /// Mean seconds a failed disk stays down.
+  double disk_fail_downtime = 60.0;
+  /// Probability a sibling probe or its reply is lost on the sibling leg;
+  /// the probing node treats the sibling as a miss and continues.
+  double sibling_loss_prob = 0.0;
 
   /// Whether this schedule injects any fault at all.
   bool active() const {
     return node_crash_mtbf > 0.0 || link_mtbf > 0.0 ||
-           ascent_loss_prob > 0.0 || decision_loss_prob > 0.0;
+           ascent_loss_prob > 0.0 || decision_loss_prob > 0.0 ||
+           disk_fail_mtbf > 0.0 || sibling_loss_prob > 0.0;
   }
 
   util::Status Validate() const;
@@ -78,7 +93,7 @@ struct FaultScheduleConfig {
 /// loader, the CASCACHE_FAULT_* environment overrides and tests. Keys:
 /// seed, node_mtbf, node_downtime, link_mtbf, link_downtime,
 /// crash_cuts_routing, ascent_loss, decision_loss, timeout, max_retries,
-/// backoff.
+/// backoff, disk_mtbf, disk_downtime, sibling_loss.
 util::Status ApplyFaultSetting(const std::string& key,
                                const std::string& value,
                                FaultScheduleConfig* config);
@@ -123,6 +138,17 @@ class FaultPlane {
 
   /// Whether the cache process at `v` is down at time `t`.
   bool NodeDown(topology::NodeId v, double t);
+
+  /// Whether the disk tier at `v` is down at time `t` (degraded-node
+  /// fault class: RAM-only for tiered nodes, proxy-only otherwise). An
+  /// independent per-node renewal stream, salted differently from the
+  /// crash stream, so the two fault classes compose without correlation.
+  bool DiskDown(topology::NodeId v, double t);
+
+  /// Whether the `probe`-th sibling probe of request `request_index` (or
+  /// its reply) is lost on the sibling leg. Pure hash — independent of
+  /// call order and of the other fault streams.
+  bool SiblingLoss(uint64_t request_index, int probe) const;
 
   /// Whether the link (u, v) is down at time `t`.
   bool LinkDown(topology::NodeId u, topology::NodeId v, double t);
@@ -171,6 +197,7 @@ class FaultPlane {
   };
 
   OutageTrack& NodeTrack(topology::NodeId v);
+  OutageTrack& DiskTrack(topology::NodeId v);
   OutageTrack& EdgeTrack(topology::NodeId u, topology::NodeId v);
 
   /// True when every link of `path` is up and (under crash_cuts_routing)
@@ -189,6 +216,9 @@ class FaultPlane {
   /// Lazily materialized outage streams (cleared by Reset()).
   std::vector<OutageTrack> node_tracks_;
   std::vector<bool> node_track_ready_;
+  /// Per-node disk-failure streams (degraded-node fault class).
+  std::vector<OutageTrack> disk_tracks_;
+  std::vector<bool> disk_track_ready_;
   std::unordered_map<uint64_t, OutageTrack> edge_tracks_;
   /// Crash epochs already applied to each node's cache.
   std::vector<uint64_t> applied_crash_epoch_;

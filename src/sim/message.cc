@@ -64,6 +64,41 @@ void MessageContext::EmitShedTrace(topology::NodeId node_id,
   EmitNodeEvent(TraceEventType::kShed, node_id, static_cast<double>(depth));
 }
 
+void MessageContext::EmitTierServeTrace(
+    topology::NodeId node_id, const CacheNode::TierServe& tier) const {
+  if (tier.promoted) {
+    EmitNodeEvent(TraceEventType::kPromotion, node_id,
+                  static_cast<double>(tier.demotions));
+  }
+  if (!tier.promoted && tier.demotions > 0) {
+    EmitDemotionTrace(node_id, tier.demotions);
+  }
+}
+
+void MessageContext::EmitDemotionTrace(topology::NodeId node_id,
+                                       int dropped) const {
+  EmitNodeEvent(TraceEventType::kDemotion, node_id,
+                static_cast<double>(dropped));
+}
+
+void MessageContext::EmitSiblingProbeTrace(topology::NodeId sibling,
+                                           int hop) const {
+  EmitNodeEvent(TraceEventType::kSiblingProbe, sibling,
+                static_cast<double>(hop));
+}
+
+void MessageContext::EmitSiblingServeTrace(topology::NodeId sibling,
+                                           int hop) const {
+  EmitNodeEvent(TraceEventType::kSiblingServe, sibling,
+                static_cast<double>(hop));
+}
+
+void MessageContext::EmitDiskDegradedTrace(topology::NodeId node_id,
+                                           int hop) const {
+  EmitNodeEvent(TraceEventType::kDiskDegraded, node_id,
+                static_cast<double>(hop));
+}
+
 void MessageContext::CommitStoreService(topology::NodeId node_id) {
   const double cost = contention->store_cost;
   if (cost <= 0.0) return;

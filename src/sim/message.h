@@ -74,6 +74,14 @@ struct ResponseMessage {
   /// ascent. The exchange ends where it was refused — no serve, no
   /// descent, no placements.
   bool shed = false;
+  /// Sibling cooperation: the object was served by a sibling of the node
+  /// at `hit_index`, not by that node itself. The serve is proxy-only
+  /// (Squid's proxy-only ICP peering): the probing node does not keep a
+  /// copy, so the descent below `hit_index` is identical to a local hit
+  /// there and every scheme's hop alignment carries over unchanged.
+  bool served_by_sibling = false;
+  /// NodeId of the serving sibling; valid only when served_by_sibling.
+  topology::NodeId sibling = -1;
 };
 
 /// Everything one request/response exchange knows, shared by the
@@ -115,6 +123,15 @@ struct MessageContext {
   /// then pays one null check per accepted placement.
   QueueingPlane* queueing = nullptr;
   const ContentionParams* contention = nullptr;
+  /// Whether any node of this exchange's cache plane runs a RAM tier.
+  /// Set once per run by the simulator; gates the demote-on-evict hook in
+  /// RecordPlacement so untiered runs pay one register test per placement.
+  bool tiered = false;
+  /// Analytic replay only: serving-tier service seconds (RAM or disk hit
+  /// cost) accumulated while resolving this exchange; the simulator adds
+  /// it to the request latency. Under the event-driven replay the tier
+  /// service is charged through the queueing plane instead.
+  double tier_service = 0.0;
 
   bool origin_served() const { return response.hit_index < 0; }
   int hit_index() const { return response.hit_index; }
@@ -139,6 +156,15 @@ struct MessageContext {
   /// range by construction (this is the scheme handlers' per-hop lookup).
   CacheNode* node(int i) const {
     return &caches->nodes_data()[(*path)[static_cast<size_t>(i)]];
+  }
+
+  /// Cache node that actually served the request: the sibling when
+  /// served_by_sibling, else the node at hit_index(). Only meaningful on
+  /// a cache hit (hit_index() >= 0).
+  CacheNode* serving_node() const {
+    return response.served_by_sibling
+               ? &caches->nodes_data()[response.sibling]
+               : node(response.hit_index);
   }
 
   /// Cost of the link immediately upstream of path index `i` (the local
@@ -189,6 +215,25 @@ struct MessageContext {
   /// `depth` is the backlog depth that caused the refusal.
   void RecordStoreShed(int hop, uint32_t depth);
 
+  /// Records which tier of `node_id` served this request and any RAM-tier
+  /// churn (promotion + the RAM victims it pushed out) the serve caused.
+  void RecordTierServe(topology::NodeId node_id,
+                       const CacheNode::TierServe& tier);
+
+  /// Records one ICP-style probe this request sent from path index `hop`
+  /// to `sibling`.
+  void RecordSiblingProbe(int hop, topology::NodeId sibling);
+
+  /// Records a sibling serve: `sibling` (probed from path index `hop`)
+  /// held a servable copy and returned the object. Counted as a hit at
+  /// the sibling, so Σ per-node hits still equals aggregate cache hits.
+  void RecordSiblingServe(int hop, topology::NodeId sibling);
+
+  /// Records a disk-outage degradation at path index `hop`: the tiered
+  /// node there was RAM-only / proxy-only and could not serve or store
+  /// what its disk tier would have (disjoint from RecordDegraded).
+  void RecordDiskDegraded(int hop);
+
   /// Tree depth of a node for trace records (0 when levels are unknown).
   int32_t NodeLevel(topology::NodeId node_id) const {
     return telemetry.node_levels == nullptr
@@ -211,6 +256,12 @@ struct MessageContext {
   void EmitDCacheHitTrace(topology::NodeId node_id) const;
   void EmitDegradedTrace(topology::NodeId node_id, int hop) const;
   void EmitShedTrace(topology::NodeId node_id, uint32_t depth) const;
+  void EmitTierServeTrace(topology::NodeId node_id,
+                          const CacheNode::TierServe& tier) const;
+  void EmitSiblingProbeTrace(topology::NodeId sibling, int hop) const;
+  void EmitSiblingServeTrace(topology::NodeId sibling, int hop) const;
+  void EmitDiskDegradedTrace(topology::NodeId node_id, int hop) const;
+  void EmitDemotionTrace(topology::NodeId node_id, int dropped) const;
 
   /// Event-driven replay: charges an accepted placement's store service
   /// at `node_id` — FIFO wait behind the node's backlog plus the store
@@ -233,6 +284,21 @@ inline void MessageContext::RecordPlacement(
   if (telemetry.trace != nullptr) {
     EmitPlacementTrace(node_id, object, size, evicted);
   }
+  if (tiered && !evicted.empty()) {
+    // Demote-on-evict: the inclusive RAM tier drops the disk victims.
+    CacheNode& node = caches->nodes_data()[node_id];
+    if (node.tiered()) {
+      const int dropped = node.DropRamCopies(evicted);
+      if (dropped > 0) {
+        metrics->demotions += dropped;
+        if (telemetry.node_counters != nullptr) {
+          telemetry.node_counters[node_id].demotions +=
+              static_cast<uint64_t>(dropped);
+        }
+        if (telemetry.trace != nullptr) EmitDemotionTrace(node_id, dropped);
+      }
+    }
+  }
   if (queueing != nullptr) CommitStoreService(node_id);
 }
 
@@ -249,6 +315,20 @@ inline void MessageContext::RecordPlacementAt(
   }
   if (telemetry.trace != nullptr) {
     EmitPlacementTrace(node_id, object_id, bytes, evicted);
+  }
+  if (tiered && !evicted.empty()) {
+    CacheNode& node = caches->nodes_data()[node_id];
+    if (node.tiered()) {
+      const int dropped = node.DropRamCopies(evicted);
+      if (dropped > 0) {
+        metrics->demotions += dropped;
+        if (telemetry.node_counters != nullptr) {
+          telemetry.node_counters[node_id].demotions +=
+              static_cast<uint64_t>(dropped);
+        }
+        if (telemetry.trace != nullptr) EmitDemotionTrace(node_id, dropped);
+      }
+    }
   }
 }
 
@@ -292,6 +372,59 @@ inline void MessageContext::RecordStoreShed(int hop, uint32_t depth) {
   if (telemetry.trace != nullptr) {
     EmitShedTrace(node_id, depth);
   }
+}
+
+inline void MessageContext::RecordTierServe(topology::NodeId node_id,
+                                            const CacheNode::TierServe& tier) {
+  if (tier.ram_hit) {
+    metrics->ram_hit = true;
+  } else {
+    metrics->disk_hit = true;
+  }
+  metrics->promotions += tier.promoted ? 1 : 0;
+  metrics->demotions += tier.demotions;
+  if (telemetry.node_counters != nullptr) {
+    NodeCounters& c = telemetry.node_counters[node_id];
+    if (tier.ram_hit) {
+      ++c.ram_hits;
+    } else {
+      ++c.disk_hits;
+    }
+    if (tier.promoted) ++c.promotions;
+    c.demotions += static_cast<uint64_t>(tier.demotions);
+  }
+  if (telemetry.trace != nullptr) EmitTierServeTrace(node_id, tier);
+}
+
+inline void MessageContext::RecordSiblingProbe(int hop,
+                                               topology::NodeId sibling) {
+  ++metrics->sibling_probes;
+  if (telemetry.node_counters != nullptr) {
+    ++telemetry.node_counters[(*path)[static_cast<size_t>(hop)]]
+          .sibling_probes;
+  }
+  if (telemetry.trace != nullptr) EmitSiblingProbeTrace(sibling, hop);
+}
+
+inline void MessageContext::RecordSiblingServe(int hop,
+                                               topology::NodeId sibling) {
+  metrics->sibling_hit = true;
+  if (telemetry.node_counters != nullptr) {
+    NodeCounters& c = telemetry.node_counters[sibling];
+    ++c.hits;
+    ++c.sibling_serves;
+    c.bytes_served += size;
+  }
+  if (telemetry.trace != nullptr) EmitSiblingServeTrace(sibling, hop);
+}
+
+inline void MessageContext::RecordDiskDegraded(int hop) {
+  ++metrics->disk_degraded;
+  const topology::NodeId node_id = (*path)[static_cast<size_t>(hop)];
+  if (telemetry.node_counters != nullptr) {
+    ++telemetry.node_counters[node_id].disk_degraded;
+  }
+  if (telemetry.trace != nullptr) EmitDiskDegradedTrace(node_id, hop);
 }
 
 }  // namespace cascache::sim

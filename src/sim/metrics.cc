@@ -24,6 +24,13 @@ NodeCounters& NodeCounters::operator+=(const NodeCounters& other) {
   degraded += other.degraded;
   sheds += other.sheds;
   store_sheds += other.store_sheds;
+  ram_hits += other.ram_hits;
+  disk_hits += other.disk_hits;
+  promotions += other.promotions;
+  demotions += other.demotions;
+  sibling_probes += other.sibling_probes;
+  sibling_serves += other.sibling_serves;
+  disk_degraded += other.disk_degraded;
   // Gauge, not a count: a rollup reports the deepest queue in the set.
   if (other.max_queue_depth > max_queue_depth) {
     max_queue_depth = other.max_queue_depth;
@@ -61,6 +68,13 @@ void MetricsCollector::FlushBlock(const BlockStats& acc) {
   degraded_decisions_ += acc.degraded;
   shed_requests_ += acc.shed_requests;
   shed_placements_ += acc.shed_placements;
+  ram_hits_ += acc.ram_hits;
+  disk_hits_ += acc.disk_hits;
+  promotions_ += acc.promotions;
+  demotions_ += acc.demotions;
+  sibling_probes_ += acc.sibling_probes;
+  sibling_hits_ += acc.sibling_hits;
+  disk_degraded_ += acc.disk_degraded;
 }
 
 void MetricsCollector::RecordBlock(const RequestMetrics* batch, size_t count) {
@@ -115,6 +129,13 @@ MetricsSummary MetricsCollector::Summary() const {
   s.served_requests = requests_ - failed_requests_ - shed_requests_;
   s.bytes_read = read_bytes_;
   s.avg_queue_wait = queue_wait_sum_ / static_cast<double>(requests_);
+  s.ram_hits = ram_hits_;
+  s.disk_hits = disk_hits_;
+  s.promotions = promotions_;
+  s.demotions = demotions_;
+  s.sibling_probes = sibling_probes_;
+  s.sibling_hits = sibling_hits_;
+  s.disk_degraded = disk_degraded_;
   return s;
 }
 

@@ -63,6 +63,27 @@ struct RequestMetrics {
   /// Seconds this request spent waiting in node and link queues (service
   /// and transmission time excluded).
   double queue_wait = 0.0;
+  // --- Tiered nodes & sibling cooperation (all zero when off). ------------
+  /// Served from the serving node's RAM tier (tiered nodes only; at most
+  /// one of ram_hit/disk_hit is set, and one is whenever a tiered node
+  /// serves).
+  bool ram_hit = false;
+  /// Served from the serving node's disk tier.
+  bool disk_hit = false;
+  /// Objects promoted into a RAM tier while serving this request.
+  int promotions = 0;
+  /// Objects dropped out of a RAM tier (RAM eviction by a promotion, or
+  /// the inclusive drop when the disk copy was evicted).
+  int demotions = 0;
+  /// ICP-style sibling probes issued on this request's behalf.
+  int sibling_probes = 0;
+  /// The request was served by a sibling of a node on its path
+  /// (cache_hit is also set; hit_index stays the probing hop).
+  bool sibling_hit = false;
+  /// Hops degraded by a disk outage: a tiered node down to RAM-only /
+  /// proxy-only could not serve or store there (disjoint from `degraded`,
+  /// which counts message/crash fallbacks).
+  int disk_degraded = 0;
 };
 
 /// Counters one cache node accumulates over the measured phase of a run
@@ -93,6 +114,16 @@ struct NodeCounters {
   /// count: operator+= takes the max, so rollups report the deepest
   /// queue seen anywhere in the rolled-up set.
   uint64_t max_queue_depth = 0;
+  // --- Tiered nodes & sibling cooperation (all zero when off). ------------
+  /// Serves out of this node's RAM tier. On a tiered node,
+  /// ram_hits + disk_hits == hits.
+  uint64_t ram_hits = 0;
+  uint64_t disk_hits = 0;     ///< Serves out of this node's disk tier.
+  uint64_t promotions = 0;    ///< Disk serves copied into the RAM tier.
+  uint64_t demotions = 0;     ///< Objects dropped out of the RAM tier.
+  uint64_t sibling_probes = 0;  ///< Probes this node sent to its siblings.
+  uint64_t sibling_serves = 0;  ///< Of `hits`: serves for a sibling's probe.
+  uint64_t disk_degraded = 0;  ///< Serves/stores lost to a disk outage here.
 
   /// Requests that consulted this node (every hop either hits or misses).
   uint64_t requests_seen() const { return hits + misses; }
@@ -153,6 +184,20 @@ struct MetricsSummary {
   uint64_t served_requests = 0;
   uint64_t bytes_read = 0;
   double avg_queue_wait = 0.0;
+  /// Tier & sibling totals (all zero when tiers/siblings are off). Each
+  /// reconciles integer-exactly with the per-node counters: ram/disk hits
+  /// and promotions at the serving node, demotions at the node whose RAM
+  /// tier shrank, sibling probes at the probing node, sibling hits at the
+  /// serving sibling (Σ sibling_serves), disk_degraded at the outaged
+  /// node. On runs where every node is tiered,
+  /// ram_hits + disk_hits == cache_hits.
+  uint64_t ram_hits = 0;
+  uint64_t disk_hits = 0;
+  uint64_t promotions = 0;
+  uint64_t demotions = 0;
+  uint64_t sibling_probes = 0;
+  uint64_t sibling_hits = 0;
+  uint64_t disk_degraded = 0;
 
   std::string ToString() const;
 };
@@ -194,6 +239,13 @@ class MetricsCollector {
     if (metrics.shed) ++shed_requests_;
     shed_placements_ += static_cast<uint64_t>(metrics.placements_shed);
     queue_wait_sum_ += metrics.queue_wait;
+    if (metrics.ram_hit) ++ram_hits_;
+    if (metrics.disk_hit) ++disk_hits_;
+    promotions_ += static_cast<uint64_t>(metrics.promotions);
+    demotions_ += static_cast<uint64_t>(metrics.demotions);
+    sibling_probes_ += static_cast<uint64_t>(metrics.sibling_probes);
+    if (metrics.sibling_hit) ++sibling_hits_;
+    disk_degraded_ += static_cast<uint64_t>(metrics.disk_degraded);
   }
 
   /// Block-accumulation state for the batched replay (ROADMAP item 1:
@@ -226,6 +278,13 @@ class MetricsCollector {
     uint64_t degraded = 0;
     uint64_t shed_requests = 0;
     uint64_t shed_placements = 0;
+    uint64_t ram_hits = 0;
+    uint64_t disk_hits = 0;
+    uint64_t promotions = 0;
+    uint64_t demotions = 0;
+    uint64_t sibling_probes = 0;
+    uint64_t sibling_hits = 0;
+    uint64_t disk_degraded = 0;
   };
 
   /// Streams one request into an open block: the order-sensitive stats
@@ -264,6 +323,13 @@ class MetricsCollector {
     acc->degraded += static_cast<uint64_t>(metrics.degraded);
     if (metrics.shed) ++acc->shed_requests;
     acc->shed_placements += static_cast<uint64_t>(metrics.placements_shed);
+    if (metrics.ram_hit) ++acc->ram_hits;
+    if (metrics.disk_hit) ++acc->disk_hits;
+    acc->promotions += static_cast<uint64_t>(metrics.promotions);
+    acc->demotions += static_cast<uint64_t>(metrics.demotions);
+    acc->sibling_probes += static_cast<uint64_t>(metrics.sibling_probes);
+    if (metrics.sibling_hit) ++acc->sibling_hits;
+    acc->disk_degraded += static_cast<uint64_t>(metrics.disk_degraded);
   }
 
   /// Folds an accumulated block's integer totals into the aggregates.
@@ -326,6 +392,13 @@ class MetricsCollector {
   uint64_t shed_requests_ = 0;
   uint64_t shed_placements_ = 0;
   double queue_wait_sum_ = 0.0;
+  uint64_t ram_hits_ = 0;
+  uint64_t disk_hits_ = 0;
+  uint64_t promotions_ = 0;
+  uint64_t demotions_ = 0;
+  uint64_t sibling_probes_ = 0;
+  uint64_t sibling_hits_ = 0;
+  uint64_t disk_degraded_ = 0;
   std::vector<NodeCounters> node_counters_;
 };
 

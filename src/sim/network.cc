@@ -51,6 +51,30 @@ util::StatusOr<std::unique_ptr<Network>> Network::Build(
     for (int level : net->node_levels_) {
       net->max_node_level_ = std::max(net->max_node_level_, level);
     }
+    // Sibling sets for ICP-style cooperation: the other children of each
+    // node's parent, ascending id (children occupy consecutive ids, so
+    // the natural order is already the deterministic probe order).
+    net->parents_ = topo.parent;
+    const size_t n = static_cast<size_t>(net->graph_.num_nodes());
+    std::vector<std::vector<topology::NodeId>> children(n);
+    for (size_t v = 0; v < n; ++v) {
+      const topology::NodeId p = net->parents_[v];
+      if (p != topology::kInvalidNode) {
+        children[static_cast<size_t>(p)].push_back(
+            static_cast<topology::NodeId>(v));
+      }
+    }
+    net->sibling_sets_.assign(n, {});
+    for (size_t v = 0; v < n; ++v) {
+      const topology::NodeId p = net->parents_[v];
+      if (p == topology::kInvalidNode) continue;
+      for (topology::NodeId c : children[static_cast<size_t>(p)]) {
+        if (c != static_cast<topology::NodeId>(v)) {
+          net->sibling_sets_[v].push_back(c);
+        }
+      }
+      if (!net->sibling_sets_[v].empty()) net->has_siblings_ = true;
+    }
   }
 
   net->routing_ =

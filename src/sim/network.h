@@ -118,6 +118,28 @@ class Network {
   /// Highest node level (0 under en-route).
   int MaxNodeLevel() const { return max_node_level_; }
 
+  /// Tree parent of a node under the hierarchical architecture;
+  /// kInvalidNode for the root and for every node under en-route.
+  topology::NodeId Parent(topology::NodeId v) const {
+    CASCACHE_CHECK(graph_.IsValidNode(v));
+    return parents_.empty() ? topology::kInvalidNode
+                            : parents_[static_cast<size_t>(v)];
+  }
+
+  /// Sibling set of a node (other children of its tree parent, ascending
+  /// id — the deterministic ICP probe order). Empty under en-route, at
+  /// the root, and for only children. Thread-safe: built at Build time.
+  const std::vector<topology::NodeId>& Siblings(topology::NodeId v) const {
+    CASCACHE_CHECK(graph_.IsValidNode(v));
+    if (sibling_sets_.empty()) return empty_siblings_;
+    return sibling_sets_[static_cast<size_t>(v)];
+  }
+
+  /// Whether any node has a non-empty sibling set (hierarchical trees
+  /// with branching > 1); sibling cooperation silently disables itself
+  /// otherwise.
+  bool HasSiblings() const { return has_siblings_; }
+
   /// Total number of cache nodes.
   int num_nodes() const { return graph_.num_nodes(); }
 
@@ -148,6 +170,12 @@ class Network {
   /// Per-node tree level (hierarchical only; empty for en-route).
   std::vector<int> node_levels_;
   int max_node_level_ = 0;
+  /// Per-node tree parent (hierarchical only; empty for en-route).
+  std::vector<topology::NodeId> parents_;
+  /// Per-node sibling sets, ascending id (hierarchical only).
+  std::vector<std::vector<topology::NodeId>> sibling_sets_;
+  std::vector<topology::NodeId> empty_siblings_;
+  bool has_siblings_ = false;
 };
 
 }  // namespace cascache::sim

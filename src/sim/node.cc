@@ -11,7 +11,8 @@ namespace {
 bool SameStoreShape(const CacheNodeConfig& a, const CacheNodeConfig& b) {
   return a.mode == b.mode && a.capacity_bytes == b.capacity_bytes &&
          a.dcache_entries == b.dcache_entries &&
-         a.dcache_policy == b.dcache_policy && a.sparse_ids == b.sparse_ids;
+         a.dcache_policy == b.dcache_policy && a.sparse_ids == b.sparse_ids &&
+         a.EffectiveRamCapacity() == b.EffectiveRamCapacity();
 }
 
 }  // namespace
@@ -34,6 +35,7 @@ void CacheNode::Reset(const CacheNodeConfig& config) {
     // active config): recycle the pooled slots and index tables in place
     // so the restarted cache re-fills warm memory.
     if (lru_ != nullptr) lru_->Clear();
+    if (ram_ != nullptr) ram_->Clear();
     if (ncl_ != nullptr) ncl_->Clear();
     if (gds_ != nullptr) gds_->Clear();
     if (lfu_ != nullptr) lfu_->Clear();
@@ -45,10 +47,16 @@ void CacheNode::Reset(const CacheNodeConfig& config) {
     // First Reset since construction: fall through and build the store.
   }
   lru_.reset();
+  ram_.reset();
   ncl_.reset();
   gds_.reset();
   lfu_.reset();
   dcache_.reset();
+  if (const uint64_t ram_capacity = config_.EffectiveRamCapacity();
+      ram_capacity > 0) {
+    ram_ = std::make_unique<cache::FlatLru>(ram_capacity);
+    ram_->SetSparse(config_.sparse_ids);
+  }
   switch (config_.mode) {
     case CacheMode::kLru:
       lru_ = std::make_unique<cache::FlatLru>(config_.capacity_bytes);
@@ -90,6 +98,8 @@ size_t CacheNode::num_cached_objects() const {
 
 bool CacheNode::EraseObject(ObjectId id) {
   copy_stamps_.Erase(id);
+  // Inclusion: the RAM copy may not outlive the disk copy.
+  if (ram_ != nullptr) ram_->Erase(id);
   if (lru_ != nullptr) return lru_->Erase(id);
   if (gds_ != nullptr) return gds_->Erase(id);
   if (lfu_ != nullptr) return lfu_->Erase(id);
@@ -110,8 +120,46 @@ const CacheNode::CopyStamp* CacheNode::FindCopy(ObjectId id) const {
   return copy_stamps_.Find(id);
 }
 
+CacheNode::TierServe CacheNode::ServeTiered(ObjectId id, uint64_t size) {
+  CASCACHE_CHECK(ram_ != nullptr);
+  TierServe result;
+  if (ram_->Touch(id)) {
+    result.ram_hit = true;
+    return result;
+  }
+  // Disk serve: promote into the RAM tier. RAM victims keep their disk
+  // copies (demotion loses only the fast path); an object larger than the
+  // tier is rejected by InsertAbsent and stays disk-only.
+  bool inserted = false;
+  const std::vector<ObjectId>& evicted = ram_->InsertAbsent(id, size,
+                                                            &inserted);
+  result.promoted = inserted;
+  result.demotions = static_cast<int>(evicted.size());
+  return result;
+}
+
+int CacheNode::DropRamCopies(const std::vector<ObjectId>& victims) {
+  CASCACHE_CHECK(ram_ != nullptr);
+  int dropped = 0;
+  for (ObjectId victim : victims) {
+    if (ram_->Erase(victim)) ++dropped;
+  }
+  return dropped;
+}
+
 bool CacheNode::CheckInvariants() const {
   if (used_bytes() > config_.capacity_bytes) return false;
+  if (ram_ != nullptr) {
+    if (!ram_->CheckInvariants()) return false;
+    if (ram_->capacity_bytes() != config_.EffectiveRamCapacity()) return false;
+    // Inclusion: every RAM-resident object has a disk copy of equal size.
+    bool included = true;
+    ram_->ForEach([&](ObjectId id, uint64_t size) {
+      if (!Contains(id)) included = false;
+      (void)size;
+    });
+    if (!included) return false;
+  }
   if (ncl_ == nullptr) {
     return main_descriptors_.size() == 0;
   }

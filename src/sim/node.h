@@ -40,7 +40,26 @@ struct CacheNodeConfig {
   /// where a dense table per store would dwarf the cached data; the
   /// simulator sets this from the catalog size.
   bool sparse_ids = false;
+  /// Two-tier node (Traffic Server's RAM-cache-over-disk design): a small
+  /// fast RAM tier in front of the mode store, sized as this fraction of
+  /// `capacity_bytes`. 0 disables the tier (single-store node, today's
+  /// behavior). The RAM tier is strictly inclusive — every RAM-resident
+  /// object also lives in the disk (mode) store, so hit/miss decisions
+  /// and byte-hit ratios are unchanged; only the serving tier (and hence
+  /// service cost) differs.
+  double ram_fraction = 0.0;
+  /// Absolute RAM-tier capacity in bytes; overrides `ram_fraction` when
+  /// non-zero.
+  uint64_t ram_capacity_bytes = 0;
   cache::FrequencyEstimatorParams frequency;
+
+  /// RAM-tier capacity this config resolves to (0 = untiered).
+  uint64_t EffectiveRamCapacity() const {
+    if (ram_capacity_bytes > 0) return ram_capacity_bytes;
+    if (ram_fraction <= 0.0) return 0;
+    return static_cast<uint64_t>(ram_fraction *
+                                 static_cast<double>(capacity_bytes));
+  }
 };
 
 /// A cache attached to one network node. Owns the object store, the
@@ -97,9 +116,42 @@ class CacheNode {
 
   /// Removes an object from the main cache regardless of mode (coherency
   /// drops, test manipulation). In cost mode the descriptor is demoted to
-  /// the d-cache. Also forgets the copy's freshness stamp. Returns false
-  /// if the object was not cached.
+  /// the d-cache. Also forgets the copy's freshness stamp and, on a
+  /// tiered node, drops the RAM copy (inclusion). Returns false if the
+  /// object was not cached.
   bool EraseObject(ObjectId id);
+
+  // --- RAM tier (two-tier nodes) --------------------------------------------
+
+  /// Whether this node runs a RAM tier over its mode store.
+  bool tiered() const { return ram_ != nullptr; }
+
+  /// The RAM tier; tiered nodes only.
+  cache::FlatLru* ram() {
+    CASCACHE_CHECK_MSG(ram_ != nullptr, "node is not tiered");
+    return ram_.get();
+  }
+
+  /// Outcome of serving a cached object through the tier stack.
+  struct TierServe {
+    bool ram_hit = false;   ///< Served from RAM (else from disk).
+    bool promoted = false;  ///< Disk serve copied the object into RAM.
+    int demotions = 0;      ///< RAM victims pushed out by the promotion.
+  };
+
+  /// Serves a hit on a tiered node: a RAM-resident object is touched and
+  /// served from RAM; a disk-only object is served from disk and promoted
+  /// into the RAM tier (promotion-on-hit), evicting RAM victims as needed
+  /// — their disk copies stay, so a demotion only loses the fast path.
+  /// An object larger than the RAM tier is served from disk unpromoted.
+  /// The disk (mode) store's own recency/priority update stays with the
+  /// scheme's OnServe, exactly as on an untiered node.
+  TierServe ServeTiered(ObjectId id, uint64_t size);
+
+  /// Drops the RAM copies of disk-eviction victims (demote-on-evict: the
+  /// inclusive RAM tier may not outlive the disk copy). Returns how many
+  /// victims were RAM-resident. Tiered nodes only.
+  int DropRamCopies(const std::vector<ObjectId>& victims);
 
   // --- Copy freshness tracking (coherency substrate) ------------------------
 
@@ -212,6 +264,8 @@ class CacheNode {
   cache::FrequencyEstimator estimator_;
 
   std::unique_ptr<cache::FlatLru> lru_;
+  /// Inclusive RAM tier over the mode store (nullptr = untiered).
+  std::unique_ptr<cache::FlatLru> ram_;
   std::unique_ptr<cache::NclCache> ncl_;
   std::unique_ptr<cache::GdsCache> gds_;
   std::unique_ptr<cache::LfuCache> lfu_;

@@ -44,6 +44,10 @@ struct RequestArena {
   /// active path.
   std::vector<uint8_t> node_down;
 
+  /// Fault plane: per-hop "disk tier down" flags (degraded-node fault
+  /// class), parallel to the active path.
+  std::vector<uint8_t> disk_down;
+
   /// Decode block for batched replay (Simulator::ReplayRange).
   std::vector<DecodedRequest> batch;
 };

@@ -41,6 +41,31 @@ void EmitEvent(EventTrace* trace, const MessageContext& ctx,
 
 }  // namespace
 
+util::Status TierParams::Validate() const {
+  if (!(ram_fraction >= 0.0 && ram_fraction <= 1.0)) {
+    return util::Status::InvalidArgument(
+        "tier ram_fraction must be in [0, 1]");
+  }
+  if (ram_hit_cost < 0.0 || disk_hit_cost < 0.0) {
+    return util::Status::InvalidArgument("tier hit costs must be >= 0");
+  }
+  return util::Status::Ok();
+}
+
+util::Status SiblingParams::Validate() const {
+  if (level < -1) {
+    return util::Status::InvalidArgument(
+        "sibling level must be >= 0, or -1 for every level");
+  }
+  if (max_probes < 0) {
+    return util::Status::InvalidArgument("sibling max_probes must be >= 0");
+  }
+  if (probe_cost < 0.0) {
+    return util::Status::InvalidArgument("sibling probe_cost must be >= 0");
+  }
+  return util::Status::Ok();
+}
+
 Simulator::Simulator(const Network* network, CacheSet* caches,
                      schemes::CachingScheme* scheme,
                      const SimOptions& options)
@@ -89,6 +114,20 @@ Simulator::Simulator(const Network* network, CacheSet* caches,
         "warmup_fraction must be in [0, 1)");
     return;
   }
+  if (util::Status status = options_.tier.Validate(); !status.ok()) {
+    init_status_ = status;
+    return;
+  }
+  if (util::Status status = options_.sibling.Validate(); !status.ok()) {
+    init_status_ = status;
+    return;
+  }
+  tiered_ = options_.tier.active();
+  ctx_.tiered = tiered_;
+  // Sibling cooperation silently disables itself on topologies without
+  // sibling sets (en-route, or a branching-1 tree): every probe set would
+  // be empty, so skipping the leg entirely is behavior-identical.
+  sibling_on_ = options_.sibling.enabled && network->HasSiblings();
   if (options_.contention.active()) {
     if (util::Status status = options_.contention.Validate(); !status.ok()) {
       init_status_ = status;
@@ -167,6 +206,11 @@ util::Status Simulator::Run(const trace::WorkloadView& view,
   config.mode = scheme_->cache_mode();
   config.capacity_bytes = capacity_bytes_per_node;
   config.frequency = options_.frequency;
+  // Two-tier nodes: the RAM front sits over the full-capacity mode store
+  // (inclusive, see TierParams), so the disk tier's capacity — and with
+  // it every hit/miss decision — is exactly the untiered store's.
+  config.ram_fraction = options_.tier.ram_fraction;
+  config.ram_capacity_bytes = options_.tier.ram_capacity_bytes;
   // Huge (procedural) catalogs: dense per-store id→slot arrays would cost
   // 4 bytes x num_objects x num_stores; switch every store to hashed
   // indexes sized by residency instead.
@@ -506,7 +550,8 @@ uint32_t Simulator::Ascend(MessageContext& ctx) {
   // This is the exact subset of the general loop below those features
   // would leave untaken, so results are bit-identical.
   if (!faults_active && updates_ == nullptr && trace == nullptr &&
-      !scheme_observes_ascent_ && queueing_ == nullptr) {
+      !scheme_observes_ascent_ && queueing_ == nullptr && !tiered_ &&
+      !sibling_on_) {
     for (size_t i = 0; i < path.size(); ++i) {
       const topology::NodeId node_id = path[i];
       if (nodes[node_id].Contains(ctx.object)) {
@@ -564,7 +609,22 @@ uint32_t Simulator::Ascend(MessageContext& ctx) {
       }
     }
     bool servable = !down && node->Contains(ctx.object);
-    if (servable && updates_ != nullptr) {
+    // Degraded-node fault class: the hop's disk is out. A tiered node
+    // keeps serving what its RAM tier holds (coherency admission is
+    // skipped — the copy metadata lives with the disk store, which the
+    // node cannot touch); any copy only the disk holds is unavailable
+    // (tiered or not), recorded as a disk-degraded decision. Contents are
+    // preserved: recovery resumes with the pre-outage store.
+    bool ram_only = false;
+    if (servable && faults_active && arena_.disk_down[i] != 0) [[unlikely]] {
+      if (node->tiered() && node->ram()->Contains(ctx.object)) {
+        ram_only = true;
+      } else {
+        servable = false;
+        ctx.RecordDiskDegraded(static_cast<int>(i));
+      }
+    }
+    if (servable && !ram_only && updates_ != nullptr) {
       const CacheNode::CopyStamp* stamp = node->FindCopy(ctx.object);
       // Copies can only enter a cache through StampCopy'd insertions
       // within this run; treat a missing stamp (e.g. test-injected copy)
@@ -608,6 +668,19 @@ uint32_t Simulator::Ascend(MessageContext& ctx) {
       }
     }
     if (servable) {
+      // Which tier serves: the RAM front when it holds the object (or is
+      // all the node has left during a disk outage), else the disk store
+      // with promotion into RAM (inclusive: the disk copy stays).
+      if (tiered_ && node->tiered()) [[unlikely]] {
+        CacheNode::TierServe tier;
+        if (ram_only) {
+          tier.ram_hit = node->ram()->Touch(ctx.object);
+        } else {
+          tier = node->ServeTiered(ctx.object, ctx.size);
+        }
+        ctx.RecordTierServe(node_id, tier);
+        ChargeTierServe(ctx, node_id, tier.ram_hit);
+      }
       ctx.response.hit_index = static_cast<int>(i);
       if (counters != nullptr) {
         ++counters[node_id].hits;
@@ -623,6 +696,16 @@ uint32_t Simulator::Ascend(MessageContext& ctx) {
     if (trace != nullptr) {
       EmitEvent(trace, ctx, TraceEventType::kMiss, node_id, level,
                 static_cast<double>(i));
+    }
+    // Sibling cooperation: a live hop that missed locally probes its
+    // siblings before letting the request ascend. On a sibling serve the
+    // exchange ends here — hit_index is this hop, the descent below it is
+    // identical to a local hit, and this hop contributes no piggyback
+    // entry (exactly as if it had served), so scheme state stays
+    // hop-aligned.
+    if (sibling_on_ && !down &&
+        TrySiblings(ctx, i, &served_version)) {
+      return served_version;
     }
     if (scheme_observes_ascent_) {
       ctx.request.hop = static_cast<int>(i);
@@ -654,6 +737,118 @@ uint32_t Simulator::Ascend(MessageContext& ctx) {
   return served_version;
 }
 
+bool Simulator::TrySiblings(MessageContext& ctx, size_t hop,
+                            uint32_t* served_version) {
+  const std::vector<topology::NodeId>& path = *ctx.path;
+  const topology::NodeId node_id = path[hop];
+  const SiblingParams& sp = options_.sibling;
+  if (sp.level >= 0 &&
+      node_levels_[static_cast<size_t>(node_id)] != sp.level) {
+    return false;
+  }
+  const std::vector<topology::NodeId>& siblings = network_->Siblings(node_id);
+  if (siblings.empty()) return false;
+  CacheNode* const nodes = caches_->nodes_data();
+  const bool faults_active = faults_ != nullptr;
+  int probes = 0;
+  for (topology::NodeId sib : siblings) {
+    if (sp.max_probes > 0 && probes >= sp.max_probes) break;
+    // The probe ordinal (count of probes this request already sent,
+    // across hops) keys the sibling-loss stream, so losses are
+    // query-order independent.
+    const int probe_ordinal = ctx.metrics->sibling_probes;
+    ++probes;
+    ctx.RecordSiblingProbe(static_cast<int>(hop), sib);
+    scheme_->OnSiblingProbe(ctx, static_cast<int>(hop), sib);
+    ctx.request.payload_bytes += sp.probe_bytes;
+    if (queueing_ != nullptr && sp.probe_cost > 0.0) {
+      // Probes are tiny control messages: they wait behind the sibling's
+      // backlog and serve, but are never shed (capacity 0 = unbounded).
+      const QueueingPlane::Admission adm =
+          queueing_->AdmitOp(sib, ctx.now, sp.probe_cost, 0);
+      ctx.metrics->queue_wait += adm.wait;
+      ctx.now += adm.wait + sp.probe_cost;
+    }
+    if (faults_active) {
+      // A crashed sibling answers nothing; a lost probe (or lost reply)
+      // reads as a miss, and the probing hop falls back to the ascent.
+      if (faults_->NodeDown(sib, ctx.now)) continue;
+      if (faults_->SiblingLoss(ctx.telemetry.request_index, probe_ordinal)) {
+        ctx.RecordDegraded(static_cast<int>(hop));
+        continue;
+      }
+    }
+    CacheNode* sib_node = &nodes[sib];
+    if (!sib_node->Contains(ctx.object)) continue;
+    bool ram_only = false;
+    if (faults_active && faults_->DiskDown(sib, ctx.now)) {
+      // Degraded sibling: only its RAM tier can answer. A disk-only copy
+      // reads as a plain miss to the prober (no disk-degraded decision is
+      // recorded — the degradation is off this request's path).
+      if (sib_node->tiered() && sib_node->ram()->Contains(ctx.object)) {
+        ram_only = true;
+      } else {
+        continue;
+      }
+    }
+    uint32_t version = 0;
+    if (updates_ != nullptr) {
+      // Probes never mutate and never stale-serve: an expired or stale
+      // sibling copy is skipped (not erased) — only a fresh copy crosses
+      // the sibling leg.
+      const CacheNode::CopyStamp* stamp = sib_node->FindCopy(ctx.object);
+      const double fetch_time = stamp != nullptr ? stamp->fetch_time : 0.0;
+      version = stamp != nullptr ? stamp->version : 0;
+      if (options_.coherency.protocol == CoherencyProtocol::kTtl &&
+          ctx.now - fetch_time > options_.coherency.ttl) {
+        continue;
+      }
+      if (version < updates_->VersionAt(ctx.object, ctx.now)) continue;
+    }
+    if (tiered_ && sib_node->tiered()) {
+      CacheNode::TierServe tier;
+      if (ram_only) {
+        tier.ram_hit = sib_node->ram()->Touch(ctx.object);
+      } else {
+        tier = sib_node->ServeTiered(ctx.object, ctx.size);
+      }
+      ctx.RecordTierServe(sib, tier);
+      ChargeTierServe(ctx, sib, tier.ram_hit);
+    }
+    ctx.response.hit_index = static_cast<int>(hop);
+    ctx.response.served_by_sibling = true;
+    ctx.response.sibling = sib;
+    // The hit reply carries the protocol header back across the leg.
+    ctx.response.payload_bytes += sp.probe_bytes;
+    ctx.RecordSiblingServe(static_cast<int>(hop), sib);
+    *served_version = version;
+    return true;
+  }
+  return false;
+}
+
+void Simulator::ChargeTierServe(MessageContext& ctx, topology::NodeId node_id,
+                                bool ram_hit) {
+  const double cost =
+      ram_hit ? options_.tier.ram_hit_cost : options_.tier.disk_hit_cost;
+  if (cost <= 0.0) return;
+  if (queueing_ == nullptr) {
+    ctx.tier_service += cost;
+    return;
+  }
+  // The serve is already committed when the tier is consulted, so the
+  // admission must not refuse (capacity 0 = unbounded): it waits behind
+  // the node's backlog and serves.
+  const QueueingPlane::Admission adm =
+      queueing_->AdmitOp(node_id, ctx.now, cost, 0);
+  ctx.metrics->queue_wait += adm.wait;
+  ctx.now += adm.wait + cost;
+  NodeCounters* const counters = ctx.telemetry.node_counters;
+  if (counters != nullptr && adm.depth > counters[node_id].max_queue_depth) {
+    counters[node_id].max_queue_depth = adm.depth;
+  }
+}
+
 void Simulator::StepDecoded(const DecodedRequest& request, bool collect,
                             const CachedRoute* route_in,
                             StepOutcome* outcome) {
@@ -662,7 +857,8 @@ void Simulator::StepDecoded(const DecodedRequest& request, bool collect,
   const topology::NodeId requester = request.requester;
 
   if (scheme_plain_lru_ && faults_ == nullptr && updates_ == nullptr &&
-      trace_ == nullptr && queueing_ == nullptr) {
+      trace_ == nullptr && queueing_ == nullptr && !tiered_ &&
+      !sibling_on_) {
     // Fused plain-LRU exchange, entirely on local state: ascent probes,
     // the serve decision and the descent placements in one pass over the
     // path, skipping the MessageContext wiring the general pipeline
@@ -818,6 +1014,7 @@ void Simulator::StepDecoded(const DecodedRequest& request, bool collect,
   ctx.metrics = &request_metrics;
   ctx.request = RequestMessage();
   ctx.response = ResponseMessage();
+  ctx.tier_service = 0.0;
 
   // Telemetry wiring: per-node counters only while collecting (they must
   // mirror the aggregates' warm-up exclusion exactly); the trace keys its
@@ -878,8 +1075,10 @@ void Simulator::StepDecoded(const DecodedRequest& request, bool collect,
     // requester — the same localities NodeCounters reconciliation
     // asserts against the aggregates.
     arena_.node_down.assign(path.size(), 0);
+    arena_.disk_down.assign(path.size(), 0);
     for (size_t i = 0; i < path.size(); ++i) {
       const topology::NodeId node_id = path[i];
+      if (faults_->DiskDown(node_id, now)) arena_.disk_down[i] = 1;
       const int applied =
           faults_->ApplyCrashRestarts(caches_->node(node_id), now);
       if (applied > 0) {
@@ -951,6 +1150,18 @@ void Simulator::StepDecoded(const DecodedRequest& request, bool collect,
       }
     }
     hops = hit_index;
+    if (ctx.response.served_by_sibling) {
+      // Sibling detour: the probe climbs to the probing hop's parent and
+      // over to the sibling, the body comes back the same way — two hops
+      // and two extra link delays on top of the ascent to the probing
+      // hop. Sibling sets are nonempty only off the tree root, so the
+      // parent (path[hit_index + 1]) always exists here.
+      base_delay +=
+          link_delays[static_cast<size_t>(hit_index)] +
+          network_->LinkDelay(path[static_cast<size_t>(hit_index) + 1],
+                              ctx.response.sibling);
+      hops = hit_index + 2;
+    }
     request_metrics.cache_hit = true;
     request_metrics.read_bytes = size;
   } else {
@@ -963,6 +1174,10 @@ void Simulator::StepDecoded(const DecodedRequest& request, bool collect,
     hops = static_cast<int>(link_delays.size()) + server_link_hops_;
   }
   request_metrics.latency = base_delay * ctx.size_scale;
+  // Analytic tier service (RAM/disk hit cost) rides on top of the
+  // propagation latency; under the event-driven policy it was charged on
+  // the serving node's queue and arrives via ctx.now below instead.
+  if (ctx.tier_service > 0.0) request_metrics.latency += ctx.tier_service;
   request_metrics.hops = hops;
 
   // --- Phase 2: the serving node decides, the response descends. --------
@@ -973,7 +1188,14 @@ void Simulator::StepDecoded(const DecodedRequest& request, bool collect,
     // handlers' unfaulted behavior, minus ~4 virtual calls per request.
     CacheNode* const nodes = caches_->nodes_data();
     if (hit_index >= 0) {
-      nodes[path[static_cast<size_t>(hit_index)]].lru()->Touch(object);
+      // A sibling serve refreshes the *sibling's* store (the probing hop
+      // is proxy-only and keeps nothing) — the inlined equivalent of
+      // OnSiblingServe's default delegation to OnServe.
+      const topology::NodeId serving_node =
+          ctx.response.served_by_sibling
+              ? ctx.response.sibling
+              : path[static_cast<size_t>(hit_index)];
+      nodes[serving_node].lru()->Touch(object);
     }
     for (int i = ctx.first_missing(); i >= 0; --i) {
       // InsertAbsent is sound here: every descent node sits below the
@@ -989,12 +1211,30 @@ void Simulator::StepDecoded(const DecodedRequest& request, bool collect,
       }
     }
   } else if (faults_ == nullptr && queueing_ == nullptr) {
-    scheme_->OnServe(ctx);
+    if (ctx.response.served_by_sibling) {
+      scheme_->OnSiblingServe(ctx);
+    } else {
+      scheme_->OnServe(ctx);
+    }
     for (int i = ctx.first_missing(); i >= 0; --i) {
       scheme_->OnDescend(ctx, i);
     }
   } else {
-    scheme_->OnServe(ctx);
+    if (ctx.response.served_by_sibling) {
+      scheme_->OnSiblingServe(ctx);
+    } else {
+      scheme_->OnServe(ctx);
+    }
+    // The body of a sibling serve crosses the sibling leg before it
+    // descends: one contended transfer keyed on the (sibling, probing
+    // hop) pair.
+    if (queueing_ != nullptr && ctx.response.served_by_sibling) {
+      const QueueingPlane::Transfer t = queueing_->TransferOn(
+          ctx.response.sibling, path[static_cast<size_t>(hit_index)],
+          ctx.now, size, options_.contention.link_bandwidth);
+      request_metrics.queue_wait += t.wait;
+      ctx.now += t.wait + t.tx;
+    }
     // A down hop cannot act on the descending decision, and an up hop's
     // decision entry may be lost in transit. The scheme still runs its
     // descent hook (penalty bookkeeping survives; see DESIGN.md §10) but
@@ -1011,6 +1251,12 @@ void Simulator::StepDecoded(const DecodedRequest& request, bool collect,
         if (lost) {
           ctx.response.decision_lost = true;
           ctx.RecordDegraded(i);
+        } else if (arena_.disk_down[static_cast<size_t>(i)] != 0) {
+          // Disk outage at the hop: it cannot commit a placement (the
+          // RAM tier is inclusive in the disk store), so the decision is
+          // lost here. Disjoint from the message-loss degradation above.
+          ctx.response.decision_lost = true;
+          ctx.RecordDiskDegraded(i);
         }
       }
       if (queueing_ != nullptr) DescendContention(i);

@@ -16,6 +16,53 @@
 
 namespace cascache::sim {
 
+/// Two-tier node knobs (RAM cache over a disk store, modeled on Traffic
+/// Server's ram_cache over the disk vols). The disk tier is the node's
+/// existing mode store at full capacity — Contains() still decides
+/// hit/miss, so schemes and byte-hit accounting are untouched — and the
+/// RAM tier is an inclusive LRU front (RAM ⊆ disk): a disk-tier serve
+/// promotes the object into RAM, RAM evictions are demotions (the disk
+/// copy stays), and a disk eviction drops any RAM copy. Inactive by
+/// default = single-store nodes, bit-identical to the pre-tier replay.
+struct TierParams {
+  /// RAM tier capacity as a fraction of each node's capacity; 0 = off.
+  double ram_fraction = 0.0;
+  /// Absolute RAM tier capacity in bytes; overrides ram_fraction when set.
+  uint64_t ram_capacity_bytes = 0;
+  /// Service seconds of a RAM-tier serve. Analytic policy: added to the
+  /// request's latency; event-driven: charged on the serving node's queue.
+  double ram_hit_cost = 0.0;
+  /// Service seconds of a disk-tier serve (promotion included).
+  double disk_hit_cost = 0.0;
+
+  bool active() const { return ram_fraction > 0.0 || ram_capacity_bytes > 0; }
+  util::Status Validate() const;
+};
+
+/// ICP-style sibling cooperation (Squid's proxy-only sibling peering):
+/// when the hop at `level` misses locally, it probes its tree siblings —
+/// other children of the same parent, ascending node id — before the
+/// request ascends further. A fresh sibling copy serves the request
+/// (hit_index = the probing hop, response.served_by_sibling), the
+/// descent below the probing hop proceeds exactly as for a local hit
+/// there, and the probing node does NOT store the object (proxy-only),
+/// so hop alignment of every scheme's piggyback state is preserved.
+/// Hierarchical trees only; silently inactive when no node has siblings.
+struct SiblingParams {
+  bool enabled = false;
+  /// Tree level whose nodes probe their siblings (-1 = every level).
+  int level = -1;
+  /// Max siblings probed per miss (ascending node id); 0 = all.
+  int max_probes = 0;
+  /// Protocol bytes per probe (request leg) and per hit reply (response).
+  uint64_t probe_bytes = 16;
+  /// Service seconds a probed sibling charges per probe (event-driven).
+  double probe_cost = 0.0;
+
+  bool active() const { return enabled; }
+  util::Status Validate() const;
+};
+
 struct SimOptions {
   /// Leading fraction of the trace used to warm the caches; statistics are
   /// collected for the remainder only (the paper uses the first half).
@@ -55,6 +102,10 @@ struct SimOptions {
   /// bit-identical to a build without the event engine; any nonzero knob
   /// switches Run() to the event-driven policy.
   ContentionParams contention;
+  /// Two-tier nodes (RAM over disk). Inactive by default.
+  TierParams tier;
+  /// Sibling cooperation at one tree level. Inactive by default.
+  SiblingParams sibling;
 };
 
 /// Wall-clock breakdown of the last Run(): cache (re)configuration +
@@ -252,6 +303,24 @@ class Simulator {
   /// drops the placement decision there (decision_lost + RecordStoreShed).
   void DescendContention(int i);
 
+  /// Sibling leg of Ascend at path index `hop` (which just missed
+  /// locally): probes the hop's siblings in ascending node id, bounded by
+  /// max_probes, and serves from the first fresh copy. Probes never
+  /// mutate sibling stores (an expired / stale sibling copy is skipped,
+  /// not erased). Returns true when a sibling served — response.hit_index
+  /// is `hop` with served_by_sibling / sibling set — and writes the
+  /// serving copy's version to `*served_version`. Kept out of line so the
+  /// sibling-off ascent loop stays compact (one never-taken branch).
+  __attribute__((noinline)) bool TrySiblings(MessageContext& ctx, size_t hop,
+                                             uint32_t* served_version);
+
+  /// Charges the serving tier's service seconds at `node_id`: analytic
+  /// replay → ctx.tier_service (the simulator adds it to the request
+  /// latency); event-driven → service demand on the node's queue
+  /// (non-shedding: a serve already under way is never refused).
+  void ChargeTierServe(MessageContext& ctx, topology::NodeId node_id,
+                       bool ram_hit);
+
   /// Route (path + delays) for a requester/attach pair: the dense cache
   /// entry when enabled (filled on first use), else a per-request
   /// resolution into fallback_route_.
@@ -287,6 +356,13 @@ class Simulator {
   /// Cached scheme->plain_lru_replay(): the unfaulted replay inlines the
   /// plain-LRU serve/descend rule instead of the virtual dispatch.
   bool scheme_plain_lru_;
+  /// Cached options.tier.active(): nodes run a RAM tier this run. Off
+  /// keeps the fused fast paths eligible and the replay bit-identical to
+  /// the pre-tier pipeline.
+  bool tiered_ = false;
+  /// Sibling cooperation is live: options.sibling.enabled AND the
+  /// topology actually has sibling sets (hierarchical, branching > 1).
+  bool sibling_on_ = false;
   /// Present iff coherency tracking is active for this run.
   std::unique_ptr<UpdateSchedule> updates_;
   MetricsCollector metrics_;

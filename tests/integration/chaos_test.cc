@@ -92,6 +92,11 @@ std::vector<NamedSchedule> Schedules() {
   loss.config.decision_loss_prob = 0.15;
   schedules.push_back(loss);
 
+  NamedSchedule disks{"disk_outages", {}};
+  disks.config.disk_fail_mtbf = 25.0;
+  disks.config.disk_fail_downtime = 10.0;
+  schedules.push_back(disks);
+
   NamedSchedule everything{"everything", {}};
   everything.config.node_crash_mtbf = 40.0;
   everything.config.node_downtime = 8.0;
@@ -103,6 +108,9 @@ std::vector<NamedSchedule> Schedules() {
   everything.config.request_timeout = 1.0;
   everything.config.max_retries = 3;
   everything.config.retry_backoff = 0.25;
+  everything.config.disk_fail_mtbf = 40.0;
+  everything.config.disk_fail_downtime = 8.0;
+  everything.config.sibling_loss_prob = 0.1;
   schedules.push_back(everything);
 
   return schedules;
@@ -143,6 +151,19 @@ void CheckInvariants(const RunResult& r, const FaultScheduleConfig& faults,
   // The pre-fault observability contract still holds.
   EXPECT_EQ(total.hits, m.cache_hits);
   EXPECT_EQ(total.stale_serves, m.stale_hits);
+  // Tier / sibling / degraded-node reconciliation (all zero when the
+  // corresponding axis is off): ram/disk hits and promotions at the
+  // serving node, demotions where the RAM tier shrank, probes at the
+  // probing node, sibling hits at the serving sibling, disk_degraded at
+  // the outaged hop.
+  EXPECT_EQ(total.ram_hits, m.ram_hits);
+  EXPECT_EQ(total.disk_hits, m.disk_hits);
+  EXPECT_EQ(total.promotions, m.promotions);
+  EXPECT_EQ(total.demotions, m.demotions);
+  EXPECT_EQ(total.sibling_probes, m.sibling_probes);
+  EXPECT_EQ(total.sibling_serves, m.sibling_hits);
+  EXPECT_EQ(total.disk_degraded, m.disk_degraded);
+  EXPECT_LE(m.sibling_hits, m.sibling_probes);
 }
 
 TEST(ChaosTest, AllSchemesSurviveTheFaultMatrix) {
@@ -174,7 +195,8 @@ TEST(ChaosTest, AllSchemesSurviveTheFaultMatrix) {
             "/" + schedule.name + "/" + r.scheme;
         CheckInvariants(r, schedule.config, expected, cell);
         fault_events += r.metrics.crashes_applied + r.metrics.reroutes +
-                        r.metrics.retries + r.metrics.degraded_decisions;
+                        r.metrics.retries + r.metrics.degraded_decisions +
+                        r.metrics.disk_degraded;
       }
       // The schedule was not a no-op: at least one scheme observed at
       // least one fault (all of them do in practice).
@@ -187,11 +209,12 @@ TEST(ChaosTest, AllSchemesSurviveTheFaultMatrix) {
 /// %.17g round-trips doubles exactly, so string equality on the full
 /// summary is bit-level replay equality.
 std::string SummaryKey(const MetricsSummary& m) {
-  char buf[1024];
+  char buf[1280];
   std::snprintf(
       buf, sizeof(buf),
       "%llu|%.17g|%.17g|%.17g|%.17g|%.17g|%.17g|%.17g|%.17g|%llu|%llu|"
-      "%.17g|%llu|%llu|%llu|%llu|%llu|%llu|%llu|%llu|%llu|%llu|%.17g",
+      "%.17g|%llu|%llu|%llu|%llu|%llu|%llu|%llu|%llu|%llu|%llu|%.17g|"
+      "%llu|%llu|%llu|%llu|%llu|%llu|%llu",
       static_cast<unsigned long long>(m.requests), m.avg_latency,
       m.avg_response_ratio, m.byte_hit_ratio, m.hit_ratio,
       m.avg_traffic_byte_hops, m.avg_hops, m.avg_load_bytes,
@@ -207,14 +230,23 @@ std::string SummaryKey(const MetricsSummary& m) {
       static_cast<unsigned long long>(m.cache_hits),
       static_cast<unsigned long long>(m.served_requests),
       static_cast<unsigned long long>(m.shed_requests),
-      static_cast<unsigned long long>(m.shed_placements), m.avg_queue_wait);
+      static_cast<unsigned long long>(m.shed_placements), m.avg_queue_wait,
+      static_cast<unsigned long long>(m.ram_hits),
+      static_cast<unsigned long long>(m.disk_hits),
+      static_cast<unsigned long long>(m.promotions),
+      static_cast<unsigned long long>(m.demotions),
+      static_cast<unsigned long long>(m.sibling_probes),
+      static_cast<unsigned long long>(m.sibling_hits),
+      static_cast<unsigned long long>(m.disk_degraded));
   return buf;
 }
 
 std::string NodeKey(const NodeUsage& u) {
-  char buf[320];
+  char buf[512];
   std::snprintf(buf, sizeof(buf),
-                "%d|%llu|%llu|%llu|%llu|%llu|%llu|%llu|%llu", u.node,
+                "%d|%llu|%llu|%llu|%llu|%llu|%llu|%llu|%llu|"
+                "%llu|%llu|%llu|%llu|%llu|%llu|%llu",
+                u.node,
                 static_cast<unsigned long long>(u.counters.hits),
                 static_cast<unsigned long long>(u.counters.crashes),
                 static_cast<unsigned long long>(u.counters.retries),
@@ -222,7 +254,14 @@ std::string NodeKey(const NodeUsage& u) {
                 static_cast<unsigned long long>(u.counters.degraded),
                 static_cast<unsigned long long>(u.counters.sheds),
                 static_cast<unsigned long long>(u.counters.store_sheds),
-                static_cast<unsigned long long>(u.counters.max_queue_depth));
+                static_cast<unsigned long long>(u.counters.max_queue_depth),
+                static_cast<unsigned long long>(u.counters.ram_hits),
+                static_cast<unsigned long long>(u.counters.disk_hits),
+                static_cast<unsigned long long>(u.counters.promotions),
+                static_cast<unsigned long long>(u.counters.demotions),
+                static_cast<unsigned long long>(u.counters.sibling_probes),
+                static_cast<unsigned long long>(u.counters.sibling_serves),
+                static_cast<unsigned long long>(u.counters.disk_degraded));
   return buf;
 }
 
@@ -341,6 +380,142 @@ TEST(ChaosTest, EventModeReplaysBitIdenticallyAcrossRunsAndJobs) {
   // fault schedule actually fired inside the event-driven replay.
   EXPECT_GT(total_queue_wait, 0.0);
   EXPECT_GT(fault_events, 0u);
+}
+
+/// The new topology axis under chaos: two-tier nodes + sibling
+/// cooperation against the degraded-node schedules. Every scheme must
+/// terminate with nothing silently dropped, the tier/sibling/degraded
+/// counters must reconcile integer-exactly, and on an all-tiered run
+/// every cache hit is exactly one tier serve.
+TEST(ChaosTest, TieredSiblingCellsSurviveAndReconcile) {
+  for (const NamedSchedule& schedule : Schedules()) {
+    if (schedule.config.disk_fail_mtbf <= 0.0) continue;  // Degraded only.
+    ExperimentConfig cfg;
+    cfg.network.architecture = Architecture::kHierarchical;
+    cfg.workload = ChaosWorkload();
+    cfg.cache_fractions = {0.03};
+    cfg.schemes = AllSchemes();
+    cfg.sim.faults = schedule.config;
+    cfg.sim.tier.ram_fraction = 0.2;
+    cfg.sim.sibling.enabled = true;
+    cfg.jobs = 1;
+
+    auto runner_or = ExperimentRunner::Create(cfg);
+    ASSERT_TRUE(runner_or.ok()) << runner_or.status().ToString();
+    auto results_or = (*runner_or)->RunAll();
+    ASSERT_TRUE(results_or.ok()) << results_or.status().ToString();
+
+    const uint64_t expected =
+        cfg.workload.num_requests -
+        static_cast<uint64_t>(cfg.sim.warmup_fraction *
+                              static_cast<double>(cfg.workload.num_requests));
+    uint64_t disk_degraded = 0;
+    uint64_t sibling_probes = 0;
+    for (const RunResult& r : *results_or) {
+      const std::string cell =
+          std::string("tiered_sibling/") + schedule.name + "/" + r.scheme;
+      CheckInvariants(r, schedule.config, expected, cell);
+      SCOPED_TRACE(cell);
+      // All nodes run a RAM tier, so every hit serves from exactly one
+      // tier — including RAM-only serves during outages and sibling
+      // serves at the sibling's store.
+      EXPECT_EQ(r.metrics.ram_hits + r.metrics.disk_hits,
+                r.metrics.cache_hits);
+      EXPECT_EQ(r.metrics.served_requests + r.metrics.failed_requests +
+                    r.metrics.shed_requests,
+                r.metrics.requests);
+      disk_degraded += r.metrics.disk_degraded;
+      sibling_probes += r.metrics.sibling_probes;
+    }
+    // Neither new axis was a no-op across the matrix.
+    EXPECT_GT(disk_degraded, 0u) << schedule.name;
+    EXPECT_GT(sibling_probes, 0u) << schedule.name;
+  }
+}
+
+/// Replay determinism on the full new axis: tiered + sibling + degraded
+/// cells must replay bit-identically run to run, and jobs=4 (cell-level
+/// parallelism over isolated cache planes) must match jobs=1 exactly.
+TEST(ChaosTest, TieredSiblingDegradedReplaysBitIdenticallyAcrossJobs) {
+  ExperimentConfig cfg;
+  cfg.network.architecture = Architecture::kHierarchical;
+  cfg.workload = ChaosWorkload();
+  cfg.cache_fractions = {0.01, 0.03};
+  cfg.schemes.resize(3);
+  cfg.schemes[0].kind = schemes::SchemeKind::kLru;
+  cfg.schemes[1].kind = schemes::SchemeKind::kCoordinated;
+  cfg.schemes[2].kind = schemes::SchemeKind::kLncr;
+  cfg.sim.faults = Schedules().back().config;  // "everything" (incl. disks)
+  cfg.sim.tier.ram_fraction = 0.2;
+  cfg.sim.sibling.enabled = true;
+
+  auto run = [&cfg](int jobs) {
+    ExperimentConfig c = cfg;
+    c.jobs = jobs;
+    std::vector<std::string> rows;
+    auto runner_or = ExperimentRunner::Create(c);
+    EXPECT_TRUE(runner_or.ok()) << runner_or.status().ToString();
+    auto results_or = (*runner_or)->RunAll();
+    EXPECT_TRUE(results_or.ok()) << results_or.status().ToString();
+    for (const RunResult& r : *results_or) {
+      rows.push_back(r.scheme + "|" + SummaryKey(r.metrics));
+      for (const NodeUsage& u : r.per_node) rows.push_back(NodeKey(u));
+    }
+    return rows;
+  };
+
+  const std::vector<std::string> first = run(1);
+  const std::vector<std::string> second = run(1);
+  const std::vector<std::string> parallel = run(4);
+  ASSERT_FALSE(first.empty());
+  ASSERT_EQ(first.size(), second.size());
+  ASSERT_EQ(first.size(), parallel.size());
+  for (size_t i = 0; i < first.size(); ++i) {
+    EXPECT_EQ(first[i], second[i])
+        << "tiered+sibling replay diverged at row " << i;
+    EXPECT_EQ(first[i], parallel[i])
+        << "jobs=4 diverged from jobs=1 at row " << i;
+  }
+}
+
+/// Degradation shape on the new axis: under the same disk-outage
+/// schedule, tiered Coordinated (whose RAM tier keeps serving through
+/// outages) must never fall below single-tier LRU — the coordination
+/// and the extra tier may lose some edge to the faults, but they cannot
+/// invert the paper's ordering.
+TEST(ChaosTest, TieredCoordinatedStaysAheadOfSingleTierLruUnderDiskFaults) {
+  FaultScheduleConfig disks;
+  disks.disk_fail_mtbf = 25.0;
+  disks.disk_fail_downtime = 10.0;
+
+  auto run = [&](schemes::SchemeKind kind, double ram_fraction)
+      -> MetricsSummary {
+    ExperimentConfig cfg;
+    cfg.network.architecture = Architecture::kHierarchical;
+    cfg.workload = ChaosWorkload();
+    cfg.cache_fractions = {0.03};
+    cfg.schemes.resize(1);
+    cfg.schemes[0].kind = kind;
+    cfg.sim.faults = disks;
+    cfg.sim.tier.ram_fraction = ram_fraction;
+    cfg.jobs = 1;
+    auto runner_or = ExperimentRunner::Create(cfg);
+    EXPECT_TRUE(runner_or.ok());
+    auto results_or = (*runner_or)->RunAll();
+    EXPECT_TRUE(results_or.ok());
+    return results_or->front().metrics;
+  };
+
+  const MetricsSummary lru = run(schemes::SchemeKind::kLru, 0.0);
+  const MetricsSummary coord = run(schemes::SchemeKind::kCoordinated, 0.2);
+  // Coordinated's tiered run stays at or ahead of single-tier LRU on
+  // both headline metrics (small margins guard against noise only; in
+  // practice it remains clearly ahead).
+  EXPECT_LT(coord.avg_latency, lru.avg_latency * 1.05);
+  EXPECT_GT(coord.byte_hit_ratio, lru.byte_hit_ratio * 0.95);
+  // The RAM tier actually absorbed serves during the outages.
+  EXPECT_GT(coord.ram_hits, 0u);
+  EXPECT_GT(coord.disk_degraded, 0u);
 }
 
 /// Degradation shape (the paper's coordination argument under churn):

@@ -248,7 +248,9 @@ TEST(ObservabilityTest, PerNodeCsvRollsUpLevels) {
             "evictions,placements,placements_rejected,expirations,"
             "invalidations,stale_serves,dcache_hits,bytes_served,"
             "bytes_cached,crashes,retries,reroutes,degraded,sheds,"
-            "store_sheds,max_queue_depth,load_bytes");
+            "store_sheds,max_queue_depth,load_bytes,ram_hits,disk_hits,"
+            "promotions,demotions,sibling_probes,sibling_serves,"
+            "disk_degraded");
 
   size_t node_rows = 0;
   uint64_t node_hits = 0, level_hits = 0;

@@ -1,0 +1,231 @@
+// Two-tier CacheNode tests: unit coverage of the tier contract
+// (promotion-on-hit, demote-on-evict, inclusion, Reset) plus a
+// differential/property test that drives a tiered LRU-mode CacheNode and
+// the RefTieredCache oracle (tests/testing/ref_caches.h) through long
+// random churn sequences, comparing every observable at every step.
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "sim/node.h"
+#include "testing/ref_caches.h"
+#include "util/random.h"
+
+namespace cascache::sim {
+namespace {
+
+using cascache::testing::RefTieredCache;
+using trace::ObjectId;
+using util::Rng;
+
+CacheNodeConfig TieredLruConfig(uint64_t capacity, double ram_fraction) {
+  CacheNodeConfig config;
+  config.mode = CacheMode::kLru;
+  config.capacity_bytes = capacity;
+  config.ram_fraction = ram_fraction;
+  return config;
+}
+
+TEST(TieredNodeTest, EffectiveRamCapacityResolution) {
+  CacheNodeConfig config;
+  config.capacity_bytes = 10'000;
+  EXPECT_EQ(config.EffectiveRamCapacity(), 0u);  // Untiered by default.
+  config.ram_fraction = 0.25;
+  EXPECT_EQ(config.EffectiveRamCapacity(), 2'500u);
+  config.ram_capacity_bytes = 777;  // Absolute override wins.
+  EXPECT_EQ(config.EffectiveRamCapacity(), 777u);
+}
+
+TEST(TieredNodeTest, UntieredNodeHasNoRamTier) {
+  CacheNode node(0, TieredLruConfig(1'000, 0.0));
+  EXPECT_FALSE(node.tiered());
+}
+
+TEST(TieredNodeTest, ServeTieredPromotesDiskHitsAndTouchesRamHits) {
+  CacheNode node(0, TieredLruConfig(1'000, 0.2));  // RAM tier: 200 bytes.
+  ASSERT_TRUE(node.tiered());
+  node.lru()->Insert(1, 100);
+
+  // First serve: disk-resident only, so the copy is promoted into RAM.
+  CacheNode::TierServe first = node.ServeTiered(1, 100);
+  EXPECT_FALSE(first.ram_hit);
+  EXPECT_TRUE(first.promoted);
+  EXPECT_EQ(first.demotions, 0);
+  EXPECT_TRUE(node.ram()->Contains(1));
+
+  // Second serve: straight RAM hit, no promotion.
+  CacheNode::TierServe second = node.ServeTiered(1, 100);
+  EXPECT_TRUE(second.ram_hit);
+  EXPECT_FALSE(second.promoted);
+  EXPECT_TRUE(node.CheckInvariants());
+}
+
+TEST(TieredNodeTest, PromotionDemotesRamVictimsButKeepsDiskCopies) {
+  CacheNode node(0, TieredLruConfig(1'000, 0.2));  // RAM tier: 200 bytes.
+  node.lru()->Insert(1, 150);
+  node.lru()->Insert(2, 150);
+  node.ServeTiered(1, 150);  // Promote 1 into RAM (150/200 used).
+  CacheNode::TierServe serve = node.ServeTiered(2, 150);
+  EXPECT_FALSE(serve.ram_hit);
+  EXPECT_TRUE(serve.promoted);
+  EXPECT_EQ(serve.demotions, 1);  // 1 demoted to make room for 2.
+  EXPECT_FALSE(node.ram()->Contains(1));
+  EXPECT_TRUE(node.lru()->Contains(1));  // Demotion keeps the disk copy.
+  EXPECT_TRUE(node.ram()->Contains(2));
+  EXPECT_TRUE(node.CheckInvariants());
+}
+
+TEST(TieredNodeTest, OversizeObjectServesFromDiskUnpromoted) {
+  CacheNode node(0, TieredLruConfig(1'000, 0.1));  // RAM tier: 100 bytes.
+  node.lru()->Insert(1, 500);
+  CacheNode::TierServe serve = node.ServeTiered(1, 500);
+  EXPECT_FALSE(serve.ram_hit);
+  EXPECT_FALSE(serve.promoted);
+  EXPECT_EQ(serve.demotions, 0);
+  EXPECT_FALSE(node.ram()->Contains(1));
+}
+
+TEST(TieredNodeTest, DropRamCopiesEnforcesInclusionOnDiskEviction) {
+  CacheNode node(0, TieredLruConfig(300, 0.5));  // RAM tier: 150 bytes.
+  node.lru()->Insert(1, 150);
+  node.lru()->Insert(2, 150);
+  node.ServeTiered(1, 150);  // 1 is RAM-resident.
+
+  // Insert 3: disk evicts LRU victims; their RAM copies must go too.
+  bool inserted = false;
+  const std::vector<ObjectId>& evicted = node.lru()->Insert(3, 200, &inserted);
+  ASSERT_TRUE(inserted);
+  const int dropped = node.DropRamCopies(evicted);
+  EXPECT_EQ(dropped, 1);  // Only 1 was RAM-resident.
+  EXPECT_FALSE(node.ram()->Contains(1));
+  EXPECT_TRUE(node.CheckInvariants());
+}
+
+TEST(TieredNodeTest, EraseObjectDropsBothTiers) {
+  CacheNode node(0, TieredLruConfig(1'000, 0.5));
+  node.lru()->Insert(1, 100);
+  node.ServeTiered(1, 100);
+  ASSERT_TRUE(node.ram()->Contains(1));
+  EXPECT_TRUE(node.EraseObject(1));
+  EXPECT_FALSE(node.Contains(1));
+  EXPECT_FALSE(node.ram()->Contains(1));
+  EXPECT_TRUE(node.CheckInvariants());
+}
+
+TEST(TieredNodeTest, ResetClearsRamTierAndReappliesConfig) {
+  CacheNodeConfig config = TieredLruConfig(1'000, 0.2);
+  CacheNode node(0, config);
+  node.lru()->Insert(1, 100);
+  node.ServeTiered(1, 100);
+  node.Reset(config);  // Same config: in-place clear.
+  EXPECT_TRUE(node.tiered());
+  EXPECT_FALSE(node.Contains(1));
+  EXPECT_EQ(node.ram()->used_bytes(), 0u);
+  EXPECT_TRUE(node.CheckInvariants());
+
+  // Reconfiguring to untiered drops the RAM tier entirely.
+  node.Reset(TieredLruConfig(1'000, 0.0));
+  EXPECT_FALSE(node.tiered());
+}
+
+TEST(TieredNodeTest, TieredCostModeNodeKeepsInclusion) {
+  CacheNodeConfig config;
+  config.mode = CacheMode::kCost;
+  config.capacity_bytes = 1'000;
+  config.ram_fraction = 0.3;
+  config.dcache_entries = 16;
+  CacheNode node(0, config);
+  ASSERT_TRUE(node.tiered());
+  ASSERT_TRUE(node.InsertCost(1, 200, 5.0, 1.0));
+  CacheNode::TierServe serve = node.ServeTiered(1, 200);
+  EXPECT_TRUE(serve.promoted);
+  EXPECT_TRUE(node.CheckInvariants());
+  // Cost-mode eviction path: victims leave RAM too.
+  std::vector<ObjectId> evicted;
+  for (ObjectId id = 2; id < 10; ++id) {
+    ASSERT_TRUE(node.InsertCost(id, 200, 5.0, 2.0, &evicted));
+    node.DropRamCopies(evicted);
+  }
+  EXPECT_TRUE(node.CheckInvariants());
+}
+
+// The property/differential test: a tiered LRU-mode CacheNode against
+// the RefTieredCache oracle under random placement churn, tier serves,
+// coherency drops, and Reset. Every observable — tier outcomes, byte
+// accounting, membership in both tiers, eviction victims — must match
+// at every step, and the inclusion invariant must hold throughout.
+TEST(TieredDifferentialTest, MatchesReferenceUnderRandomChurn) {
+  Rng rng(20260808);
+  const uint64_t kCapacity = 4'096;
+  const double kRamFraction = 0.25;
+  CacheNodeConfig config = TieredLruConfig(kCapacity, kRamFraction);
+  CacheNode node(0, config);
+  RefTieredCache ref(kCapacity, config.EffectiveRamCapacity());
+  const ObjectId kIdRange = 160;
+  std::vector<uint64_t> sizes(kIdRange, 0);
+
+  for (int step = 0; step < 60'000; ++step) {
+    const ObjectId id = static_cast<ObjectId>(rng.NextUint64(kIdRange));
+    const double dice = rng.NextDouble(0.0, 1.0);
+    if (dice < 0.45) {
+      // Placement: new objects get a fresh size, repeats keep theirs
+      // (matching the simulator, where an object's size is fixed).
+      if (sizes[id] == 0) sizes[id] = 1 + rng.NextUint64(900);
+      bool node_inserted = false;
+      bool ref_inserted = false;
+      const std::vector<ObjectId>& node_evicted =
+          node.lru()->Insert(id, sizes[id], &node_inserted);
+      node.DropRamCopies(node_evicted);
+      const std::vector<ObjectId> ref_evicted =
+          ref.Insert(id, sizes[id], &ref_inserted);
+      ASSERT_EQ(node_inserted, ref_inserted) << "step " << step;
+      ASSERT_EQ(node_evicted, ref_evicted) << "step " << step;
+    } else if (dice < 0.8) {
+      // Tier serve of a cached object (the simulator only calls
+      // ServeTiered on hits) plus the scheme's own disk recency touch.
+      if (!ref.Contains(id)) {
+        ASSERT_FALSE(node.Contains(id)) << "step " << step;
+        continue;
+      }
+      const CacheNode::TierServe got = node.ServeTiered(id, sizes[id]);
+      const RefTieredCache::TierServe want = ref.ServeTiered(id, sizes[id]);
+      ASSERT_EQ(got.ram_hit, want.ram_hit) << "step " << step;
+      ASSERT_EQ(got.promoted, want.promoted) << "step " << step;
+      ASSERT_EQ(got.demotions, want.demotions) << "step " << step;
+      node.lru()->Touch(id);
+      ref.disk().Touch(id);
+    } else if (dice < 0.9) {
+      // Coherency-style drop from both tiers.
+      ASSERT_EQ(node.EraseObject(id), ref.Erase(id)) << "step " << step;
+    } else if (dice < 0.99) {
+      ASSERT_EQ(node.Contains(id), ref.Contains(id)) << "step " << step;
+      ASSERT_EQ(node.ram()->Contains(id), ref.RamResident(id))
+          << "step " << step;
+    } else {
+      // Cold restart: both sides drop everything, config unchanged.
+      node.Reset(config);
+      ref.Clear();
+    }
+
+    ASSERT_EQ(node.used_bytes(), ref.disk().used_bytes()) << "step " << step;
+    ASSERT_EQ(node.ram()->used_bytes(), ref.ram().used_bytes())
+        << "step " << step;
+    ASSERT_EQ(node.ram()->num_objects(), ref.ram().num_objects())
+        << "step " << step;
+    if (step % 4'999 == 0) {
+      ASSERT_TRUE(node.CheckInvariants()) << "step " << step;
+      // Inclusion on the oracle side: every RAM-resident id has a disk
+      // copy (probe the full id range; the oracle has no iteration).
+      for (ObjectId probe = 0; probe < kIdRange; ++probe) {
+        if (ref.RamResident(probe)) {
+          ASSERT_TRUE(ref.Contains(probe)) << "step " << step;
+        }
+      }
+    }
+  }
+  ASSERT_TRUE(node.CheckInvariants());
+}
+
+}  // namespace
+}  // namespace cascache::sim

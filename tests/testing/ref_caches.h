@@ -94,6 +94,84 @@ class RefLruCache {
   std::unordered_map<ObjectId, std::list<Entry>::iterator> index_;
 };
 
+/// Reference two-tier oracle: an inclusive RAM tier over a disk tier,
+/// both plain list-based LRU. Mirrors the tiered CacheNode contract
+/// (sim/node.h): the disk tier is the full-capacity store deciding
+/// hit/miss; the RAM tier holds a subset of disk-resident objects;
+/// serving a hit touches RAM or promotes the object into RAM
+/// (promotion-on-hit, RAM victims demoted but keeping their disk copy);
+/// a disk eviction drops the victim's RAM copy (demote-on-evict, the
+/// inclusion invariant). The differential test drives this and a tiered
+/// CacheNode through identical op sequences and compares every
+/// observable.
+class RefTieredCache {
+ public:
+  RefTieredCache(uint64_t disk_capacity_bytes, uint64_t ram_capacity_bytes)
+      : disk_(disk_capacity_bytes), ram_(ram_capacity_bytes) {
+    CASCACHE_CHECK(ram_capacity_bytes <= disk_capacity_bytes);
+  }
+
+  bool Contains(ObjectId id) const { return disk_.Contains(id); }
+  bool RamResident(ObjectId id) const { return ram_.Contains(id); }
+
+  struct TierServe {
+    bool ram_hit = false;
+    bool promoted = false;
+    int demotions = 0;
+  };
+
+  /// Serves a disk-resident object through the tier stack. The caller is
+  /// responsible for the disk store's own recency touch (as the scheme's
+  /// OnServe is on the production node).
+  TierServe ServeTiered(ObjectId id, uint64_t size) {
+    CASCACHE_CHECK(disk_.Contains(id));
+    TierServe result;
+    if (ram_.Touch(id)) {
+      result.ram_hit = true;
+      return result;
+    }
+    bool inserted = false;
+    const std::vector<ObjectId> demoted = ram_.Insert(id, size, &inserted);
+    result.promoted = inserted;
+    result.demotions = static_cast<int>(demoted.size());
+    return result;
+  }
+
+  /// Places an object in the disk tier; disk victims lose their RAM copy.
+  std::vector<ObjectId> Insert(ObjectId id, uint64_t size,
+                               bool* inserted = nullptr) {
+    const std::vector<ObjectId> evicted = disk_.Insert(id, size, inserted);
+    for (ObjectId victim : evicted) ram_.Erase(victim);
+    return evicted;
+  }
+
+  /// Coherency-style drop: both tiers lose the copy.
+  bool Erase(ObjectId id) {
+    ram_.Erase(id);
+    return disk_.Erase(id);
+  }
+
+  void Clear() {
+    disk_.Clear();
+    ram_.Clear();
+  }
+
+  bool CheckInclusion() const {
+    // The RefLruCache has no iteration; inclusion is asserted by the
+    // differential test via per-object probes instead.
+    return ram_.used_bytes() <= disk_.used_bytes();
+  }
+
+  const RefLruCache& disk() const { return disk_; }
+  const RefLruCache& ram() const { return ram_; }
+  RefLruCache& disk() { return disk_; }
+  RefLruCache& ram() { return ram_; }
+
+ private:
+  RefLruCache disk_;
+  RefLruCache ram_;
+};
+
 /// Reference d-cache oracle: the historical `unordered_map` descriptor
 /// store + hash-indexed eviction heap, verbatim. The pooled production
 /// DCache must match it observably under both policies.

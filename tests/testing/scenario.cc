@@ -25,6 +25,20 @@ std::unique_ptr<sim::Network> MakeChainNetwork(
   return std::move(net_or).value();
 }
 
+std::unique_ptr<sim::Network> MakeTreeNetwork(
+    const trace::ObjectCatalog* catalog, int depth, int fanout,
+    double base_delay, double growth) {
+  sim::NetworkParams params;
+  params.architecture = sim::Architecture::kHierarchical;
+  params.tree.depth = depth;
+  params.tree.fanout = fanout;
+  params.tree.base_delay = base_delay;
+  params.tree.growth = growth;
+  auto net_or = sim::Network::Build(params, catalog);
+  CASCACHE_CHECK_OK(net_or.status());
+  return std::move(net_or).value();
+}
+
 trace::Request At(double time, trace::ObjectId object,
                   trace::ClientId client) {
   trace::Request req;

@@ -24,6 +24,13 @@ std::unique_ptr<sim::Network> MakeChainNetwork(
     const trace::ObjectCatalog* catalog, int depth, double base_delay = 1.0,
     double growth = 1.0);
 
+/// Builds a hierarchical tree network with the given depth and fanout
+/// (fanout >= 2 gives every non-root node siblings — the sibling
+/// cooperation tests use this). Link delays base_delay * growth^level.
+std::unique_ptr<sim::Network> MakeTreeNetwork(
+    const trace::ObjectCatalog* catalog, int depth, int fanout,
+    double base_delay = 1.0, double growth = 1.0);
+
 /// A request at `time` from client 0 for `object`.
 trace::Request At(double time, trace::ObjectId object,
                   trace::ClientId client = 0);

@@ -231,7 +231,8 @@ util::Status RunMain(int argc, char** argv) {
   int64_t fault_max_retries;
   double fault_node_mtbf, fault_node_downtime, fault_link_mtbf,
       fault_link_downtime, fault_ascent_loss, fault_decision_loss,
-      fault_timeout, fault_backoff;
+      fault_timeout, fault_backoff, fault_disk_mtbf, fault_disk_downtime,
+      fault_sibling_loss;
   bool fault_crash_cuts_routing;
   flags.AddString("fault-config", "",
                   "fault schedule file (key=value lines; see DESIGN.md)",
@@ -267,6 +268,57 @@ util::Status RunMain(int argc, char** argv) {
   flags.AddDouble("fault-backoff", 1.0,
                   "retry k backs off fault-backoff * 2^k seconds",
                   &fault_backoff);
+  flags.AddDouble("fault-disk-mtbf", 0.0,
+                  "mean seconds between disk-tier failures (0 = none); a "
+                  "degraded node serves from RAM only (tiered) or proxies "
+                  "(single-tier)",
+                  &fault_disk_mtbf);
+  flags.AddDouble("fault-disk-downtime", 60.0,
+                  "mean seconds a failed disk tier stays degraded",
+                  &fault_disk_downtime);
+  flags.AddDouble("fault-sibling-loss", 0.0,
+                  "probability a sibling probe or its reply is lost",
+                  &fault_sibling_loss);
+  // Two-tier stores (sim/node.h): a fast RAM tier over the full-capacity
+  // slow tier, with promotion on hit and demotion on eviction.
+  double tier_ram_fraction, tier_ram_hit_cost, tier_disk_hit_cost;
+  uint64_t tier_ram_capacity;
+  flags.AddDouble("tier-ram-fraction", 0.0,
+                  "RAM tier capacity as a fraction of each node's cache "
+                  "(0 = single-tier nodes)",
+                  &tier_ram_fraction);
+  flags.AddUint64("tier-ram-capacity", 0,
+                  "absolute RAM tier capacity in bytes (overrides "
+                  "--tier-ram-fraction)",
+                  &tier_ram_capacity);
+  flags.AddDouble("tier-ram-hit-cost", 0.0,
+                  "service seconds charged per RAM-tier hit",
+                  &tier_ram_hit_cost);
+  flags.AddDouble("tier-disk-hit-cost", 0.0,
+                  "service seconds charged per disk-tier hit",
+                  &tier_disk_hit_cost);
+  // Sibling cooperation (ICP-style): on a local miss, probe same-parent
+  // siblings before ascending.
+  bool sibling_probes;
+  int64_t sibling_level, sibling_max_probes;
+  uint64_t sibling_probe_bytes;
+  double sibling_probe_cost;
+  flags.AddBool("sibling-probes", false,
+                "probe same-parent siblings on a local miss before "
+                "ascending (hierarchical architecture)",
+                &sibling_probes);
+  flags.AddInt64("sibling-level", -1,
+                 "tree level that probes siblings (-1 = every level)",
+                 &sibling_level);
+  flags.AddInt64("sibling-max-probes", 0,
+                 "max siblings probed per miss (0 = all siblings)",
+                 &sibling_max_probes);
+  flags.AddUint64("sibling-probe-bytes", 16,
+                  "message bytes per sibling probe (and per hit reply)",
+                  &sibling_probe_bytes);
+  flags.AddDouble("sibling-probe-cost", 0.0,
+                  "service seconds a probe occupies the probed sibling",
+                  &sibling_probe_cost);
   // Contention model (sim/queueing.h). Any nonzero knob switches the
   // replay to the event-driven scheduling policy.
   double service_lookup, service_store, service_dcache, link_bandwidth,
@@ -475,7 +527,28 @@ util::Status RunMain(int argc, char** argv) {
   if (flags.WasSet("fault-backoff")) {
     fault_config.retry_backoff = fault_backoff;
   }
+  if (flags.WasSet("fault-disk-mtbf")) {
+    fault_config.disk_fail_mtbf = fault_disk_mtbf;
+  }
+  if (flags.WasSet("fault-disk-downtime")) {
+    fault_config.disk_fail_downtime = fault_disk_downtime;
+  }
+  if (flags.WasSet("fault-sibling-loss")) {
+    fault_config.sibling_loss_prob = fault_sibling_loss;
+  }
   CASCACHE_RETURN_IF_ERROR(fault_config.Validate());
+
+  config.sim.tier.ram_fraction = tier_ram_fraction;
+  config.sim.tier.ram_capacity_bytes = tier_ram_capacity;
+  config.sim.tier.ram_hit_cost = tier_ram_hit_cost;
+  config.sim.tier.disk_hit_cost = tier_disk_hit_cost;
+  CASCACHE_RETURN_IF_ERROR(config.sim.tier.Validate());
+  config.sim.sibling.enabled = sibling_probes;
+  config.sim.sibling.level = static_cast<int>(sibling_level);
+  config.sim.sibling.max_probes = static_cast<int>(sibling_max_probes);
+  config.sim.sibling.probe_bytes = sibling_probe_bytes;
+  config.sim.sibling.probe_cost = sibling_probe_cost;
+  CASCACHE_RETURN_IF_ERROR(config.sim.sibling.Validate());
 
   config.sim.contention.lookup_cost = service_lookup;
   config.sim.contention.store_cost = service_store;
